@@ -1,0 +1,76 @@
+//! Criterion kernels for the compression pipelines (Fig. 10/11 companions):
+//! compression and decompression throughput of Solutions A-D and the
+//! comparators on a supremacy state snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_bench::supremacy_snapshot;
+use qcs_compress::{CodecId, ErrorBound};
+
+fn bench_compress(c: &mut Criterion) {
+    let snap = supremacy_snapshot(16, 0);
+    let mut group = c.benchmark_group("compress_sup16");
+    group.throughput(Throughput::Bytes(snap.bytes() as u64));
+    group.sample_size(10);
+    for id in [
+        CodecId::SolutionA,
+        CodecId::SolutionB,
+        CodecId::SolutionC,
+        CodecId::SolutionD,
+        CodecId::Zfp,
+        CodecId::Fpzip,
+    ] {
+        let codec = id.build();
+        group.bench_with_input(BenchmarkId::new("pwr1e-3", id), &snap.data, |b, data| {
+            b.iter(|| {
+                codec
+                    .compress(data, ErrorBound::PointwiseRelative(1e-3))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let snap = supremacy_snapshot(16, 0);
+    let mut group = c.benchmark_group("decompress_sup16");
+    group.throughput(Throughput::Bytes(snap.bytes() as u64));
+    group.sample_size(10);
+    for id in [
+        CodecId::SolutionA,
+        CodecId::SolutionB,
+        CodecId::SolutionC,
+        CodecId::SolutionD,
+    ] {
+        let codec = id.build();
+        let enc = codec
+            .compress(&snap.data, ErrorBound::PointwiseRelative(1e-3))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("pwr1e-3", id), &enc, |b, enc| {
+            b.iter(|| codec.decompress(enc).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let snap = supremacy_snapshot(16, 0);
+    let bytes = qcs_compress::f64s_to_bytes(&snap.data);
+    let mut group = c.benchmark_group("qzstd_sup16");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+    group.bench_function("fast", |b| {
+        b.iter(|| qcs_compress::qzstd::compress(&bytes, qcs_compress::qzstd::Level::Fast))
+    });
+    group.bench_function("high", |b| {
+        b.iter(|| qcs_compress::qzstd::compress(&bytes, qcs_compress::qzstd::Level::High))
+    });
+    let zero = vec![0u8; bytes.len()];
+    group.bench_function("zero_page", |b| {
+        b.iter(|| qcs_compress::qzstd::compress(&zero, qcs_compress::qzstd::Level::High))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_lossless);
+criterion_main!(benches);

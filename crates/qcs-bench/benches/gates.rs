@@ -1,0 +1,41 @@
+//! Criterion kernels for dense gate application (the Eq. 6/7 pair update),
+//! across the three qubit positions that exercise different memory stride
+//! patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_statevec::{Gate1, StateVector};
+
+fn bench_single_gate(c: &mut Criterion) {
+    let n = 20usize;
+    let mut group = c.benchmark_group("dense_gate_20q");
+    group.throughput(Throughput::Elements(1 << n));
+    group.sample_size(20);
+    for target in [0usize, 10, 19] {
+        group.bench_with_input(BenchmarkId::new("h", target), &target, |b, &t| {
+            let mut s = StateVector::zero_state(n);
+            b.iter(|| s.apply_gate(&Gate1::h(), t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_controlled(c: &mut Criterion) {
+    let n = 20usize;
+    let mut group = c.benchmark_group("dense_controlled_20q");
+    group.throughput(Throughput::Elements(1 << n));
+    group.sample_size(20);
+    group.bench_function("cx_0_19", |b| {
+        let mut s = StateVector::zero_state(n);
+        s.apply_gate(&Gate1::h(), 0);
+        b.iter(|| s.apply_controlled(&Gate1::x(), 0, 19));
+    });
+    group.bench_function("ccx_0_1_19", |b| {
+        let mut s = StateVector::zero_state(n);
+        s.apply_gate(&Gate1::h(), 0);
+        b.iter(|| s.apply_multi_controlled(&Gate1::x(), &[0, 1], 19));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_gate, bench_controlled);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion end-to-end kernels for the compressed simulator: per-gate cost
+//! across the three routing cases, cache on/off, and dense-vs-compressed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_circuits::Circuit;
+use qcs_core::{CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One H gate per routing case on a spread state.
+fn bench_routing_cases(c: &mut Criterion) {
+    let n = 16u32;
+    let mut group = c.benchmark_group("compressed_gate_16q");
+    group.sample_size(10);
+    // Layout: block_log2=10, ranks_log2=2 -> offsets 0-9, blocks 10-13,
+    // ranks 14-15.
+    for (label, target) in [("in_block", 0usize), ("inter_block", 12), ("inter_rank", 15)] {
+        group.bench_with_input(BenchmarkId::new("h", label), &target, |b, &t| {
+            let cfg = SimConfig::default()
+                .with_block_log2(10)
+                .with_ranks_log2(2)
+                .without_cache();
+            let mut sim = CompressedSimulator::new(n, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut warm = Circuit::new(n as usize);
+            for q in 0..n as usize {
+                warm.h(q);
+            }
+            sim.run(&warm, &mut rng).unwrap();
+            let mut gate = Circuit::new(n as usize);
+            gate.h(t);
+            b.iter(|| sim.run(&gate, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_effect(c: &mut Criterion) {
+    // Redundant zero blocks: cache should shortcut almost all work.
+    let n = 16u32;
+    let mut group = c.benchmark_group("cache_effect_16q");
+    group.sample_size(10);
+    for (label, cache) in [("cached", true), ("uncached", false)] {
+        group.bench_function(label, |b| {
+            let mut cfg = SimConfig::default().with_block_log2(8).with_ranks_log2(1);
+            if !cache {
+                cfg = cfg.without_cache();
+            }
+            let mut sim = CompressedSimulator::new(n, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut gate = Circuit::new(n as usize);
+            gate.h(15).h(15); // identity pair over redundant blocks
+            b.iter(|| sim.run(&gate, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_vs_compressed(c: &mut Criterion) {
+    let n = 16usize;
+    let mut circuit = Circuit::new(n);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    for q in 0..n - 1 {
+        circuit.cx(q, q + 1);
+    }
+    let mut group = c.benchmark_group("ghz_chain_16q");
+    group.sample_size(10);
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            circuit.simulate_dense(&mut rng)
+        })
+    });
+    group.bench_function("compressed_lossless", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::default().with_block_log2(10).with_ranks_log2(1);
+            let mut sim = CompressedSimulator::new(n as u32, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&circuit, &mut rng).unwrap();
+            sim.report().gates
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing_cases,
+    bench_cache_effect,
+    bench_dense_vs_compressed
+);
+criterion_main!(benches);

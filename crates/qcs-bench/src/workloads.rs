@@ -1,0 +1,133 @@
+//! Workload snapshots: the laptop-scale analogues of the paper's `qaoa_36`
+//! and `sup_36` compressor-evaluation datasets (§4.1).
+//!
+//! The paper extracts the state vector of a 36-qubit QAOA circuit and a
+//! 36-qubit supremacy random circuit mid-simulation, and feeds the raw
+//! interleaved doubles to each compressor. We do the same at a size that
+//! runs in seconds, which preserves the statistical character (spiky,
+//! sign-alternating, narrow-magnitude values — Fig. 9) that drives the
+//! compression results.
+
+use qcs_circuits::qaoa::{qaoa_circuit, QaoaParams};
+use qcs_circuits::supremacy::{random_circuit, Grid};
+use qcs_circuits::{qft_benchmark_circuit, random_regular_graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named state-vector snapshot (interleaved re/im doubles).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Name used in reports (e.g. `qaoa_18`).
+    pub name: String,
+    /// Qubit count.
+    pub num_qubits: usize,
+    /// Interleaved (re, im) amplitude data.
+    pub data: Vec<f64>,
+}
+
+impl Snapshot {
+    /// Size of the raw data in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+/// QAOA MAXCUT state on a random 4-regular graph (the `qaoa_36` analogue).
+pub fn qaoa_snapshot(num_qubits: usize, seed: u64) -> Snapshot {
+    let graph = random_regular_graph(num_qubits, 4, seed);
+    let circuit = qaoa_circuit(&graph, &QaoaParams::standard(2));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state = circuit.simulate_dense(&mut rng);
+    Snapshot {
+        name: format!("qaoa_{num_qubits}"),
+        num_qubits,
+        data: state.as_f64_slice().to_vec(),
+    }
+}
+
+/// Google supremacy random-circuit state (the `sup_36` analogue).
+///
+/// `num_qubits` is rounded to the nearest grid that factors evenly.
+///
+/// Depth 11, matching the paper's Table 2 random-circuit rows.
+pub fn supremacy_snapshot(num_qubits: usize, seed: u64) -> Snapshot {
+    let (rows, cols) = factor_grid(num_qubits);
+    let circuit = random_circuit(Grid::new(rows, cols), 11, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state = circuit.simulate_dense(&mut rng);
+    Snapshot {
+        name: format!("sup_{}", rows * cols),
+        num_qubits: rows * cols,
+        data: state.as_f64_slice().to_vec(),
+    }
+}
+
+/// QFT-on-random-input state (deep-circuit workload).
+pub fn qft_snapshot(num_qubits: usize, seed: u64) -> Snapshot {
+    let circuit = qft_benchmark_circuit(num_qubits, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state = circuit.simulate_dense(&mut rng);
+    Snapshot {
+        name: format!("qft_{num_qubits}"),
+        num_qubits,
+        data: state.as_f64_slice().to_vec(),
+    }
+}
+
+/// Pick a near-square grid with `rows * cols == n` (requires composite `n`).
+pub fn factor_grid(n: usize) -> (usize, usize) {
+    let mut best = (1usize, n);
+    for r in 1..=n {
+        if n.is_multiple_of(r) {
+            let c = n / r;
+            if r.abs_diff(c) < best.0.abs_diff(best.1) {
+                best = (r, c);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_grid_prefers_square() {
+        assert_eq!(factor_grid(16), (4, 4));
+        assert_eq!(factor_grid(20), (4, 5));
+        assert_eq!(factor_grid(12), (3, 4));
+        assert_eq!(factor_grid(7), (1, 7)); // prime falls back to a line
+    }
+
+    #[test]
+    fn snapshots_are_normalized_states() {
+        for snap in [
+            qaoa_snapshot(10, 1),
+            supremacy_snapshot(12, 1),
+            qft_snapshot(10, 1),
+        ] {
+            let norm: f64 = snap.data.iter().map(|v| v * v).sum();
+            assert!(
+                (norm - 1.0).abs() < 1e-9,
+                "{}: norm {norm}",
+                snap.name
+            );
+            assert_eq!(snap.data.len(), 2 << snap.num_qubits);
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let a = qaoa_snapshot(8, 3);
+        let b = qaoa_snapshot(8, 3);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn supremacy_data_is_spiky_like_figure9() {
+        let snap = supremacy_snapshot(12, 0);
+        let s = qcs_compress::stats::spikiness(&snap.data);
+        assert!(s > 1.0, "supremacy snapshot should be spiky, got {s}");
+    }
+}

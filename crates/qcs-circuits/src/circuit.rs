@@ -1,0 +1,539 @@
+//! Circuit intermediate representation shared by the dense and compressed
+//! simulators.
+
+use qcs_statevec::{GateKind, StateVector};
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Single-qubit gate on `target`.
+    Single {
+        /// Gate to apply.
+        gate: GateKind,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled single-qubit gate (Eq. 7): applied where `control` is 1.
+    Controlled {
+        /// Gate to apply on the target.
+        gate: GateKind,
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Multi-controlled single-qubit gate (e.g. Toffoli = controls x2 + X).
+    MultiControlled {
+        /// Gate to apply on the target.
+        gate: GateKind,
+        /// Control qubits (all must be 1).
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Swap two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Intermediate measurement of one qubit in the computational basis,
+    /// collapsing the state (the capability the paper argues full-state
+    /// simulation enables, §1).
+    Measure {
+        /// Measured qubit.
+        target: usize,
+    },
+}
+
+impl Op {
+    /// Highest qubit index referenced.
+    pub fn max_qubit(&self) -> usize {
+        match self {
+            Op::Single { target, .. } => *target,
+            Op::Controlled {
+                control, target, ..
+            } => (*control).max(*target),
+            Op::MultiControlled {
+                controls, target, ..
+            } => controls.iter().copied().max().unwrap_or(0).max(*target),
+            Op::Swap { a, b } => (*a).max(*b),
+            Op::Measure { target } => *target,
+        }
+    }
+
+    /// Stable signature for cache keys: combines gate kind, parameters and
+    /// qubit roles (paper §3.4, the `OP` field of a cache line).
+    pub fn signature(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100000001b3)
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        match self {
+            Op::Single { gate, target } => {
+                h = mix(h, 1);
+                h = mix(h, gate.signature());
+                h = mix(h, *target as u64);
+            }
+            Op::Controlled {
+                gate,
+                control,
+                target,
+            } => {
+                h = mix(h, 2);
+                h = mix(h, gate.signature());
+                h = mix(h, *control as u64);
+                h = mix(h, *target as u64);
+            }
+            Op::MultiControlled {
+                gate,
+                controls,
+                target,
+            } => {
+                h = mix(h, 3);
+                h = mix(h, gate.signature());
+                for c in controls {
+                    h = mix(h, *c as u64);
+                }
+                h = mix(h, *target as u64);
+            }
+            Op::Swap { a, b } => {
+                h = mix(h, 4);
+                h = mix(h, *a as u64);
+                h = mix(h, *b as u64);
+            }
+            Op::Measure { target } => {
+                h = mix(h, 5);
+                h = mix(h, *target as u64);
+            }
+        }
+        h
+    }
+}
+
+/// A quantum circuit: a qubit count and an ordered list of operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Empty circuit on `num_qubits`.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 1);
+        Self {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Operations in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Gate count (the paper's "Number of Gates" row counts every op).
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Push a raw op, validating qubit indices.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        assert!(
+            op.max_qubit() < self.num_qubits,
+            "op {op:?} out of range for {} qubits",
+            self.num_qubits
+        );
+        if let Op::MultiControlled {
+            controls, target, ..
+        } = &op
+        {
+            let mut seen = controls.clone();
+            seen.push(*target);
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(
+                seen.len(),
+                controls.len() + 1,
+                "duplicate qubits in {op:?}"
+            );
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Append another circuit's ops.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        self.ops.extend(other.ops.iter().cloned());
+        self
+    }
+
+    // --- builder helpers ---
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::H,
+            target: q,
+        })
+    }
+
+    /// Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::X,
+            target: q,
+        })
+    }
+
+    /// Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::Y,
+            target: q,
+        })
+    }
+
+    /// Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::Z,
+            target: q,
+        })
+    }
+
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::T,
+            target: q,
+        })
+    }
+
+    /// sqrt(X).
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::SqrtX,
+            target: q,
+        })
+    }
+
+    /// sqrt(Y).
+    pub fn sy(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::SqrtY,
+            target: q,
+        })
+    }
+
+    /// Rx rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::Rx(theta),
+            target: q,
+        })
+    }
+
+    /// Ry rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::Ry(theta),
+            target: q,
+        })
+    }
+
+    /// Rz rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Op::Single {
+            gate: GateKind::Rz(theta),
+            target: q,
+        })
+    }
+
+    /// CNOT.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Op::Controlled {
+            gate: GateKind::X,
+            control,
+            target,
+        })
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Op::Controlled {
+            gate: GateKind::Z,
+            control,
+            target,
+        })
+    }
+
+    /// Controlled phase.
+    pub fn cphase(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
+        self.push(Op::Controlled {
+            gate: GateKind::Phase(theta),
+            control,
+            target,
+        })
+    }
+
+    /// Toffoli (CCX).
+    pub fn ccx(&mut self, c1: usize, c2: usize, target: usize) -> &mut Self {
+        self.push(Op::MultiControlled {
+            gate: GateKind::X,
+            controls: vec![c1, c2],
+            target,
+        })
+    }
+
+    /// Multi-controlled Z.
+    pub fn mcz(&mut self, controls: &[usize], target: usize) -> &mut Self {
+        self.push(Op::MultiControlled {
+            gate: GateKind::Z,
+            controls: controls.to_vec(),
+            target,
+        })
+    }
+
+    /// Swap.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Op::Swap { a, b })
+    }
+
+    /// Intermediate measurement.
+    pub fn measure(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Measure { target: q })
+    }
+
+    /// Execute on a dense state vector. Measurements consume `rng`.
+    pub fn run_dense(&self, state: &mut StateVector, rng: &mut impl rand::Rng) {
+        assert_eq!(state.num_qubits(), self.num_qubits);
+        for op in &self.ops {
+            match op {
+                Op::Single { gate, target } => state.apply_gate(&gate.matrix(), *target),
+                Op::Controlled {
+                    gate,
+                    control,
+                    target,
+                } => state.apply_controlled(&gate.matrix(), *control, *target),
+                Op::MultiControlled {
+                    gate,
+                    controls,
+                    target,
+                } => state.apply_multi_controlled(&gate.matrix(), controls, *target),
+                Op::Swap { a, b } => state.apply_swap(*a, *b),
+                Op::Measure { target } => {
+                    state.measure(*target, rng);
+                }
+            }
+        }
+    }
+
+    /// Convenience: run from `|0...0>` and return the final state.
+    pub fn simulate_dense(&self, rng: &mut impl rand::Rng) -> StateVector {
+        let mut s = StateVector::zero_state(self.num_qubits);
+        self.run_dense(&mut s, rng);
+        s
+    }
+
+    /// Execute with a stochastic noise model (one quantum trajectory):
+    /// the configured channel fires on each gate's qubits after the gate.
+    /// This is the "modern noise simulation" the paper's conclusion
+    /// contrasts with its compression-error noise idea (§6).
+    pub fn run_dense_noisy(
+        &self,
+        state: &mut StateVector,
+        noise: &qcs_statevec::NoiseModel,
+        rng: &mut impl rand::Rng,
+    ) {
+        assert_eq!(state.num_qubits(), self.num_qubits);
+        for op in &self.ops {
+            match op {
+                Op::Single { gate, target } => {
+                    state.apply_gate(&gate.matrix(), *target);
+                    if let Some(ch) = noise.after_single {
+                        ch.apply(state, *target, rng);
+                    }
+                }
+                Op::Controlled {
+                    gate,
+                    control,
+                    target,
+                } => {
+                    state.apply_controlled(&gate.matrix(), *control, *target);
+                    if let Some(ch) = noise.after_two {
+                        ch.apply(state, *control, rng);
+                        ch.apply(state, *target, rng);
+                    }
+                }
+                Op::MultiControlled {
+                    gate,
+                    controls,
+                    target,
+                } => {
+                    state.apply_multi_controlled(&gate.matrix(), controls, *target);
+                    if let Some(ch) = noise.after_two {
+                        for &q in controls {
+                            ch.apply(state, q, rng);
+                        }
+                        ch.apply(state, *target, rng);
+                    }
+                }
+                Op::Swap { a, b } => {
+                    state.apply_swap(*a, *b);
+                    if let Some(ch) = noise.after_two {
+                        ch.apply(state, *a, rng);
+                        ch.apply(state, *b, rng);
+                    }
+                }
+                Op::Measure { target } => {
+                    state.measure(*target, rng);
+                }
+            }
+        }
+    }
+
+    /// Count of two-or-more-qubit operations (entangling gates).
+    pub fn entangling_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Controlled { .. } | Op::MultiControlled { .. } | Op::Swap { .. }
+                )
+            })
+            .count()
+    }
+
+    /// A crude depth estimate: greedy layering of non-overlapping ops.
+    pub fn depth(&self) -> usize {
+        let mut layers: Vec<Vec<usize>> = Vec::new(); // qubits busy per layer
+        for op in &self.ops {
+            let qubits: Vec<usize> = match op {
+                Op::Single { target, .. } | Op::Measure { target } => vec![*target],
+                Op::Controlled {
+                    control, target, ..
+                } => vec![*control, *target],
+                Op::MultiControlled {
+                    controls, target, ..
+                } => {
+                    let mut v = controls.clone();
+                    v.push(*target);
+                    v
+                }
+                Op::Swap { a, b } => vec![*a, *b],
+            };
+            // Greedy layering: place after the last layer that conflicts.
+            let pos = layers
+                .iter()
+                .rposition(|layer| qubits.iter().any(|q| layer.contains(q)))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            if pos == layers.len() {
+                layers.push(qubits);
+            } else {
+                layers[pos].extend(qubits);
+            }
+        }
+        layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_constructs_expected_ops() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2).measure(0);
+        assert_eq!(c.gate_count(), 5);
+        assert_eq!(c.entangling_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Circuit::new(2).h(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubits")]
+    fn duplicate_controls_rejected() {
+        Circuit::new(3).push(Op::MultiControlled {
+            gate: GateKind::X,
+            controls: vec![1, 1],
+            target: 2,
+        });
+    }
+
+    #[test]
+    fn bell_circuit_dense() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = c.simulate_dense(&mut rng);
+        assert!((s.probabilities()[0] - 0.5).abs() < 1e-12);
+        assert!((s.probabilities()[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_with_intermediate_measure_collapses() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure(0);
+        let mut rng = StdRng::seed_from_u64(123);
+        let s = c.simulate_dense(&mut rng);
+        let probs = s.probabilities();
+        // After measuring qubit 0 of a GHZ state the survivors are 000 or 111.
+        assert!(
+            (probs[0] - 1.0).abs() < 1e-9 || (probs[7] - 1.0).abs() < 1e-9,
+            "probs: {probs:?}"
+        );
+    }
+
+    #[test]
+    fn depth_of_parallel_layer_is_one() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1);
+        assert_eq!(c.depth(), 2);
+        c.cx(2, 3);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn signature_stable_and_distinct() {
+        let a = Op::Single {
+            gate: GateKind::H,
+            target: 0,
+        };
+        let b = Op::Single {
+            gate: GateKind::H,
+            target: 1,
+        };
+        assert_eq!(a.signature(), a.signature());
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.extend(&b);
+        assert_eq!(a.gate_count(), 2);
+    }
+}

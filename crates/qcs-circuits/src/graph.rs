@@ -1,0 +1,126 @@
+//! Random regular graph generation for the QAOA MAXCUT benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected graph as an edge list over `0..n` vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edges, stored with `a < b`, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Degree of each vertex.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(a, b) in &self.edges {
+            d[a] += 1;
+            d[b] += 1;
+        }
+        d
+    }
+
+    /// Cut value of an assignment given as a bitmask.
+    pub fn cut_value(&self, assignment: u64) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| (assignment >> a) & 1 != (assignment >> b) & 1)
+            .count()
+    }
+
+    /// Brute-force maximum cut (only for small `n`, used in tests).
+    pub fn max_cut_brute_force(&self) -> (u64, usize) {
+        assert!(self.n <= 24, "brute force only for small graphs");
+        let mut best = (0u64, 0usize);
+        for mask in 0..(1u64 << self.n) {
+            let v = self.cut_value(mask);
+            if v > best.1 {
+                best = (mask, v);
+            }
+        }
+        best
+    }
+}
+
+/// Generate a random `degree`-regular graph on `n` vertices using the
+/// configuration model with restarts (the paper's QAOA benchmark uses a
+/// random 4-regular graph, §5.3).
+///
+/// `n * degree` must be even. Deterministic for a given seed.
+pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Graph {
+    assert!(n > degree, "need n > degree");
+    assert!((n * degree).is_multiple_of(2), "n * degree must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'retry: for _attempt in 0..10_000 {
+        // Stubs: each vertex appears `degree` times.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, degree)).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut edges = Vec::with_capacity(n * degree / 2);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if a == b || !seen.insert((a, b)) {
+                continue 'retry; // self-loop or multi-edge: resample
+            }
+            edges.push((a, b));
+        }
+        return Graph { n, edges };
+    }
+    panic!("failed to build a simple {degree}-regular graph on {n} vertices");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        for (n, d, seed) in [(8, 4, 1), (10, 3, 2), (16, 4, 3)] {
+            let g = random_regular_graph(n, d, seed);
+            assert_eq!(g.edges.len(), n * d / 2);
+            assert!(g.degrees().iter().all(|&deg| deg == d));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_regular_graph(12, 4, 77);
+        let b = random_regular_graph(12, 4, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = random_regular_graph(14, 4, 5);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &g.edges {
+            assert!(a < b);
+            assert!(seen.insert((a, b)));
+        }
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let g = Graph {
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (0, 3)],
+        };
+        // Bipartition {0,2} vs {1,3} cuts all 4 edges of the 4-cycle.
+        assert_eq!(g.cut_value(0b0101), 4);
+        assert_eq!(g.cut_value(0b0000), 0);
+        assert_eq!(g.max_cut_brute_force().1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_stub_count_rejected() {
+        random_regular_graph(5, 3, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # qcs-circuits
+//!
+//! Circuit IR and the paper's benchmark workload generators (§5.3):
+//!
+//! - [`grover`] — Grover's search with an X/Toffoli oracle;
+//! - [`supremacy`] — Google random circuit sampling (Boixo et al. rules);
+//! - [`qaoa`] — QAOA MAXCUT on random 4-regular graphs;
+//! - [`qft`] — quantum Fourier transform with random-X input;
+//! - [`hadamard_wall`] — the scaling micro-benchmark of §5.2 (one H per
+//!   qubit).
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible.
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod graph;
+pub mod grover;
+pub mod phase_estimation;
+pub mod qaoa;
+pub mod qft;
+pub mod supremacy;
+
+pub use circuit::{Circuit, Op};
+pub use graph::{random_regular_graph, Graph};
+pub use grover::{grover_circuit, grover_circuit_toffoli, optimal_iterations};
+pub use phase_estimation::{bernstein_vazirani_circuit, phase_estimation_circuit};
+pub use qaoa::{qaoa_circuit, QaoaParams};
+pub use qft::{iqft_circuit, qft_benchmark_circuit, qft_circuit};
+pub use supremacy::{cz_pattern, random_circuit, Grid};
+
+/// The scalability micro-benchmark the paper uses in §5.2: apply one
+/// Hadamard to every qubit.
+pub fn hadamard_wall(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_wall_shape() {
+        let c = hadamard_wall(7);
+        assert_eq!(c.gate_count(), 7);
+        assert_eq!(c.depth(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Quantum phase estimation and Bernstein-Vazirani — two further QFT-family
+//! workloads from the algorithm families the paper cites as QFT consumers
+//! (Shor, phase estimation, hidden subgroup, §5.3).
+
+use crate::circuit::Circuit;
+use crate::qft::iqft_circuit;
+
+/// Phase-estimation circuit for the unitary `U = Phase(2*pi*phase)` acting
+/// on one target qubit prepared in its `|1>` eigenstate.
+///
+/// Layout: qubits `0..precision` hold the phase register (little-endian:
+/// qubit `k` weights `2^k`), qubit `precision` is the eigenstate target.
+/// Measuring the register yields `round(phase * 2^precision)` with high
+/// probability.
+pub fn phase_estimation_circuit(precision: usize, phase: f64) -> Circuit {
+    assert!(precision >= 1);
+    let n = precision + 1;
+    let target = precision;
+    let mut c = Circuit::new(n);
+    // Eigenstate |1> of the phase gate.
+    c.x(target);
+    for q in 0..precision {
+        c.h(q);
+    }
+    // Controlled-U^(2^k) from register qubit k.
+    for k in 0..precision {
+        let theta = 2.0 * std::f64::consts::PI * phase * 2f64.powi(k as i32);
+        c.cphase(theta, k, target);
+    }
+    // Inverse QFT on the register (qubits 0..precision).
+    let iq = iqft_circuit(precision);
+    for op in iq.ops() {
+        c.push(op.clone());
+    }
+    c
+}
+
+/// The most likely register readout for a phase-estimation run.
+pub fn expected_readout(precision: usize, phase: f64) -> u64 {
+    ((phase * 2f64.powi(precision as i32)).round() as u64) % (1u64 << precision)
+}
+
+/// Bernstein-Vazirani circuit: recovers the hidden string `secret` with a
+/// single oracle query. Layout: `n` data qubits + 1 ancilla (qubit `n`).
+pub fn bernstein_vazirani_circuit(n: usize, secret: u64) -> Circuit {
+    assert!(n >= 1 && secret < (1u64 << n));
+    let mut c = Circuit::new(n + 1);
+    // Ancilla in |->.
+    c.x(n);
+    c.h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: f(x) = secret . x, implemented as CX from each secret bit.
+    for q in 0..n {
+        if secret >> q & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_phase_is_read_out_deterministically() {
+        // phase = 5/16 is exactly representable in 4 bits.
+        let precision = 4;
+        let phase = 5.0 / 16.0;
+        let c = phase_estimation_circuit(precision, phase);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = c.simulate_dense(&mut rng);
+        let probs = s.probabilities();
+        // The register (low 4 bits) must read 5; the target stays |1>.
+        let expect = 5usize | (1 << precision);
+        assert!(
+            probs[expect] > 1.0 - 1e-9,
+            "P[{expect:b}] = {}",
+            probs[expect]
+        );
+        assert_eq!(expected_readout(precision, phase), 5);
+    }
+
+    #[test]
+    fn inexact_phase_concentrates_near_truth() {
+        let precision = 5;
+        let phase = 0.3; // not a multiple of 1/32
+        let c = phase_estimation_circuit(precision, phase);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = c.simulate_dense(&mut rng);
+        let probs = s.probabilities();
+        let best = expected_readout(precision, phase) as usize;
+        // Sum probability over the register value regardless of target bit.
+        let reg_prob = |r: usize| probs[r] + probs[r | (1 << precision)];
+        // The nearest grid point gets the plurality (> 0.4 analytically).
+        assert!(reg_prob(best) > 0.4, "P[{best}] = {}", reg_prob(best));
+        let total: f64 = (0..(1 << precision)).map(reg_prob).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret_in_one_query() {
+        for secret in [0u64, 1, 0b1011, 0b11111, 0b10101] {
+            let n = 5;
+            let c = bernstein_vazirani_circuit(n, secret);
+            let mut rng = StdRng::seed_from_u64(0);
+            let s = c.simulate_dense(&mut rng);
+            let probs = s.probabilities();
+            // Data register reads the secret; ancilla is |-> (either bit).
+            let p = probs[secret as usize] + probs[secret as usize | 1 << n];
+            assert!(p > 1.0 - 1e-9, "secret {secret:b}: P = {p}");
+        }
+    }
+
+    #[test]
+    fn oracle_query_count_is_linear_in_secret_weight() {
+        let c = bernstein_vazirani_circuit(6, 0b101101);
+        let cx = c.entangling_count();
+        assert_eq!(cx, 4); // popcount of the secret
+    }
+}

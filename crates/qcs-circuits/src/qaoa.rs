@@ -1,0 +1,147 @@
+//! QAOA MAXCUT benchmark (paper §5.3): the quantum approximate optimization
+//! algorithm of Farhi, Goldstone & Gutmann on a random 4-regular graph.
+//!
+//! Each of the `p` rounds applies the cost unitary
+//! `exp(-i gamma/2 * sum_{(u,v)} (1 - Z_u Z_v))` — realized per edge as
+//! `CX(u,v); Rz(2 gamma, v); CX(u,v)` up to global phase — followed by the
+//! mixer `Rx(2 beta)` on every qubit.
+
+use crate::circuit::Circuit;
+use crate::graph::Graph;
+
+/// QAOA variational parameters for `p` rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaParams {
+    /// Cost angles, one per round.
+    pub gammas: Vec<f64>,
+    /// Mixer angles, one per round.
+    pub betas: Vec<f64>,
+}
+
+impl QaoaParams {
+    /// Fixed, reasonable single-round parameters (near-optimal for MAXCUT on
+    /// regular graphs at p=1).
+    pub fn standard(p: usize) -> Self {
+        // Linear ramp schedule, a common heuristic initialization.
+        let gammas = (0..p)
+            .map(|i| 0.8 * (i as f64 + 1.0) / p as f64)
+            .collect();
+        let betas = (0..p)
+            .map(|i| 0.7 * (1.0 - i as f64 / p as f64))
+            .collect();
+        Self { gammas, betas }
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> usize {
+        debug_assert_eq!(self.gammas.len(), self.betas.len());
+        self.gammas.len()
+    }
+}
+
+/// Build the QAOA MAXCUT circuit for `graph` with `params`.
+pub fn qaoa_circuit(graph: &Graph, params: &QaoaParams) -> Circuit {
+    let mut c = Circuit::new(graph.n);
+    for q in 0..graph.n {
+        c.h(q);
+    }
+    for round in 0..params.rounds() {
+        let gamma = params.gammas[round];
+        let beta = params.betas[round];
+        for &(u, v) in &graph.edges {
+            c.cx(u, v);
+            c.rz(2.0 * gamma, v);
+            c.cx(u, v);
+        }
+        for q in 0..graph.n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
+/// Grid-search the best p=1 angles on a dense simulation (classical outer
+/// loop of the hybrid algorithm; practical for small `n` only).
+pub fn grid_search_p1(graph: &Graph, resolution: usize) -> (QaoaParams, f64) {
+    assert!(graph.n <= 20, "dense grid search limited to small graphs");
+    let mut best = (QaoaParams::standard(1), f64::NEG_INFINITY);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+    for gi in 1..resolution {
+        for bi in 1..resolution {
+            let gamma = std::f64::consts::PI * gi as f64 / resolution as f64;
+            let beta = std::f64::consts::PI * bi as f64 / (2.0 * resolution as f64);
+            let params = QaoaParams {
+                gammas: vec![gamma],
+                betas: vec![beta],
+            };
+            let s = qaoa_circuit(graph, &params).simulate_dense(&mut rng);
+            let e = expected_cut(graph, &s.probabilities());
+            if e > best.1 {
+                best = (params, e);
+            }
+        }
+    }
+    best
+}
+
+/// Expected cut value of a probability distribution over assignments.
+pub fn expected_cut(graph: &Graph, probabilities: &[f64]) -> f64 {
+    probabilities
+        .iter()
+        .enumerate()
+        .map(|(mask, &p)| p * graph.cut_value(mask as u64) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::random_regular_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn circuit_shape() {
+        let g = random_regular_graph(8, 4, 1);
+        let params = QaoaParams::standard(2);
+        let c = qaoa_circuit(&g, &params);
+        // H wall + per round: 3 ops/edge + n mixers.
+        let expected = 8 + 2 * (3 * g.edges.len() + 8);
+        assert_eq!(c.gate_count(), expected);
+    }
+
+    #[test]
+    fn qaoa_beats_random_guessing() {
+        let g = random_regular_graph(10, 4, 3);
+        let (params, expect) = grid_search_p1(&g, 8);
+        assert_eq!(params.rounds(), 1);
+        // Uniform random assignment cuts half the edges in expectation.
+        let random_baseline = g.edges.len() as f64 / 2.0;
+        assert!(
+            expect > random_baseline + 0.5,
+            "QAOA expectation {expect} not better than random {random_baseline}"
+        );
+        // And is bounded by the true optimum.
+        let (_, opt) = g.max_cut_brute_force();
+        assert!(expect <= opt as f64 + 1e-9);
+    }
+
+    #[test]
+    fn p0_degenerates_to_uniform() {
+        let g = random_regular_graph(6, 4, 9);
+        let c = qaoa_circuit(&g, &QaoaParams::standard(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = c.simulate_dense(&mut rng);
+        let expect = expected_cut(&g, &s.probabilities());
+        assert!((expect - g.edges.len() as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let g = random_regular_graph(8, 4, 4);
+        let c = qaoa_circuit(&g, &QaoaParams::standard(3));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = c.simulate_dense(&mut rng);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Quantum Fourier transform benchmark (paper §5.3) — the deep-circuit
+//! workload: `O(n^2)` controlled-phase gates.
+//!
+//! The paper applies random X gates to the initial state as the QFT input;
+//! [`qft_benchmark_circuit`] reproduces that.
+
+use crate::circuit::Circuit;
+use qcs_statevec::qft_phase;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The standard QFT circuit on `n` qubits: per qubit an H followed by the
+/// cascade of controlled phases, then the bit-reversal swap network.
+pub fn qft_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in (0..n).rev() {
+        c.h(i);
+        for j in (0..i).rev() {
+            // Distance determines the angle pi / 2^(i-j).
+            c.cphase(qft_phase((i - j + 1) as u32), j, i);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+/// Inverse QFT.
+pub fn iqft_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    for i in 0..n {
+        for j in 0..i {
+            c.cphase(-qft_phase((i - j + 1) as u32), j, i);
+        }
+        c.h(i);
+    }
+    c
+}
+
+/// The paper's QFT benchmark: random X gates prepare a random basis state,
+/// then the QFT runs. Deterministic for a given seed.
+pub fn qft_benchmark_circuit(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        if rng.gen::<bool>() {
+            c.x(q);
+        }
+    }
+    c.extend(&qft_circuit(n));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_statevec::{Complex64, StateVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let n = 5;
+        let c = qft_circuit(n);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = c.simulate_dense(&mut rng);
+        let expect = 1.0 / ((1u64 << n) as f64).sqrt();
+        for a in s.amplitudes() {
+            assert!((a.re - expect).abs() < 1e-10 && a.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix_on_basis_states() {
+        // QFT|k> has amplitudes omega^{jk} / sqrt(N).
+        let n = 4;
+        let size = 1usize << n;
+        for k in [1u64, 5, 10, 15] {
+            let mut s = StateVector::basis_state(n, k);
+            let mut rng = StdRng::seed_from_u64(0);
+            qft_circuit(n).run_dense(&mut s, &mut rng);
+            for j in 0..size {
+                let angle =
+                    2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / size as f64;
+                let expect = Complex64::from_polar(1.0 / (size as f64).sqrt(), angle);
+                assert!(
+                    s.amplitudes()[j].approx_eq(expect, 1e-10),
+                    "k={k} j={j}: {} vs {}",
+                    s.amplitudes()[j],
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iqft_inverts_qft() {
+        let n = 5;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = StateVector::basis_state(n, 19);
+        qft_circuit(n).run_dense(&mut s, &mut rng);
+        iqft_circuit(n).run_dense(&mut s, &mut rng);
+        assert!(s.amplitudes()[19].abs() > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn gate_count_is_quadratic() {
+        let n = 10;
+        let c = qft_circuit(n);
+        // n H + n(n-1)/2 cphase + n/2 swaps.
+        assert_eq!(c.gate_count(), n + n * (n - 1) / 2 + n / 2);
+    }
+
+    #[test]
+    fn benchmark_circuit_is_seeded() {
+        assert_eq!(qft_benchmark_circuit(8, 5), qft_benchmark_circuit(8, 5));
+        assert_ne!(qft_benchmark_circuit(8, 5), qft_benchmark_circuit(8, 6));
+    }
+}

@@ -1,0 +1,216 @@
+//! Time-breakdown and communication accounting (paper Table 2 rows:
+//! compression / decompression / communication / computation time).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Phases instrumented by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Compressing state blocks.
+    Compression,
+    /// Decompressing state blocks.
+    Decompression,
+    /// Exchanging blocks between ranks.
+    Communication,
+    /// Applying gate arithmetic.
+    Computation,
+}
+
+impl Phase {
+    /// All phases in report order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Compression,
+        Phase::Decompression,
+        Phase::Communication,
+        Phase::Computation,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Compression => "compression",
+            Phase::Decompression => "decompression",
+            Phase::Communication => "communication",
+            Phase::Computation => "computation",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    durations: [Duration; 4],
+    comm_bytes: u64,
+}
+
+/// Thread-safe accumulator of per-phase wall time and communication volume.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Metrics {
+    /// Fresh metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to `phase`.
+    pub fn add(&self, phase: Phase, d: Duration) {
+        self.inner.lock().durations[phase as usize] += d;
+    }
+
+    /// Time a closure, attributing its wall time to `phase`.
+    pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Record `bytes` of rank-to-rank traffic.
+    pub fn add_comm_bytes(&self, bytes: u64) {
+        self.inner.lock().comm_bytes += bytes;
+    }
+
+    /// Total bytes exchanged between ranks.
+    pub fn comm_bytes(&self) -> u64 {
+        self.inner.lock().comm_bytes
+    }
+
+    /// Accumulated time for a phase.
+    pub fn duration(&self, phase: Phase) -> Duration {
+        self.inner.lock().durations[phase as usize]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        let inner = self.inner.lock();
+        inner.durations.iter().sum()
+    }
+
+    /// Snapshot as a [`TimeBreakdown`].
+    pub fn breakdown(&self) -> TimeBreakdown {
+        let inner = self.inner.lock();
+        TimeBreakdown {
+            compression: inner.durations[Phase::Compression as usize],
+            decompression: inner.durations[Phase::Decompression as usize],
+            communication: inner.durations[Phase::Communication as usize],
+            computation: inner.durations[Phase::Computation as usize],
+            comm_bytes: inner.comm_bytes,
+        }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::default();
+    }
+}
+
+/// Immutable snapshot of the phase timings (Table 2 rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Time spent compressing.
+    pub compression: Duration,
+    /// Time spent decompressing.
+    pub decompression: Duration,
+    /// Time spent exchanging blocks between ranks.
+    pub communication: Duration,
+    /// Time spent in gate arithmetic.
+    pub computation: Duration,
+    /// Bytes exchanged between ranks.
+    pub comm_bytes: u64,
+}
+
+impl TimeBreakdown {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.compression + self.decompression + self.communication + self.computation
+    }
+
+    /// Percentage of total for each phase, in [`Phase::ALL`] order.
+    /// Returns zeros when nothing was recorded.
+    pub fn percentages(&self) -> [f64; 4] {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.compression.as_secs_f64() / total * 100.0,
+            self.decompression.as_secs_f64() / total * 100.0,
+            self.communication.as_secs_f64() / total * 100.0,
+            self.computation.as_secs_f64() / total * 100.0,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_phase() {
+        let m = Metrics::new();
+        m.add(Phase::Compression, Duration::from_millis(10));
+        m.add(Phase::Compression, Duration::from_millis(5));
+        m.add(Phase::Computation, Duration::from_millis(85));
+        assert_eq!(m.duration(Phase::Compression), Duration::from_millis(15));
+        assert_eq!(m.total(), Duration::from_millis(100));
+        let pct = m.breakdown().percentages();
+        assert!((pct[0] - 15.0).abs() < 1e-9);
+        assert!((pct[3] - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_closure_attributes_wall_time() {
+        let m = Metrics::new();
+        let v = m.time(Phase::Decompression, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(m.duration(Phase::Decompression) >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn comm_bytes_accumulate() {
+        let m = Metrics::new();
+        m.add_comm_bytes(1024);
+        m.add_comm_bytes(512);
+        assert_eq!(m.comm_bytes(), 1536);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = Metrics::new();
+        m.add(Phase::Computation, Duration::from_millis(1));
+        m.add_comm_bytes(9);
+        m.reset();
+        assert_eq!(m.total(), Duration::ZERO);
+        assert_eq!(m.comm_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn metrics_shared_across_clones_and_threads() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mm = m.clone();
+                s.spawn(move || {
+                    mm.add(Phase::Computation, Duration::from_millis(1));
+                    mm.add_comm_bytes(10);
+                });
+            }
+        });
+        assert_eq!(m2.duration(Phase::Computation), Duration::from_millis(4));
+        assert_eq!(m2.comm_bytes(), 40);
+    }
+}

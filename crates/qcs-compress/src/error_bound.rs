@@ -1,0 +1,129 @@
+//! Error-bound types and the paper's adaptive error-bound ladder (§3.7).
+
+/// The error control applied by a codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Bit-exact round trip.
+    Lossless,
+    /// Pointwise absolute bound: `|d - d'| <= e` for every point.
+    Absolute(f64),
+    /// Pointwise relative bound: `|d - d'| <= eps * |d|` for every point.
+    PointwiseRelative(f64),
+}
+
+impl ErrorBound {
+    /// The numeric bound, or 0 for lossless.
+    pub fn magnitude(&self) -> f64 {
+        match self {
+            ErrorBound::Lossless => 0.0,
+            ErrorBound::Absolute(e) | ErrorBound::PointwiseRelative(e) => *e,
+        }
+    }
+
+    /// True if this bound permits any loss at all.
+    pub fn is_lossy(&self) -> bool {
+        !matches!(self, ErrorBound::Lossless) && self.magnitude() > 0.0
+    }
+}
+
+impl std::fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorBound::Lossless => write!(f, "lossless"),
+            ErrorBound::Absolute(e) => write!(f, "abs={e:.0e}"),
+            ErrorBound::PointwiseRelative(e) => write!(f, "pwr={e:.0e}"),
+        }
+    }
+}
+
+/// The paper's five pointwise-relative levels, weakest last (§3.7):
+/// 1e-5, 1e-4, 1e-3, 1e-2, 1e-1.
+pub const PWR_LEVELS: [f64; 5] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// The full adaptive ladder: lossless first, then the five lossy levels.
+///
+/// `LADDER[0]` is used while the lossless ratio still fits the memory
+/// budget; whenever the ratio is insufficient the simulation relaxes to the
+/// next entry (larger error).
+pub fn ladder() -> [ErrorBound; 6] {
+    [
+        ErrorBound::Lossless,
+        ErrorBound::PointwiseRelative(PWR_LEVELS[0]),
+        ErrorBound::PointwiseRelative(PWR_LEVELS[1]),
+        ErrorBound::PointwiseRelative(PWR_LEVELS[2]),
+        ErrorBound::PointwiseRelative(PWR_LEVELS[3]),
+        ErrorBound::PointwiseRelative(PWR_LEVELS[4]),
+    ]
+}
+
+/// Number of mantissa bits that must be kept so that truncating the rest
+/// respects a pointwise relative bound of `eps` (Eq. 12 in the paper).
+///
+/// Truncating a normal double to `m` mantissa bits introduces a relative
+/// error strictly below `2^-m`, so we need the smallest `m` with
+/// `2^-m <= eps`, i.e. `m = ceil(-log2 eps)`; the paper expresses the same
+/// quantity as `Sig_Bit_Count = Bit_Count(Sign&Exp) - EXP(eps)` with
+/// `Bit_Count(Sign&Exp) = 12` for doubles.
+pub fn mantissa_bits_for_relative(eps: f64) -> u32 {
+    assert!(eps > 0.0 && eps < 1.0, "relative bound must be in (0,1)");
+    let m = (-eps.log2()).ceil() as u32;
+    m.min(52)
+}
+
+/// Total significant bits (sign + exponent + kept mantissa) for `eps`,
+/// matching the paper's `Sig_Bit_Count` (Eq. 12).
+pub fn significant_bits_for_relative(eps: f64) -> u32 {
+    12 + mantissa_bits_for_relative(eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotonically_weaker() {
+        let l = ladder();
+        assert_eq!(l[0], ErrorBound::Lossless);
+        for w in l[1..].windows(2) {
+            assert!(w[0].magnitude() < w[1].magnitude());
+        }
+    }
+
+    #[test]
+    fn paper_example_exp_of_1e_minus_2() {
+        // Paper: EXP(0.01) = -7, so Sig_Bit_Count = 12 - (-7) = 19.
+        assert_eq!(significant_bits_for_relative(1e-2), 19);
+        assert_eq!(mantissa_bits_for_relative(1e-2), 7);
+    }
+
+    #[test]
+    fn mantissa_bits_guarantee_bound() {
+        for eps in PWR_LEVELS {
+            let m = mantissa_bits_for_relative(eps);
+            assert!(2f64.powi(-(m as i32)) <= eps, "2^-{m} > {eps}");
+            // And m-1 bits would not suffice (tightness).
+            if m > 1 {
+                assert!(2f64.powi(-(m as i32 - 1)) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn mantissa_bits_saturate_at_52() {
+        assert_eq!(mantissa_bits_for_relative(1e-300), 52);
+    }
+
+    #[test]
+    fn lossy_predicate() {
+        assert!(!ErrorBound::Lossless.is_lossy());
+        assert!(!ErrorBound::Absolute(0.0).is_lossy());
+        assert!(ErrorBound::Absolute(1e-3).is_lossy());
+        assert!(ErrorBound::PointwiseRelative(1e-5).is_lossy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ErrorBound::Lossless.to_string(), "lossless");
+        assert_eq!(ErrorBound::PointwiseRelative(1e-3).to_string(), "pwr=1e-3");
+    }
+}

@@ -1,0 +1,219 @@
+//! `qzstd` — the lossless backend used throughout this crate.
+//!
+//! A from-scratch stand-in for Zstandard (the paper's lossless compressor):
+//! LZ77 dictionary coding followed by an optional canonical-Huffman entropy
+//! stage, with cheap fast paths for the all-zero blocks that dominate early
+//! quantum-simulation states. The encoder tries the configured pipeline and
+//! stores whichever representation is smallest, so output never expands by
+//! more than the 10-byte header plus one part-length word.
+//!
+//! Container format:
+//!
+//! ```text
+//! [mode u8][orig_len u64le][payload...]
+//! mode 0 = stored (payload is the raw input)
+//! mode 1 = LZ77
+//! mode 2 = LZ77 + Huffman over the LZ stream
+//! mode 3 = all zero bytes (empty payload)
+//! ```
+
+use crate::huffman;
+use crate::lz77;
+
+/// Compression effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// LZ77 only — fastest, used inside inner loops.
+    Fast,
+    /// LZ77 + Huffman entropy stage — best ratio.
+    #[default]
+    High,
+}
+
+/// Errors from the qzstd container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QzError {
+    /// Unknown mode byte or truncated container.
+    Corrupt(&'static str),
+    /// Inner LZ77 stream failed to decode.
+    Lz(lz77::LzError),
+    /// Inner Huffman stream failed to decode.
+    Huffman(huffman::HuffmanError),
+}
+
+impl std::fmt::Display for QzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QzError::Corrupt(msg) => write!(f, "corrupt qzstd container: {msg}"),
+            QzError::Lz(e) => write!(f, "qzstd lz stage: {e}"),
+            QzError::Huffman(e) => write!(f, "qzstd entropy stage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QzError {}
+
+impl From<lz77::LzError> for QzError {
+    fn from(e: lz77::LzError) -> Self {
+        QzError::Lz(e)
+    }
+}
+
+impl From<huffman::HuffmanError> for QzError {
+    fn from(e: huffman::HuffmanError) -> Self {
+        QzError::Huffman(e)
+    }
+}
+
+const MODE_STORED: u8 = 0;
+const MODE_LZ: u8 = 1;
+const MODE_LZ_HUFF: u8 = 2;
+const MODE_ZERO: u8 = 3;
+
+fn container(mode: u8, orig_len: usize, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    out.push(mode);
+    out.extend_from_slice(&(orig_len as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Compress `data` at the given level.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    if data.iter().all(|&b| b == 0) {
+        return container(MODE_ZERO, data.len(), &[]);
+    }
+    let lz = lz77::compress(data);
+    let (mode, payload) = match level {
+        Level::Fast => (MODE_LZ, lz),
+        Level::High => {
+            let entropy = huffman::encode_bytes(&lz);
+            if entropy.len() < lz.len() {
+                (MODE_LZ_HUFF, entropy)
+            } else {
+                (MODE_LZ, lz)
+            }
+        }
+    };
+    if payload.len() >= data.len() {
+        container(MODE_STORED, data.len(), data)
+    } else {
+        container(mode, data.len(), &payload)
+    }
+}
+
+/// Decompress a qzstd container.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, QzError> {
+    if data.len() < 9 {
+        return Err(QzError::Corrupt("container too short"));
+    }
+    let mode = data[0];
+    let orig_len = u64::from_le_bytes(data[1..9].try_into().unwrap()) as usize;
+    let payload = &data[9..];
+    let out = match mode {
+        MODE_STORED => payload.to_vec(),
+        MODE_LZ => lz77::decompress(payload)?,
+        MODE_LZ_HUFF => {
+            let lz = huffman::decode_bytes(payload)?;
+            lz77::decompress(&lz)?
+        }
+        MODE_ZERO => vec![0u8; orig_len],
+        _ => return Err(QzError::Corrupt("unknown mode byte")),
+    };
+    if out.len() != orig_len {
+        return Err(QzError::Corrupt("length mismatch after decode"));
+    }
+    Ok(out)
+}
+
+/// Compression ratio (original / compressed) achieved on `data`.
+pub fn ratio(data: &[u8], level: Level) -> f64 {
+    let c = compress(data, level);
+    data.len() as f64 / c.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], level: Level) {
+        let c = compress(data, level);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn zero_block_fast_path() {
+        let data = vec![0u8; 1 << 20];
+        let c = compress(&data, Level::High);
+        assert_eq!(c.len(), 9, "all-zero block should be header-only");
+        round_trip(&data, Level::High);
+    }
+
+    #[test]
+    fn empty_input() {
+        // Empty input is all-zeros vacuously.
+        let c = compress(&[], Level::High);
+        assert_eq!(decompress(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn both_levels_round_trip() {
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 7 * 37) as u8).collect();
+        round_trip(&data, Level::Fast);
+        round_trip(&data, Level::High);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_stored() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .flat_map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x.to_le_bytes()
+            })
+            .collect();
+        let c = compress(&data, Level::High);
+        assert!(c.len() <= data.len() + 9);
+        round_trip(&data, Level::High);
+    }
+
+    #[test]
+    fn high_level_beats_fast_on_text_like_data() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(50_000)
+            .collect();
+        let fast = compress(&data, Level::Fast);
+        let high = compress(&data, Level::High);
+        assert!(high.len() <= fast.len());
+    }
+
+    #[test]
+    fn corrupt_container_rejected() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[9, 0, 0, 0, 0, 0, 0, 0, 0, 1]).is_err());
+        let good = compress(b"hello world hello world", Level::High);
+        let mut bad = good.clone();
+        bad[0] = 7;
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn sparse_state_vector_bytes() {
+        // Mimic an early simulation state: one nonzero amplitude.
+        let mut amps = vec![0.0f64; 1 << 14];
+        amps[0] = 1.0;
+        let bytes: Vec<u8> = amps.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let c = compress(&bytes, Level::High);
+        assert!(
+            (bytes.len() as f64 / c.len() as f64) > 100.0,
+            "sparse state should compress >100x, got {:.1}",
+            bytes.len() as f64 / c.len() as f64
+        );
+        round_trip(&bytes, Level::High);
+    }
+}

@@ -1,0 +1,209 @@
+//! Compression-error statistics used by the paper's evaluation figures:
+//! maximum pointwise relative error per block (Fig. 12), normalized error
+//! CDFs (Fig. 14), and the lag-1 autocorrelation argument for uncorrelated
+//! errors (§4.2).
+
+/// Pointwise relative error of one decompressed value.
+///
+/// Zero originals with zero error report 0; zero originals with nonzero
+/// error report `f64::INFINITY`.
+#[inline]
+pub fn pointwise_relative_error(original: f64, decompressed: f64) -> f64 {
+    let diff = (original - decompressed).abs();
+    if diff == 0.0 {
+        0.0
+    } else if original == 0.0 {
+        f64::INFINITY
+    } else {
+        diff / original.abs()
+    }
+}
+
+/// Maximum pointwise relative error over a slice pair.
+pub fn max_pointwise_relative_error(original: &[f64], decompressed: &[f64]) -> f64 {
+    assert_eq!(original.len(), decompressed.len());
+    original
+        .iter()
+        .zip(decompressed)
+        .map(|(&a, &b)| pointwise_relative_error(a, b))
+        .fold(0.0, f64::max)
+}
+
+/// Maximum absolute error over a slice pair.
+pub fn max_absolute_error(original: &[f64], decompressed: &[f64]) -> f64 {
+    assert_eq!(original.len(), decompressed.len());
+    original
+        .iter()
+        .zip(decompressed)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Signed relative errors normalized by the bound (`-1..=1` when the bound
+/// is respected), skipping exact zeros in the original data. This is the
+/// x-axis of the paper's Figure 14.
+pub fn normalized_errors(original: &[f64], decompressed: &[f64], bound: f64) -> Vec<f64> {
+    assert_eq!(original.len(), decompressed.len());
+    assert!(bound > 0.0);
+    original
+        .iter()
+        .zip(decompressed)
+        .filter(|(&a, _)| a != 0.0)
+        .map(|(&a, &b)| (a - b) / a.abs() / bound)
+        .collect()
+}
+
+/// Empirical CDF of `values` evaluated at `points`.
+///
+/// Returns `(point, fraction <= point)` pairs.
+pub fn empirical_cdf(values: &[f64], points: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    points
+        .iter()
+        .map(|&p| {
+            let count = sorted.partition_point(|&v| v <= p);
+            (p, count as f64 / sorted.len().max(1) as f64)
+        })
+        .collect()
+}
+
+/// Lag-1 autocorrelation coefficient of a series.
+///
+/// The paper reports this lands in `[-1e-4, 1e-4]` for Solution C errors on
+/// mostly-nonzero data, which is the evidence that compression errors are
+/// uncorrelated (§4.2). Returns 0 for series shorter than 2 or with zero
+/// variance.
+pub fn lag1_autocorrelation(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean).powi(2)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = series
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum();
+    cov / var
+}
+
+/// Value range (max - min) of a slice; 0 for empty input.
+pub fn value_range(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in data {
+        if v < min {
+            min = v;
+        }
+        if v > max {
+            max = v;
+        }
+    }
+    max - min
+}
+
+/// A simple spikiness measure: mean absolute first difference divided by the
+/// mean absolute value. Smooth series score near 0; sign-alternating spiky
+/// series (Fig. 9) score near or above 2.
+pub fn spikiness(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let mean_abs: f64 = data.iter().map(|v| v.abs()).sum::<f64>() / data.len() as f64;
+    if mean_abs == 0.0 {
+        return 0.0;
+    }
+    let mean_diff: f64 =
+        data.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (data.len() - 1) as f64;
+    mean_diff / mean_abs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(pointwise_relative_error(2.0, 2.0), 0.0);
+        assert_eq!(pointwise_relative_error(2.0, 1.0), 0.5);
+        assert_eq!(pointwise_relative_error(0.0, 0.0), 0.0);
+        assert_eq!(pointwise_relative_error(0.0, 1e-9), f64::INFINITY);
+        assert_eq!(pointwise_relative_error(-4.0, -3.0), 0.25);
+    }
+
+    #[test]
+    fn max_errors() {
+        let orig = [1.0, 2.0, -4.0];
+        let dec = [1.0, 1.9, -4.4];
+        assert!((max_pointwise_relative_error(&orig, &dec) - 0.1).abs() < 1e-12);
+        assert!((max_absolute_error(&orig, &dec) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_errors_in_unit_interval_when_bounded() {
+        let orig = [1.0, -2.0, 0.0, 4.0];
+        let dec = [1.001, -1.998, 0.0, 4.0];
+        let norm = normalized_errors(&orig, &dec, 1e-2);
+        assert_eq!(norm.len(), 3); // zero skipped
+        for v in norm {
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let values = [0.1, 0.4, 0.4, 0.9];
+        let points = [0.0, 0.2, 0.5, 1.0];
+        let cdf = empirical_cdf(&values, &points);
+        assert_eq!(cdf[0].1, 0.0);
+        assert_eq!(cdf[1].1, 0.25);
+        assert_eq!(cdf[2].1, 0.75);
+        assert_eq!(cdf[3].1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let series: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(lag1_autocorrelation(&series) < -0.9);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let series = vec![3.0; 100];
+        assert_eq!(lag1_autocorrelation(&series), 0.0);
+        assert_eq!(lag1_autocorrelation(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_linear_ramp_is_high() {
+        let series: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert!(lag1_autocorrelation(&series) > 0.95);
+    }
+
+    #[test]
+    fn spikiness_separates_smooth_from_spiky() {
+        let smooth: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.001).sin()).collect();
+        let spiky: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(spikiness(&smooth) < 0.1);
+        assert!(spikiness(&spiky) > 1.5);
+    }
+
+    #[test]
+    fn value_range_handles_edges() {
+        assert_eq!(value_range(&[]), 0.0);
+        assert_eq!(value_range(&[5.0]), 0.0);
+        assert_eq!(value_range(&[-1.0, 3.0]), 4.0);
+    }
+}

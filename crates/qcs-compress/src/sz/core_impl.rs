@@ -1,0 +1,348 @@
+//! Core SZ pipeline shared by Solutions A and B.
+
+use crate::bitio::bytes;
+use crate::codec::CodecError;
+use crate::error_bound::ErrorBound;
+use crate::huffman;
+use crate::qzstd;
+
+/// Default quantization bin count (SZ 2.1 default).
+pub const DEFAULT_BINS: u32 = 65_536;
+/// Reduced bin count used by Solution B for faster coding (§4.2).
+pub const SOLUTION_B_BINS: u32 = 16_384;
+
+const MAGIC: u32 = 0x5143_535A; // "QCSZ"
+const MODE_ABS: u8 = 0;
+const MODE_REL: u8 = 1;
+
+/// Configurable SZ-style compressor core.
+#[derive(Debug, Clone)]
+pub struct SzCore {
+    bins: u32,
+    /// Prediction stride: 1 = flat 1D Lorenzo, 2 = split real/imaginary.
+    stride: usize,
+}
+
+impl SzCore {
+    /// Create a core with `bins` quantization bins and prediction `stride`.
+    pub fn new(bins: u32, stride: usize) -> Self {
+        assert!(bins >= 4 && stride >= 1);
+        Self { bins, stride }
+    }
+
+    /// Compress under `bound` (absolute or pointwise-relative only).
+    pub fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
+        match bound {
+            ErrorBound::Absolute(e) if e > 0.0 => {
+                let payload = self.compress_abs(data, e);
+                Ok(container(MODE_ABS, e, &payload))
+            }
+            ErrorBound::PointwiseRelative(eps) if eps > 0.0 && eps < 1.0 => {
+                let payload = self.compress_rel(data, eps);
+                Ok(container(MODE_REL, eps, &payload))
+            }
+            ErrorBound::Lossless => Err(CodecError::UnsupportedBound(
+                "SZ-style codecs are inherently lossy; use qzstd for lossless",
+            )),
+            _ => Err(CodecError::InvalidParam(format!(
+                "invalid bound for SZ: {bound}"
+            ))),
+        }
+    }
+
+    /// Decompress a stream produced by [`SzCore::compress`].
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let mut pos = 0usize;
+        let magic = bytes::get_u32(data, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
+        if magic != MAGIC {
+            return Err(CodecError::Corrupt("bad magic".into()));
+        }
+        let mode = *data
+            .get(pos)
+            .ok_or_else(|| CodecError::Corrupt("missing mode".into()))?;
+        pos += 1;
+        let bound = bytes::get_f64(data, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing bound".into()))?;
+        let payload = &data[pos..];
+        match mode {
+            MODE_ABS => self.decompress_abs(payload, bound),
+            MODE_REL => self.decompress_rel(payload),
+            _ => Err(CodecError::Corrupt("unknown mode".into())),
+        }
+    }
+
+    // --- absolute-bound core (prediction + quantization + huffman + qzstd) ---
+
+    fn compress_abs(&self, data: &[f64], e: f64) -> Vec<u8> {
+        let half = (self.bins / 2) as i64;
+        let unpredictable_code = self.bins; // reserved symbol
+        let mut codes = Vec::with_capacity(data.len());
+        let mut outliers = Vec::new();
+        // Previous decompressed value per prediction chain.
+        let mut prev = vec![0.0f64; self.stride];
+        let mut have_prev = vec![false; self.stride];
+        let two_e = 2.0 * e;
+        for (i, &v) in data.iter().enumerate() {
+            let chain = i % self.stride;
+            let pred = if have_prev[chain] { prev[chain] } else { 0.0 };
+            let diff = v - pred;
+            let qf = (diff / two_e).round();
+            let (code, decomp) = if qf.abs() < half as f64 && qf.is_finite() {
+                let q = qf as i64;
+                let d = pred + q as f64 * two_e;
+                // Guard against floating-point drift past the bound.
+                if (v - d).abs() <= e {
+                    ((q + half) as u32, d)
+                } else {
+                    (unpredictable_code, v)
+                }
+            } else {
+                (unpredictable_code, v)
+            };
+            if code == unpredictable_code {
+                outliers.extend_from_slice(&v.to_le_bytes());
+            }
+            codes.push(code);
+            prev[chain] = decomp;
+            have_prev[chain] = true;
+        }
+
+        let huff = huffman::encode(&codes, self.bins + 1).expect("codes within alphabet");
+        let mut body = Vec::with_capacity(huff.len() + outliers.len() + 32);
+        bytes::put_u64(&mut body, data.len() as u64);
+        bytes::put_u64(&mut body, huff.len() as u64);
+        body.extend_from_slice(&huff);
+        bytes::put_u64(&mut body, outliers.len() as u64);
+        body.extend_from_slice(&outliers);
+        qzstd::compress(&body, qzstd::Level::Fast)
+    }
+
+    fn decompress_abs(&self, payload: &[u8], e: f64) -> Result<Vec<f64>, CodecError> {
+        let body = qzstd::decompress(payload)
+            .map_err(|err| CodecError::Corrupt(format!("backend: {err}")))?;
+        let mut pos = 0usize;
+        let n = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing count".into()))? as usize;
+        let huff_len = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing huffman length".into()))?
+            as usize;
+        let huff = body
+            .get(pos..pos + huff_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated huffman stream".into()))?;
+        pos += huff_len;
+        let codes =
+            huffman::decode(huff).map_err(|err| CodecError::Corrupt(format!("huffman: {err}")))?;
+        if codes.len() != n {
+            return Err(CodecError::Corrupt("code count mismatch".into()));
+        }
+        let out_len = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing outlier length".into()))?
+            as usize;
+        let outliers = body
+            .get(pos..pos + out_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated outliers".into()))?;
+
+        let half = (self.bins / 2) as i64;
+        let two_e = 2.0 * e;
+        let mut out = Vec::with_capacity(n);
+        let mut prev = vec![0.0f64; self.stride];
+        let mut have_prev = vec![false; self.stride];
+        let mut opos = 0usize;
+        for (i, &code) in codes.iter().enumerate() {
+            let chain = i % self.stride;
+            let pred = if have_prev[chain] { prev[chain] } else { 0.0 };
+            let v = if code == self.bins {
+                let raw = outliers
+                    .get(opos..opos + 8)
+                    .ok_or_else(|| CodecError::Corrupt("outlier underrun".into()))?;
+                opos += 8;
+                f64::from_le_bytes(raw.try_into().unwrap())
+            } else if code < self.bins {
+                let q = code as i64 - half;
+                pred + q as f64 * two_e
+            } else {
+                return Err(CodecError::Corrupt("quant code out of range".into()));
+            };
+            out.push(v);
+            prev[chain] = v;
+            have_prev[chain] = true;
+        }
+        Ok(out)
+    }
+
+    // --- pointwise-relative core via logarithmic transform ---
+
+    fn compress_rel(&self, data: &[f64], eps: f64) -> Vec<u8> {
+        // Absolute bound in log space; the 0.98 margin absorbs the <=2 ulp
+        // rounding of ln/exp so the decoded value never exceeds eps.
+        let log_bound = (1.0 + eps).ln() * 0.98;
+        let mut signs = vec![0u8; data.len().div_ceil(8)];
+        let mut zeros = vec![0u8; data.len().div_ceil(8)];
+        let mut exceptions: Vec<(u64, u64)> = Vec::new();
+        let mut logs = Vec::with_capacity(data.len());
+        for (i, &v) in data.iter().enumerate() {
+            if v == 0.0 {
+                zeros[i / 8] |= 1 << (i % 8);
+                continue;
+            }
+            if !v.is_finite() {
+                exceptions.push((i as u64, v.to_bits()));
+                zeros[i / 8] |= 1 << (i % 8); // placeholder slot
+                continue;
+            }
+            if v.is_sign_negative() {
+                signs[i / 8] |= 1 << (i % 8);
+            }
+            logs.push(v.abs().ln());
+        }
+        let inner = self.compress_abs(&logs, log_bound);
+        let mut body = Vec::with_capacity(inner.len() + signs.len() + zeros.len() + 48);
+        bytes::put_u64(&mut body, data.len() as u64);
+        bytes::put_f64(&mut body, log_bound);
+        body.extend_from_slice(&signs);
+        body.extend_from_slice(&zeros);
+        bytes::put_u64(&mut body, exceptions.len() as u64);
+        for (idx, bits) in &exceptions {
+            bytes::put_u64(&mut body, *idx);
+            bytes::put_u64(&mut body, *bits);
+        }
+        bytes::put_u64(&mut body, inner.len() as u64);
+        body.extend_from_slice(&inner);
+        // Signs/zeros bitmaps are already dense; one fast lossless pass.
+        qzstd::compress(&body, qzstd::Level::Fast)
+    }
+
+    fn decompress_rel(&self, payload: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let body = qzstd::decompress(payload)
+            .map_err(|err| CodecError::Corrupt(format!("backend: {err}")))?;
+        let mut pos = 0usize;
+        let n = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing count".into()))? as usize;
+        let log_bound = bytes::get_f64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing log bound".into()))?;
+        let bitmap_len = n.div_ceil(8);
+        let signs = body
+            .get(pos..pos + bitmap_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated signs".into()))?
+            .to_vec();
+        pos += bitmap_len;
+        let zeros = body
+            .get(pos..pos + bitmap_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated zeros".into()))?
+            .to_vec();
+        pos += bitmap_len;
+        let n_exc = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing exceptions".into()))?
+            as usize;
+        let mut exceptions = Vec::with_capacity(n_exc);
+        for _ in 0..n_exc {
+            let idx = bytes::get_u64(&body, &mut pos)
+                .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?;
+            let bits = bytes::get_u64(&body, &mut pos)
+                .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?;
+            exceptions.push((idx as usize, bits));
+        }
+        let inner_len = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing inner length".into()))?
+            as usize;
+        let inner = body
+            .get(pos..pos + inner_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated inner stream".into()))?;
+        let logs = self.decompress_abs(inner, log_bound)?;
+
+        let mut out = Vec::with_capacity(n);
+        let mut li = 0usize;
+        for i in 0..n {
+            let zero = zeros[i / 8] >> (i % 8) & 1 == 1;
+            if zero {
+                out.push(0.0);
+                continue;
+            }
+            let neg = signs[i / 8] >> (i % 8) & 1 == 1;
+            let mag = logs
+                .get(li)
+                .ok_or_else(|| CodecError::Corrupt("log stream underrun".into()))?
+                .exp();
+            li += 1;
+            out.push(if neg { -mag } else { mag });
+        }
+        for (idx, bits) in exceptions {
+            *out.get_mut(idx)
+                .ok_or_else(|| CodecError::Corrupt("exception index out of range".into()))? =
+                f64::from_bits(bits);
+        }
+        Ok(out)
+    }
+}
+
+fn container(mode: u8, bound: f64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 13);
+    bytes::put_u32(&mut out, MAGIC);
+    out.push(mode);
+    bytes::put_f64(&mut out, bound);
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_is_error_bounded_by_construction() {
+        let core = SzCore::new(64, 1);
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin()).collect();
+        let e = 1e-3;
+        let enc = core.compress(&data, ErrorBound::Absolute(e)).unwrap();
+        let dec = core.decompress(&enc).unwrap();
+        for (x, y) in data.iter().zip(&dec) {
+            assert!((x - y).abs() <= e);
+        }
+    }
+
+    #[test]
+    fn tiny_bin_count_forces_outliers_and_still_bounds() {
+        // With 4 bins nearly everything is unpredictable; values must be
+        // stored verbatim and the bound trivially holds.
+        let core = SzCore::new(4, 1);
+        let data: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let enc = core.compress(&data, ErrorBound::Absolute(1e-9)).unwrap();
+        let dec = core.decompress(&enc).unwrap();
+        for (x, y) in data.iter().zip(&dec) {
+            assert!((x - y).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn stride_two_uses_independent_chains() {
+        let core = SzCore::new(1024, 2);
+        // Alternating constants: each chain is perfectly predictable.
+        let data: Vec<f64> = (0..2000)
+            .map(|i| if i % 2 == 0 { 5.0 } else { -3.0 })
+            .collect();
+        let enc = core.compress(&data, ErrorBound::Absolute(1e-6)).unwrap();
+        let one = SzCore::new(1024, 1);
+        let enc1 = one.compress(&data, ErrorBound::Absolute(1e-6)).unwrap();
+        // Split chains see constant signals; the flat chain sees +-8 jumps.
+        assert!(enc.len() <= enc1.len());
+        let dec = core.decompress(&enc).unwrap();
+        for (x, y) in data.iter().zip(&dec) {
+            assert!((x - y).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn relative_mode_handles_nonfinite() {
+        let core = SzCore::new(256, 1);
+        let data = vec![1.0, f64::INFINITY, -2.0, f64::NAN, 0.0, 3.0];
+        let enc = core
+            .compress(&data, ErrorBound::PointwiseRelative(1e-2))
+            .unwrap();
+        let dec = core.decompress(&enc).unwrap();
+        assert_eq!(dec[1], f64::INFINITY);
+        assert!(dec[3].is_nan());
+        assert_eq!(dec[4], 0.0);
+        assert!((dec[5] - 3.0).abs() <= 3.0 * 1e-2);
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's tailored lossy compressors (§4.2, Solutions C and D).
+//!
+//! Solution C is the compressor the paper selects for its experiments:
+//! per value, (1) truncate insignificant mantissa bit-planes according to
+//! the pointwise relative error bound (Eq. 12), (2) XOR with the preceding
+//! value and record the number of identical leading bytes with a two-bit
+//! code, (3) feed the reduced stream through the lossless backend
+//! ([`crate::qzstd`]). There is no prediction, quantization, or Huffman
+//! stage, which is exactly why it is so much faster than SZ-style pipelines.
+//!
+//! Solution D adds a reshuffle step that separates real and imaginary parts
+//! (even/odd indices) before applying Solution C to each stream.
+
+mod solution_c;
+mod solution_d;
+
+pub use solution_c::{truncate_to_mantissa_bits, SolutionC};
+pub use solution_d::SolutionD;
+
+/// One row of the paper's Figure 13: the decompressed value and relative
+/// error produced by keeping `mantissa_bits` bits of `value`'s mantissa.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncationLevel {
+    /// Number of mantissa bits kept.
+    pub mantissa_bits: u32,
+    /// Value after truncation.
+    pub value: f64,
+    /// Relative error vs. the original.
+    pub relative_error: f64,
+}
+
+/// Enumerate the discrete truncation levels for `value` (Fig. 13 (b)).
+///
+/// Returns one entry per kept-mantissa-bit count from `max_bits` down to 0.
+pub fn truncation_levels(value: f64, max_bits: u32) -> Vec<TruncationLevel> {
+    (0..=max_bits.min(52))
+        .rev()
+        .map(|m| {
+            let t = truncate_to_mantissa_bits(value, m);
+            let rel = if value == 0.0 {
+                0.0
+            } else {
+                ((value - t) / value).abs()
+            };
+            TruncationLevel {
+                mantissa_bits: m,
+                value: t,
+                relative_error: rel,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure13_example_value() {
+        // The paper walks 3.9921875 through successive bit-plane truncations
+        // (values 3.984375, 3.96875, 3.9375, ... with growing relative error).
+        let levels = truncation_levels(3.9921875, 8);
+        let by_bits = |m: u32| levels.iter().find(|l| l.mantissa_bits == m).unwrap();
+        assert_eq!(by_bits(8).value, 3.9921875); // 8 bits represent it exactly
+        assert_eq!(by_bits(7).value, 3.984375);
+        assert_eq!(by_bits(6).value, 3.96875);
+        assert_eq!(by_bits(5).value, 3.9375);
+        assert_eq!(by_bits(4).value, 3.875);
+        assert_eq!(by_bits(3).value, 3.75);
+        assert_eq!(by_bits(2).value, 3.5);
+        // Relative errors grow monotonically as planes are dropped.
+        let errs: Vec<f64> = levels.iter().map(|l| l.relative_error).collect();
+        for w in errs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn paper_quoted_relative_errors() {
+        // Paper Fig. 13(b): keeping 15 leading bits (3 mantissa bits beyond
+        // sign+exponent for single precision in their example) of 3.9921875
+        // yields 3.96875 with relative error 0.005871.
+        let t = truncate_to_mantissa_bits(3.9921875, 6);
+        assert_eq!(t, 3.96875);
+        let rel = ((3.9921875 - t) / 3.9921875f64).abs();
+        assert!((rel - 0.005871).abs() < 1e-4, "rel={rel}");
+    }
+}

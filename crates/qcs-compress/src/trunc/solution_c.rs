@@ -1,0 +1,377 @@
+//! Solution C: XOR leading-zero reduction + bit-plane truncation + qzstd.
+
+use crate::bitio::bytes;
+use crate::codec::{Codec, CodecError};
+use crate::error_bound::{mantissa_bits_for_relative, ErrorBound};
+use crate::qzstd;
+
+/// Truncate `v` to `m` mantissa bits (toward zero).
+///
+/// For normal doubles this introduces a relative error strictly below
+/// `2^-m`. Zeros pass through unchanged; callers must handle subnormals and
+/// non-finite values separately (this crate records them as exceptions).
+#[inline]
+pub fn truncate_to_mantissa_bits(v: f64, m: u32) -> f64 {
+    if m >= 52 {
+        return v;
+    }
+    let mask = !((1u64 << (52 - m)) - 1);
+    f64::from_bits(v.to_bits() & mask)
+}
+
+/// Exponent field of a double (11 bits).
+#[inline]
+fn exponent_field(bits: u64) -> u64 {
+    (bits >> 52) & 0x7FF
+}
+
+/// A value whose truncation would not respect a relative bound
+/// (subnormals) or that is non-finite (NaN/Inf). Stored exactly.
+#[inline]
+fn is_exception(bits: u64) -> bool {
+    let e = exponent_field(bits);
+    (e == 0 && (bits & 0x000F_FFFF_FFFF_FFFF) != 0) || e == 0x7FF
+}
+
+/// Solution C compressor.
+#[derive(Debug, Clone)]
+pub struct SolutionC {
+    /// Lossless backend effort.
+    pub backend_level: qzstd::Level,
+}
+
+impl Default for SolutionC {
+    fn default() -> Self {
+        // The fast (LZ-only) backend: Solution C's whole point is removing
+        // the costly entropy stages (§4.2), and the truncated XOR stream
+        // carries little entropy-codeable structure anyway.
+        Self {
+            backend_level: qzstd::Level::Fast,
+        }
+    }
+}
+
+const MAGIC: u32 = 0x5143_5343; // "QCSC"
+
+impl SolutionC {
+    fn mantissa_bits(bound: ErrorBound) -> Result<u32, CodecError> {
+        match bound {
+            ErrorBound::Lossless => Ok(52),
+            ErrorBound::PointwiseRelative(eps) => {
+                if !(eps > 0.0 && eps < 1.0) {
+                    return Err(CodecError::InvalidParam(format!(
+                        "pointwise relative bound must be in (0,1), got {eps}"
+                    )));
+                }
+                Ok(mantissa_bits_for_relative(eps))
+            }
+            ErrorBound::Absolute(_) => Err(CodecError::UnsupportedBound(
+                "solution C is defined for pointwise-relative bounds (paper §4.2)",
+            )),
+        }
+    }
+
+    /// Core encoder shared with Solution D.
+    pub(crate) fn encode_stream(&self, data: &[f64], m: u32) -> Vec<u8> {
+        // Number of significant most-significant bytes per value:
+        // sign(1) + exponent(11) + m mantissa bits.
+        let sig_bytes = ((12 + m) as usize).div_ceil(8);
+
+        // 2-bit codes (packed 4 per byte), suffix bytes, exceptions.
+        let mut codes = Vec::with_capacity(data.len() / 4 + 1);
+        let mut suffix = Vec::with_capacity(data.len() * sig_bytes / 2);
+        let mut exceptions: Vec<(u64, u64)> = Vec::new();
+
+        let mut code_acc = 0u8;
+        let mut code_fill = 0u32;
+        let mut prev = 0u64;
+        for (i, &v) in data.iter().enumerate() {
+            let raw = v.to_bits();
+            let t = if m < 52 && is_exception(raw) {
+                exceptions.push((i as u64, raw));
+                0u64
+            } else {
+                truncate_to_mantissa_bits(v, m).to_bits()
+            };
+            let x = t ^ prev;
+            prev = t;
+
+            // Leading identical (zero after XOR) most-significant bytes,
+            // expressed as the paper's two-bit code: {0, 2, 4, 6} bytes.
+            let lead = (x.leading_zeros() / 8) as usize;
+            let c = (lead.min(6) / 2) as u8; // 0..=3
+            let skip = (c as usize) * 2;
+            code_acc |= c << (code_fill * 2);
+            code_fill += 1;
+            if code_fill == 4 {
+                codes.push(code_acc);
+                code_acc = 0;
+                code_fill = 0;
+            }
+            // Emit big-endian bytes skip..sig_bytes of the XOR value.
+            for b in skip..sig_bytes {
+                suffix.push((x >> (56 - 8 * b)) as u8);
+            }
+        }
+        if code_fill > 0 {
+            codes.push(code_acc);
+        }
+
+        let mut body = Vec::with_capacity(16 + codes.len() + suffix.len());
+        bytes::put_u32(&mut body, MAGIC);
+        bytes::put_u64(&mut body, data.len() as u64);
+        body.push(m as u8);
+        bytes::put_u64(&mut body, codes.len() as u64);
+        body.extend_from_slice(&codes);
+        bytes::put_u64(&mut body, suffix.len() as u64);
+        body.extend_from_slice(&suffix);
+        bytes::put_u64(&mut body, exceptions.len() as u64);
+        for (idx, bits) in &exceptions {
+            bytes::put_u64(&mut body, *idx);
+            bytes::put_u64(&mut body, *bits);
+        }
+        qzstd::compress(&body, self.backend_level)
+    }
+
+    /// Core decoder shared with Solution D.
+    pub(crate) fn decode_stream(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let body = qzstd::decompress(data)
+            .map_err(|e| CodecError::Corrupt(format!("backend: {e}")))?;
+        let mut pos = 0usize;
+        let magic = bytes::get_u32(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
+        if magic != MAGIC {
+            return Err(CodecError::Corrupt("bad magic".into()));
+        }
+        let n = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing count".into()))? as usize;
+        let m = *body
+            .get(pos)
+            .ok_or_else(|| CodecError::Corrupt("missing mantissa bits".into()))?
+            as u32;
+        pos += 1;
+        if m > 52 {
+            return Err(CodecError::Corrupt(format!("invalid mantissa bits {m}")));
+        }
+        let sig_bytes = ((12 + m) as usize).div_ceil(8);
+
+        let codes_len = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing codes len".into()))?
+            as usize;
+        let codes = body
+            .get(pos..pos + codes_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated codes".into()))?;
+        pos += codes_len;
+        let suffix_len = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing suffix len".into()))?
+            as usize;
+        let suffix = body
+            .get(pos..pos + suffix_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated suffix".into()))?;
+        pos += suffix_len;
+
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        let mut s = 0usize;
+        for i in 0..n {
+            let c = (codes
+                .get(i / 4)
+                .ok_or_else(|| CodecError::Corrupt("codes underrun".into()))?
+                >> ((i % 4) * 2))
+                & 0b11;
+            let skip = (c as usize) * 2;
+            let mut x = 0u64;
+            for b in skip..sig_bytes {
+                let byte = *suffix
+                    .get(s)
+                    .ok_or_else(|| CodecError::Corrupt("suffix underrun".into()))?;
+                s += 1;
+                x |= (byte as u64) << (56 - 8 * b);
+            }
+            let t = prev ^ x;
+            prev = t;
+            out.push(f64::from_bits(t));
+        }
+
+        let n_exc = bytes::get_u64(&body, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing exception count".into()))?
+            as usize;
+        for _ in 0..n_exc {
+            let idx = bytes::get_u64(&body, &mut pos)
+                .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?
+                as usize;
+            let bits = bytes::get_u64(&body, &mut pos)
+                .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?;
+            *out.get_mut(idx)
+                .ok_or_else(|| CodecError::Corrupt("exception index out of range".into()))? =
+                f64::from_bits(bits);
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for SolutionC {
+    fn name(&self) -> &'static str {
+        "sol_c"
+    }
+
+    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
+        let m = Self::mantissa_bits(bound)?;
+        Ok(self.encode_stream(data, m))
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        self.decode_stream(data)
+    }
+
+    fn supports(&self, bound: ErrorBound) -> bool {
+        !matches!(bound, ErrorBound::Absolute(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(n: usize) -> Vec<f64> {
+        // Spiky, sign-alternating small amplitudes like Fig. 9.
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                (x * 0.817).sin() * (x * 1.313).cos() * 1e-4 * if i % 3 == 0 { -1.0 } else { 1.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_mode_is_bit_exact() {
+        let data = sample_data(4096);
+        let c = SolutionC::default();
+        let enc = c.compress(&data, ErrorBound::Lossless).unwrap();
+        let dec = c.decompress(&enc).unwrap();
+        assert_eq!(dec.len(), data.len());
+        for (a, b) in data.iter().zip(&dec) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn relative_bound_is_respected() {
+        let data = sample_data(8192);
+        let c = SolutionC::default();
+        for eps in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
+            let enc = c
+                .compress(&data, ErrorBound::PointwiseRelative(eps))
+                .unwrap();
+            let dec = c.decompress(&enc).unwrap();
+            for (a, b) in data.iter().zip(&dec) {
+                assert!(
+                    (a - b).abs() <= eps * a.abs(),
+                    "eps={eps}: |{a} - {b}| = {} > {}",
+                    (a - b).abs(),
+                    eps * a.abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_never_increases_magnitude() {
+        // Paper: |D'| must lie in (|D(1-delta)|, |D|].
+        let data = sample_data(2048);
+        let c = SolutionC::default();
+        let enc = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-2))
+            .unwrap();
+        let dec = c.decompress(&enc).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            assert!(b.abs() <= a.abs());
+            assert!(b.abs() > a.abs() * (1.0 - 1e-2) || *a == 0.0);
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn zeros_pass_through_exactly() {
+        let mut data = vec![0.0f64; 1000];
+        data[500] = 1e-3;
+        let c = SolutionC::default();
+        let enc = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-1))
+            .unwrap();
+        let dec = c.decompress(&enc).unwrap();
+        assert_eq!(dec[0], 0.0);
+        assert_eq!(dec[499], 0.0);
+        assert!(dec[500] != 0.0);
+    }
+
+    #[test]
+    fn subnormals_and_nonfinite_are_exact_via_exceptions() {
+        let data = vec![
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            0.5,
+            f64::INFINITY,
+            -f64::MIN_POSITIVE / 1024.0,
+            f64::NAN,
+            1.0,
+        ];
+        let c = SolutionC::default();
+        let enc = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-1))
+            .unwrap();
+        let dec = c.decompress(&enc).unwrap();
+        assert_eq!(dec[0], data[0]);
+        assert_eq!(dec[2], f64::INFINITY);
+        assert_eq!(dec[3], data[3]);
+        assert!(dec[4].is_nan());
+    }
+
+    #[test]
+    fn coarser_bounds_compress_better() {
+        let data = sample_data(16384);
+        let c = SolutionC::default();
+        let tight = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-5))
+            .unwrap()
+            .len();
+        let loose = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-1))
+            .unwrap()
+            .len();
+        assert!(
+            loose < tight,
+            "1e-1 ({loose}) should be smaller than 1e-5 ({tight})"
+        );
+    }
+
+    #[test]
+    fn absolute_bound_unsupported() {
+        let c = SolutionC::default();
+        assert!(matches!(
+            c.compress(&[1.0], ErrorBound::Absolute(1e-3)),
+            Err(CodecError::UnsupportedBound(_))
+        ));
+        assert!(!c.supports(ErrorBound::Absolute(1e-3)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = SolutionC::default();
+        let enc = c
+            .compress(&[], ErrorBound::PointwiseRelative(1e-3))
+            .unwrap();
+        assert!(c.decompress(&enc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let c = SolutionC::default();
+        let data = sample_data(256);
+        let enc = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-3))
+            .unwrap();
+        let mut bad = enc.clone();
+        bad.truncate(bad.len() / 2);
+        assert!(c.decompress(&bad).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Solution D: reshuffle (separate real/imaginary streams) + Solution C.
+
+use crate::bitio::bytes;
+use crate::codec::{Codec, CodecError};
+use crate::error_bound::ErrorBound;
+use crate::qzstd;
+
+use super::SolutionC;
+
+/// Solution D compressor.
+///
+/// Input is interpreted as interleaved complex data (even indices = real
+/// parts, odd indices = imaginary parts), reorganized into two contiguous
+/// streams before the Solution C pipeline runs on each. The paper notes this
+/// may help the dictionary stage find repeated patterns when the real and
+/// imaginary parts occupy different value ranges, at the cost of the extra
+/// shuffle pass. Odd-length inputs keep their trailing element in the even
+/// stream.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SolutionD {
+    inner: SolutionC,
+}
+
+
+impl SolutionD {
+    /// Use a specific lossless backend effort for both streams.
+    pub fn with_backend(level: qzstd::Level) -> Self {
+        Self {
+            inner: SolutionC {
+                backend_level: level,
+            },
+        }
+    }
+}
+
+const MAGIC: u32 = 0x5143_5344; // "QCSD"
+
+impl Codec for SolutionD {
+    fn name(&self) -> &'static str {
+        "sol_d"
+    }
+
+    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
+        // Reshuffle: even-index (real) then odd-index (imaginary) values.
+        let mut even = Vec::with_capacity(data.len().div_ceil(2));
+        let mut odd = Vec::with_capacity(data.len() / 2);
+        for (i, &v) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                even.push(v);
+            } else {
+                odd.push(v);
+            }
+        }
+        let e = self.inner.compress(&even, bound)?;
+        let o = self.inner.compress(&odd, bound)?;
+        let mut out = Vec::with_capacity(e.len() + o.len() + 20);
+        bytes::put_u32(&mut out, MAGIC);
+        bytes::put_u64(&mut out, e.len() as u64);
+        out.extend_from_slice(&e);
+        bytes::put_u64(&mut out, o.len() as u64);
+        out.extend_from_slice(&o);
+        Ok(out)
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let mut pos = 0usize;
+        let magic = bytes::get_u32(data, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
+        if magic != MAGIC {
+            return Err(CodecError::Corrupt("bad magic".into()));
+        }
+        let e_len = bytes::get_u64(data, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing even length".into()))?
+            as usize;
+        let e_bytes = data
+            .get(pos..pos + e_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated even stream".into()))?;
+        pos += e_len;
+        let o_len = bytes::get_u64(data, &mut pos)
+            .ok_or_else(|| CodecError::Corrupt("missing odd length".into()))?
+            as usize;
+        let o_bytes = data
+            .get(pos..pos + o_len)
+            .ok_or_else(|| CodecError::Corrupt("truncated odd stream".into()))?;
+
+        let even = self.inner.decompress(e_bytes)?;
+        let odd = self.inner.decompress(o_bytes)?;
+        if even.len() < odd.len() || even.len() > odd.len() + 1 {
+            return Err(CodecError::Corrupt(format!(
+                "inconsistent stream lengths: {} even, {} odd",
+                even.len(),
+                odd.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(even.len() + odd.len());
+        for i in 0..even.len() {
+            out.push(even[i]);
+            if i < odd.len() {
+                out.push(odd[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn supports(&self, bound: ErrorBound) -> bool {
+        self.inner.supports(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trunc::SolutionC;
+
+    fn complex_like(n: usize) -> Vec<f64> {
+        // Real parts around 1e-3, imaginary parts around 1e-6: the
+        // non-overlapping ranges the reshuffle step is designed for.
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ((i as f64) * 0.37).sin() * 1e-3
+                } else {
+                    ((i as f64) * 0.91).cos() * 1e-6
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_lossless() {
+        let data = complex_like(4096);
+        let d = SolutionD::default();
+        let enc = d.compress(&data, ErrorBound::Lossless).unwrap();
+        let dec = d.decompress(&enc).unwrap();
+        for (a, b) in data.iter().zip(&dec) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn relative_bound_respected() {
+        let data = complex_like(4096);
+        let d = SolutionD::default();
+        for eps in [1e-1, 1e-3, 1e-5] {
+            let enc = d
+                .compress(&data, ErrorBound::PointwiseRelative(eps))
+                .unwrap();
+            let dec = d.decompress(&enc).unwrap();
+            for (a, b) in data.iter().zip(&dec) {
+                assert!((a - b).abs() <= eps * a.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn odd_length_input() {
+        let data = complex_like(1001);
+        let d = SolutionD::default();
+        let enc = d.compress(&data, ErrorBound::Lossless).unwrap();
+        let dec = d.decompress(&enc).unwrap();
+        assert_eq!(dec.len(), 1001);
+        assert_eq!(dec[1000].to_bits(), data[1000].to_bits());
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = SolutionD::default();
+        let enc = d.compress(&[], ErrorBound::Lossless).unwrap();
+        assert!(d.decompress(&enc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn same_errors_as_solution_c() {
+        // Paper Fig. 12: C and D curves overlap exactly because the shuffle
+        // does not change per-value truncation.
+        let data = complex_like(2048);
+        let c = SolutionC::default();
+        let d = SolutionD::default();
+        let eps = 1e-3;
+        let dc = c
+            .decompress(
+                &c.compress(&data, ErrorBound::PointwiseRelative(eps))
+                    .unwrap(),
+            )
+            .unwrap();
+        let dd = d
+            .decompress(
+                &d.compress(&data, ErrorBound::PointwiseRelative(eps))
+                    .unwrap(),
+            )
+            .unwrap();
+        for (a, b) in dc.iter().zip(&dd) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let d = SolutionD::default();
+        let enc = d
+            .compress(&complex_like(64), ErrorBound::Lossless)
+            .unwrap();
+        assert!(d.decompress(&enc[..enc.len() / 3]).is_err());
+        let mut bad = enc.clone();
+        bad[0] ^= 0xFF;
+        assert!(d.decompress(&bad).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Compressed amplitude blocks (paper §3.1: "Each block is stored in
+//! compressed format on the memory").
+
+use qcs_compress::{Codec, CodecError, CodecId, ErrorBound, QzstdCodec};
+use std::sync::Arc;
+
+/// One compressed block of `block_amps` complex amplitudes
+/// (`2 * block_amps` doubles, interleaved re/im).
+#[derive(Debug, Clone)]
+pub struct CompressedBlock {
+    /// Codec that produced `bytes`.
+    pub codec: CodecId,
+    /// Compressed payload, shared with the block cache.
+    pub bytes: Arc<[u8]>,
+}
+
+impl CompressedBlock {
+    /// Compressed size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the payload is empty (never for valid blocks).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// FNV-1a hash of the payload, used as the cache-line tag.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in self.bytes.iter() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// Compressor front-end that picks lossless vs lossy per the active ladder
+/// level and stamps blocks with their codec id.
+///
+/// Codec instances are built once and shared across worker threads, which
+/// keeps the per-block hot path allocation-free apart from output buffers.
+pub struct BlockCodec {
+    lossy_id: CodecId,
+    lossy: Box<dyn Codec>,
+    lossless: QzstdCodec,
+}
+
+impl std::fmt::Debug for BlockCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCodec")
+            .field("lossy_id", &self.lossy_id)
+            .finish()
+    }
+}
+
+impl BlockCodec {
+    /// Codec front-end using `lossy_id` for lossy levels.
+    pub fn new(lossy_id: CodecId) -> Self {
+        Self {
+            lossy_id,
+            lossy: lossy_id.build(),
+            lossless: QzstdCodec::default(),
+        }
+    }
+
+    /// The configured lossy codec id.
+    pub fn lossy_id(&self) -> CodecId {
+        self.lossy_id
+    }
+
+    /// Compress `data` under `bound`.
+    ///
+    /// `ErrorBound::Lossless` uses the qzstd codec (the paper's Zstd leg);
+    /// lossy bounds use the configured lossy codec (Solution C by default).
+    pub fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<CompressedBlock, CodecError> {
+        let (id, bytes) = if bound.is_lossy() {
+            (self.lossy_id, self.lossy.compress(data, bound)?)
+        } else {
+            (CodecId::Qzstd, self.lossless.compress(data, bound)?)
+        };
+        Ok(CompressedBlock {
+            codec: id,
+            bytes: bytes.into(),
+        })
+    }
+
+    /// Decompress into `out` (cleared first).
+    pub fn decompress(&self, block: &CompressedBlock, out: &mut Vec<f64>) -> Result<(), CodecError> {
+        let data = if block.codec == self.lossy_id {
+            self.lossy.decompress(&block.bytes)?
+        } else {
+            block.codec.build().decompress(&block.bytes)?
+        };
+        out.clear();
+        out.extend_from_slice(&data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amps(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.21).sin() * 1e-3).collect()
+    }
+
+    #[test]
+    fn lossless_level_round_trips_exactly() {
+        let bc = BlockCodec::new(CodecId::SolutionC);
+        let data = amps(2048);
+        let blk = bc.compress(&data, ErrorBound::Lossless).unwrap();
+        assert_eq!(blk.codec, CodecId::Qzstd);
+        let mut out = Vec::new();
+        bc.decompress(&blk, &mut out).unwrap();
+        assert_eq!(out.len(), data.len());
+        for (a, b) in data.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn lossy_level_uses_configured_codec() {
+        let bc = BlockCodec::new(CodecId::SolutionC);
+        let data = amps(2048);
+        let blk = bc
+            .compress(&data, ErrorBound::PointwiseRelative(1e-3))
+            .unwrap();
+        assert_eq!(blk.codec, CodecId::SolutionC);
+        let mut out = Vec::new();
+        bc.decompress(&blk, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= 1e-3 * a.abs());
+        }
+    }
+
+    #[test]
+    fn content_hash_distinguishes_blocks() {
+        let bc = BlockCodec::new(CodecId::SolutionC);
+        let b1 = bc.compress(&amps(512), ErrorBound::Lossless).unwrap();
+        let mut other = amps(512);
+        other[100] = 0.5;
+        let b2 = bc.compress(&other, ErrorBound::Lossless).unwrap();
+        assert_ne!(b1.content_hash(), b2.content_hash());
+        assert_eq!(b1.content_hash(), b1.clone().content_hash());
+    }
+
+    #[test]
+    fn zero_block_is_tiny() {
+        let bc = BlockCodec::new(CodecId::SolutionC);
+        let data = vec![0.0f64; 1 << 14];
+        let blk = bc.compress(&data, ErrorBound::Lossless).unwrap();
+        assert!(blk.len() < 32, "all-zero block: {} bytes", blk.len());
+    }
+}

@@ -1,0 +1,218 @@
+//! Simulation checkpointing (paper §3.5).
+//!
+//! Supercomputer jobs hit wall-time limits; the paper saves the compressed
+//! blocks before the job ends and resumes in the next submission. Since the
+//! blocks are already compressed, the checkpoint is simply the block table
+//! plus the ladder level and fidelity ledger, in an explicit versioned
+//! binary format:
+//!
+//! ```text
+//! magic "QCSCKPT1" | num_qubits u32 | ranks_log2 u32 | block_log2 u32
+//! | level u32 | lossy_codec u8
+//! | ledger: log_product f64, gates u64, lossy_gates u64, max_delta f64
+//! | block_count u64 | blocks: (codec u8, len u64, bytes) *
+//! ```
+
+use crate::block::CompressedBlock;
+use crate::config::SimConfig;
+use crate::engine::{CompressedSimulator, SimError};
+use crate::fidelity_bound::FidelityLedger;
+use qcs_compress::CodecId;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"QCSCKPT1";
+
+/// Write a checkpoint of `sim` to `path`.
+pub fn save(sim: &CompressedSimulator, path: &Path) -> Result<(), SimError> {
+    let (cfg, layout, level, ledger, blocks) = sim.checkpoint_parts();
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(path)
+            .map_err(|e| SimError::Checkpoint(format!("create {path:?}: {e}")))?,
+    );
+    let io = |e: std::io::Error| SimError::Checkpoint(format!("write: {e}"));
+    w.write_all(MAGIC).map_err(io)?;
+    w.write_all(&layout.num_qubits.to_le_bytes()).map_err(io)?;
+    w.write_all(&cfg.ranks_log2.to_le_bytes()).map_err(io)?;
+    w.write_all(&cfg.block_log2.to_le_bytes()).map_err(io)?;
+    w.write_all(&(level as u32).to_le_bytes()).map_err(io)?;
+    w.write_all(&[cfg.lossy_codec as u8]).map_err(io)?;
+    let (log_product, gates, lossy_gates, max_delta) = ledger.to_raw();
+    w.write_all(&log_product.to_le_bytes()).map_err(io)?;
+    w.write_all(&gates.to_le_bytes()).map_err(io)?;
+    w.write_all(&lossy_gates.to_le_bytes()).map_err(io)?;
+    w.write_all(&max_delta.to_le_bytes()).map_err(io)?;
+    w.write_all(&(blocks.len() as u64).to_le_bytes()).map_err(io)?;
+    for blk in blocks {
+        let blk = blk.as_ref().expect("block present");
+        w.write_all(&[blk.codec as u8]).map_err(io)?;
+        w.write_all(&(blk.bytes.len() as u64).to_le_bytes())
+            .map_err(io)?;
+        w.write_all(&blk.bytes).map_err(io)?;
+    }
+    w.flush().map_err(io)
+}
+
+/// Restore a simulator from a checkpoint.
+///
+/// The caller supplies the same `cfg` used originally (ladder, cache and
+/// budget are session settings, not state); geometry fields are overwritten
+/// from the checkpoint and validated.
+pub fn load(path: &Path, mut cfg: SimConfig) -> Result<CompressedSimulator, SimError> {
+    let mut r = std::io::BufReader::new(
+        std::fs::File::open(path)
+            .map_err(|e| SimError::Checkpoint(format!("open {path:?}: {e}")))?,
+    );
+    let io = |e: std::io::Error| SimError::Checkpoint(format!("read: {e}"));
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io)?;
+    if &magic != MAGIC {
+        return Err(SimError::Checkpoint("bad magic".into()));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    let mut read_u32 = |r: &mut dyn Read| -> Result<u32, SimError> {
+        r.read_exact(&mut u32buf).map_err(io)?;
+        Ok(u32::from_le_bytes(u32buf))
+    };
+    let num_qubits = read_u32(&mut r)?;
+    let ranks_log2 = read_u32(&mut r)?;
+    let block_log2 = read_u32(&mut r)?;
+    let level = read_u32(&mut r)? as usize;
+    // Geometry sanity before any shifts: corrupt headers must error out,
+    // not overflow.
+    if num_qubits == 0 || num_qubits > 40 || ranks_log2 + block_log2 > num_qubits {
+        return Err(SimError::Checkpoint(format!(
+            "implausible geometry: n={num_qubits} ranks_log2={ranks_log2} block_log2={block_log2}"
+        )));
+    }
+    let mut byte = [0u8; 1];
+    r.read_exact(&mut byte).map_err(io)?;
+    let lossy_codec = CodecId::from_u8(byte[0])
+        .ok_or_else(|| SimError::Checkpoint(format!("unknown codec id {}", byte[0])))?;
+
+    let mut read_u64 = |r: &mut dyn Read| -> Result<u64, SimError> {
+        r.read_exact(&mut u64buf).map_err(io)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let read_f64 = |r: &mut dyn Read| -> Result<f64, SimError> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b).map_err(io)?;
+        Ok(f64::from_le_bytes(b))
+    };
+    let log_product = read_f64(&mut r)?;
+    let gates = read_u64(&mut r)?;
+    let lossy_gates = read_u64(&mut r)?;
+    let max_delta = read_f64(&mut r)?;
+    let ledger = FidelityLedger::from_raw(log_product, gates, lossy_gates, max_delta);
+
+    let block_count = read_u64(&mut r)? as usize;
+    if block_count > (1usize << 40) {
+        return Err(SimError::Checkpoint("absurd block count".into()));
+    }
+    let mut blocks = Vec::with_capacity(block_count);
+    for _ in 0..block_count {
+        r.read_exact(&mut byte).map_err(io)?;
+        let codec = CodecId::from_u8(byte[0])
+            .ok_or_else(|| SimError::Checkpoint(format!("unknown codec id {}", byte[0])))?;
+        let len = read_u64(&mut r)? as usize;
+        let mut bytes = vec![0u8; len];
+        r.read_exact(&mut bytes).map_err(io)?;
+        blocks.push(Some(CompressedBlock {
+            codec,
+            bytes: bytes.into(),
+        }));
+    }
+
+    cfg.ranks_log2 = ranks_log2;
+    cfg.block_log2 = block_log2;
+    cfg.lossy_codec = lossy_codec;
+    CompressedSimulator::from_checkpoint_parts(cfg, level, ledger, blocks, num_qubits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuits::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qcsim-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_state_and_ledger() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SimConfig::default()
+            .with_block_log2(3)
+            .with_ranks_log2(1)
+            .with_fixed_bound(qcs_compress::ErrorBound::PointwiseRelative(1e-4));
+        let mut sim = CompressedSimulator::new(6, cfg.clone()).unwrap();
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        c.cx(0, 5).rz(0.4, 3);
+        sim.run(&c, &mut rng).unwrap();
+        let before = sim.snapshot_dense().unwrap();
+        let ledger_before = sim.ledger().clone();
+
+        let path = tmp("roundtrip");
+        save(&sim, &path).unwrap();
+        let restored = load(&path, cfg).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let after = restored.snapshot_dense().unwrap();
+        assert_eq!(before.amplitudes().len(), after.amplitudes().len());
+        for (a, b) in before.amplitudes().iter().zip(after.amplitudes()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(restored.ledger(), &ledger_before);
+    }
+
+    #[test]
+    fn resume_continues_identically() {
+        // Run circuit in one shot vs. checkpoint midway + resume.
+        let mut c1 = Circuit::new(6);
+        let mut c2 = Circuit::new(6);
+        let mut full = Circuit::new(6);
+        for q in 0..6 {
+            c1.h(q);
+            full.h(q);
+        }
+        c2.cx(0, 3).t(5).cphase(0.9, 2, 4);
+        full.cx(0, 3).t(5).cphase(0.9, 2, 4);
+
+        let cfg = SimConfig::default().with_block_log2(3).with_ranks_log2(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim_a = CompressedSimulator::new(6, cfg.clone()).unwrap();
+        sim_a.run(&full, &mut rng).unwrap();
+
+        let mut sim_b = CompressedSimulator::new(6, cfg.clone()).unwrap();
+        sim_b.run(&c1, &mut rng).unwrap();
+        let path = tmp("resume");
+        save(&sim_b, &path).unwrap();
+        let mut resumed = load(&path, cfg).unwrap();
+        std::fs::remove_file(&path).ok();
+        resumed.run(&c2, &mut rng).unwrap();
+
+        let fa = sim_a.snapshot_dense().unwrap();
+        let fb = resumed.snapshot_dense().unwrap();
+        assert!(fa.fidelity(&fb) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"NOTACKPT").unwrap();
+        assert!(load(&path, SimConfig::default()).is_err());
+        std::fs::write(&path, b"QC").unwrap();
+        assert!(load(&path, SimConfig::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! Simulator configuration (paper §3, §5.1).
+
+use qcs_compress::{CodecId, ErrorBound};
+
+/// Configuration for the compressed-block simulator.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// `log2` of amplitudes per block. The paper uses blocks of 2^20
+    /// amplitudes (16 MB); the default here is smaller so laptop-scale
+    /// experiments have enough blocks per rank to exercise the layout.
+    pub block_log2: u32,
+    /// `log2` of the simulated MPI rank count (paper: 128 ranks/node x
+    /// up to 4,096 nodes; here ranks are in-process bookkeeping).
+    pub ranks_log2: u32,
+    /// Memory budget in bytes for Eq. 8 accounting (compressed blocks plus
+    /// two scratch blocks per rank). `None` disables the adaptive ladder:
+    /// the simulation stays at the first ladder level.
+    pub memory_budget: Option<u64>,
+    /// Lossy codec used once the ladder leaves the lossless level.
+    pub lossy_codec: CodecId,
+    /// The adaptive error-bound ladder (§3.7). Defaults to
+    /// `[lossless, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1]`.
+    pub ladder: Vec<ErrorBound>,
+    /// Compressed-block cache lines per simulation (§3.4; the paper uses
+    /// 64). 0 disables the cache entirely.
+    pub cache_lines: usize,
+    /// Auto-disable the cache after this many consecutive lookups with no
+    /// hit (§3.4: "our simulator will disable the compressed block cache if
+    /// the cache hit rate is always zero").
+    pub cache_auto_disable_after: u64,
+    /// When the ladder escalates, immediately recompress every block at the
+    /// new bound so the budget is actually restored (rather than only
+    /// applying the new bound to future compressions).
+    pub recompress_on_escalate: bool,
+    /// Optional modeled interconnect bandwidth in bytes/second. When set,
+    /// each rank-pair exchange adds `bytes / bandwidth` of *modeled* time to
+    /// the communication phase on top of the measured copy time, standing
+    /// in for the Aries network the paper measures.
+    pub modeled_link_bandwidth: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            block_log2: 12,
+            ranks_log2: 0,
+            memory_budget: None,
+            lossy_codec: CodecId::SolutionC,
+            ladder: qcs_compress::ladder().to_vec(),
+            cache_lines: 64,
+            cache_auto_disable_after: 512,
+            recompress_on_escalate: true,
+            modeled_link_bandwidth: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a given block size exponent.
+    pub fn with_block_log2(mut self, block_log2: u32) -> Self {
+        self.block_log2 = block_log2;
+        self
+    }
+
+    /// Config with a simulated rank count exponent.
+    pub fn with_ranks_log2(mut self, ranks_log2: u32) -> Self {
+        self.ranks_log2 = ranks_log2;
+        self
+    }
+
+    /// Config with a memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Config with a specific lossy codec.
+    pub fn with_lossy_codec(mut self, codec: CodecId) -> Self {
+        self.lossy_codec = codec;
+        self
+    }
+
+    /// Config with a fixed single error bound instead of the full ladder.
+    pub fn with_fixed_bound(mut self, bound: ErrorBound) -> Self {
+        self.ladder = vec![bound];
+        self
+    }
+
+    /// Config with the cache disabled.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_lines = 0;
+        self
+    }
+
+    /// Validate invariants against a qubit count.
+    pub fn validate(&self, num_qubits: u32) -> Result<(), String> {
+        if self.ladder.is_empty() {
+            return Err("ladder must have at least one level".into());
+        }
+        if num_qubits < self.ranks_log2 + self.block_log2 + 1 {
+            return Err(format!(
+                "{num_qubits} qubits cannot split into 2^{} ranks x 2^{} amp blocks",
+                self.ranks_log2, self.block_log2
+            ));
+        }
+        for w in self.ladder.windows(2) {
+            if w[0].magnitude() >= w[1].magnitude() {
+                return Err("ladder bounds must be strictly increasing".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_ladder() {
+        let c = SimConfig::default();
+        assert_eq!(c.ladder.len(), 6);
+        assert_eq!(c.ladder[0], ErrorBound::Lossless);
+        assert_eq!(c.ladder[5], ErrorBound::PointwiseRelative(1e-1));
+        assert_eq!(c.cache_lines, 64);
+        assert_eq!(c.lossy_codec, CodecId::SolutionC);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::default()
+            .with_block_log2(8)
+            .with_ranks_log2(2)
+            .with_memory_budget(1 << 20)
+            .without_cache();
+        assert_eq!(c.block_log2, 8);
+        assert_eq!(c.ranks_log2, 2);
+        assert_eq!(c.memory_budget, Some(1 << 20));
+        assert_eq!(c.cache_lines, 0);
+    }
+
+    #[test]
+    fn validation_catches_undersized_systems() {
+        let c = SimConfig::default().with_block_log2(10).with_ranks_log2(4);
+        assert!(c.validate(20).is_ok());
+        assert!(c.validate(14).is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_ladder() {
+        let mut c = SimConfig {
+            ladder: vec![],
+            ..SimConfig::default()
+        };
+        assert!(c.validate(20).is_err());
+        c.ladder = vec![
+            ErrorBound::PointwiseRelative(1e-2),
+            ErrorBound::PointwiseRelative(1e-3),
+        ];
+        assert!(c.validate(20).is_err());
+    }
+}

@@ -1,0 +1,1171 @@
+//! The compressed-block full-state simulator (paper §3).
+//!
+//! The state vector is divided over simulated MPI ranks and, within each
+//! rank, into blocks stored compressed in memory (Fig. 2). A gate on target
+//! qubit `q` decompresses at most two blocks at a time into scratch buffers
+//! (the MCDRAM stand-in), applies the pair update of Eq. 6/7, recompresses,
+//! and moves on. Routing between the three cases of §3.3 (intra-block,
+//! intra-rank, inter-rank) is delegated to [`qcs_cluster::Layout`].
+//!
+//! The hybrid adaptive pipeline of §3.7 runs lossless (`qzstd`) until the
+//! memory budget (Eq. 8) is exceeded, then walks the error-bound ladder,
+//! recording fidelity ledger entries per Eq. 11. The compressed-block cache
+//! of §3.4 skips decompress-compute-compress cycles entirely when the same
+//! gate hits byte-identical blocks.
+
+use crate::block::{BlockCodec, CompressedBlock};
+use crate::cache::BlockCache;
+use crate::config::SimConfig;
+use crate::fidelity_bound::FidelityLedger;
+use qcs_circuits::{Circuit, Op};
+use qcs_cluster::{ControlScope, Layout, Metrics, Phase, Route, TimeBreakdown};
+use qcs_compress::ErrorBound;
+use qcs_statevec::{Complex64, Gate1, StateVector};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the compressed simulator.
+#[derive(Debug)]
+pub enum SimError {
+    /// Configuration failed validation.
+    Config(String),
+    /// A codec failed; indicates corruption or an internal bug.
+    Codec(qcs_compress::CodecError),
+    /// Checkpoint I/O or format problems.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(m) => write!(f, "configuration error: {m}"),
+            SimError::Codec(e) => write!(f, "codec error: {e}"),
+            SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<qcs_compress::CodecError> for SimError {
+    fn from(e: qcs_compress::CodecError) -> Self {
+        SimError::Codec(e)
+    }
+}
+
+/// Summary statistics of a finished (or in-progress) simulation, matching
+/// the rows of the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Qubit count.
+    pub num_qubits: u32,
+    /// Gates applied so far.
+    pub gates: usize,
+    /// Wall-clock time in gate processing.
+    pub wall_time: Duration,
+    /// Per-phase breakdown (compression/decompression/communication/
+    /// computation).
+    pub breakdown: TimeBreakdown,
+    /// Lower bound on fidelity per Eq. 11.
+    pub fidelity_lower_bound: f64,
+    /// The ladder level currently in force.
+    pub current_bound: ErrorBound,
+    /// Number of ladder escalations that occurred.
+    pub escalations: u64,
+    /// Minimum compression ratio observed during the run (Table 2 last row).
+    pub min_compression_ratio: f64,
+    /// Peak Eq. 8 memory usage in bytes.
+    pub peak_memory_bytes: u64,
+    /// `2^{n+4}`: what the uncompressed simulation would need.
+    pub uncompressed_bytes: u128,
+    /// Compressed-block cache hits.
+    pub cache_hits: u64,
+    /// Compressed-block cache misses.
+    pub cache_misses: u64,
+    /// Bytes exchanged between simulated ranks.
+    pub comm_bytes: u64,
+}
+
+impl SimReport {
+    /// Seconds per gate (Table 2 "Time per Gate" row).
+    pub fn time_per_gate(&self) -> f64 {
+        if self.gates == 0 {
+            0.0
+        } else {
+            self.wall_time.as_secs_f64() / self.gates as f64
+        }
+    }
+}
+
+/// One work unit: a single block, or a pair of blocks whose amplitudes are
+/// gate partners.
+struct Unit {
+    slot_a: usize,
+    slot_b: Option<usize>,
+    in_a: CompressedBlock,
+    in_b: Option<CompressedBlock>,
+    /// Inter-rank pair: account exchanged bytes as communication.
+    cross_rank: bool,
+}
+
+struct UnitOut {
+    slot_a: usize,
+    slot_b: Option<usize>,
+    out_a: CompressedBlock,
+    out_b: Option<CompressedBlock>,
+    timings: [Duration; 4],
+    comm_bytes: u64,
+    compressed_lossy: bool,
+}
+
+/// The compressed-state simulator.
+pub struct CompressedSimulator {
+    cfg: SimConfig,
+    layout: Layout,
+    codec: Arc<BlockCodec>,
+    /// Rank-major flat block storage: index = rank * blocks_per_rank + block.
+    blocks: Vec<Option<CompressedBlock>>,
+    level: usize,
+    metrics: Metrics,
+    cache: Arc<BlockCache>,
+    ledger: FidelityLedger,
+    min_ratio: f64,
+    peak_memory: u64,
+    escalations: u64,
+    gates_applied: usize,
+    wall_time: Duration,
+}
+
+impl CompressedSimulator {
+    /// Initialize `|0...0>` on `num_qubits` qubits.
+    pub fn new(num_qubits: u32, cfg: SimConfig) -> Result<Self, SimError> {
+        cfg.validate(num_qubits).map_err(SimError::Config)?;
+        let layout = Layout::new(num_qubits, cfg.ranks_log2, cfg.block_log2);
+        let codec = Arc::new(BlockCodec::new(cfg.lossy_codec));
+        let total_blocks = layout.ranks() * layout.blocks_per_rank();
+        let block_f64s = layout.block_amps() * 2;
+
+        // All blocks are zero except block 0 of rank 0.
+        let zeros = vec![0.0f64; block_f64s];
+        let zero_block = codec.compress(&zeros, cfg.ladder[0])?;
+        let mut first = zeros.clone();
+        first[0] = 1.0; // amplitude |0...0> = 1 + 0i
+        let first_block = codec.compress(&first, cfg.ladder[0])?;
+
+        let mut blocks = Vec::with_capacity(total_blocks);
+        blocks.push(Some(first_block));
+        for _ in 1..total_blocks {
+            blocks.push(Some(zero_block.clone()));
+        }
+
+        let cache = Arc::new(BlockCache::new(
+            cfg.cache_lines,
+            cfg.cache_auto_disable_after,
+        ));
+        let mut sim = Self {
+            cfg,
+            layout,
+            codec,
+            blocks,
+            level: 0,
+            metrics: Metrics::new(),
+            cache,
+            ledger: FidelityLedger::new(),
+            min_ratio: f64::INFINITY,
+            peak_memory: 0,
+            escalations: 0,
+            gates_applied: 0,
+            wall_time: Duration::ZERO,
+        };
+        sim.note_memory();
+        Ok(sim)
+    }
+
+    /// The layout in force.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Qubit count.
+    pub fn num_qubits(&self) -> u32 {
+        self.layout.num_qubits
+    }
+
+    /// Current ladder bound.
+    pub fn current_bound(&self) -> ErrorBound {
+        self.cfg.ladder[self.level]
+    }
+
+    /// Sum of compressed block sizes.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
+            .sum()
+    }
+
+    /// Eq. 8 memory accounting: compressed blocks plus two decompression
+    /// scratch buffers per rank.
+    pub fn memory_bytes(&self) -> u64 {
+        let scratch = 2 * (self.layout.block_amps() as u64) * 16;
+        self.compressed_bytes() + self.layout.ranks() as u64 * scratch
+    }
+
+    /// Current compression ratio: uncompressed state bytes over compressed
+    /// block bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        self.layout.uncompressed_bytes() as f64 / self.compressed_bytes().max(1) as f64
+    }
+
+    fn note_memory(&mut self) {
+        let mem = self.memory_bytes();
+        if mem > self.peak_memory {
+            self.peak_memory = mem;
+        }
+        let ratio = self.compression_ratio();
+        if ratio < self.min_ratio {
+            self.min_ratio = ratio;
+        }
+    }
+
+    /// Run a full circuit. `rng` drives intermediate measurements.
+    pub fn run(&mut self, circuit: &Circuit, rng: &mut impl rand::Rng) -> Result<(), SimError> {
+        assert_eq!(circuit.num_qubits() as u32, self.layout.num_qubits);
+        for op in circuit.ops() {
+            self.apply_op(op, rng)?;
+        }
+        Ok(())
+    }
+
+    /// Apply one operation.
+    pub fn apply_op(&mut self, op: &Op, rng: &mut impl rand::Rng) -> Result<(), SimError> {
+        let start = Instant::now();
+        match op {
+            Op::Single { gate, target } => {
+                self.apply_unitary(op.signature(), &gate.matrix(), &[], *target)?;
+            }
+            Op::Controlled {
+                gate,
+                control,
+                target,
+            } => {
+                self.apply_unitary(op.signature(), &gate.matrix(), &[*control], *target)?;
+            }
+            Op::MultiControlled {
+                gate,
+                controls,
+                target,
+            } => {
+                self.apply_unitary(op.signature(), &gate.matrix(), controls, *target)?;
+            }
+            Op::Swap { a, b } => {
+                // SWAP = CX(a,b) CX(b,a) CX(a,b); counted as one gate.
+                let x = Gate1::x();
+                self.apply_unitary(op.signature() ^ 1, &x, &[*a], *b)?;
+                self.apply_unitary(op.signature() ^ 2, &x, &[*b], *a)?;
+                self.apply_unitary(op.signature() ^ 3, &x, &[*a], *b)?;
+            }
+            Op::Measure { target } => {
+                self.measure(*target, rng)?;
+            }
+        }
+        self.gates_applied += 1;
+        self.wall_time += start.elapsed();
+
+        // Adaptive ladder (§3.7): relax the bound while over budget.
+        if let Some(budget) = self.cfg.memory_budget {
+            while self.memory_bytes() > budget && self.level + 1 < self.cfg.ladder.len() {
+                self.level += 1;
+                self.escalations += 1;
+                if self.cfg.recompress_on_escalate {
+                    self.recompress_all()?;
+                }
+            }
+        }
+        self.note_memory();
+        Ok(())
+    }
+
+    /// Apply a (multi-)controlled single-qubit unitary.
+    fn apply_unitary(
+        &mut self,
+        op_signature: u64,
+        gate: &Gate1,
+        controls: &[usize],
+        target: usize,
+    ) -> Result<(), SimError> {
+        let layout = self.layout;
+        let bpr = layout.blocks_per_rank();
+
+        // Partition control qubits by scope (§3.3).
+        let mut offset_cmask = 0usize;
+        let mut block_cmask = 0usize;
+        let mut rank_cmask = 0usize;
+        for &c in controls {
+            match layout.control_scope(c as u32) {
+                ControlScope::InBlock { offset_bit } => offset_cmask |= 1 << offset_bit,
+                ControlScope::BlockSelect { block_bit } => block_cmask |= 1 << block_bit,
+                ControlScope::RankSelect { rank_bit } => rank_cmask |= 1 << rank_bit,
+            }
+        }
+
+        let rank_ok = |r: usize| r & rank_cmask == rank_cmask;
+        let block_ok = |b: usize| b & block_cmask == block_cmask;
+
+        // Assemble work units per the routing case.
+        let mut units = Vec::new();
+        match layout.route(target as u32) {
+            Route::InBlock { offset_bit } => {
+                for r in 0..layout.ranks() {
+                    if !rank_ok(r) {
+                        continue;
+                    }
+                    for b in 0..bpr {
+                        if !block_ok(b) {
+                            continue;
+                        }
+                        let slot = r * bpr + b;
+                        units.push(Unit {
+                            slot_a: slot,
+                            slot_b: None,
+                            in_a: self.blocks[slot].take().expect("block present"),
+                            in_b: None,
+                            cross_rank: false,
+                        });
+                    }
+                }
+                self.process_units(units, Kernel::InBlock { offset_bit }, gate, offset_cmask, op_signature)
+            }
+            Route::InterBlock { block_stride } => {
+                for r in 0..layout.ranks() {
+                    if !rank_ok(r) {
+                        continue;
+                    }
+                    for b in 0..bpr {
+                        let tbit = block_stride;
+                        if b & tbit != 0 || !block_ok(b) {
+                            continue;
+                        }
+                        let (s0, s1) = (r * bpr + b, r * bpr + (b | tbit));
+                        units.push(Unit {
+                            slot_a: s0,
+                            slot_b: Some(s1),
+                            in_a: self.blocks[s0].take().expect("block present"),
+                            in_b: Some(self.blocks[s1].take().expect("block present")),
+                            cross_rank: false,
+                        });
+                    }
+                }
+                self.process_units(units, Kernel::Cross, gate, offset_cmask, op_signature)
+            }
+            Route::InterRank { rank_stride } => {
+                for r in 0..layout.ranks() {
+                    if r & rank_stride != 0 || !rank_ok(r) {
+                        continue;
+                    }
+                    let r2 = r | rank_stride;
+                    for b in 0..bpr {
+                        if !block_ok(b) {
+                            continue;
+                        }
+                        let (s0, s1) = (r * bpr + b, r2 * bpr + b);
+                        units.push(Unit {
+                            slot_a: s0,
+                            slot_b: Some(s1),
+                            in_a: self.blocks[s0].take().expect("block present"),
+                            in_b: Some(self.blocks[s1].take().expect("block present")),
+                            cross_rank: true,
+                        });
+                    }
+                }
+                self.process_units(units, Kernel::Cross, gate, offset_cmask, op_signature)
+            }
+        }
+    }
+
+    /// Decompress, compute, recompress every unit (in parallel), honoring
+    /// the compressed-block cache, then write results back.
+    fn process_units(
+        &mut self,
+        units: Vec<Unit>,
+        kernel: Kernel,
+        gate: &Gate1,
+        offset_cmask: usize,
+        op_signature: u64,
+    ) -> Result<(), SimError> {
+        let bound = self.cfg.ladder[self.level];
+        let codec = Arc::clone(&self.codec);
+        let cache = Arc::clone(&self.cache);
+        let block_f64s = self.layout.block_amps() * 2;
+        let g = *gate;
+
+        let results: Result<Vec<UnitOut>, SimError> = units
+            .into_par_iter()
+            .map_init(
+                // Per-worker scratch: the two decompressed blocks the paper
+                // holds in MCDRAM (§3.2).
+                || (Vec::with_capacity(block_f64s), Vec::with_capacity(block_f64s)),
+                |(buf_a, buf_b), unit| {
+                    process_one(
+                        &codec, &cache, &g, kernel, offset_cmask, op_signature, bound, unit,
+                        buf_a, buf_b,
+                    )
+                },
+            )
+            .collect();
+        let results = results?;
+
+        // Write back and merge metrics.
+        let mut any_lossy = false;
+        for out in results {
+            self.metrics.add(Phase::Compression, out.timings[0]);
+            self.metrics.add(Phase::Decompression, out.timings[1]);
+            self.metrics.add(Phase::Communication, out.timings[2]);
+            self.metrics.add(Phase::Computation, out.timings[3]);
+            if out.comm_bytes > 0 {
+                self.metrics.add_comm_bytes(out.comm_bytes);
+                if let Some(bw) = self.cfg.modeled_link_bandwidth {
+                    self.metrics.add(
+                        Phase::Communication,
+                        Duration::from_secs_f64(out.comm_bytes as f64 / bw),
+                    );
+                }
+            }
+            any_lossy |= out.compressed_lossy;
+            self.blocks[out.slot_a] = Some(out.out_a);
+            if let Some(sb) = out.slot_b {
+                self.blocks[sb] = Some(out.out_b.expect("pair output"));
+            }
+        }
+        self.ledger
+            .record_gate(if any_lossy { bound.magnitude() } else { 0.0 });
+        Ok(())
+    }
+
+    /// Recompress every block at the current ladder level (used after an
+    /// escalation so the budget is actually enforced).
+    fn recompress_all(&mut self) -> Result<(), SimError> {
+        let bound = self.cfg.ladder[self.level];
+        let codec = Arc::clone(&self.codec);
+        let blocks = std::mem::take(&mut self.blocks);
+        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
+            .into_par_iter()
+            .map(|b| match b {
+                None => Ok(None),
+                Some(blk) => {
+                    let mut buf = Vec::new();
+                    codec.decompress(&blk, &mut buf)?;
+                    Ok(Some(codec.compress(&buf, bound)?))
+                }
+            })
+            .collect();
+        self.blocks = results?;
+        if bound.is_lossy() {
+            // The recompression pass is itself a lossy compression event.
+            self.ledger.record_gate(bound.magnitude());
+        }
+        Ok(())
+    }
+
+    /// Probability that `qubit` reads `|1>`.
+    pub fn prob_one(&self, qubit: usize) -> Result<f64, SimError> {
+        let layout = self.layout;
+        let bpr = layout.blocks_per_rank();
+        let codec = Arc::clone(&self.codec);
+        let scope = layout.control_scope(qubit as u32);
+        let total: Result<Vec<f64>, SimError> = self
+            .blocks
+            .par_iter()
+            .enumerate()
+            .map(|(slot, blk)| {
+                let blk = blk.as_ref().expect("block present");
+                let (r, b) = (slot / bpr, slot % bpr);
+                let selected_whole = match scope {
+                    ControlScope::InBlock { .. } => None,
+                    ControlScope::BlockSelect { block_bit } => Some(b >> block_bit & 1 == 1),
+                    ControlScope::RankSelect { rank_bit } => Some(r >> rank_bit & 1 == 1),
+                };
+                if selected_whole == Some(false) {
+                    return Ok(0.0);
+                }
+                let mut buf = Vec::new();
+                codec.decompress(blk, &mut buf)?;
+                let sum = match scope {
+                    ControlScope::InBlock { offset_bit } => {
+                        let bit = 1usize << offset_bit;
+                        (0..buf.len() / 2)
+                            .filter(|o| o & bit != 0)
+                            .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
+                            .sum()
+                    }
+                    _ => buf.iter().map(|v| v * v).sum(),
+                };
+                Ok(sum)
+            })
+            .collect();
+        Ok(total?.into_iter().sum())
+    }
+
+    /// Measure `qubit`, collapsing the state (intermediate measurement,
+    /// the capability §1 argues full-state simulation enables).
+    pub fn measure(&mut self, qubit: usize, rng: &mut impl rand::Rng) -> Result<bool, SimError> {
+        let p1 = self.prob_one(qubit)?;
+        let outcome = rng.gen::<f64>() < p1;
+        self.collapse(qubit, outcome, if outcome { p1 } else { 1.0 - p1 })?;
+        Ok(outcome)
+    }
+
+    /// Collapse `qubit` to `outcome` with prior probability `p`.
+    fn collapse(&mut self, qubit: usize, outcome: bool, p: f64) -> Result<(), SimError> {
+        assert!(p > 0.0, "collapse onto zero-probability outcome");
+        let layout = self.layout;
+        let bpr = layout.blocks_per_rank();
+        let codec = Arc::clone(&self.codec);
+        let bound = self.cfg.ladder[self.level];
+        let scope = layout.control_scope(qubit as u32);
+        let scale = 1.0 / p.sqrt();
+        let blocks = std::mem::take(&mut self.blocks);
+        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
+            .into_par_iter()
+            .enumerate()
+            .map(|(slot, blk)| {
+                let blk = blk.expect("block present");
+                let (r, b) = (slot / bpr, slot % bpr);
+                let mut buf = Vec::new();
+                codec.decompress(&blk, &mut buf)?;
+                match scope {
+                    ControlScope::InBlock { offset_bit } => {
+                        let bit = 1usize << offset_bit;
+                        for o in 0..buf.len() / 2 {
+                            if (o & bit != 0) == outcome {
+                                buf[2 * o] *= scale;
+                                buf[2 * o + 1] *= scale;
+                            } else {
+                                buf[2 * o] = 0.0;
+                                buf[2 * o + 1] = 0.0;
+                            }
+                        }
+                    }
+                    ControlScope::BlockSelect { block_bit } => {
+                        if (b >> block_bit & 1 == 1) == outcome {
+                            for v in buf.iter_mut() {
+                                *v *= scale;
+                            }
+                        } else {
+                            buf.iter_mut().for_each(|v| *v = 0.0);
+                        }
+                    }
+                    ControlScope::RankSelect { rank_bit } => {
+                        if (r >> rank_bit & 1 == 1) == outcome {
+                            for v in buf.iter_mut() {
+                                *v *= scale;
+                            }
+                        } else {
+                            buf.iter_mut().for_each(|v| *v = 0.0);
+                        }
+                    }
+                }
+                Ok(Some(codec.compress(&buf, bound)?))
+            })
+            .collect();
+        self.blocks = results?;
+        if bound.is_lossy() {
+            self.ledger.record_gate(bound.magnitude());
+        }
+        Ok(())
+    }
+
+    /// Squared 2-norm of the stored state (1 up to compression error).
+    pub fn norm_sqr(&self) -> Result<f64, SimError> {
+        let codec = Arc::clone(&self.codec);
+        let sums: Result<Vec<f64>, SimError> = self
+            .blocks
+            .par_iter()
+            .map(|blk| {
+                let mut buf = Vec::new();
+                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
+                Ok(buf.iter().map(|v| v * v).sum())
+            })
+            .collect();
+        Ok(sums?.into_iter().sum())
+    }
+
+    /// Decompress the full state into a dense [`StateVector`].
+    ///
+    /// Only sensible for small `n`; used by tests, fidelity measurement and
+    /// the benchmark harness.
+    pub fn snapshot_dense(&self) -> Result<StateVector, SimError> {
+        let layout = self.layout;
+        let mut amps = vec![Complex64::ZERO; layout.total_amps() as usize];
+        let bpr = layout.blocks_per_rank();
+        let mut buf = Vec::new();
+        for (slot, blk) in self.blocks.iter().enumerate() {
+            let (r, b) = (slot / bpr, slot % bpr);
+            self.codec
+                .decompress(blk.as_ref().expect("block present"), &mut buf)?;
+            let base = layout.join(r, b, 0) as usize;
+            for o in 0..layout.block_amps() {
+                amps[base + o] = Complex64::new(buf[2 * o], buf[2 * o + 1]);
+            }
+        }
+        Ok(StateVector::from_amplitudes(amps))
+    }
+
+    /// Flat interleaved (re, im) dump of the state. Used by the benchmark
+    /// harness to produce compressor workloads (`qaoa_36`/`sup_36`-style
+    /// snapshots).
+    pub fn snapshot_f64(&self) -> Result<Vec<f64>, SimError> {
+        let sv = self.snapshot_dense()?;
+        Ok(sv.as_f64_slice().to_vec())
+    }
+
+    /// Sample one basis-state index from the current distribution.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> Result<u64, SimError> {
+        let layout = self.layout;
+        let bpr = layout.blocks_per_rank();
+        // Two-pass: block weights, then within the chosen block.
+        let codec = Arc::clone(&self.codec);
+        let weights: Result<Vec<f64>, SimError> = self
+            .blocks
+            .par_iter()
+            .map(|blk| {
+                let mut buf = Vec::new();
+                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
+                Ok(buf.iter().map(|v| v * v).sum())
+            })
+            .collect();
+        let weights = weights?;
+        let total: f64 = weights.iter().sum();
+        let mut r = rng.gen::<f64>() * total;
+        let mut slot = weights.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if r < *w {
+                slot = i;
+                break;
+            }
+            r -= w;
+        }
+        let mut buf = Vec::new();
+        self.codec
+            .decompress(self.blocks[slot].as_ref().expect("block present"), &mut buf)?;
+        let mut o = layout.block_amps() - 1;
+        for i in 0..layout.block_amps() {
+            let w = buf[2 * i] * buf[2 * i] + buf[2 * i + 1] * buf[2 * i + 1];
+            if r < w {
+                o = i;
+                break;
+            }
+            r -= w;
+        }
+        Ok(layout.join(slot / bpr, slot % bpr, o))
+    }
+
+    /// Expectation value of `Z` on `qubit`: `P(0) - P(1)`.
+    pub fn expectation_z(&self, qubit: usize) -> Result<f64, SimError> {
+        Ok(1.0 - 2.0 * self.prob_one(qubit)?)
+    }
+
+    /// Expectation value of `Z_a Z_b` (the MAXCUT cost term), computed in
+    /// one blockwise pass without decompressing the full state at once.
+    pub fn expectation_zz(&self, a: usize, b: usize) -> Result<f64, SimError> {
+        assert!(a != b, "zz needs distinct qubits");
+        let layout = self.layout;
+        assert!(a < layout.num_qubits as usize && b < layout.num_qubits as usize);
+        let bpr = layout.blocks_per_rank();
+        let codec = Arc::clone(&self.codec);
+        let terms: Result<Vec<f64>, SimError> = self
+            .blocks
+            .par_iter()
+            .enumerate()
+            .map(|(slot, blk)| {
+                let (r, bidx) = (slot / bpr, slot % bpr);
+                let base = layout.join(r, bidx, 0);
+                let mut buf = Vec::new();
+                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
+                let mut acc = 0.0;
+                for o in 0..buf.len() / 2 {
+                    let idx = base + o as u64;
+                    let parity = ((idx >> a) & 1) ^ ((idx >> b) & 1);
+                    let w = buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1];
+                    acc += if parity == 0 { w } else { -w };
+                }
+                Ok(acc)
+            })
+            .collect();
+        Ok(terms?.into_iter().sum())
+    }
+
+    /// Progress/result report (Table 2 rows).
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            num_qubits: self.layout.num_qubits,
+            gates: self.gates_applied,
+            wall_time: self.wall_time,
+            breakdown: self.metrics.breakdown(),
+            fidelity_lower_bound: self.ledger.lower_bound(),
+            current_bound: self.current_bound(),
+            escalations: self.escalations,
+            min_compression_ratio: if self.min_ratio.is_finite() {
+                self.min_ratio
+            } else {
+                self.compression_ratio()
+            },
+            peak_memory_bytes: self.peak_memory,
+            uncompressed_bytes: self.layout.uncompressed_bytes(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            comm_bytes: self.metrics.comm_bytes(),
+        }
+    }
+
+    /// The fidelity ledger.
+    pub fn ledger(&self) -> &FidelityLedger {
+        &self.ledger
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The block cache (for hit-rate inspection).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    // --- checkpoint support (fields exposed to the checkpoint module) ---
+
+    pub(crate) fn checkpoint_parts(
+        &self,
+    ) -> (&SimConfig, Layout, usize, &FidelityLedger, &[Option<CompressedBlock>]) {
+        (&self.cfg, self.layout, self.level, &self.ledger, &self.blocks)
+    }
+
+    pub(crate) fn from_checkpoint_parts(
+        cfg: SimConfig,
+        level: usize,
+        ledger: FidelityLedger,
+        blocks: Vec<Option<CompressedBlock>>,
+        num_qubits: u32,
+    ) -> Result<Self, SimError> {
+        cfg.validate(num_qubits).map_err(SimError::Config)?;
+        let layout = Layout::new(num_qubits, cfg.ranks_log2, cfg.block_log2);
+        if blocks.len() != layout.ranks() * layout.blocks_per_rank() {
+            return Err(SimError::Checkpoint("block count mismatch".into()));
+        }
+        if level >= cfg.ladder.len() {
+            return Err(SimError::Checkpoint("ladder level out of range".into()));
+        }
+        let codec = Arc::new(BlockCodec::new(cfg.lossy_codec));
+        let cache = Arc::new(BlockCache::new(
+            cfg.cache_lines,
+            cfg.cache_auto_disable_after,
+        ));
+        let mut sim = Self {
+            cfg,
+            layout,
+            codec,
+            blocks,
+            level,
+            metrics: Metrics::new(),
+            cache,
+            ledger,
+            min_ratio: f64::INFINITY,
+            peak_memory: 0,
+            escalations: 0,
+            gates_applied: 0,
+            wall_time: Duration::ZERO,
+        };
+        sim.note_memory();
+        Ok(sim)
+    }
+}
+
+/// Which pair-update kernel a unit runs.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    /// Pairs within one block, differing at `offset_bit`.
+    InBlock { offset_bit: u32 },
+    /// Pairs across two blocks at the same offset.
+    Cross,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_one(
+    codec: &BlockCodec,
+    cache: &BlockCache,
+    gate: &Gate1,
+    kernel: Kernel,
+    offset_cmask: usize,
+    op_signature: u64,
+    bound: ErrorBound,
+    unit: Unit,
+    buf_a: &mut Vec<f64>,
+    buf_b: &mut Vec<f64>,
+) -> Result<UnitOut, SimError> {
+    let mut timings = [Duration::ZERO; 4];
+    let comm_bytes = if unit.cross_rank {
+        // Model the MPI exchange: the compressed blocks cross the network in
+        // both directions. The copy below stands in for the transfer.
+        let t = Instant::now();
+        let moved: Vec<u8> = unit.in_b.as_ref().map(|b| b.bytes.to_vec()).unwrap_or_default();
+        let back: Vec<u8> = unit.in_a.bytes.to_vec();
+        timings[2] += t.elapsed();
+        (moved.len() + back.len()) as u64
+    } else {
+        0
+    };
+
+    // Cache lookup (§3.4): skips decompress + compute + compress.
+    if let Some((out_a, out_b)) =
+        cache.lookup(op_signature, &unit.in_a, unit.in_b.as_ref())
+    {
+        return Ok(UnitOut {
+            slot_a: unit.slot_a,
+            slot_b: unit.slot_b,
+            out_a,
+            out_b,
+            timings,
+            comm_bytes,
+            compressed_lossy: false,
+        });
+    }
+
+    // Decompress (into the MCDRAM-modeled scratch).
+    let t = Instant::now();
+    codec.decompress(&unit.in_a, buf_a)?;
+    if let Some(in_b) = &unit.in_b {
+        codec.decompress(in_b, buf_b)?;
+    }
+    timings[1] += t.elapsed();
+
+    // Compute.
+    let t = Instant::now();
+    match kernel {
+        Kernel::InBlock { offset_bit } => {
+            kernel_in_block(buf_a, offset_bit, gate, offset_cmask);
+        }
+        Kernel::Cross => {
+            kernel_cross(buf_a, buf_b, gate, offset_cmask);
+        }
+    }
+    timings[3] += t.elapsed();
+
+    // Recompress.
+    let t = Instant::now();
+    let out_a = codec.compress(buf_a, bound)?;
+    let out_b = if unit.in_b.is_some() {
+        Some(codec.compress(buf_b, bound)?)
+    } else {
+        None
+    };
+    timings[0] += t.elapsed();
+
+    cache.insert(
+        op_signature,
+        &unit.in_a,
+        unit.in_b.as_ref(),
+        &out_a,
+        out_b.as_ref(),
+    );
+
+    Ok(UnitOut {
+        slot_a: unit.slot_a,
+        slot_b: unit.slot_b,
+        out_a,
+        out_b,
+        timings,
+        comm_bytes,
+        compressed_lossy: bound.is_lossy(),
+    })
+}
+
+/// Pair update within one block: amplitudes at offsets `o` and `o | 2^bit`
+/// with all control bits of `cmask` set (Eq. 6/7).
+fn kernel_in_block(buf: &mut [f64], offset_bit: u32, gate: &Gate1, cmask: usize) {
+    let amps = buf.len() / 2;
+    let tbit = 1usize << offset_bit;
+    let m = gate.m;
+    for o in 0..amps {
+        if o & tbit != 0 || o & cmask != cmask {
+            continue;
+        }
+        let p = o | tbit;
+        let (ar, ai) = (buf[2 * o], buf[2 * o + 1]);
+        let (br, bi) = (buf[2 * p], buf[2 * p + 1]);
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let na = m[0][0] * a + m[0][1] * b;
+        let nb = m[1][0] * a + m[1][1] * b;
+        buf[2 * o] = na.re;
+        buf[2 * o + 1] = na.im;
+        buf[2 * p] = nb.re;
+        buf[2 * p + 1] = nb.im;
+    }
+}
+
+/// Pair update across two blocks: offset `o` of `buf0` pairs with offset
+/// `o` of `buf1` (the target bit selects the block/rank, not the offset).
+fn kernel_cross(buf0: &mut [f64], buf1: &mut [f64], gate: &Gate1, cmask: usize) {
+    let amps = buf0.len() / 2;
+    debug_assert_eq!(buf0.len(), buf1.len());
+    let m = gate.m;
+    for o in 0..amps {
+        if o & cmask != cmask {
+            continue;
+        }
+        let a = Complex64::new(buf0[2 * o], buf0[2 * o + 1]);
+        let b = Complex64::new(buf1[2 * o], buf1[2 * o + 1]);
+        let na = m[0][0] * a + m[0][1] * b;
+        let nb = m[1][0] * a + m[1][1] * b;
+        buf0[2 * o] = na.re;
+        buf0[2 * o + 1] = na.im;
+        buf1[2 * o] = nb.re;
+        buf1[2 * o + 1] = nb.im;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuits::hadamard_wall;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::default().with_block_log2(3).with_ranks_log2(1)
+    }
+
+    #[test]
+    fn initial_state_is_zero_ket() {
+        let sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        let sv = sim.snapshot_dense().unwrap();
+        assert!(sv.amplitudes()[0].approx_eq(Complex64::ONE, 1e-15));
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matches_dense_on_all_three_routes() {
+        // n=6, ranks=2^1, block=2^3: offsets 0-2, block bits 3-4, rank bit 5.
+        let mut rng = StdRng::seed_from_u64(0);
+        for target in 0..6usize {
+            let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+            let mut c = Circuit::new(6);
+            c.h(0).h(3).h(5); // spread across all segments
+            c.h(target);
+            c.t(target);
+            sim.run(&c, &mut rng).unwrap();
+            let dense = c.simulate_dense(&mut rng);
+            let f = sim.snapshot_dense().unwrap().fidelity(&dense);
+            assert!(f > 1.0 - 1e-12, "target {target}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn controlled_gates_match_dense_across_scopes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Controls in offset / block / rank segments, target likewise.
+        let pairs = [(0, 4), (4, 0), (5, 1), (1, 5), (3, 4), (5, 3)];
+        for (control, target) in pairs {
+            let mut c = Circuit::new(6);
+            for q in 0..6 {
+                c.h(q);
+            }
+            c.t(control);
+            c.cx(control, target);
+            c.cphase(0.7, control, target);
+            let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+            sim.run(&c, &mut rng).unwrap();
+            let dense = c.simulate_dense(&mut rng);
+            let f = sim.snapshot_dense().unwrap().fidelity(&dense);
+            assert!(f > 1.0 - 1e-12, "c={control} t={target}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn toffoli_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        c.ccx(0, 5, 3);
+        c.ccx(4, 2, 0);
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        sim.run(&c, &mut rng).unwrap();
+        let dense = c.simulate_dense(&mut rng);
+        assert!(sim.snapshot_dense().unwrap().fidelity(&dense) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn swap_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Circuit::new(6);
+        c.h(0).t(0).swap(0, 5).swap(2, 3);
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        sim.run(&c, &mut rng).unwrap();
+        let dense = c.simulate_dense(&mut rng);
+        assert!(sim.snapshot_dense().unwrap().fidelity(&dense) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn norm_preserved_lossless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sim = CompressedSimulator::new(8, SimConfig::default().with_block_log2(4)).unwrap();
+        sim.run(&hadamard_wall(8), &mut rng).unwrap();
+        assert!((sim.norm_sqr().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(sim.report().gates, 8);
+        assert_eq!(sim.report().fidelity_lower_bound, 1.0);
+    }
+
+    #[test]
+    fn prob_and_measurement() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        let mut c = Circuit::new(6);
+        c.h(0).cx(0, 5); // Bell pair across the rank boundary
+        sim.run(&c, &mut rng).unwrap();
+        assert!((sim.prob_one(0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((sim.prob_one(5).unwrap() - 0.5).abs() < 1e-12);
+        let outcome = sim.measure(0, &mut rng).unwrap();
+        // Entangled partner collapses identically.
+        let p5 = sim.prob_one(5).unwrap();
+        assert!((p5 - if outcome { 1.0 } else { 0.0 }).abs() < 1e-9);
+        assert!((sim.norm_sqr().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_ladder_escalates_under_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Tiny budget forces lossy levels almost immediately on a
+        // spread-out state.
+        let cfg = SimConfig::default()
+            .with_block_log2(4)
+            .with_memory_budget(3 * (1u64 << 4) * 16 * 2); // ~3 scratch blocks
+        let mut sim = CompressedSimulator::new(10, cfg).unwrap();
+        let mut c = Circuit::new(10);
+        for q in 0..10 {
+            c.h(q);
+        }
+        for q in 0..10 {
+            c.rz(0.1 + q as f64, q);
+        }
+        sim.run(&c, &mut rng).unwrap();
+        let report = sim.report();
+        assert!(report.escalations > 0, "expected ladder escalation");
+        assert!(report.fidelity_lower_bound < 1.0);
+        assert!(report.fidelity_lower_bound > 0.0);
+    }
+
+    #[test]
+    fn lossy_state_stays_close_to_dense() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = SimConfig::default()
+            .with_block_log2(4)
+            .with_fixed_bound(ErrorBound::PointwiseRelative(1e-4));
+        let mut sim = CompressedSimulator::new(8, cfg).unwrap();
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        for q in 0..7 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..8 {
+            c.rz(0.3 * (q + 1) as f64, q);
+        }
+        sim.run(&c, &mut rng).unwrap();
+        let dense = c.simulate_dense(&mut rng);
+        let f = sim.snapshot_dense().unwrap().fidelity(&dense);
+        assert!(f > 0.999, "fidelity {f}");
+        assert!(f >= sim.report().fidelity_lower_bound - 1e-9);
+    }
+
+    #[test]
+    fn cache_hits_on_redundant_blocks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Many identical zero blocks: a gate over the high qubit hits
+        // byte-identical block pairs repeatedly.
+        let cfg = SimConfig::default().with_block_log2(3);
+        let mut sim = CompressedSimulator::new(9, cfg).unwrap();
+        let mut c = Circuit::new(9);
+        c.h(8).h(7);
+        sim.run(&c, &mut rng).unwrap();
+        assert!(
+            sim.cache().hits() > 0,
+            "expected cache hits on redundant zero blocks, misses={}",
+            sim.cache().misses()
+        );
+        // Correctness despite caching:
+        let dense = c.simulate_dense(&mut rng);
+        assert!(sim.snapshot_dense().unwrap().fidelity(&dense) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn comm_bytes_counted_only_for_rank_crossing_gates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        let mut c = Circuit::new(6);
+        c.h(0); // in-block
+        sim.run(&c, &mut rng).unwrap();
+        assert_eq!(sim.report().comm_bytes, 0);
+        let mut c2 = Circuit::new(6);
+        c2.h(5); // rank bit
+        sim.run(&c2, &mut rng).unwrap();
+        assert!(sim.report().comm_bytes > 0);
+    }
+
+    #[test]
+    fn sample_returns_valid_indices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        let mut c = Circuit::new(6);
+        c.h(0).h(3);
+        sim.run(&c, &mut rng).unwrap();
+        for _ in 0..50 {
+            let s = sim.sample(&mut rng).unwrap();
+            // Only qubits 0 and 3 are in superposition.
+            assert_eq!(s & !0b001001, 0, "sampled {s:b}");
+        }
+    }
+
+    #[test]
+    fn z_expectations_match_dense() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut c = Circuit::new(6);
+        c.h(0).cx(0, 5).ry(0.8, 3).cx(3, 1);
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        sim.run(&c, &mut rng).unwrap();
+        let dense = c.simulate_dense(&mut rng);
+        for q in 0..6 {
+            let expect = 1.0 - 2.0 * dense.prob_one(q);
+            assert!(
+                (sim.expectation_z(q).unwrap() - expect).abs() < 1e-12,
+                "qubit {q}"
+            );
+        }
+        // ZZ on the Bell pair (0,5) is +1; on uncorrelated pairs it
+        // factorizes.
+        assert!((sim.expectation_zz(0, 5).unwrap() - 1.0).abs() < 1e-12);
+        let z3 = sim.expectation_z(3).unwrap();
+        let z2 = sim.expectation_z(2).unwrap();
+        assert!((sim.expectation_zz(2, 3).unwrap() - z2 * z3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grover_end_to_end_compressed() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 8;
+        let target = 0b1011_0101 & ((1 << n) - 1);
+        let c = qcs_circuits::grover_circuit(n, target, qcs_circuits::optimal_iterations(n));
+        let cfg = SimConfig::default().with_block_log2(4).with_ranks_log2(1);
+        let mut sim = CompressedSimulator::new(n as u32, cfg).unwrap();
+        sim.run(&c, &mut rng).unwrap();
+        let sv = sim.snapshot_dense().unwrap();
+        let p = sv.probabilities()[target as usize];
+        assert!(p > 0.95, "grover success probability {p}");
+        // Structured circuit: compression ratio should be comfortably > 1.
+        assert!(sim.report().min_compression_ratio > 1.0);
+    }
+}

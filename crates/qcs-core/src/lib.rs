@@ -1,0 +1,50 @@
+//! # qcs-core
+//!
+//! The paper's primary contribution: a Schrödinger-style full-state quantum
+//! circuit simulator whose state vector lives in **compressed blocks**,
+//! trading computation time and (bounded) fidelity for memory space.
+//!
+//! Key pieces, each mapping to a section of the paper:
+//!
+//! - [`CompressedSimulator`] — blocked compressed state + gate engine
+//!   (§3.1-§3.3, Fig. 2/3);
+//! - [`SimConfig`] — block/rank geometry, memory budget, error-bound
+//!   ladder (§3.7), cache size (§3.4);
+//! - [`BlockCache`] — the 64-line LRU compressed-block cache with
+//!   auto-disable (§3.4, Fig. 4);
+//! - [`FidelityLedger`] — the `prod (1 - delta_i)` fidelity lower bound
+//!   (§3.8, Eq. 10/11, Fig. 6);
+//! - [`checkpoint`] — save/resume of compressed blocks (§3.5);
+//! - memory accounting per Eq. 8 and the time breakdown of Table 2.
+//!
+//! ## Example
+//!
+//! ```
+//! use qcs_core::{CompressedSimulator, SimConfig};
+//! use qcs_circuits::Circuit;
+//! use rand::SeedableRng;
+//!
+//! let mut circuit = Circuit::new(8);
+//! circuit.h(0).cx(0, 7); // Bell pair across the rank boundary
+//! let cfg = SimConfig::default().with_block_log2(4).with_ranks_log2(1);
+//! let mut sim = CompressedSimulator::new(8, cfg).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! sim.run(&circuit, &mut rng).unwrap();
+//! assert!((sim.prob_one(7).unwrap() - 0.5).abs() < 1e-12);
+//! println!("compression ratio: {:.1}", sim.report().min_compression_ratio);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod cache;
+pub mod checkpoint;
+pub mod config;
+pub mod engine;
+pub mod fidelity_bound;
+
+pub use block::{BlockCodec, CompressedBlock};
+pub use cache::BlockCache;
+pub use config::SimConfig;
+pub use engine::{CompressedSimulator, SimError, SimReport};
+pub use fidelity_bound::{fidelity_curve, FidelityLedger};

@@ -1,0 +1,298 @@
+//! Observables and state analysis: Pauli-string expectation values and
+//! bipartite entanglement entropy.
+//!
+//! Used by the QAOA workload (cost expectations), by the evaluation of the
+//! paper's "more entanglement leads to less compressible vectors" claim
+//! (§5.4), and generally useful to downstream users of the simulator.
+
+use crate::complex::Complex64;
+use crate::state::StateVector;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A Pauli string: a sparse list of `(qubit, Pauli)` factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    factors: Vec<(usize, Pauli)>,
+}
+
+impl PauliString {
+    /// Build from `(qubit, Pauli)` pairs; identity factors are dropped and
+    /// duplicate qubits rejected.
+    pub fn new(factors: &[(usize, Pauli)]) -> Result<Self, String> {
+        let mut kept: Vec<(usize, Pauli)> = factors
+            .iter()
+            .copied()
+            .filter(|(_, p)| *p != Pauli::I)
+            .collect();
+        kept.sort_by_key(|(q, _)| *q);
+        for w in kept.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!("duplicate qubit {} in Pauli string", w[0].0));
+            }
+        }
+        Ok(Self { factors: kept })
+    }
+
+    /// `Z_q` shorthand.
+    pub fn z(q: usize) -> Self {
+        Self {
+            factors: vec![(q, Pauli::Z)],
+        }
+    }
+
+    /// `Z_a Z_b` shorthand (the MAXCUT cost term).
+    pub fn zz(a: usize, b: usize) -> Self {
+        let mut f = vec![(a, Pauli::Z), (b, Pauli::Z)];
+        f.sort_by_key(|(q, _)| *q);
+        Self { factors: f }
+    }
+
+    /// The factors, sorted by qubit.
+    pub fn factors(&self) -> &[(usize, Pauli)] {
+        &self.factors
+    }
+
+    /// Expectation value `<psi| P |psi>` (real, since P is Hermitian).
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        for (q, _) in &self.factors {
+            assert!(*q < state.num_qubits(), "qubit {q} out of range");
+        }
+        // <psi|P|psi> = sum_i conj(a_i) * (P|psi>)_i. For a Pauli string,
+        // (P|psi>)_i = phase(i) * a_{i ^ xmask} with a diagonal +-1/i phase.
+        let mut xmask = 0usize;
+        let mut acc = Complex64::ZERO;
+        for (q, p) in &self.factors {
+            if matches!(p, Pauli::X | Pauli::Y) {
+                xmask |= 1 << q;
+            }
+        }
+        let amps = state.amplitudes();
+        for (i, a) in amps.iter().enumerate() {
+            let j = i ^ xmask;
+            // Phase from Z and Y factors evaluated on the *source* index j.
+            let mut phase = Complex64::ONE;
+            for (q, p) in &self.factors {
+                let bit_j = (j >> q) & 1 == 1;
+                match p {
+                    Pauli::Z
+                        if bit_j => {
+                            phase = -phase;
+                        }
+                    Pauli::Y => {
+                        // Y|0> = i|1>, Y|1> = -i|0>.
+                        phase *= if bit_j { -Complex64::I } else { Complex64::I };
+                    }
+                    _ => {}
+                }
+            }
+            acc += a.conj() * (phase * amps[j]);
+        }
+        acc.re
+    }
+}
+
+/// Von Neumann entanglement entropy (in bits) of the reduced state over
+/// `subsystem_qubits` (the low `k` qubits), computed via the Gram matrix of
+/// the reshaped amplitude matrix. Only practical for small subsystems.
+pub fn entanglement_entropy(state: &StateVector, subsystem_qubits: usize) -> f64 {
+    let n = state.num_qubits();
+    assert!(subsystem_qubits < n && subsystem_qubits <= 12);
+    let da = 1usize << subsystem_qubits;
+    let db = 1usize << (n - subsystem_qubits);
+    let amps = state.amplitudes();
+    // rho_A[a][a'] = sum_b psi[a + b*da] conj(psi[a' + b*da]).
+    let mut rho = vec![Complex64::ZERO; da * da];
+    for b in 0..db {
+        for a1 in 0..da {
+            let v1 = amps[a1 + b * da];
+            if v1 == Complex64::ZERO {
+                continue;
+            }
+            for a2 in 0..da {
+                rho[a1 * da + a2] += v1 * amps[a2 + b * da].conj();
+            }
+        }
+    }
+    // Eigenvalues of the Hermitian matrix rho via Jacobi iteration.
+    let eigs = hermitian_eigenvalues(&mut rho, da);
+    -eigs
+        .into_iter()
+        .filter(|l| *l > 1e-12)
+        .map(|l| l * l.log2())
+        .sum::<f64>()
+}
+
+/// Eigenvalues of an `n x n` Hermitian matrix (row-major) by cyclic Jacobi
+/// rotations. Destroys the input.
+fn hermitian_eigenvalues(m: &mut [Complex64], n: usize) -> Vec<f64> {
+    let idx = |r: usize, c: usize| r * n + c;
+    for _sweep in 0..60 {
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m[idx(r, c)].norm_sqr();
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[idx(p, q)];
+                if apq.norm_sqr() < 1e-30 {
+                    continue;
+                }
+                let app = m[idx(p, p)].re;
+                let aqq = m[idx(q, q)].re;
+                // Complex Jacobi rotation diagonalizing the 2x2 block.
+                let abs_apq = apq.abs();
+                let phase = apq.scale(1.0 / abs_apq);
+                let theta = 0.5 * (2.0 * abs_apq).atan2(aqq - app);
+                let (c, s) = (theta.cos(), theta.sin());
+                // Column rotation: col_p' = c*col_p - s*phase*col_q, etc.
+                for r in 0..n {
+                    let mp = m[idx(r, p)];
+                    let mq = m[idx(r, q)];
+                    m[idx(r, p)] = mp.scale(c) - (phase * mq).scale(s);
+                    m[idx(r, q)] = (phase.conj() * mp).scale(s) + mq.scale(c);
+                }
+                for col in 0..n {
+                    let mp = m[idx(p, col)];
+                    let mq = m[idx(q, col)];
+                    m[idx(p, col)] = mp.scale(c) - (phase.conj() * mq).scale(s);
+                    m[idx(q, col)] = (phase * mp).scale(s) + mq.scale(c);
+                }
+            }
+        }
+    }
+    (0..n).map(|i| m[idx(i, i)].re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::Gate1;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let s0 = StateVector::zero_state(2);
+        assert!((PauliString::z(0).expectation(&s0) - 1.0).abs() < TOL);
+        let s1 = StateVector::basis_state(2, 0b01);
+        assert!((PauliString::z(0).expectation(&s1) + 1.0).abs() < TOL);
+        assert!((PauliString::z(1).expectation(&s1) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&Gate1::h(), 0);
+        let x = PauliString::new(&[(0, Pauli::X)]).unwrap();
+        assert!((x.expectation(&s) - 1.0).abs() < TOL);
+        let z = PauliString::z(0);
+        assert!(z.expectation(&s).abs() < TOL);
+    }
+
+    #[test]
+    fn y_expectation_on_y_eigenstate() {
+        // |+i> = (|0> + i|1>)/sqrt(2) = S H |0>.
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&Gate1::h(), 0);
+        s.apply_gate(&Gate1::s(), 0);
+        let y = PauliString::new(&[(0, Pauli::Y)]).unwrap();
+        assert!((y.expectation(&s) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn zz_on_bell_state_is_one() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&Gate1::h(), 0);
+        s.apply_controlled(&Gate1::x(), 0, 1);
+        assert!((PauliString::zz(0, 1).expectation(&s) - 1.0).abs() < TOL);
+        // Single-qubit Z on a Bell state vanishes.
+        assert!(PauliString::z(0).expectation(&s).abs() < TOL);
+    }
+
+    #[test]
+    fn duplicate_qubit_rejected() {
+        assert!(PauliString::new(&[(1, Pauli::X), (1, Pauli::Z)]).is_err());
+        // Identity factors are dropped, so (q, I) duplicates are fine.
+        assert!(PauliString::new(&[(1, Pauli::I), (1, Pauli::Z)]).is_ok());
+    }
+
+    #[test]
+    fn product_state_has_zero_entropy() {
+        let mut s = StateVector::zero_state(4);
+        s.apply_gate(&Gate1::h(), 0);
+        s.apply_gate(&Gate1::ry(0.7), 2);
+        let e = entanglement_entropy(&s, 2);
+        assert!(e.abs() < 1e-6, "entropy {e}");
+    }
+
+    #[test]
+    fn bell_state_has_one_bit_of_entropy() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&Gate1::h(), 0);
+        s.apply_controlled(&Gate1::x(), 0, 1);
+        let e = entanglement_entropy(&s, 1);
+        assert!((e - 1.0).abs() < 1e-6, "entropy {e}");
+    }
+
+    #[test]
+    fn ghz_cut_anywhere_is_one_bit() {
+        let mut s = StateVector::zero_state(5);
+        s.apply_gate(&Gate1::h(), 0);
+        for q in 0..4 {
+            s.apply_controlled(&Gate1::x(), q, q + 1);
+        }
+        for k in 1..4 {
+            let e = entanglement_entropy(&s, k);
+            assert!((e - 1.0).abs() < 1e-6, "cut {k}: entropy {e}");
+        }
+    }
+
+    #[test]
+    fn random_circuit_entropy_grows_with_depth() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut s = StateVector::zero_state(6);
+        let shallow = {
+            let mut t = s.clone();
+            t.apply_gate(&Gate1::h(), 0);
+            entanglement_entropy(&t, 3)
+        };
+        // Entangle heavily.
+        for round in 0..6 {
+            for q in 0..6 {
+                s.apply_gate(
+                    &Gate1::u3(
+                        rand::Rng::gen_range(&mut rng, 0.0..3.0),
+                        rand::Rng::gen_range(&mut rng, 0.0..3.0),
+                        0.1 * round as f64,
+                    ),
+                    q,
+                );
+            }
+            for q in 0..5 {
+                s.apply_controlled(&Gate1::x(), q, q + 1);
+            }
+        }
+        let deep = entanglement_entropy(&s, 3);
+        assert!(deep > shallow + 0.5, "shallow {shallow}, deep {deep}");
+        // Bounded by the subsystem size.
+        assert!(deep <= 3.0 + 1e-9);
+    }
+}

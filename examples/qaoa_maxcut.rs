@@ -1,0 +1,63 @@
+//! QAOA MAXCUT on a random 4-regular graph (paper §5.3) under an
+//! aggressive memory budget, demonstrating the adaptive error-bound ladder:
+//! the run starts lossless and relaxes through the lossy levels as the
+//! state fills in, while the fidelity ledger tracks the Eq. 11 bound.
+//!
+//! Run with: `cargo run --release --example qaoa_maxcut`
+
+use qcsim::circuits::qaoa::{expected_cut, grid_search_p1, qaoa_circuit};
+use qcsim::circuits::random_regular_graph;
+use qcsim::{CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 16usize;
+    let graph = random_regular_graph(n, 4, 11);
+    // Classical outer loop: grid-search the p=1 angles on the dense
+    // simulator (the hybrid part of the algorithm).
+    let (params, predicted) = grid_search_p1(&graph, 8);
+    println!("grid-searched p=1 angles predict expected cut {predicted:.3}");
+    let circuit = qaoa_circuit(&graph, &params);
+    println!(
+        "QAOA p={} on a random 4-regular graph: {} vertices, {} edges, {} gates",
+        params.rounds(),
+        graph.n,
+        graph.edges.len(),
+        circuit.gate_count()
+    );
+
+    // Half the dense requirement. (The paper's Table 2 QAOA rows run at
+    // 37.5% on 42-45 qubits; at laptop scale the state is a much larger
+    // fraction of the total and per-block overheads weigh more, so the
+    // equivalent pressure point sits a little higher.)
+    let uncompressed = 1u64 << (n + 4);
+    let budget = uncompressed / 2;
+    let cfg = SimConfig::default()
+        .with_block_log2(10)
+        .with_ranks_log2(1)
+        .with_memory_budget(budget);
+    let mut sim = CompressedSimulator::new(n as u32, cfg).expect("config");
+    let mut rng = StdRng::seed_from_u64(3);
+    sim.run(&circuit, &mut rng).expect("simulation");
+
+    let report = sim.report();
+    let sv = sim.snapshot_dense().expect("snapshot");
+    let qaoa_cut = expected_cut(&graph, &sv.probabilities());
+    let random_cut = graph.edges.len() as f64 / 2.0;
+
+    println!("memory budget          : {}% of dense", 100 * budget / uncompressed);
+    println!("ladder escalations     : {}", report.escalations);
+    println!("final error bound      : {}", report.current_bound);
+    println!("fidelity lower bound   : {:.4}", report.fidelity_lower_bound);
+    println!("min compression ratio  : {:.2}x", report.min_compression_ratio);
+    println!("expected cut (QAOA)    : {qaoa_cut:.3}");
+    println!("expected cut (random)  : {random_cut:.3}");
+
+    // "QAOA is robust to low-fidelity" (§5.4): even after lossy
+    // compression the optimization signal survives.
+    assert!(
+        qaoa_cut > random_cut,
+        "QAOA should beat random assignment even under lossy compression"
+    );
+}

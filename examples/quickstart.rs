@@ -1,0 +1,64 @@
+//! Quickstart: simulate a circuit with the compressed-state simulator and
+//! compare against the dense reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qcsim::{Circuit, CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 16-qubit GHZ-then-rotate circuit.
+    let n = 16usize;
+    let mut circuit = Circuit::new(n);
+    circuit.h(0);
+    for q in 0..n - 1 {
+        circuit.cx(q, q + 1);
+    }
+    for q in 0..n {
+        circuit.rz(0.1 * (q + 1) as f64, q);
+    }
+
+    // Compressed simulation: 2^10-amplitude blocks over 2^2 simulated MPI
+    // ranks, lossless-first adaptive ladder (the paper's defaults, scaled
+    // down to laptop size).
+    let cfg = SimConfig::default().with_block_log2(10).with_ranks_log2(2);
+    let mut sim = CompressedSimulator::new(n as u32, cfg).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(42);
+    sim.run(&circuit, &mut rng).expect("simulation");
+
+    let report = sim.report();
+    println!("qubits                 : {}", report.num_qubits);
+    println!("gates                  : {}", report.gates);
+    println!(
+        "uncompressed state     : {} KiB (2^(n+4) bytes)",
+        report.uncompressed_bytes / 1024
+    );
+    println!(
+        "peak memory (Eq. 8)    : {} KiB",
+        report.peak_memory_bytes / 1024
+    );
+    println!(
+        "min compression ratio  : {:.1}x",
+        report.min_compression_ratio
+    );
+    println!(
+        "fidelity lower bound   : {:.6}",
+        report.fidelity_lower_bound
+    );
+    println!(
+        "cache hits/misses      : {}/{}",
+        report.cache_hits, report.cache_misses
+    );
+
+    // Cross-check against the dense Schrödinger reference.
+    let dense = circuit.simulate_dense(&mut rng);
+    let fidelity = sim.snapshot_dense().expect("snapshot").fidelity(&dense);
+    println!("fidelity vs dense      : {fidelity:.9}");
+    assert!(fidelity > 0.999_999);
+
+    // GHZ marginals survive the compressed pipeline.
+    let p = sim.prob_one(n - 1).expect("probability");
+    println!("P(q{} = 1)             : {p:.6}", n - 1);
+    assert!((p - 0.5).abs() < 1e-9);
+}

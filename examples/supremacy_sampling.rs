@@ -1,0 +1,60 @@
+//! Random circuit sampling (Google supremacy circuits, depth 11 — the
+//! depth the paper evaluates in Table 2). Random circuits maximize
+//! entanglement, so this is the *worst* case for compression: the example
+//! prints the compression-ratio decay layer by layer, the effect that
+//! forces the paper to stop at depth 11.
+//!
+//! Run with: `cargo run --release --example supremacy_sampling`
+
+use qcsim::circuits::supremacy::{random_circuit, Grid};
+use qcsim::{CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let grid = Grid::new(4, 4); // 16 qubits (the paper runs 5x9..7x5)
+    let depth = 11;
+    let circuit = random_circuit(grid, depth, 2019);
+    println!(
+        "supremacy circuit on a {}x{} grid, depth {depth}, {} gates",
+        grid.rows,
+        grid.cols,
+        circuit.gate_count()
+    );
+
+    let n = grid.num_qubits() as u32;
+    let cfg = SimConfig::default()
+        .with_block_log2(9)
+        .with_ranks_log2(1)
+        .with_fixed_bound(qcsim::ErrorBound::PointwiseRelative(1e-3));
+    let mut sim = CompressedSimulator::new(n, cfg).expect("config");
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let mut last_ratio = f64::INFINITY;
+    for (i, op) in circuit.ops().iter().enumerate() {
+        sim.apply_op(op, &mut rng).expect("gate");
+        let ratio = sim.compression_ratio();
+        if i % 32 == 0 || ratio < last_ratio * 0.5 {
+            println!("gate {i:>4}: compression ratio {ratio:>10.2}x");
+            last_ratio = ratio;
+        }
+    }
+
+    let report = sim.report();
+    println!("final compression ratio: {:.2}x", sim.compression_ratio());
+    println!("minimum during run     : {:.2}x", report.min_compression_ratio);
+    println!("fidelity lower bound   : {:.4}", report.fidelity_lower_bound);
+
+    // Sample bitstrings from the compressed state (what RCS is for).
+    print!("samples                : ");
+    for _ in 0..5 {
+        print!("{:016b} ", sim.sample(&mut rng).expect("sample"));
+    }
+    println!();
+
+    // The dense cross-check: fidelity should respect the ledger bound.
+    let dense = circuit.simulate_dense(&mut rng);
+    let f = sim.snapshot_dense().expect("snapshot").fidelity(&dense);
+    println!("fidelity vs dense      : {f:.6}");
+    assert!(f >= report.fidelity_lower_bound - 1e-9);
+}

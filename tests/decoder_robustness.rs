@@ -1,0 +1,96 @@
+//! Failure-injection tests: decoders must never panic on corrupt input —
+//! they return `Err` (or, for bit-flips inside a valid container, possibly
+//! a wrong-but-well-formed result; lengths are always validated).
+//!
+//! This matters for the checkpoint path (§3.5): a truncated or bit-rotted
+//! checkpoint file must surface as an error, not undefined behavior.
+
+use proptest::prelude::*;
+use qcsim::compress::{CodecId, ErrorBound};
+
+fn valid_payload(id: CodecId) -> Vec<u8> {
+    let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.17).sin() * 1e-4).collect();
+    let codec = id.build();
+    let bound = if codec.supports(ErrorBound::PointwiseRelative(1e-3)) {
+        ErrorBound::PointwiseRelative(1e-3)
+    } else {
+        ErrorBound::Absolute(1e-6)
+    };
+    codec.compress(&data, bound).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decoders_survive_random_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        pick in 0usize..7,
+    ) {
+        let codec = CodecId::ALL[pick].build();
+        // Must not panic; Err is the expected outcome for garbage.
+        let _ = codec.decompress(&bytes);
+    }
+
+    #[test]
+    fn decoders_survive_truncation(
+        frac in 0.0f64..1.0,
+        pick in 0usize..7,
+    ) {
+        let id = CodecId::ALL[pick];
+        let payload = valid_payload(id);
+        let cut = ((payload.len() as f64) * frac) as usize;
+        let codec = id.build();
+        let _ = codec.decompress(&payload[..cut]);
+    }
+
+    #[test]
+    fn decoders_survive_single_bit_flips(
+        bit in 0usize..64,
+        byte_frac in 0.0f64..1.0,
+        pick in 0usize..7,
+    ) {
+        let id = CodecId::ALL[pick];
+        let mut payload = valid_payload(id);
+        let pos = ((payload.len() - 1) as f64 * byte_frac) as usize;
+        payload[pos] ^= 1 << (bit % 8);
+        let codec = id.build();
+        // May decode to different values, but must not panic and, on Ok,
+        // must return finite-length output.
+        if let Ok(out) = codec.decompress(&payload) {
+            prop_assert!(out.len() <= 1 << 24, "absurd length {}", out.len());
+        }
+    }
+}
+
+#[test]
+fn checkpoint_loader_survives_corruption() {
+    use qcsim::core::checkpoint;
+    use qcsim::{CompressedSimulator, SimConfig};
+    use rand::SeedableRng;
+
+    let cfg = SimConfig::default().with_block_log2(4).with_ranks_log2(1);
+    let mut sim = CompressedSimulator::new(8, cfg.clone()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut c = qcsim::Circuit::new(8);
+    c.h(0).cx(0, 7);
+    sim.run(&c, &mut rng).unwrap();
+
+    let path = std::env::temp_dir().join(format!("qcsim-robust-{}.ckpt", std::process::id()));
+    checkpoint::save(&sim, &path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+
+    // Truncations at every 13th byte boundary must error, never panic.
+    for cut in (0..good.len()).step_by(13) {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(checkpoint::load(&path, cfg.clone()).is_err(), "cut {cut}");
+    }
+    // Header bit flips must error or load; never panic.
+    for pos in 0..32.min(good.len()) {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        let _ = checkpoint::load(&path, cfg.clone());
+    }
+    std::fs::remove_file(&path).ok();
+}
