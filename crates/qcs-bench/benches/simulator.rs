@@ -14,7 +14,11 @@ fn bench_routing_cases(c: &mut Criterion) {
     group.sample_size(10);
     // Layout: block_log2=10, ranks_log2=2 -> offsets 0-9, blocks 10-13,
     // ranks 14-15.
-    for (label, target) in [("in_block", 0usize), ("inter_block", 12), ("inter_rank", 15)] {
+    for (label, target) in [
+        ("in_block", 0usize),
+        ("inter_block", 12),
+        ("inter_rank", 15),
+    ] {
         group.bench_with_input(BenchmarkId::new("h", label), &target, |b, &t| {
             let cfg = SimConfig::default()
                 .with_block_log2(10)

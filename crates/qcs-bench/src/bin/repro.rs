@@ -42,8 +42,23 @@ fn main() {
         std::process::exit(2);
     }
     let all = [
-        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "table2", "ablation-cache", "ablation-qzstd", "ablation-ladder",
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "table2",
+        "ablation-cache",
+        "ablation-qzstd",
+        "ablation-ladder",
     ];
     let run_list: Vec<String> = if cmds.iter().any(|c| c == "all") {
         all.iter().map(|s| s.to_string()).collect()
@@ -234,7 +249,9 @@ fn fig9(dir: &Path) {
     let path = dir.join("fig9.csv");
     t.write_csv(&path).expect("write csv");
     println!("(value dump csv: {})", path.display());
-    println!("paper shape: both datasets exhibit high spikiness -> domain-transform compressors lose");
+    println!(
+        "paper shape: both datasets exhibit high spikiness -> domain-transform compressors lose"
+    );
 }
 
 // --- Fig. 10: compression ratio of Solutions A-D -------------------------
@@ -276,8 +293,16 @@ fn fig11(dir: &Path) {
     for snap in [&qaoa, &sup] {
         let mb = snap.bytes() as f64 / 1e6;
         for eps in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
-            let mut cmp_row = vec![snap.name.clone(), format!("{eps:.0e}"), "cmpr MB/s".to_string()];
-            let mut dec_row = vec![snap.name.clone(), format!("{eps:.0e}"), "decmpr MB/s".to_string()];
+            let mut cmp_row = vec![
+                snap.name.clone(),
+                format!("{eps:.0e}"),
+                "cmpr MB/s".to_string(),
+            ];
+            let mut dec_row = vec![
+                snap.name.clone(),
+                format!("{eps:.0e}"),
+                "decmpr MB/s".to_string(),
+            ];
             for id in SOLUTIONS {
                 let codec = id.build();
                 let t0 = Instant::now();
@@ -393,7 +418,9 @@ fn fig14(dir: &Path) {
         }
     }
     finish(&t, dir, "fig14");
-    println!("paper shape: errors within the bound, roughly uniform, autocorrelation ~0 (uncorrelated)");
+    println!(
+        "paper shape: errors within the bound, roughly uniform, autocorrelation ~0 (uncorrelated)"
+    );
 }
 
 // --- Fig. 15: single-node scaling over qubit count -----------------------
@@ -608,7 +635,10 @@ fn ablation_qzstd(dir: &Path) {
     let mut t = Table::new(vec!["dataset", "level", "ratio", "MB/s"]);
     for snap in [&qaoa, &sup] {
         let bytes = qcs_compress::f64s_to_bytes(&snap.data);
-        for (name, level) in [("fast(lz only)", Level::Fast), ("high(lz+huffman)", Level::High)] {
+        for (name, level) in [
+            ("fast(lz only)", Level::Fast),
+            ("high(lz+huffman)", Level::High),
+        ] {
             let t0 = Instant::now();
             let enc = qzstd::compress(&bytes, level);
             let el = t0.elapsed().as_secs_f64();

@@ -52,7 +52,11 @@ impl Table {
                 }
                 let pad = widths[i] - cells[i].len();
                 // Right-align numbers, left-align text (simple heuristic).
-                if cells[i].chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                if cells[i]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                {
                     line.push_str(&" ".repeat(pad));
                     line.push_str(&cells[i]);
                 } else {

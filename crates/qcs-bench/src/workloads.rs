@@ -108,11 +108,7 @@ mod tests {
             qft_snapshot(10, 1),
         ] {
             let norm: f64 = snap.data.iter().map(|v| v * v).sum();
-            assert!(
-                (norm - 1.0).abs() < 1e-9,
-                "{}: norm {norm}",
-                snap.name
-            );
+            assert!((norm - 1.0).abs() < 1e-9, "{}: norm {norm}", snap.name);
             assert_eq!(snap.data.len(), 2 << snap.num_qubits);
         }
     }

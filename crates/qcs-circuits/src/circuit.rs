@@ -159,11 +159,7 @@ impl Circuit {
             seen.push(*target);
             seen.sort_unstable();
             seen.dedup();
-            assert_eq!(
-                seen.len(),
-                controls.len() + 1,
-                "duplicate qubits in {op:?}"
-            );
+            assert_eq!(seen.len(), controls.len() + 1, "duplicate qubits in {op:?}");
         }
         self.ops.push(op);
         self

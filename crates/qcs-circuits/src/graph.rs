@@ -56,7 +56,9 @@ pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: for _attempt in 0..10_000 {
         // Stubs: each vertex appears `degree` times.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, degree)).collect();
+        let mut stubs: Vec<usize> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, degree))
+            .collect();
         // Fisher-Yates shuffle.
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);

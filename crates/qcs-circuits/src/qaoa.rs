@@ -23,12 +23,8 @@ impl QaoaParams {
     /// regular graphs at p=1).
     pub fn standard(p: usize) -> Self {
         // Linear ramp schedule, a common heuristic initialization.
-        let gammas = (0..p)
-            .map(|i| 0.8 * (i as f64 + 1.0) / p as f64)
-            .collect();
-        let betas = (0..p)
-            .map(|i| 0.7 * (1.0 - i as f64 / p as f64))
-            .collect();
+        let gammas = (0..p).map(|i| 0.8 * (i as f64 + 1.0) / p as f64).collect();
+        let betas = (0..p).map(|i| 0.7 * (1.0 - i as f64 / p as f64)).collect();
         Self { gammas, betas }
     }
 

@@ -84,8 +84,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(0);
             qft_circuit(n).run_dense(&mut s, &mut rng);
             for j in 0..size {
-                let angle =
-                    2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / size as f64;
+                let angle = 2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / size as f64;
                 let expect = Complex64::from_polar(1.0 / (size as f64).sqrt(), angle);
                 assert!(
                     s.amplitudes()[j].approx_eq(expect, 1e-10),

@@ -1,7 +1,7 @@
 //! Google quantum-supremacy random circuit sampling benchmark (§5.3).
 //!
 //! Follows the construction rules of Boixo et al., "Characterizing quantum
-//! supremacy in near-term devices" (ref. [9] of the paper): qubits on a 2D
+//! supremacy in near-term devices" (ref. \[9\] of the paper): qubits on a 2D
 //! grid, a cycle of eight staggered CZ patterns, and randomized single-qubit
 //! gates from {T, sqrt(X), sqrt(Y)} subject to:
 //!
@@ -246,11 +246,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let s = c.simulate_dense(&mut rng);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
-        let nonzero = s
-            .probabilities()
-            .iter()
-            .filter(|&&p| p > 1e-12)
-            .count();
+        let nonzero = s.probabilities().iter().filter(|&&p| p > 1e-12).count();
         assert!(
             nonzero > 256,
             "random circuit should populate most amplitudes, got {nonzero}"

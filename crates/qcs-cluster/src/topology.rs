@@ -109,8 +109,7 @@ impl Layout {
     /// Split a global amplitude index into `(rank, block, offset)`.
     pub fn split(&self, index: u64) -> (usize, usize, usize) {
         let offset = (index & (self.block_amps() as u64 - 1)) as usize;
-        let block =
-            ((index >> self.block_log2) & (self.blocks_per_rank() as u64 - 1)) as usize;
+        let block = ((index >> self.block_log2) & (self.blocks_per_rank() as u64 - 1)) as usize;
         let rank = (index >> (self.num_qubits - self.ranks_log2)) as usize;
         (rank, block, offset)
     }
@@ -216,7 +215,10 @@ mod tests {
             l.control_scope(5),
             ControlScope::BlockSelect { block_bit: 1 }
         );
-        assert_eq!(l.control_scope(11), ControlScope::RankSelect { rank_bit: 1 });
+        assert_eq!(
+            l.control_scope(11),
+            ControlScope::RankSelect { rank_bit: 1 }
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl BitWriter {
             }
             let free = 8 - self.bit_pos;
             let take = free.min(remaining);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             let chunk = (v & mask) as u8;
             let last = self.buf.len() - 1;
             self.buf[last] |= chunk << self.bit_pos;

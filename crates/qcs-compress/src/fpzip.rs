@@ -145,8 +145,8 @@ impl Codec for FpzipLike {
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
-        let body = qzstd::decompress(data)
-            .map_err(|e| CodecError::Corrupt(format!("backend: {e}")))?;
+        let body =
+            qzstd::decompress(data).map_err(|e| CodecError::Corrupt(format!("backend: {e}")))?;
         let mut pos = 0usize;
         let magic = bytes::get_u32(&body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;

@@ -155,7 +155,10 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>, HuffmanError> {
     for &s in symbols {
         let slot = freqs
             .get_mut(s as usize)
-            .ok_or(HuffmanError::SymbolOutOfRange { symbol: s, alphabet })?;
+            .ok_or(HuffmanError::SymbolOutOfRange {
+                symbol: s,
+                alphabet,
+            })?;
         *slot += 1;
     }
     let lens = code_lengths(&freqs);
@@ -231,7 +234,13 @@ impl Decoder {
         let mut code = 0u32;
         let mut index = 0u32;
         for bits in 1..=max_len {
-            code = (code + if bits >= 2 { count[bits as usize - 1] } else { 0 }) << 1;
+            code = (code
+                + if bits >= 2 {
+                    count[bits as usize - 1]
+                } else {
+                    0
+                })
+                << 1;
             // Mirror the canonical assignment in `canonical_codes`.
             first_code[bits as usize] = code;
             first_index[bits as usize] = index;
@@ -251,7 +260,8 @@ impl Decoder {
         for len in 1..=self.max_len {
             code = (code << 1)
                 | r.read_bit()
-                    .map_err(|_| HuffmanError::Corrupt("truncated payload"))? as u32;
+                    .map_err(|_| HuffmanError::Corrupt("truncated payload"))?
+                    as u32;
             let cnt = self.count[len as usize];
             if cnt > 0 {
                 let first = self.first_code[len as usize];
@@ -292,8 +302,8 @@ pub fn decode(data: &[u8]) -> Result<Vec<u32>, HuffmanError> {
         return Err(HuffmanError::Corrupt("header length mismatch"));
     }
 
-    let payload_len =
-        bytes::get_u64(data, &mut pos).ok_or(HuffmanError::Corrupt("missing payload len"))? as usize;
+    let payload_len = bytes::get_u64(data, &mut pos)
+        .ok_or(HuffmanError::Corrupt("missing payload len"))? as usize;
     let payload = data
         .get(pos..pos + payload_len)
         .ok_or(HuffmanError::Corrupt("truncated payload"))?;
@@ -318,9 +328,7 @@ pub fn decode_bytes(data: &[u8]) -> Result<Vec<u8>, HuffmanError> {
     let symbols = decode(data)?;
     symbols
         .into_iter()
-        .map(|s| {
-            u8::try_from(s).map_err(|_| HuffmanError::Corrupt("symbol exceeds byte range"))
-        })
+        .map(|s| u8::try_from(s).map_err(|_| HuffmanError::Corrupt("symbol exceeds byte range")))
         .collect()
 }
 

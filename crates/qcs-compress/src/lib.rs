@@ -19,20 +19,113 @@
 //! All lossy codecs implement the common [`Codec`] trait and guarantee their
 //! [`ErrorBound`] pointwise.
 //!
-//! ## Example
+//! ## Choosing a codec
+//!
+//! Every compressor is addressed by a [`CodecId`] and built with
+//! [`CodecId::build`]; the paper's Solutions A–D trade generality for
+//! state-vector-specific speed. One mode per example:
+//!
+//! ### Solution A — classic SZ 2.1, maximum generality
+//!
+//! The baseline prediction-based compressor the paper starts from (§4.2).
+//! Best ratios on smooth data; the slowest of the four.
 //!
 //! ```
-//! use qcs_compress::{Codec, CodecId, ErrorBound};
+//! use qcs_compress::{CodecId, ErrorBound};
+//!
+//! let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin() * 1e-4).collect();
+//! let codec = CodecId::SolutionA.build();
+//! let enc = codec.compress(&data, ErrorBound::PointwiseRelative(1e-3)).unwrap();
+//! let dec = codec.decompress(&enc).unwrap();
+//! assert!(data.iter().zip(&dec).all(|(a, b)| (a - b).abs() <= 1e-3 * a.abs()));
+//! ```
+//!
+//! ### Solution B — SZ with complex-type support
+//!
+//! Predicts the real (even-index) and imaginary (odd-index) streams
+//! independently so one stream's scale never pollutes the other's
+//! predictions (§4.2).
+//!
+//! ```
+//! use qcs_compress::{CodecId, ErrorBound};
+//!
+//! // Interleaved (re, im) amplitudes at very different scales.
+//! let data: Vec<f64> = (0..4096)
+//!     .map(|i| {
+//!         if i % 2 == 0 { ((i / 2) as f64 * 0.01).sin() * 1e-2 }
+//!         else { ((i / 2) as f64 * 0.01).cos() * 1e-7 }
+//!     })
+//!     .collect();
+//! let codec = CodecId::SolutionB.build();
+//! let enc = codec.compress(&data, ErrorBound::PointwiseRelative(1e-3)).unwrap();
+//! let dec = codec.decompress(&enc).unwrap();
+//! assert!(data.iter().zip(&dec).all(|(a, b)| (a - b).abs() <= 1e-3 * a.abs() + f64::EPSILON));
+//! ```
+//!
+//! ### Solution C — the paper's tailored fast path
+//!
+//! XOR leading-zero reduction + bit-plane truncation + lossless backend:
+//! the compressor the paper ships, an order of magnitude faster than SZ at
+//! simulation-relevant bounds (§4.3, Fig. 10/11). Also supports
+//! [`ErrorBound::Lossless`].
+//!
+//! ```
+//! use qcs_compress::{CodecId, ErrorBound};
 //!
 //! let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.1).sin() * 1e-4).collect();
 //! let codec = CodecId::SolutionC.build();
-//! let compressed = codec
-//!     .compress(&data, ErrorBound::PointwiseRelative(1e-3))
-//!     .unwrap();
-//! let restored = codec.decompress(&compressed).unwrap();
-//! for (a, b) in data.iter().zip(&restored) {
-//!     assert!((a - b).abs() <= 1e-3 * a.abs());
-//! }
+//! let enc = codec.compress(&data, ErrorBound::PointwiseRelative(1e-3)).unwrap();
+//! let dec = codec.decompress(&enc).unwrap();
+//! assert!(data.iter().zip(&dec).all(|(a, b)| (a - b).abs() <= 1e-3 * a.abs()));
+//! ```
+//!
+//! ### Solution D — reshuffle + Solution C
+//!
+//! Splits interleaved amplitudes into separate real/imaginary streams before
+//! the Solution C pipeline, improving the backend's pattern matching on
+//! complex data (§4.3).
+//!
+//! ```
+//! use qcs_compress::{CodecId, ErrorBound};
+//!
+//! let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).cos() * 1e-5).collect();
+//! let codec = CodecId::SolutionD.build();
+//! let enc = codec.compress(&data, ErrorBound::PointwiseRelative(1e-4)).unwrap();
+//! let dec = codec.decompress(&enc).unwrap();
+//! assert!(data.iter().zip(&dec).all(|(a, b)| (a - b).abs() <= 1e-4 * a.abs()));
+//! ```
+//!
+//! ### Lossless mode
+//!
+//! [`QzstdCodec`] (and Solution C under [`ErrorBound::Lossless`])
+//! round-trips bit-exactly — the mode used while the state is still sparse
+//! enough to fit the memory budget (§3.7):
+//!
+//! ```
+//! use qcs_compress::{Codec, ErrorBound, QzstdCodec};
+//!
+//! let data = vec![0.0f64, 1.0, -1.0, f64::MIN_POSITIVE];
+//! let codec = QzstdCodec::default();
+//! let enc = codec.compress(&data, ErrorBound::Lossless).unwrap();
+//! let dec = codec.decompress(&enc).unwrap();
+//! assert!(data.iter().zip(&dec).all(|(a, b)| a.to_bits() == b.to_bits()));
+//! ```
+//!
+//! ### Picking the bound mode
+//!
+//! [`ErrorBound::Absolute`] caps `|d - d'|`; [`ErrorBound::PointwiseRelative`]
+//! caps `|d - d'| / |d|`, which is what bounds simulation fidelity (§3.8) —
+//! the adaptive ladder in [`ladder`] therefore escalates through relative
+//! bounds only. Codecs advertise support via [`Codec::supports`]:
+//!
+//! ```
+//! use qcs_compress::{CodecId, ErrorBound};
+//!
+//! let sz = CodecId::SolutionA.build();
+//! assert!(sz.supports(ErrorBound::Absolute(1e-6)));
+//! assert!(sz.supports(ErrorBound::PointwiseRelative(1e-3)));
+//! assert!(!sz.supports(ErrorBound::Lossless)); // SZ is inherently lossy
+//! assert!(CodecId::SolutionC.build().supports(ErrorBound::Lossless));
 //! ```
 
 #![warn(missing_docs)]

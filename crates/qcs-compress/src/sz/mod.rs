@@ -12,7 +12,7 @@
 //!
 //! Pointwise-relative bounds are implemented with the logarithmic transform
 //! the SZ authors use: compress `ln|x|` with an absolute bound of
-//! `ln(1+eps)`, plus sign/zero bitmaps (§2.3, [66] in the paper).
+//! `ln(1+eps)`, plus sign/zero bitmaps (§2.3, ref. \[66\] in the paper).
 
 mod core_impl;
 
@@ -148,7 +148,10 @@ mod tests {
         let a = SolutionA::default();
         let enc = a.compress(&data, ErrorBound::Absolute(1e-6)).unwrap();
         let ratio = (data.len() * 8) as f64 / enc.len() as f64;
-        assert!(ratio > 8.0, "smooth data should compress >8x, got {ratio:.2}");
+        assert!(
+            ratio > 8.0,
+            "smooth data should compress >8x, got {ratio:.2}"
+        );
     }
 
     #[test]

@@ -16,12 +16,10 @@ use super::SolutionC;
 /// imaginary parts occupy different value ranges, at the cost of the extra
 /// shuffle pass. Odd-length inputs keep their trailing element in the even
 /// stream.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SolutionD {
     inner: SolutionC,
 }
-
 
 impl SolutionD {
     /// Use a specific lossless backend effort for both streams.
@@ -198,9 +196,7 @@ mod tests {
     #[test]
     fn corrupt_stream_rejected() {
         let d = SolutionD::default();
-        let enc = d
-            .compress(&complex_like(64), ErrorBound::Lossless)
-            .unwrap();
+        let enc = d.compress(&complex_like(64), ErrorBound::Lossless).unwrap();
         assert!(d.decompress(&enc[..enc.len() / 3]).is_err());
         let mut bad = enc.clone();
         bad[0] ^= 0xFF;

@@ -145,8 +145,8 @@ impl ZfpLike {
     }
 
     fn decode_abs(&self, payload: &[u8], n: usize) -> Result<Vec<f64>, CodecError> {
-        let bits = qzstd::decompress(payload)
-            .map_err(|e| CodecError::Corrupt(format!("backend: {e}")))?;
+        let bits =
+            qzstd::decompress(payload).map_err(|e| CodecError::Corrupt(format!("backend: {e}")))?;
         let mut r = BitReader::new(&bits);
         let mut out = Vec::with_capacity(n);
         let err = |_| CodecError::Corrupt("bit stream underrun".into());
@@ -364,7 +364,11 @@ mod tests {
         let data = vec![0.0f64; 4096];
         let z = ZfpLike;
         let enc = z.compress(&data, ErrorBound::Absolute(1e-6)).unwrap();
-        assert!(enc.len() < 64, "all-zero input should be tiny: {}", enc.len());
+        assert!(
+            enc.len() < 64,
+            "all-zero input should be tiny: {}",
+            enc.len()
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl BlockCodec {
     }
 
     /// Decompress into `out` (cleared first).
-    pub fn decompress(&self, block: &CompressedBlock, out: &mut Vec<f64>) -> Result<(), CodecError> {
+    pub fn decompress(
+        &self,
+        block: &CompressedBlock,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let data = if block.codec == self.lossy_id {
             self.lossy.decompress(&block.bytes)?
         } else {

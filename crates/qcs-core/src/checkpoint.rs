@@ -42,7 +42,8 @@ pub fn save(sim: &CompressedSimulator, path: &Path) -> Result<(), SimError> {
     w.write_all(&gates.to_le_bytes()).map_err(io)?;
     w.write_all(&lossy_gates.to_le_bytes()).map_err(io)?;
     w.write_all(&max_delta.to_le_bytes()).map_err(io)?;
-    w.write_all(&(blocks.len() as u64).to_le_bytes()).map_err(io)?;
+    w.write_all(&(blocks.len() as u64).to_le_bytes())
+        .map_err(io)?;
     for blk in blocks {
         let blk = blk.as_ref().expect("block present");
         w.write_all(&[blk.codec as u8]).map_err(io)?;

@@ -335,7 +335,13 @@ impl CompressedSimulator {
                         });
                     }
                 }
-                self.process_units(units, Kernel::InBlock { offset_bit }, gate, offset_cmask, op_signature)
+                self.process_units(
+                    units,
+                    Kernel::InBlock { offset_bit },
+                    gate,
+                    offset_cmask,
+                    op_signature,
+                )
             }
             Route::InterBlock { block_stride } => {
                 for r in 0..layout.ranks() {
@@ -405,11 +411,24 @@ impl CompressedSimulator {
             .map_init(
                 // Per-worker scratch: the two decompressed blocks the paper
                 // holds in MCDRAM (§3.2).
-                || (Vec::with_capacity(block_f64s), Vec::with_capacity(block_f64s)),
+                || {
+                    (
+                        Vec::with_capacity(block_f64s),
+                        Vec::with_capacity(block_f64s),
+                    )
+                },
                 |(buf_a, buf_b), unit| {
                     process_one(
-                        &codec, &cache, &g, kernel, offset_cmask, op_signature, bound, unit,
-                        buf_a, buf_b,
+                        &codec,
+                        &cache,
+                        &g,
+                        kernel,
+                        offset_cmask,
+                        op_signature,
+                        bound,
+                        unit,
+                        buf_a,
+                        buf_b,
                     )
                 },
             )
@@ -738,8 +757,20 @@ impl CompressedSimulator {
 
     pub(crate) fn checkpoint_parts(
         &self,
-    ) -> (&SimConfig, Layout, usize, &FidelityLedger, &[Option<CompressedBlock>]) {
-        (&self.cfg, self.layout, self.level, &self.ledger, &self.blocks)
+    ) -> (
+        &SimConfig,
+        Layout,
+        usize,
+        &FidelityLedger,
+        &[Option<CompressedBlock>],
+    ) {
+        (
+            &self.cfg,
+            self.layout,
+            self.level,
+            &self.ledger,
+            &self.blocks,
+        )
     }
 
     pub(crate) fn from_checkpoint_parts(
@@ -809,7 +840,11 @@ fn process_one(
         // Model the MPI exchange: the compressed blocks cross the network in
         // both directions. The copy below stands in for the transfer.
         let t = Instant::now();
-        let moved: Vec<u8> = unit.in_b.as_ref().map(|b| b.bytes.to_vec()).unwrap_or_default();
+        let moved: Vec<u8> = unit
+            .in_b
+            .as_ref()
+            .map(|b| b.bytes.to_vec())
+            .unwrap_or_default();
         let back: Vec<u8> = unit.in_a.bytes.to_vec();
         timings[2] += t.elapsed();
         (moved.len() + back.len()) as u64
@@ -818,9 +853,7 @@ fn process_one(
     };
 
     // Cache lookup (§3.4): skips decompress + compute + compress.
-    if let Some((out_a, out_b)) =
-        cache.lookup(op_signature, &unit.in_a, unit.in_b.as_ref())
-    {
+    if let Some((out_a, out_b)) = cache.lookup(op_signature, &unit.in_a, unit.in_b.as_ref()) {
         return Ok(UnitOut {
             slot_a: unit.slot_a,
             slot_b: unit.slot_b,

@@ -395,10 +395,7 @@ mod tests {
 
     #[test]
     fn signatures_distinguish_parameters() {
-        assert_ne!(
-            GateKind::Rz(0.1).signature(),
-            GateKind::Rz(0.2).signature()
-        );
+        assert_ne!(GateKind::Rz(0.1).signature(), GateKind::Rz(0.2).signature());
         assert_ne!(GateKind::Rx(0.1).signature(), GateKind::Rz(0.1).signature());
         assert_eq!(GateKind::H.signature(), GateKind::H.signature());
     }

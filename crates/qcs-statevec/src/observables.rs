@@ -86,10 +86,9 @@ impl PauliString {
             for (q, p) in &self.factors {
                 let bit_j = (j >> q) & 1 == 1;
                 match p {
-                    Pauli::Z
-                        if bit_j => {
-                            phase = -phase;
-                        }
+                    Pauli::Z if bit_j => {
+                        phase = -phase;
+                    }
                     Pauli::Y => {
                         // Y|0> = i|1>, Y|1> = -i|0>.
                         phase *= if bit_j { -Complex64::I } else { Complex64::I };

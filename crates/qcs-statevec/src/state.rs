@@ -62,9 +62,7 @@ impl StateVector {
     /// View the amplitudes as interleaved `f64` values (re, im, re, im, ...).
     pub fn as_f64_slice(&self) -> &[f64] {
         // Safety: Complex64 is repr(C) { re: f64, im: f64 }.
-        unsafe {
-            std::slice::from_raw_parts(self.amps.as_ptr() as *const f64, self.amps.len() * 2)
-        }
+        unsafe { std::slice::from_raw_parts(self.amps.as_ptr() as *const f64, self.amps.len() * 2) }
     }
 
     /// Squared 2-norm (should stay 1 under unitary evolution, Eq. 4).

@@ -16,10 +16,7 @@ fn main() {
     // Build the qaoa snapshot: 16 qubits = 1 MiB of amplitudes.
     let n = 16;
     let graph = qcsim::circuits::random_regular_graph(n, 4, 5);
-    let circuit = qcsim::circuits::qaoa_circuit(
-        &graph,
-        &qcsim::circuits::QaoaParams::standard(2),
-    );
+    let circuit = qcsim::circuits::qaoa_circuit(&graph, &qcsim::circuits::QaoaParams::standard(2));
     let mut rng = StdRng::seed_from_u64(0);
     let state = circuit.simulate_dense(&mut rng);
     let data: Vec<f64> = state.as_f64_slice().to_vec();

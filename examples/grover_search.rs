@@ -51,7 +51,9 @@ fn main() {
     checkpoint::save(&sim, &ckpt).expect("checkpoint save");
     println!(
         "checkpointed at gate {half}: {} KiB on disk",
-        std::fs::metadata(&ckpt).map(|m| m.len() / 1024).unwrap_or(0)
+        std::fs::metadata(&ckpt)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
     );
 
     let mut resumed = checkpoint::load(&ckpt, cfg).expect("checkpoint load");
@@ -69,10 +71,19 @@ fn main() {
     };
     println!("memory budget          : {} KiB", budget / 1024);
     println!("uncompressed need      : {} KiB", uncompressed / 1024);
-    println!("peak memory (Eq. 8)    : {} KiB", report.peak_memory_bytes / 1024);
-    println!("min compression ratio  : {:.0}x", report.min_compression_ratio);
+    println!(
+        "peak memory (Eq. 8)    : {} KiB",
+        report.peak_memory_bytes / 1024
+    );
+    println!(
+        "min compression ratio  : {:.0}x",
+        report.min_compression_ratio
+    );
     println!("final error bound      : {}", report.current_bound);
-    println!("fidelity lower bound   : {:.4}", report.fidelity_lower_bound);
+    println!(
+        "fidelity lower bound   : {:.4}",
+        report.fidelity_lower_bound
+    );
     println!("P(target)              : {p_target:.4}");
     println!(
         "cache hit rate         : {:.1}%",

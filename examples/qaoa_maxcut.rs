@@ -46,11 +46,20 @@ fn main() {
     let qaoa_cut = expected_cut(&graph, &sv.probabilities());
     let random_cut = graph.edges.len() as f64 / 2.0;
 
-    println!("memory budget          : {}% of dense", 100 * budget / uncompressed);
+    println!(
+        "memory budget          : {}% of dense",
+        100 * budget / uncompressed
+    );
     println!("ladder escalations     : {}", report.escalations);
     println!("final error bound      : {}", report.current_bound);
-    println!("fidelity lower bound   : {:.4}", report.fidelity_lower_bound);
-    println!("min compression ratio  : {:.2}x", report.min_compression_ratio);
+    println!(
+        "fidelity lower bound   : {:.4}",
+        report.fidelity_lower_bound
+    );
+    println!(
+        "min compression ratio  : {:.2}x",
+        report.min_compression_ratio
+    );
     println!("expected cut (QAOA)    : {qaoa_cut:.3}");
     println!("expected cut (random)  : {random_cut:.3}");
 

@@ -32,8 +32,14 @@ fn main() {
     let report = sim.report();
     println!("gates applied          : {}", report.gates);
     println!("final error bound      : {}", report.current_bound);
-    println!("fidelity lower bound   : {:.4}", report.fidelity_lower_bound);
-    println!("min compression ratio  : {:.2}x", report.min_compression_ratio);
+    println!(
+        "fidelity lower bound   : {:.4}",
+        report.fidelity_lower_bound
+    );
+    println!(
+        "min compression ratio  : {:.2}x",
+        report.min_compression_ratio
+    );
     println!(
         "time per gate          : {:.3} ms",
         report.time_per_gate() * 1e3
@@ -51,7 +57,8 @@ fn main() {
     c2.measure(0);
     c2.extend(&qft_circuit(n));
     let mut sim2 = CompressedSimulator::new(n as u32, cfg).expect("config");
-    sim2.run(&c2, &mut rng).expect("simulation with measurement");
+    sim2.run(&c2, &mut rng)
+        .expect("simulation with measurement");
     println!(
         "with mid-circuit measurement: norm = {:.6} (stays normalized)",
         sim2.norm_sqr().expect("norm")

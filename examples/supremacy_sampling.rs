@@ -42,8 +42,14 @@ fn main() {
 
     let report = sim.report();
     println!("final compression ratio: {:.2}x", sim.compression_ratio());
-    println!("minimum during run     : {:.2}x", report.min_compression_ratio);
-    println!("fidelity lower bound   : {:.4}", report.fidelity_lower_bound);
+    println!(
+        "minimum during run     : {:.2}x",
+        report.min_compression_ratio
+    );
+    println!(
+        "fidelity lower bound   : {:.4}",
+        report.fidelity_lower_bound
+    );
 
     // Sample bitstrings from the compressed state (what RCS is for).
     print!("samples                : ");

@@ -12,6 +12,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![warn(missing_docs)]
+
 pub use qcs_circuits as circuits;
 pub use qcs_cluster as cluster;
 pub use qcs_compress as compress;

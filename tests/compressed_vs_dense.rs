@@ -187,7 +187,9 @@ fn sampling_matches_dense_distribution() {
     sim.run(&c, &mut rng).unwrap();
     let mut counts = std::collections::HashMap::new();
     for _ in 0..4000 {
-        *counts.entry(sim.sample(&mut rng).unwrap()).or_insert(0usize) += 1;
+        *counts
+            .entry(sim.sample(&mut rng).unwrap())
+            .or_insert(0usize) += 1;
     }
     // Support: {000000, 000001, 010010, 010011}; each with p=1/4.
     assert_eq!(counts.len(), 4);

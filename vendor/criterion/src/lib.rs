@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate (the subset this workspace's
+//! benches use): [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no registry access, so this shim keeps the
+//! bench sources compiling and runnable: each benchmark runs a short
+//! warmup, then a fixed number of timed passes, and prints median time per
+//! iteration (plus derived throughput when declared). No statistics engine,
+//! no HTML reports — swap the real criterion back in when a registry is
+//! available; no bench source changes will be needed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// Measurement configuration and sink for a bench target binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name.to_string(), f);
+        g.finish();
+        self
+    }
+}
+
+/// Declared work-per-iteration, used to derive throughput from time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// A named group of benchmarks sharing throughput/sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.full_name(), &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id.full_name(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+
+    fn run_one(&self, bench_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            bench_name.to_string()
+        } else {
+            format!("{}/{}", self.name, bench_name)
+        };
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warmup pass, then timed samples.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if i > 0 && b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let thr = match self.throughput {
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / median / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / median / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("bench {label:<48} {:>12.3} us/iter{thr}", median * 1e6);
+    }
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier distinguished by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => format!("{}/{}", self.function, p),
+            Some(p) => p.clone(),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        Self::from(function.to_string())
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`; the harness aggregates per-call
+    /// cost across samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // A small fixed batch keeps full `cargo bench` runs fast while
+        // still amortizing timer overhead.
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Define a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes harness flags like `--bench`; nothing to parse
+            // in this shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| ());
+            calls += 1;
+        });
+        // 1 warmup + sample_size timed passes.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 4), &vec![1u64; 4], |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).full_name(), "f/3");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+}

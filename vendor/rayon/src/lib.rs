@@ -1,0 +1,453 @@
+//! Offline stand-in for the `rayon` crate (the API subset this workspace
+//! uses), built on `std::thread::scope` instead of a work-stealing pool.
+//!
+//! The build environment has no registry access, so the parallel-iterator
+//! surface the simulator needs is reimplemented here: `par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, the `map` / `map_init` / `enumerate` /
+//! `for_each` / `collect` adapters, [`current_num_threads`], and
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
+//!
+//! Execution model: the driving adapter first materializes the items, then
+//! splits them into contiguous stripes, one scoped thread per stripe (so
+//! `collect` preserves order). `install` sets a thread-local width that
+//! [`current_num_threads`] and the striping honor — enough to reproduce the
+//! paper's ranks-times-threads scaling tables without a real pool.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let squares: Vec<u64> = (0..64u64).collect::<Vec<_>>()
+//!     .into_par_iter()
+//!     .map(|x| x * x)
+//!     .collect();
+//! assert_eq!(squares[9], 81);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will stripe across:
+/// the width of the innermost [`ThreadPool::install`] on this thread, or
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| match t.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine-wide) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool": in this shim, just a parallelism width that `install` applies
+/// to the calling thread for the duration of the closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's width as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run `f` over `items` on `threads` scoped workers, stripe per worker,
+/// returning results in input order.
+fn striped_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(len);
+    let stripe = len.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    // Hand each worker an owned stripe of consecutive items.
+    let mut stripes: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    for _ in 0..workers {
+        stripes.push(items.by_ref().take(stripe).collect());
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Like [`striped_map`] but with a per-worker scratch state built by `init`
+/// (the `map_init` contract).
+fn striped_map_init<T, S, R, FI, F>(items: Vec<T>, threads: usize, init: FI, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let workers = threads.min(len);
+    let stripe = len.div_ceil(workers);
+    let mut stripes: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    for _ in 0..workers {
+        stripes.push(items.by_ref().take(stripe).collect());
+    }
+    let (init, f) = (&init, &f);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .into_iter()
+                        .map(|t| f(&mut state, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A (pseudo-)parallel iterator over the items of `I`.
+///
+/// Driving adapters (`for_each`, `collect`) materialize the underlying
+/// iterator and stripe it across scoped threads.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair each item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Transform items with `f`.
+    pub fn map<R, F: Fn(I::Item) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            inner: self.inner,
+            f,
+        }
+    }
+
+    /// Transform items with `f`, threading a per-worker state built by
+    /// `init` (scratch buffers, etc.).
+    pub fn map_init<S, R, FI, F>(self, init: FI, f: F) -> ParMapInit<I, FI, F>
+    where
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, I::Item) -> R + Sync,
+    {
+        ParMapInit {
+            inner: self.inner,
+            init,
+            f,
+        }
+    }
+
+    /// Consume items with `f` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.inner.collect();
+        striped_map(items, current_num_threads(), |t| f(t));
+    }
+
+    /// Collect items in order (sequential; pair with `map` for parallelism).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+}
+
+/// `map` stage of a [`ParIter`].
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    /// Evaluate the map in parallel and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items: Vec<I::Item> = self.inner.collect();
+        striped_map(items, current_num_threads(), self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Evaluate the map in parallel, discarding results.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let items: Vec<I::Item> = self.inner.collect();
+        let f = &self.f;
+        striped_map(items, current_num_threads(), |t| g(f(t)));
+    }
+}
+
+/// `map_init` stage of a [`ParIter`].
+pub struct ParMapInit<I, FI, F> {
+    inner: I,
+    init: FI,
+    f: F,
+}
+
+impl<I, S, R, FI, F> ParMapInit<I, FI, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    R: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, I::Item) -> R + Sync,
+{
+    /// Evaluate the map in parallel (one state per worker) and collect in
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items: Vec<I::Item> = self.inner.collect();
+        striped_map_init(items, current_num_threads(), self.init, self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<Idx> IntoParallelIterator for std::ops::Range<Idx>
+where
+    std::ops::Range<Idx>: Iterator<Item = Idx>,
+{
+    type Item = Idx;
+    type Iter = std::ops::Range<Idx>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+/// `par_iter` over shared slices (mirrors rayon's `ParallelSlice`).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices (mirrors rayon's
+/// `ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over non-overlapping mutable chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(chunk_size),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_collect_into_result_short_circuits() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Result<Vec<usize>, String> = v
+            .into_par_iter()
+            .map(|x| {
+                if x == 63 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn chunks_mut_for_each_touches_everything() {
+        let mut v = vec![1u64; 4096];
+        v.par_chunks_mut(128).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn enumerate_for_each_sees_correct_indices() {
+        let mut v = vec![0usize; 999];
+        v.par_chunks_mut(100).enumerate().for_each(|(k, c)| {
+            for x in c.iter_mut() {
+                *x = k;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[250], 2);
+        assert_eq!(v[998], 9);
+    }
+
+    #[test]
+    fn map_init_builds_worker_state() {
+        let v: Vec<usize> = (0..256).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map_init(
+                || Vec::<usize>::with_capacity(8),
+                |buf, x| {
+                    buf.push(x);
+                    x + buf.len()
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 256);
+    }
+
+    #[test]
+    fn install_sets_ambient_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 7);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn par_iter_enumerate_map_collect() {
+        let v = vec![10u64, 20, 30];
+        let out: Vec<u64> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| *x + i as u64)
+            .collect();
+        assert_eq!(out, vec![10, 21, 32]);
+    }
+}
