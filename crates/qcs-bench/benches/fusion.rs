@@ -1,0 +1,58 @@
+//! Gate-fusion / batch-scheduler benchmarks: time per gate with the batch
+//! scheduler on vs. off, on the deep-circuit (QFT) and random-structure
+//! (supremacy) workloads. The scheduler's win is amortizing the
+//! decompress/recompress cycle, so the fused configurations should post
+//! strictly lower per-gate times wherever intra-block runs exist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_circuits::supremacy::{random_circuit, Grid};
+use qcs_circuits::{qft_benchmark_circuit, schedule_circuit, Circuit};
+use qcs_core::{CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(fusion: bool) -> SimConfig {
+    SimConfig::default()
+        .with_block_log2(10)
+        .with_ranks_log2(1)
+        .with_fusion(fusion)
+        .without_cache()
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let workloads: Vec<(&str, Circuit)> = vec![
+        ("qft_16", qft_benchmark_circuit(16, 12)),
+        ("sup_16", random_circuit(Grid::new(4, 4), 8, 5)),
+    ];
+    let mut group = c.benchmark_group("fusion_time_per_gate");
+    group.sample_size(10);
+    for (name, circuit) in &workloads {
+        for fusion in [false, true] {
+            let label = if fusion { "fused" } else { "unfused" };
+            group.bench_with_input(BenchmarkId::new(*name, label), &fusion, |b, &fusion| {
+                b.iter(|| {
+                    let n = circuit.num_qubits() as u32;
+                    let mut sim = CompressedSimulator::new(n, cfg(fusion)).unwrap();
+                    let mut rng = StdRng::seed_from_u64(0);
+                    sim.run(circuit, &mut rng).unwrap();
+                    sim.report().gates
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    // The rewrite itself must be negligible next to even one block cycle.
+    let circuit = qft_benchmark_circuit(20, 12);
+    let policy = cfg(true).fusion_policy();
+    let mut group = c.benchmark_group("scheduler_pass");
+    group.bench_function("qft_20", |b| {
+        b.iter(|| schedule_circuit(&circuit, &policy).stats())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_unfused, bench_scheduler_overhead);
+criterion_main!(benches);

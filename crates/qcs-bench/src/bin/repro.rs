@@ -2,7 +2,8 @@
 //!
 //! Usage: `repro <experiment> [--csv-dir DIR]` where experiment is one of
 //! `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//! fig16 table2 ablation-cache ablation-qzstd ablation-ladder all`.
+//! fig16 table2 ablation-cache ablation-qzstd ablation-ladder
+//! ablation-fusion all`.
 //!
 //! Each subcommand prints the rows/series the paper reports (at laptop
 //! scale — see DESIGN.md for the scaling map) and writes a CSV next to the
@@ -37,7 +38,7 @@ fn main() {
     }
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|ablation-cache|ablation-qzstd|ablation-ladder|all> [--csv-dir DIR]"
+            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR]"
         );
         std::process::exit(2);
     }
@@ -59,6 +60,7 @@ fn main() {
         "ablation-cache",
         "ablation-qzstd",
         "ablation-ladder",
+        "ablation-fusion",
     ];
     let run_list: Vec<String> = if cmds.iter().any(|c| c == "all") {
         all.iter().map(|s| s.to_string()).collect()
@@ -86,6 +88,7 @@ fn main() {
             "ablation-cache" => ablation_cache(&csv_dir),
             "ablation-qzstd" => ablation_qzstd(&csv_dir),
             "ablation-ladder" => ablation_ladder(&csv_dir),
+            "ablation-fusion" => ablation_fusion(&csv_dir),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
@@ -148,10 +151,13 @@ fn fig5(dir: &Path) {
             .num_threads(threads)
             .build()
             .expect("pool");
+        // Paper-shape reproduction: measure the strict gate-at-a-time
+        // pipeline (the batch scheduler is compared in ablation-fusion).
         let cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(ranks_log2)
-            .without_cache();
+            .without_cache()
+            .without_fusion();
         let elapsed = pool.install(|| {
             let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
             let mut rng = StdRng::seed_from_u64(0);
@@ -439,7 +445,8 @@ fn fig15(dir: &Path) {
         let cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(2)
-            .without_cache();
+            .without_cache()
+            .without_fusion();
         let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
         let mut rng = StdRng::seed_from_u64(0);
         let t0 = Instant::now();
@@ -473,7 +480,8 @@ fn fig16(dir: &Path) {
         let cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(2)
-            .without_cache();
+            .without_cache()
+            .without_fusion();
         let el = pool.install(|| {
             let mut sim = CompressedSimulator::new(22, cfg).expect("sim");
             let mut rng = StdRng::seed_from_u64(0);
@@ -558,10 +566,12 @@ fn table2(dir: &Path) {
         let n = b.circuit.num_qubits() as u32;
         let uncompressed = 1u64 << (n + 4);
         let budget = (uncompressed as f64 * b.budget_frac) as u64;
+        // Per-gate pipeline, as in the paper's Table 2.
         let cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(2)
-            .with_memory_budget(budget);
+            .with_memory_budget(budget)
+            .without_fusion();
         let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
         let mut rng = StdRng::seed_from_u64(1);
         let t0 = Instant::now();
@@ -605,7 +615,11 @@ fn ablation_cache(dir: &Path) {
     let rcs = random_circuit(Grid::new(4, 4), 11, 3);
     for (name, circuit) in [("grover", &grover), ("rcs", &rcs)] {
         for cache in [true, false] {
-            let mut cfg = SimConfig::default().with_block_log2(9).with_ranks_log2(1);
+            // The Sec 3.4 per-gate cache is what this ablation isolates.
+            let mut cfg = SimConfig::default()
+                .with_block_log2(9)
+                .with_ranks_log2(1)
+                .without_fusion();
             if !cache {
                 cfg = cfg.without_cache();
             }
@@ -653,6 +667,67 @@ fn ablation_qzstd(dir: &Path) {
     finish(&t, dir, "ablation_qzstd");
 }
 
+fn ablation_fusion(dir: &Path) {
+    // The batch scheduler's lever: fused vs unfused time-per-gate on the
+    // QFT / QAOA / supremacy workloads. Fused runs amortize the
+    // decompress/recompress cycle across every intra-block batch, so the
+    // per-gate time must drop wherever such runs exist (most on the deep,
+    // low-target-heavy QFT).
+    let workloads: Vec<(&'static str, qcs_circuits::Circuit)> = vec![
+        ("qft_20", qft_benchmark_circuit(20, 12)),
+        (
+            "qaoa_18",
+            qcs_circuits::qaoa_circuit(
+                &qcs_circuits::random_regular_graph(18, 4, 7),
+                &qcs_circuits::QaoaParams::standard(1),
+            ),
+        ),
+        ("sup_20", random_circuit(Grid::new(4, 5), 11, 2019)),
+    ];
+    let mut t = Table::new(vec![
+        "workload",
+        "qubits",
+        "gates",
+        "unfused ms/gate",
+        "fused ms/gate",
+        "speedup",
+        "gates/touch",
+    ]);
+    for (name, circuit) in workloads {
+        let n = circuit.num_qubits() as u32;
+        let mut run = |fusion: bool| {
+            let cfg = SimConfig::default()
+                .with_block_log2(10)
+                .with_ranks_log2(2)
+                .with_fusion(fusion)
+                .without_cache();
+            let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&circuit, &mut rng).expect("run");
+            let report = sim.report();
+            (
+                1000.0 * report.time_per_gate(),
+                report.breakdown.gates_per_block_touch(),
+                report.gates,
+            )
+        };
+        let (unfused_ms, _, gates) = run(false);
+        let (fused_ms, gpt, _) = run(true);
+        t.row(vec![
+            name.to_string(),
+            format!("{n}"),
+            format!("{gates}"),
+            format!("{unfused_ms:.2}"),
+            format!("{fused_ms:.2}"),
+            format!("{:.2}x", unfused_ms / fused_ms),
+            format!("{gpt:.2}"),
+        ]);
+        println!("... {name} done");
+    }
+    finish(&t, dir, "ablation_fusion");
+    println!("expected: fused strictly faster per gate on every workload; largest win on the QFT (long intra-block cphase cascades)");
+}
+
 fn ablation_ladder(dir: &Path) {
     // Adaptive ladder vs fixed bounds on the QFT benchmark.
     let circuit = qft_benchmark_circuit(14, 12);
@@ -666,7 +741,8 @@ fn ablation_ladder(dir: &Path) {
     ]);
     {
         let mut run = |name: String, cfg: SimConfig| {
-            let mut sim = CompressedSimulator::new(14, cfg).expect("sim");
+            // Ledger charging per gate, as the paper's Eq. 11 assumes.
+            let mut sim = CompressedSimulator::new(14, cfg.without_fusion()).expect("sim");
             let mut rng = StdRng::seed_from_u64(0);
             sim.run(&circuit, &mut rng).expect("run");
             let report = sim.report();

@@ -11,6 +11,11 @@
 //!
 //! All generators are deterministic given a seed, so experiments are
 //! reproducible.
+//!
+//! The [`schedule`] module hosts the batch scheduler: it fuses runs of
+//! consecutive single-qubit gates and groups consecutive intra-block gates
+//! into [`GateBatch`]es so the compressed engine decompresses each block
+//! once per batch instead of once per gate.
 
 #![warn(missing_docs)]
 
@@ -20,6 +25,7 @@ pub mod grover;
 pub mod phase_estimation;
 pub mod qaoa;
 pub mod qft;
+pub mod schedule;
 pub mod supremacy;
 
 pub use circuit::{Circuit, Op};
@@ -28,6 +34,9 @@ pub use grover::{grover_circuit, grover_circuit_toffoli, optimal_iterations};
 pub use phase_estimation::{bernstein_vazirani_circuit, phase_estimation_circuit};
 pub use qaoa::{qaoa_circuit, QaoaParams};
 pub use qft::{iqft_circuit, qft_benchmark_circuit, qft_circuit};
+pub use schedule::{
+    schedule_circuit, FusedGate, FusionPolicy, GateBatch, Schedule, ScheduleStats, ScheduledOp,
+};
 pub use supremacy::{cz_pattern, random_circuit, Grid};
 
 /// The scalability micro-benchmark the paper uses in §5.2: apply one

@@ -1,0 +1,654 @@
+//! Circuit-level batch scheduler: single-qubit gate fusion and intra-block
+//! gate batching.
+//!
+//! In the compressed-block simulator the dominant per-gate cost is the
+//! decompress → compute → recompress cycle (paper Table 2: the compression
+//! and decompression rows dwarf computation). Two circuit-level rewrites
+//! amortize that cycle without changing the simulated state:
+//!
+//! 1. **Fusion** — a run of consecutive single-qubit gates on the same
+//!    qubit collapses into one [`FusedGate`] whose matrix is the product of
+//!    the run (`G_k ... G_2 G_1`). `k` gates then cost one cycle instead of
+//!    `k`.
+//! 2. **Batching** — consecutive gates whose *targets* all route to the
+//!    intra-block case of §3.3 (target qubit below `block_log2`) share the
+//!    same block-touch pattern: every block is touched exactly once, with
+//!    no data flow between blocks. Such runs group into a [`GateBatch`] so
+//!    the engine decompresses each block once per batch and applies every
+//!    batched gate to the scratch buffer before recompressing.
+//!
+//! The scheduler is strictly order-preserving: every [`ScheduledOp`] covers
+//! a contiguous range of source-op indices and the ranges partition
+//! `0..circuit.gate_count()` in order. Fusion therefore never commutes a
+//! gate across a two-qubit, controlled, swap, or measurement operation —
+//! the invariant the property suite in `tests/prop_fusion.rs` pins down.
+
+use crate::circuit::{Circuit, Op};
+use qcs_statevec::{BatchGate, StateVector};
+
+/// Upper limit on gates per batch: the engine tracks which batch members
+/// apply to a given block in a 64-bit selection mask.
+pub const MAX_BATCH_GATES: usize = 64;
+
+/// FNV-style signature mixer shared by the scheduler and the engine's
+/// cache-key derivation (batch signature ⊕ per-block selection mask): both
+/// sides must use the same mixing function for the documented key scheme to
+/// stay coherent.
+pub fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100000001b3)
+}
+
+/// Salt mixed into the signature chain when a second gate fuses into a run,
+/// so a fused run can never collide with the raw op signature of a single
+/// gate (cache-key soundness, paper §3.4).
+const FUSE_SALT: u64 = 0xf0e1d2c3b4a59687;
+
+/// Salt seeding a [`GateBatch`] signature, so a batch key can never collide
+/// with an individual (fused or raw) gate key.
+const BATCH_SALT: u64 = 0x1badb002deadbeef;
+
+/// How the scheduler rewrites a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionPolicy {
+    /// Fuse runs of consecutive single-qubit gates on the same qubit.
+    pub fuse_single_qubit_runs: bool,
+    /// Maximum gates per [`GateBatch`] (clamped to [`MAX_BATCH_GATES`]).
+    /// `1` disables batching while keeping fusion.
+    pub max_batch_gates: usize,
+    /// `log2` of amplitudes per block: targets below this bit route
+    /// intra-block and are eligible for batching.
+    pub block_log2: u32,
+    /// Re-orient diagonal controlled-phase gates (`diag(1, e^{i theta})`
+    /// targets: Z, S, T, Phase) onto their lowest qubit. Such gates are
+    /// symmetric under control/target exchange, so the QFT's
+    /// high-target cphase cascades become intra-block (batchable) and
+    /// rank-crossing phase gates stop paying communication.
+    pub retarget_diagonal: bool,
+}
+
+impl FusionPolicy {
+    /// Default policy for a given block size: fusion on, batches up to
+    /// [`MAX_BATCH_GATES`], diagonal retargeting on.
+    pub fn for_block(block_log2: u32) -> Self {
+        Self {
+            fuse_single_qubit_runs: true,
+            max_batch_gates: MAX_BATCH_GATES,
+            block_log2,
+            retarget_diagonal: true,
+        }
+    }
+
+    fn batch_cap(&self) -> usize {
+        self.max_batch_gates.clamp(1, MAX_BATCH_GATES)
+    }
+}
+
+/// True for matrices of the form `diag(1, lambda)` (bit-exact check): the
+/// controlled gate then acts as a phase on the all-ones subspace, making
+/// control and target roles interchangeable.
+fn is_diagonal_phase(g: &qcs_statevec::Gate1) -> bool {
+    use qcs_statevec::Complex64;
+    g.m[0][0] == Complex64::ONE && g.m[0][1] == Complex64::ZERO && g.m[1][0] == Complex64::ZERO
+}
+
+/// Re-orient a controlled diagonal-phase gate onto its lowest qubit (a
+/// no-op for other gates). Lower targets route cheaper: intra-block beats
+/// inter-block beats inter-rank.
+fn retarget_diagonal(op: &mut BatchGate) {
+    if op.controls.is_empty() || !is_diagonal_phase(&op.gate) {
+        return;
+    }
+    let lowest = op.controls.iter().copied().min().unwrap().min(op.target);
+    if lowest == op.target {
+        return;
+    }
+    for c in op.controls.iter_mut() {
+        if *c == lowest {
+            *c = op.target;
+        }
+    }
+    op.target = lowest;
+    op.controls.sort_unstable();
+}
+
+/// One (possibly fused) controlled single-qubit unitary plus the metadata
+/// the engine's cache and the test suite need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedGate {
+    /// Matrix, controls and target in the form batched appliers consume.
+    pub op: BatchGate,
+    /// Stable cache signature. Equal to the source [`Op::signature`] for an
+    /// unfused gate; a salted chain over the run for fused gates.
+    pub signature: u64,
+    /// Index of the first source op covered by this gate.
+    pub src_start: usize,
+    /// Number of consecutive source ops covered (1 for unfused gates).
+    pub src_len: usize,
+}
+
+impl FusedGate {
+    /// Number of source gates folded into this one.
+    pub fn fused_count(&self) -> usize {
+        self.src_len
+    }
+}
+
+/// A group of consecutive intra-block gates the engine applies with one
+/// decompress/recompress cycle per block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateBatch {
+    gates: Vec<FusedGate>,
+    signature: u64,
+}
+
+impl GateBatch {
+    fn new(gates: Vec<FusedGate>) -> Self {
+        debug_assert!(!gates.is_empty() && gates.len() <= MAX_BATCH_GATES);
+        let signature = gates.iter().fold(BATCH_SALT, |h, g| mix(h, g.signature));
+        Self { gates, signature }
+    }
+
+    /// The batched gates, in program order.
+    pub fn gates(&self) -> &[FusedGate] {
+        &self.gates
+    }
+
+    /// Number of (fused) gates in the batch.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the batch holds no gates (never produced by the scheduler).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Combined cache signature of the whole batch. The engine mixes in the
+    /// per-block selection mask before using it as a cache key.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Total source ops covered by the batch.
+    pub fn source_gate_count(&self) -> usize {
+        self.gates.iter().map(|g| g.src_len).sum()
+    }
+}
+
+/// One step of a scheduled circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduledOp {
+    /// Two or more intra-block gates sharing one block-touch per block.
+    Batch(GateBatch),
+    /// A single (possibly fused) unitary applied on its own — its target
+    /// routes inter-block/inter-rank, or no neighbor was batchable.
+    Gate(FusedGate),
+    /// An op the scheduler leaves untouched (swap, measurement).
+    Bare {
+        /// The source operation.
+        op: Op,
+        /// Its index in the source circuit.
+        src: usize,
+    },
+}
+
+impl ScheduledOp {
+    /// Source-op index range `(start, len)` covered by this step.
+    pub fn src_range(&self) -> (usize, usize) {
+        match self {
+            ScheduledOp::Batch(b) => {
+                let first = &b.gates[0];
+                (first.src_start, b.source_gate_count())
+            }
+            ScheduledOp::Gate(g) => (g.src_start, g.src_len),
+            ScheduledOp::Bare { src, .. } => (*src, 1),
+        }
+    }
+}
+
+/// Aggregate statistics of a scheduling pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Ops in the source circuit.
+    pub source_ops: usize,
+    /// Unitaries after fusion (each covers >= 1 source ops).
+    pub fused_gates: usize,
+    /// Source gates eliminated by fusion (`source unitaries - fused_gates`).
+    pub fusion_savings: usize,
+    /// Number of [`GateBatch`]es emitted.
+    pub batches: usize,
+    /// Fused gates living inside batches.
+    pub batched_gates: usize,
+    /// Ops passed through unscheduled (swaps, measurements).
+    pub bare_ops: usize,
+    /// Largest batch emitted.
+    pub max_batch_len: usize,
+}
+
+/// A scheduled circuit: an ordered list of [`ScheduledOp`]s equivalent to
+/// the source circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    num_qubits: usize,
+    items: Vec<ScheduledOp>,
+    stats: ScheduleStats,
+}
+
+impl Schedule {
+    /// Qubit count of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Scheduled steps in program order.
+    pub fn items(&self) -> &[ScheduledOp] {
+        &self.items
+    }
+
+    /// Scheduling statistics.
+    pub fn stats(&self) -> ScheduleStats {
+        self.stats
+    }
+
+    /// Execute on a dense state vector (the ground-truth replay used by the
+    /// differential and property tests). `rng` drives measurements.
+    pub fn run_dense(&self, state: &mut StateVector, rng: &mut impl rand::Rng) {
+        assert_eq!(state.num_qubits(), self.num_qubits);
+        for item in &self.items {
+            match item {
+                ScheduledOp::Batch(b) => {
+                    for g in b.gates() {
+                        apply_dense(&g.op, state);
+                    }
+                }
+                ScheduledOp::Gate(g) => apply_dense(&g.op, state),
+                ScheduledOp::Bare { op, .. } => match op {
+                    Op::Swap { a, b } => state.apply_swap(*a, *b),
+                    Op::Measure { target } => {
+                        state.measure(*target, rng);
+                    }
+                    _ => unreachable!("unitaries are never scheduled bare"),
+                },
+            }
+        }
+    }
+
+    /// Convenience: run from `|0...0>` and return the final state.
+    pub fn simulate_dense(&self, rng: &mut impl rand::Rng) -> StateVector {
+        let mut s = StateVector::zero_state(self.num_qubits);
+        self.run_dense(&mut s, rng);
+        s
+    }
+}
+
+fn apply_dense(g: &BatchGate, state: &mut StateVector) {
+    state.apply_batch(std::slice::from_ref(g));
+}
+
+/// Intermediate item between the fusion and batching passes.
+enum PreItem {
+    Gate(FusedGate),
+    Other(Op, usize),
+}
+
+/// Schedule a circuit under `policy`: fuse single-qubit runs, then group
+/// consecutive intra-block gates into batches.
+pub fn schedule_circuit(circuit: &Circuit, policy: &FusionPolicy) -> Schedule {
+    let mut pre: Vec<PreItem> = Vec::with_capacity(circuit.gate_count());
+    let mut pending: Option<FusedGate> = None;
+    let mut source_unitaries = 0usize;
+
+    let flush = |pending: &mut Option<FusedGate>, pre: &mut Vec<PreItem>| {
+        if let Some(g) = pending.take() {
+            pre.push(PreItem::Gate(g));
+        }
+    };
+
+    for (i, op) in circuit.ops().iter().enumerate() {
+        match op {
+            Op::Single { gate, target } => {
+                source_unitaries += 1;
+                match &mut pending {
+                    Some(run)
+                        if policy.fuse_single_qubit_runs
+                            && run.op.controls.is_empty()
+                            && run.op.target == *target =>
+                    {
+                        // Later gate multiplies from the left: |s'> = G2 G1 |s>.
+                        run.op.gate = gate.matrix().matmul(&run.op.gate);
+                        run.signature = mix(mix(run.signature, FUSE_SALT), op.signature());
+                        run.src_len += 1;
+                    }
+                    _ => {
+                        flush(&mut pending, &mut pre);
+                        pending = Some(FusedGate {
+                            op: BatchGate::new(gate.matrix(), *target),
+                            signature: op.signature(),
+                            src_start: i,
+                            src_len: 1,
+                        });
+                    }
+                }
+            }
+            Op::Controlled {
+                gate,
+                control,
+                target,
+            } => {
+                source_unitaries += 1;
+                flush(&mut pending, &mut pre);
+                let mut bg = BatchGate::controlled(gate.matrix(), vec![*control], *target);
+                if policy.retarget_diagonal {
+                    retarget_diagonal(&mut bg);
+                }
+                pre.push(PreItem::Gate(FusedGate {
+                    op: bg,
+                    signature: op.signature(),
+                    src_start: i,
+                    src_len: 1,
+                }));
+            }
+            Op::MultiControlled {
+                gate,
+                controls,
+                target,
+            } => {
+                source_unitaries += 1;
+                flush(&mut pending, &mut pre);
+                let mut bg = BatchGate::controlled(gate.matrix(), controls.clone(), *target);
+                if policy.retarget_diagonal {
+                    retarget_diagonal(&mut bg);
+                }
+                pre.push(PreItem::Gate(FusedGate {
+                    op: bg,
+                    signature: op.signature(),
+                    src_start: i,
+                    src_len: 1,
+                }));
+            }
+            Op::Swap { .. } | Op::Measure { .. } => {
+                flush(&mut pending, &mut pre);
+                pre.push(PreItem::Other(op.clone(), i));
+            }
+        }
+    }
+    flush(&mut pending, &mut pre);
+
+    // Batching pass: group consecutive intra-block gates.
+    let cap = policy.batch_cap();
+    let mut items: Vec<ScheduledOp> = Vec::with_capacity(pre.len());
+    let mut stats = ScheduleStats {
+        source_ops: circuit.gate_count(),
+        ..ScheduleStats::default()
+    };
+    let mut run: Vec<FusedGate> = Vec::new();
+    let close_run =
+        |run: &mut Vec<FusedGate>, items: &mut Vec<ScheduledOp>, stats: &mut ScheduleStats| {
+            match run.len() {
+                0 => {}
+                1 => items.push(ScheduledOp::Gate(run.pop().expect("len 1"))),
+                n => {
+                    stats.batches += 1;
+                    stats.batched_gates += n;
+                    stats.max_batch_len = stats.max_batch_len.max(n);
+                    items.push(ScheduledOp::Batch(GateBatch::new(std::mem::take(run))));
+                }
+            }
+        };
+
+    for item in pre {
+        match item {
+            PreItem::Gate(g) => {
+                stats.fused_gates += 1;
+                if (g.op.target as u32) < policy.block_log2 && cap > 1 {
+                    if run.len() >= cap {
+                        close_run(&mut run, &mut items, &mut stats);
+                    }
+                    run.push(g);
+                } else {
+                    close_run(&mut run, &mut items, &mut stats);
+                    items.push(ScheduledOp::Gate(g));
+                }
+            }
+            PreItem::Other(op, src) => {
+                close_run(&mut run, &mut items, &mut stats);
+                stats.bare_ops += 1;
+                items.push(ScheduledOp::Bare { op, src });
+            }
+        }
+    }
+    close_run(&mut run, &mut items, &mut stats);
+    stats.fusion_savings = source_unitaries - stats.fused_gates;
+
+    Schedule {
+        num_qubits: circuit.num_qubits(),
+        items,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_statevec::Gate1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fidelity(a: &StateVector, b: &StateVector) -> f64 {
+        a.fidelity(b)
+    }
+
+    #[test]
+    fn fuses_consecutive_singles_on_same_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).sx(0).h(1);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(0));
+        // H;T;SX on q0 fuse into one gate; H on q1 stays separate.
+        assert_eq!(s.stats().fused_gates, 2);
+        assert_eq!(s.stats().fusion_savings, 2);
+        let g = match &s.items()[0] {
+            ScheduledOp::Gate(g) => g,
+            other => panic!("expected gate, got {other:?}"),
+        };
+        assert_eq!(g.fused_count(), 3);
+        assert!(g.op.gate.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn fusion_respects_intervening_ops() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(0);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(0));
+        // CX on qubit 0 blocks the H/T fusion.
+        assert_eq!(s.stats().fused_gates, 3);
+        assert_eq!(s.stats().fusion_savings, 0);
+    }
+
+    #[test]
+    fn batches_intra_block_runs() {
+        // block_log2 = 2: qubits 0-1 are intra-block.
+        let mut c = Circuit::new(4);
+        c.h(0).t(1).cx(0, 1).h(3).h(0);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        // [h0, t1, cx(0,1)] batch; h3 alone (out of block); h0 alone.
+        let kinds: Vec<&str> = s
+            .items()
+            .iter()
+            .map(|i| match i {
+                ScheduledOp::Batch(_) => "batch",
+                ScheduledOp::Gate(_) => "gate",
+                ScheduledOp::Bare { .. } => "bare",
+            })
+            .collect();
+        assert_eq!(kinds, ["batch", "gate", "gate"]);
+        let b = match &s.items()[0] {
+            ScheduledOp::Batch(b) => b,
+            _ => unreachable!(),
+        };
+        assert_eq!(b.len(), 3);
+        assert_eq!(s.stats().batches, 1);
+        assert_eq!(s.stats().max_batch_len, 3);
+    }
+
+    #[test]
+    fn batch_cap_splits_long_runs() {
+        let mut c = Circuit::new(2);
+        for i in 0..10 {
+            // Alternate qubits so fusion cannot collapse the run.
+            c.rz(0.1 * i as f64, i % 2);
+        }
+        let policy = FusionPolicy {
+            max_batch_gates: 4,
+            block_log2: 2,
+            ..FusionPolicy::for_block(2)
+        };
+        let s = schedule_circuit(&c, &policy);
+        assert_eq!(s.stats().batches, 3); // 4 + 4 + 2
+        assert_eq!(s.stats().max_batch_len, 4);
+    }
+
+    #[test]
+    fn source_ranges_partition_the_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0).t(0).cx(0, 2).swap(1, 3).x(1).y(1).measure(0).h(2);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        let mut next = 0usize;
+        for item in s.items() {
+            let (start, len) = item.src_range();
+            assert_eq!(start, next, "gap or reorder at {item:?}");
+            next = start + len;
+        }
+        assert_eq!(next, c.gate_count());
+    }
+
+    #[test]
+    fn scheduled_replay_matches_direct_execution() {
+        let mut c = Circuit::new(5);
+        c.h(0).t(0).h(1).cx(0, 3).rz(0.3, 3).rz(0.4, 3).ccx(0, 1, 4);
+        c.swap(2, 4).sx(2).sy(2).cphase(0.9, 1, 2);
+        for block_log2 in [0u32, 2, 5] {
+            let s = schedule_circuit(&c, &FusionPolicy::for_block(block_log2));
+            let mut rng1 = StdRng::seed_from_u64(7);
+            let mut rng2 = StdRng::seed_from_u64(7);
+            let direct = c.simulate_dense(&mut rng1);
+            let scheduled = s.simulate_dense(&mut rng2);
+            assert!(
+                fidelity(&direct, &scheduled) > 1.0 - 1e-12,
+                "block_log2={block_log2}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_signature_differs_from_raw_and_orders_matter() {
+        let mut ht = Circuit::new(1);
+        ht.h(0).t(0);
+        let mut th = Circuit::new(1);
+        th.t(0).h(0);
+        let p = FusionPolicy::for_block(0);
+        let sig = |c: &Circuit| match &schedule_circuit(c, &p).items()[0] {
+            ScheduledOp::Gate(g) => g.signature,
+            _ => unreachable!(),
+        };
+        let (s_ht, s_th) = (sig(&ht), sig(&th));
+        assert_ne!(s_ht, s_th, "fusion order must be part of the signature");
+        let mut h = Circuit::new(1);
+        h.h(0);
+        assert_ne!(s_ht, sig(&h));
+        assert_ne!(s_th, sig(&h));
+        // Unfused single gates keep the raw op signature for cache
+        // compatibility with the per-op path.
+        assert_eq!(sig(&h), h.ops()[0].signature());
+    }
+
+    #[test]
+    fn batch_signature_distinct_from_member_signatures() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        let b = match &s.items()[0] {
+            ScheduledOp::Batch(b) => b,
+            _ => unreachable!(),
+        };
+        for g in b.gates() {
+            assert_ne!(b.signature(), g.signature);
+        }
+        assert_eq!(b.source_gate_count(), 2);
+    }
+
+    #[test]
+    fn diagonal_controlled_gates_retarget_to_lowest_qubit() {
+        use qcs_statevec::GateKind;
+        let mut c = Circuit::new(8);
+        c.cphase(0.7, 1, 6); // symmetric: should re-orient onto qubit 1
+        c.cz(7, 2); // symmetric: onto qubit 2
+        c.cx(5, 0); // X is not diagonal: must keep target 0 / control 5
+        c.push(Op::Controlled {
+            gate: GateKind::Rz(0.4), // diag but m00 != 1: not symmetric
+            control: 6,
+            target: 3,
+        });
+        c.mcz(&[4, 6], 7); // multi-controlled Z: onto qubit 4
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(3));
+        let gates: Vec<&FusedGate> = s
+            .items()
+            .iter()
+            .flat_map(|i| match i {
+                ScheduledOp::Batch(b) => b.gates().iter().collect::<Vec<_>>(),
+                ScheduledOp::Gate(g) => vec![g],
+                ScheduledOp::Bare { .. } => vec![],
+            })
+            .collect();
+        let tc: Vec<(usize, Vec<usize>)> = gates
+            .iter()
+            .map(|g| (g.op.target, g.op.controls.clone()))
+            .collect();
+        assert_eq!(
+            tc,
+            vec![
+                (1, vec![6]),
+                (2, vec![7]),
+                (0, vec![5]),
+                (3, vec![6]),
+                (4, vec![6, 7]),
+            ]
+        );
+        // Retargeted circuits stay observationally identical.
+        let mut rng1 = StdRng::seed_from_u64(0);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let direct = {
+            let mut st = StateVector::zero_state(8);
+            for q in 0..8 {
+                st.apply_gate(&Gate1::h(), q);
+            }
+            c.run_dense(&mut st, &mut rng1);
+            st
+        };
+        let scheduled = {
+            let mut st = StateVector::zero_state(8);
+            for q in 0..8 {
+                st.apply_gate(&Gate1::h(), q);
+            }
+            s.run_dense(&mut st, &mut rng2);
+            st
+        };
+        assert!(fidelity(&direct, &scheduled) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn fused_matrix_is_the_ordered_product() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(0));
+        let g = match &s.items()[0] {
+            ScheduledOp::Gate(g) => g,
+            _ => unreachable!(),
+        };
+        let expect = Gate1::t().matmul(&Gate1::h());
+        for r in 0..2 {
+            for col in 0..2 {
+                assert!(g.op.gate.m[r][col].approx_eq(expect.m[r][col], 1e-15));
+            }
+        }
+    }
+}

@@ -42,6 +42,8 @@ impl Phase {
 struct Inner {
     durations: [Duration; 4],
     comm_bytes: u64,
+    block_touches: u64,
+    batched_gate_applications: u64,
 }
 
 /// Thread-safe accumulator of per-phase wall time and communication volume.
@@ -79,6 +81,38 @@ impl Metrics {
         self.inner.lock().comm_bytes
     }
 
+    /// Record one block-touch (a decompress → compute → recompress cycle of
+    /// one work unit) that applied `gates` gate kernels to the scratch.
+    ///
+    /// With the batch scheduler a touch carries several fused gates; the
+    /// gates-per-touch ratio is the amortization factor the scheduler buys.
+    pub fn add_block_touch(&self, gates: u64) {
+        let mut inner = self.inner.lock();
+        inner.block_touches += 1;
+        inner.batched_gate_applications += gates;
+    }
+
+    /// Total decompress → compute → recompress cycles performed.
+    pub fn block_touches(&self) -> u64 {
+        self.inner.lock().block_touches
+    }
+
+    /// Total gate kernels applied across all block touches.
+    pub fn batched_gate_applications(&self) -> u64 {
+        self.inner.lock().batched_gate_applications
+    }
+
+    /// Average gates applied per block touch (0 when nothing ran). Values
+    /// above 1 mean decompress/recompress cycles are being amortized.
+    pub fn gates_per_block_touch(&self) -> f64 {
+        let inner = self.inner.lock();
+        if inner.block_touches == 0 {
+            0.0
+        } else {
+            inner.batched_gate_applications as f64 / inner.block_touches as f64
+        }
+    }
+
     /// Accumulated time for a phase.
     pub fn duration(&self, phase: Phase) -> Duration {
         self.inner.lock().durations[phase as usize]
@@ -99,6 +133,8 @@ impl Metrics {
             communication: inner.durations[Phase::Communication as usize],
             computation: inner.durations[Phase::Computation as usize],
             comm_bytes: inner.comm_bytes,
+            block_touches: inner.block_touches,
+            batched_gate_applications: inner.batched_gate_applications,
         }
     }
 
@@ -122,12 +158,25 @@ pub struct TimeBreakdown {
     pub computation: Duration,
     /// Bytes exchanged between ranks.
     pub comm_bytes: u64,
+    /// Decompress → compute → recompress cycles performed.
+    pub block_touches: u64,
+    /// Gate kernels applied across all block touches.
+    pub batched_gate_applications: u64,
 }
 
 impl TimeBreakdown {
     /// Total across phases.
     pub fn total(&self) -> Duration {
         self.compression + self.decompression + self.communication + self.computation
+    }
+
+    /// Average gate kernels per block touch (0 when nothing ran).
+    pub fn gates_per_block_touch(&self) -> f64 {
+        if self.block_touches == 0 {
+            0.0
+        } else {
+            self.batched_gate_applications as f64 / self.block_touches as f64
+        }
     }
 
     /// Percentage of total for each phase, in [`Phase::ALL`] order.
@@ -195,6 +244,23 @@ mod tests {
     #[test]
     fn empty_percentages_are_zero() {
         assert_eq!(TimeBreakdown::default().percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn block_touch_accounting_amortizes_gates() {
+        let m = Metrics::new();
+        assert_eq!(m.gates_per_block_touch(), 0.0);
+        m.add_block_touch(1); // unbatched gate: one touch, one kernel
+        m.add_block_touch(5); // batched touch: one touch, five kernels
+        assert_eq!(m.block_touches(), 2);
+        assert_eq!(m.batched_gate_applications(), 6);
+        assert!((m.gates_per_block_touch() - 3.0).abs() < 1e-12);
+        let b = m.breakdown();
+        assert_eq!(b.block_touches, 2);
+        assert_eq!(b.batched_gate_applications, 6);
+        assert!((b.gates_per_block_touch() - 3.0).abs() < 1e-12);
+        m.reset();
+        assert_eq!(m.block_touches(), 0);
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub struct SimConfig {
     /// the communication phase on top of the measured copy time, standing
     /// in for the Aries network the paper measures.
     pub modeled_link_bandwidth: Option<f64>,
+    /// Run circuits through the batch scheduler: fuse consecutive
+    /// single-qubit gates on the same qubit and group consecutive
+    /// intra-block gates into batches, so each block pays one
+    /// decompress/recompress cycle per *batch* instead of per gate.
+    /// Disable to reproduce the paper's strict gate-at-a-time pipeline.
+    pub fusion: bool,
+    /// Maximum (fused) gates per batch, in `1..=64` (the engine tracks the
+    /// per-block gate-selection subset in a 64-bit mask). `1` keeps fusion
+    /// but disables batching.
+    pub max_batch_gates: usize,
 }
 
 impl Default for SimConfig {
@@ -51,6 +61,8 @@ impl Default for SimConfig {
             cache_auto_disable_after: 512,
             recompress_on_escalate: true,
             modeled_link_bandwidth: None,
+            fusion: true,
+            max_batch_gates: qcs_circuits::schedule::MAX_BATCH_GATES,
         }
     }
 }
@@ -92,6 +104,35 @@ impl SimConfig {
         self
     }
 
+    /// Config with gate fusion and batching disabled (the paper's strict
+    /// one-cycle-per-gate pipeline).
+    pub fn without_fusion(mut self) -> Self {
+        self.fusion = false;
+        self
+    }
+
+    /// Config with fusion/batching explicitly on or off.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Config with a batch-length cap (`1..=64`; validated).
+    pub fn with_max_batch_gates(mut self, max: usize) -> Self {
+        self.max_batch_gates = max;
+        self
+    }
+
+    /// The scheduling policy this config induces.
+    pub fn fusion_policy(&self) -> qcs_circuits::FusionPolicy {
+        qcs_circuits::FusionPolicy {
+            fuse_single_qubit_runs: self.fusion,
+            max_batch_gates: if self.fusion { self.max_batch_gates } else { 1 },
+            block_log2: self.block_log2,
+            retarget_diagonal: self.fusion,
+        }
+    }
+
     /// Validate invariants against a qubit count.
     pub fn validate(&self, num_qubits: u32) -> Result<(), String> {
         if self.ladder.is_empty() {
@@ -107,6 +148,13 @@ impl SimConfig {
             if w[0].magnitude() >= w[1].magnitude() {
                 return Err("ladder bounds must be strictly increasing".into());
             }
+        }
+        if !(1..=qcs_circuits::schedule::MAX_BATCH_GATES).contains(&self.max_batch_gates) {
+            return Err(format!(
+                "max_batch_gates {} outside 1..={}",
+                self.max_batch_gates,
+                qcs_circuits::schedule::MAX_BATCH_GATES
+            ));
         }
         Ok(())
     }

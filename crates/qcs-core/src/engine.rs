@@ -12,15 +12,37 @@
 //! recording fidelity ledger entries per Eq. 11. The compressed-block cache
 //! of §3.4 skips decompress-compute-compress cycles entirely when the same
 //! gate hits byte-identical blocks.
+//!
+//! # The batch scheduler
+//!
+//! By default (`SimConfig::fusion`), circuits are first rewritten by the
+//! batch scheduler in [`qcs_circuits::schedule`]: runs of consecutive
+//! single-qubit gates on the same qubit fuse into one matrix, and runs of
+//! gates whose targets all route intra-block (§3.3 case (a)) group into
+//! [`GateBatch`]es. [`CompressedSimulator::apply_batch`] then fills each
+//! worker's scratch once per *batch*, applies every member gate to the
+//! decompressed amplitudes, and recompresses once — amortizing the
+//! decompress/recompress cycle that dominates Table 2 across the whole
+//! batch. Because a batched recompression is a single lossy event, the
+//! fidelity ledger also charges one `delta` per batch instead of one per
+//! gate.
+//!
+//! Cache soundness: a batch's cache key is its schedule-level signature
+//! mixed with the per-block *selection mask* (which member gates actually
+//! fire on that block, given block/rank-scope controls), so two blocks with
+//! identical bytes but different applicable-gate subsets can never share a
+//! cache line. Each block touch consults the cache exactly once per batch,
+//! not once per member gate.
 
 use crate::block::{BlockCodec, CompressedBlock};
 use crate::cache::BlockCache;
 use crate::config::SimConfig;
 use crate::fidelity_bound::FidelityLedger;
-use qcs_circuits::{Circuit, Op};
+use qcs_circuits::schedule::mix;
+use qcs_circuits::{schedule_circuit, Circuit, GateBatch, Op, Schedule, ScheduledOp};
 use qcs_cluster::{ControlScope, Layout, Metrics, Phase, Route, TimeBreakdown};
 use qcs_compress::ErrorBound;
-use qcs_statevec::{Complex64, Gate1, StateVector};
+use qcs_statevec::{kernels, Complex64, Gate1, StateVector};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -117,6 +139,10 @@ struct UnitOut {
     timings: [Duration; 4],
     comm_bytes: u64,
     compressed_lossy: bool,
+    /// False when the block cache answered and no cycle ran.
+    cache_hit: bool,
+    /// Gate kernels applied during the cycle (0 on a cache hit).
+    gates_applied: u64,
 }
 
 /// The compressed-state simulator.
@@ -230,10 +256,46 @@ impl CompressedSimulator {
     }
 
     /// Run a full circuit. `rng` drives intermediate measurements.
+    ///
+    /// When [`SimConfig::fusion`] is on (the default) the circuit first
+    /// passes through the batch scheduler; disable it to execute gate by
+    /// gate exactly as written.
     pub fn run(&mut self, circuit: &Circuit, rng: &mut impl rand::Rng) -> Result<(), SimError> {
         assert_eq!(circuit.num_qubits() as u32, self.layout.num_qubits);
-        for op in circuit.ops() {
-            self.apply_op(op, rng)?;
+        if self.cfg.fusion {
+            let schedule = schedule_circuit(circuit, &self.cfg.fusion_policy());
+            self.run_schedule(&schedule, rng)
+        } else {
+            for op in circuit.ops() {
+                self.apply_op(op, rng)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Run a pre-built [`Schedule`] (e.g. one reused across shots).
+    ///
+    /// The schedule must have been produced for this simulator's block
+    /// geometry: a batch whose target does not route intra-block is a
+    /// configuration error.
+    pub fn run_schedule(
+        &mut self,
+        schedule: &Schedule,
+        rng: &mut impl rand::Rng,
+    ) -> Result<(), SimError> {
+        assert_eq!(schedule.num_qubits() as u32, self.layout.num_qubits);
+        for item in schedule.items() {
+            match item {
+                ScheduledOp::Batch(batch) => self.apply_batch(batch)?,
+                ScheduledOp::Gate(g) => {
+                    let start = Instant::now();
+                    self.apply_unitary(g.signature, &g.op.gate, &g.op.controls, g.op.target)?;
+                    self.gates_applied += g.src_len;
+                    self.wall_time += start.elapsed();
+                    self.after_gate()?;
+                }
+                ScheduledOp::Bare { op, .. } => self.apply_op(op, rng)?,
+            }
         }
         Ok(())
     }
@@ -272,8 +334,12 @@ impl CompressedSimulator {
         }
         self.gates_applied += 1;
         self.wall_time += start.elapsed();
+        self.after_gate()
+    }
 
-        // Adaptive ladder (§3.7): relax the bound while over budget.
+    /// Post-gate epilogue: walk the adaptive ladder (§3.7) while over
+    /// budget, then refresh the memory/ratio watermarks.
+    fn after_gate(&mut self) -> Result<(), SimError> {
         if let Some(budget) = self.cfg.memory_budget {
             while self.memory_bytes() > budget && self.level + 1 < self.cfg.ladder.len() {
                 self.level += 1;
@@ -390,6 +456,93 @@ impl CompressedSimulator {
         }
     }
 
+    /// Apply a [`GateBatch`]: every member gate targets an intra-block
+    /// qubit, so each block is decompressed once, all applicable gates run
+    /// over the scratch, and the block is recompressed once.
+    ///
+    /// Block/rank-scope controls are honored through a per-block *selection
+    /// mask*: member gate `i` fires on a block only when the block's rank
+    /// and block index bits cover the gate's control masks. The mask is
+    /// mixed into the cache key, and blocks no gate selects are skipped
+    /// outright (no touch, no cache traffic).
+    pub fn apply_batch(&mut self, batch: &GateBatch) -> Result<(), SimError> {
+        let start = Instant::now();
+        let layout = self.layout;
+        let bpr = layout.blocks_per_rank();
+
+        // Precompute per-gate kernels and control masks.
+        let mut plans = Vec::with_capacity(batch.len());
+        for fg in batch.gates() {
+            let offset_bit = match layout.route(fg.op.target as u32) {
+                Route::InBlock { offset_bit } => offset_bit,
+                other => {
+                    return Err(SimError::Config(format!(
+                        "batched target {} routes {other:?}; schedule was built \
+                         for a different block geometry",
+                        fg.op.target
+                    )))
+                }
+            };
+            let (mut offset_cmask, mut block_cmask, mut rank_cmask) = (0usize, 0usize, 0usize);
+            for &c in &fg.op.controls {
+                match layout.control_scope(c as u32) {
+                    ControlScope::InBlock { offset_bit } => offset_cmask |= 1 << offset_bit,
+                    ControlScope::BlockSelect { block_bit } => block_cmask |= 1 << block_bit,
+                    ControlScope::RankSelect { rank_bit } => rank_cmask |= 1 << rank_bit,
+                }
+            }
+            plans.push(BatchPlan {
+                gate: fg.op.gate,
+                offset_bit,
+                offset_cmask,
+                block_cmask,
+                rank_cmask,
+            });
+        }
+
+        // One unit per block some gate selects.
+        let mut units = Vec::new();
+        for r in 0..layout.ranks() {
+            for b in 0..bpr {
+                let mut mask = 0u64;
+                for (i, p) in plans.iter().enumerate() {
+                    if r & p.rank_cmask == p.rank_cmask && b & p.block_cmask == p.block_cmask {
+                        mask |= 1 << i;
+                    }
+                }
+                if mask == 0 {
+                    continue;
+                }
+                let slot = r * bpr + b;
+                units.push(BatchUnit {
+                    slot,
+                    mask,
+                    block: self.blocks[slot].take().expect("block present"),
+                });
+            }
+        }
+
+        let bound = self.cfg.ladder[self.level];
+        let codec = Arc::clone(&self.codec);
+        let cache = Arc::clone(&self.cache);
+        let block_f64s = self.layout.block_amps() * 2;
+        let batch_signature = batch.signature();
+
+        let results: Result<Vec<UnitOut>, SimError> = units
+            .into_par_iter()
+            .map_init(
+                || Vec::with_capacity(block_f64s),
+                |buf, unit| {
+                    process_batch_unit(&codec, &cache, &plans, batch_signature, bound, unit, buf)
+                },
+            )
+            .collect();
+        self.merge_unit_outputs(results?, bound)?;
+        self.gates_applied += batch.source_gate_count();
+        self.wall_time += start.elapsed();
+        self.after_gate()
+    }
+
     /// Decompress, compute, recompress every unit (in parallel), honoring
     /// the compressed-block cache, then write results back.
     fn process_units(
@@ -433,9 +586,17 @@ impl CompressedSimulator {
                 },
             )
             .collect();
-        let results = results?;
+        self.merge_unit_outputs(results?, bound)
+    }
 
-        // Write back and merge metrics.
+    /// Write unit results back into block storage, fold their timings and
+    /// touch counts into the metrics, and charge the fidelity ledger once
+    /// for the whole wave (one compression event per gate *or* batch).
+    fn merge_unit_outputs(
+        &mut self,
+        results: Vec<UnitOut>,
+        bound: ErrorBound,
+    ) -> Result<(), SimError> {
         let mut any_lossy = false;
         for out in results {
             self.metrics.add(Phase::Compression, out.timings[0]);
@@ -450,6 +611,9 @@ impl CompressedSimulator {
                         Duration::from_secs_f64(out.comm_bytes as f64 / bw),
                     );
                 }
+            }
+            if !out.cache_hit {
+                self.metrics.add_block_touch(out.gates_applied);
             }
             any_lossy |= out.compressed_lossy;
             self.blocks[out.slot_a] = Some(out.out_a);
@@ -862,6 +1026,8 @@ fn process_one(
             timings,
             comm_bytes,
             compressed_lossy: false,
+            cache_hit: true,
+            gates_applied: 0,
         });
     }
 
@@ -877,10 +1043,10 @@ fn process_one(
     let t = Instant::now();
     match kernel {
         Kernel::InBlock { offset_bit } => {
-            kernel_in_block(buf_a, offset_bit, gate, offset_cmask);
+            kernels::apply_in_block(buf_a, offset_bit, gate, offset_cmask);
         }
         Kernel::Cross => {
-            kernel_cross(buf_a, buf_b, gate, offset_cmask);
+            kernels::apply_cross(buf_a, buf_b, gate, offset_cmask);
         }
     }
     timings[3] += t.elapsed();
@@ -911,52 +1077,92 @@ fn process_one(
         timings,
         comm_bytes,
         compressed_lossy: bound.is_lossy(),
+        cache_hit: false,
+        gates_applied: 1,
     })
 }
 
-/// Pair update within one block: amplitudes at offsets `o` and `o | 2^bit`
-/// with all control bits of `cmask` set (Eq. 6/7).
-fn kernel_in_block(buf: &mut [f64], offset_bit: u32, gate: &Gate1, cmask: usize) {
-    let amps = buf.len() / 2;
-    let tbit = 1usize << offset_bit;
-    let m = gate.m;
-    for o in 0..amps {
-        if o & tbit != 0 || o & cmask != cmask {
-            continue;
-        }
-        let p = o | tbit;
-        let (ar, ai) = (buf[2 * o], buf[2 * o + 1]);
-        let (br, bi) = (buf[2 * p], buf[2 * p + 1]);
-        let a = Complex64::new(ar, ai);
-        let b = Complex64::new(br, bi);
-        let na = m[0][0] * a + m[0][1] * b;
-        let nb = m[1][0] * a + m[1][1] * b;
-        buf[2 * o] = na.re;
-        buf[2 * o + 1] = na.im;
-        buf[2 * p] = nb.re;
-        buf[2 * p + 1] = nb.im;
-    }
+/// Per-gate kernel plan inside a batch: the matrix plus the control masks
+/// partitioned by scope (§3.3).
+struct BatchPlan {
+    gate: Gate1,
+    offset_bit: u32,
+    offset_cmask: usize,
+    block_cmask: usize,
+    rank_cmask: usize,
 }
 
-/// Pair update across two blocks: offset `o` of `buf0` pairs with offset
-/// `o` of `buf1` (the target bit selects the block/rank, not the offset).
-fn kernel_cross(buf0: &mut [f64], buf1: &mut [f64], gate: &Gate1, cmask: usize) {
-    let amps = buf0.len() / 2;
-    debug_assert_eq!(buf0.len(), buf1.len());
-    let m = gate.m;
-    for o in 0..amps {
-        if o & cmask != cmask {
+/// One block plus the subset of batch gates that fire on it.
+struct BatchUnit {
+    slot: usize,
+    mask: u64,
+    block: CompressedBlock,
+}
+
+/// Decompress once, apply every selected gate, recompress once.
+///
+/// The cache key mixes the batch signature with the unit's selection mask:
+/// byte-identical blocks with different applicable-gate subsets must never
+/// share a line, and one lookup/insert happens per block touch (not per
+/// member gate).
+fn process_batch_unit(
+    codec: &BlockCodec,
+    cache: &BlockCache,
+    plans: &[BatchPlan],
+    batch_signature: u64,
+    bound: ErrorBound,
+    unit: BatchUnit,
+    buf: &mut Vec<f64>,
+) -> Result<UnitOut, SimError> {
+    let mut timings = [Duration::ZERO; 4];
+    let sig = mix(batch_signature, unit.mask);
+
+    if let Some((out, _)) = cache.lookup(sig, &unit.block, None) {
+        return Ok(UnitOut {
+            slot_a: unit.slot,
+            slot_b: None,
+            out_a: out,
+            out_b: None,
+            timings,
+            comm_bytes: 0,
+            compressed_lossy: false,
+            cache_hit: true,
+            gates_applied: 0,
+        });
+    }
+
+    let t = Instant::now();
+    codec.decompress(&unit.block, buf)?;
+    timings[1] += t.elapsed();
+
+    let t = Instant::now();
+    let mut gates = 0u64;
+    for (i, plan) in plans.iter().enumerate() {
+        if unit.mask & (1 << i) == 0 {
             continue;
         }
-        let a = Complex64::new(buf0[2 * o], buf0[2 * o + 1]);
-        let b = Complex64::new(buf1[2 * o], buf1[2 * o + 1]);
-        let na = m[0][0] * a + m[0][1] * b;
-        let nb = m[1][0] * a + m[1][1] * b;
-        buf0[2 * o] = na.re;
-        buf0[2 * o + 1] = na.im;
-        buf1[2 * o] = nb.re;
-        buf1[2 * o + 1] = nb.im;
+        kernels::apply_in_block(buf, plan.offset_bit, &plan.gate, plan.offset_cmask);
+        gates += 1;
     }
+    timings[3] += t.elapsed();
+
+    let t = Instant::now();
+    let out = codec.compress(buf, bound)?;
+    timings[0] += t.elapsed();
+
+    cache.insert(sig, &unit.block, None, &out, None);
+
+    Ok(UnitOut {
+        slot_a: unit.slot,
+        slot_b: None,
+        out_a: out,
+        out_b: None,
+        timings,
+        comm_bytes: 0,
+        compressed_lossy: bound.is_lossy(),
+        cache_hit: false,
+        gates_applied: gates,
+    })
 }
 
 #[cfg(test)]
@@ -1184,6 +1390,148 @@ mod tests {
         let z3 = sim.expectation_z(3).unwrap();
         let z2 = sim.expectation_z(2).unwrap();
         assert!((sim.expectation_zz(2, 3).unwrap() - z2 * z3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fusion_matches_unfused_and_reduces_block_touches() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        c.t(0)
+            .sx(0)
+            .rz(0.3, 1)
+            .ry(0.2, 1)
+            .cx(1, 0)
+            .cphase(0.5, 4, 2);
+        c.h(2).t(2);
+        let run = |fusion: bool| {
+            let cfg = small_cfg().with_fusion(fusion).without_cache();
+            let mut sim = CompressedSimulator::new(6, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&c, &mut rng).unwrap();
+            let snap = sim.snapshot_dense().unwrap();
+            (snap, sim.report())
+        };
+        let (s_on, r_on) = run(true);
+        let (s_off, r_off) = run(false);
+        assert!(s_on.fidelity(&s_off) > 1.0 - 1e-12);
+        // Source-gate accounting is identical either way.
+        assert_eq!(r_on.gates, r_off.gates);
+        assert_eq!(r_on.gates, c.gate_count());
+        // Fusion + batching must strictly amortize decompression cycles.
+        assert!(
+            r_on.breakdown.block_touches < r_off.breakdown.block_touches,
+            "fused {} vs unfused {} touches",
+            r_on.breakdown.block_touches,
+            r_off.breakdown.block_touches
+        );
+        assert!(r_on.breakdown.gates_per_block_touch() > 1.0);
+        assert!((r_off.breakdown.gates_per_block_touch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_touch_consults_cache_once_per_touch() {
+        // n=6, block_log2=3, one rank -> 8 blocks. Four intra-block gates
+        // form one batch: the cache must be consulted once per touched
+        // block (8), not once per gate per block (32).
+        let mut c = Circuit::new(6);
+        c.h(0).t(1).rz(0.1, 2).h(1);
+        let mut rng = StdRng::seed_from_u64(0);
+
+        // Cache on: exactly one consult (hit or miss) per touched block.
+        let cfg = SimConfig::default().with_block_log2(3).with_ranks_log2(0);
+        let mut sim = CompressedSimulator::new(6, cfg).unwrap();
+        sim.run(&c, &mut rng).unwrap();
+        assert_eq!(
+            sim.cache().hits() + sim.cache().misses(),
+            8,
+            "expected one cache consult per block touch"
+        );
+
+        // Cache off: every block is cycled once and carries all four gates.
+        let cfg = SimConfig::default()
+            .with_block_log2(3)
+            .with_ranks_log2(0)
+            .without_cache();
+        let mut sim = CompressedSimulator::new(6, cfg).unwrap();
+        sim.run(&c, &mut rng).unwrap();
+        assert_eq!(sim.metrics().block_touches(), 8);
+        assert_eq!(sim.metrics().batched_gate_applications(), 32);
+        assert!((sim.metrics().gates_per_block_touch() - 4.0).abs() < 1e-12);
+        let dense = c.simulate_dense(&mut rng);
+        assert!(sim.snapshot_dense().unwrap().fidelity(&dense) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn selection_mask_keeps_cache_sound_across_identical_blocks() {
+        // 16 byte-identical blocks, then a batch where a block-scope
+        // control makes the applicable-gate subset differ between blocks.
+        // If the selection mask were not part of the cache key, one class
+        // of blocks would be served the other class's cached output.
+        let cfg = SimConfig::default().with_block_log2(2).with_ranks_log2(0);
+        let mut sim = CompressedSimulator::new(6, cfg).unwrap();
+        let mut c = Circuit::new(6);
+        c.h(2).h(3).h(4).h(5); // spread: every block holds (0.25, 0) at offset 0
+        c.x(0); // fires on all 16 blocks
+        c.cx(5, 1); // fires only where the qubit-5 block bit is 1
+        let mut rng = StdRng::seed_from_u64(0);
+        sim.run(&c, &mut rng).unwrap();
+        // The last two gates form one batch over 16 byte-identical blocks
+        // split into two selection classes (X-only vs X-then-CX). Any key
+        // collision between the classes corrupts amplitudes.
+        let dense = c.simulate_dense(&mut rng);
+        assert!(
+            sim.snapshot_dense().unwrap().fidelity(&dense) > 1.0 - 1e-12,
+            "selection-mask collision corrupted the state"
+        );
+    }
+
+    #[test]
+    fn run_schedule_rejects_mismatched_geometry() {
+        use qcs_circuits::{schedule_circuit, FusionPolicy};
+        let mut c = Circuit::new(6);
+        c.h(0).t(1);
+        // Schedule built for 5-bit blocks; simulator uses 3-bit blocks with
+        // qubit 4 routing inter-block -> batching it is a config error.
+        let mut c2 = Circuit::new(6);
+        c2.h(4).t(3);
+        let sched = schedule_circuit(&c2, &FusionPolicy::for_block(5));
+        let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = sim.run_schedule(&sched, &mut rng);
+        assert!(matches!(err, Err(SimError::Config(_))), "got {err:?}");
+        // The well-matched schedule runs fine.
+        let sched_ok = schedule_circuit(&c, &FusionPolicy::for_block(3));
+        let mut sim2 = CompressedSimulator::new(6, small_cfg()).unwrap();
+        sim2.run_schedule(&sched_ok, &mut rng).unwrap();
+        let dense = c.simulate_dense(&mut rng);
+        assert!(sim2.snapshot_dense().unwrap().fidelity(&dense) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn batched_lossy_run_charges_ledger_once_per_batch() {
+        let mut c = Circuit::new(6);
+        c.h(0).rz(0.4, 1).ry(0.2, 2).t(0); // one 4-gate batch at block_log2=3
+        let lossy = ErrorBound::PointwiseRelative(1e-4);
+        let run = |fusion: bool| {
+            let cfg = SimConfig::default()
+                .with_block_log2(3)
+                .with_fixed_bound(lossy)
+                .with_fusion(fusion);
+            let mut sim = CompressedSimulator::new(6, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&c, &mut rng).unwrap();
+            (
+                sim.ledger().lossy_gates(),
+                sim.report().fidelity_lower_bound,
+            )
+        };
+        let (lossy_on, bound_on) = run(true);
+        let (lossy_off, bound_off) = run(false);
+        assert_eq!(lossy_off, 4, "unfused: one lossy event per gate");
+        assert_eq!(lossy_on, 1, "fused: one lossy event per batch");
+        assert!(bound_on > bound_off);
     }
 
     #[test]

@@ -17,6 +17,44 @@
 //! - [`checkpoint`] — save/resume of compressed blocks (§3.5);
 //! - memory accounting per Eq. 8 and the time breakdown of Table 2.
 //!
+//! ## The batch scheduler
+//!
+//! Per-gate cost in this engine is dominated by the decompress → compute →
+//! recompress cycle, not the arithmetic (Table 2). By default every circuit
+//! therefore runs through the batch scheduler
+//! (`qcs_circuits::schedule`) before execution:
+//!
+//! - **What fuses:** runs of consecutive single-qubit gates on the same
+//!   qubit become one matrix product, paying one cycle instead of one per
+//!   gate.
+//! - **What batches:** consecutive gates whose targets all route
+//!   *intra-block* (§3.3 case (a), i.e. target qubit `< block_log2`) form a
+//!   `GateBatch`; the engine decompresses each block once per batch,
+//!   applies every member gate that selects the block, and recompresses
+//!   once. A batched recompression is also a single lossy event, so the
+//!   Eq. 11 fidelity ledger is charged once per batch.
+//! - **What retargets:** controlled diagonal-phase gates (`CZ`, `CS`,
+//!   `CT`, `CPhase`, multi-controlled Z) are symmetric under
+//!   control/target exchange, so the scheduler re-orients them onto their
+//!   lowest qubit — the QFT's high-target cphase cascades become
+//!   intra-block (batchable) and rank-crossing phase gates stop paying
+//!   communication.
+//! - **What blocks fusion/batching:** two-qubit, controlled (for fusion),
+//!   swap and measure ops, and any non-symmetric target routing
+//!   inter-block/inter-rank (for batching). The scheduler never reorders
+//!   operations.
+//! - **How to disable it:** [`SimConfig::without_fusion`] (or
+//!   `fusion: false`) reproduces the paper's strict gate-at-a-time
+//!   pipeline; [`SimConfig::with_max_batch_gates`]`(1)` keeps fusion but
+//!   disables batching.
+//!
+//! Cache keys stay sound under batching: a batch's compressed-block cache
+//! line is keyed by the batch signature *and* the per-block selection mask,
+//! so byte-identical blocks with different applicable-gate subsets never
+//! share a line, and the hit/miss counters advance once per block touch
+//! (not once per fused gate). `Metrics::gates_per_block_touch` reports the
+//! amortization factor actually achieved.
+//!
 //! ## Example
 //!
 //! ```

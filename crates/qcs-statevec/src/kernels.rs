@@ -1,0 +1,125 @@
+//! Scratch-slice gate kernels shared by the dense and compressed paths.
+//!
+//! The compressed simulator (paper §3.2) decompresses one or two blocks of
+//! interleaved `(re, im)` doubles into MCDRAM-modeled scratch buffers and
+//! applies the pair-update rule of Eq. 6/7 in place. These kernels are the
+//! only gate arithmetic that ever runs over those buffers; keeping them
+//! here lets the batch scheduler apply *several* fused gates to one
+//! decompressed block without re-entering the engine, and lets tests drive
+//! the exact production kernels against [`crate::StateVector`].
+
+use crate::complex::Complex64;
+use crate::gates::Gate1;
+
+/// Pair update within one scratch block: amplitudes at offsets `o` and
+/// `o | 2^offset_bit` with all control bits of `cmask` set (Eq. 6/7).
+///
+/// `buf` holds interleaved `(re, im)` doubles, so `buf.len() / 2`
+/// amplitudes. `cmask` is a mask over amplitude offsets (in-block control
+/// qubits only); offsets whose bits do not cover it are left untouched.
+pub fn apply_in_block(buf: &mut [f64], offset_bit: u32, gate: &Gate1, cmask: usize) {
+    let amps = buf.len() / 2;
+    let tbit = 1usize << offset_bit;
+    let m = gate.m;
+    for o in 0..amps {
+        if o & tbit != 0 || o & cmask != cmask {
+            continue;
+        }
+        let p = o | tbit;
+        let a = Complex64::new(buf[2 * o], buf[2 * o + 1]);
+        let b = Complex64::new(buf[2 * p], buf[2 * p + 1]);
+        let na = m[0][0] * a + m[0][1] * b;
+        let nb = m[1][0] * a + m[1][1] * b;
+        buf[2 * o] = na.re;
+        buf[2 * o + 1] = na.im;
+        buf[2 * p] = nb.re;
+        buf[2 * p + 1] = nb.im;
+    }
+}
+
+/// Pair update across two scratch blocks: offset `o` of `buf0` pairs with
+/// offset `o` of `buf1` (the target bit selects the block or rank, not the
+/// offset — cases (b)/(c) of paper §3.3).
+pub fn apply_cross(buf0: &mut [f64], buf1: &mut [f64], gate: &Gate1, cmask: usize) {
+    let amps = buf0.len() / 2;
+    debug_assert_eq!(buf0.len(), buf1.len());
+    let m = gate.m;
+    for o in 0..amps {
+        if o & cmask != cmask {
+            continue;
+        }
+        let a = Complex64::new(buf0[2 * o], buf0[2 * o + 1]);
+        let b = Complex64::new(buf1[2 * o], buf1[2 * o + 1]);
+        let na = m[0][0] * a + m[0][1] * b;
+        let nb = m[1][0] * a + m[1][1] * b;
+        buf0[2 * o] = na.re;
+        buf0[2 * o + 1] = na.im;
+        buf1[2 * o] = nb.re;
+        buf1[2 * o + 1] = nb.im;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    fn to_buf(s: &StateVector) -> Vec<f64> {
+        s.as_f64_slice().to_vec()
+    }
+
+    fn assert_buf_matches(buf: &[f64], s: &StateVector) {
+        for (i, a) in s.amplitudes().iter().enumerate() {
+            assert!(
+                (buf[2 * i] - a.re).abs() < 1e-12 && (buf[2 * i + 1] - a.im).abs() < 1e-12,
+                "amplitude {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn in_block_kernel_matches_dense_gate() {
+        let mut s = StateVector::zero_state(4);
+        for q in 0..4 {
+            s.apply_gate(&Gate1::h(), q);
+        }
+        let mut buf = to_buf(&s);
+        let g = Gate1::u3(0.7, -0.3, 1.1);
+        apply_in_block(&mut buf, 2, &g, 0);
+        s.apply_gate(&g, 2);
+        assert_buf_matches(&buf, &s);
+    }
+
+    #[test]
+    fn in_block_kernel_honors_control_mask() {
+        let mut s = StateVector::zero_state(4);
+        for q in 0..4 {
+            s.apply_gate(&Gate1::h(), q);
+        }
+        s.apply_gate(&Gate1::t(), 1);
+        let mut buf = to_buf(&s);
+        apply_in_block(&mut buf, 3, &Gate1::x(), 0b001 | 0b010);
+        s.apply_multi_controlled(&Gate1::x(), &[0, 1], 3);
+        assert_buf_matches(&buf, &s);
+    }
+
+    #[test]
+    fn cross_kernel_matches_dense_gate_on_top_qubit() {
+        // Split a 3-qubit state into two 4-amplitude halves; qubit 2 pairs
+        // offset o of the low half with offset o of the high half.
+        let mut s = StateVector::zero_state(3);
+        s.apply_gate(&Gate1::h(), 0);
+        s.apply_gate(&Gate1::t(), 0);
+        s.apply_gate(&Gate1::ry(0.4), 1);
+        let flat = to_buf(&s);
+        let (mut lo, mut hi) = (flat[..8].to_vec(), flat[8..].to_vec());
+        let g = Gate1::sqrt_y();
+        apply_cross(&mut lo, &mut hi, &g, 0);
+        s.apply_gate(&g, 2);
+        let expect = to_buf(&s);
+        for i in 0..8 {
+            assert!((lo[i] - expect[i]).abs() < 1e-12);
+            assert!((hi[i] - expect[8 + i]).abs() < 1e-12);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod complex;
 pub mod gates;
+pub mod kernels;
 pub mod noise;
 pub mod observables;
 pub mod state;
@@ -35,4 +36,4 @@ pub use complex::Complex64;
 pub use gates::{qft_phase, Gate1, GateKind};
 pub use noise::{NoiseChannel, NoiseModel};
 pub use observables::{entanglement_entropy, Pauli, PauliString};
-pub use state::StateVector;
+pub use state::{BatchGate, StateVector};

@@ -13,6 +13,43 @@ use rayon::prelude::*;
 /// Below this qubit count gate application stays single-threaded.
 const PAR_THRESHOLD_QUBITS: usize = 14;
 
+/// One (possibly fused) controlled single-qubit unitary in the minimal form
+/// batched appliers consume: a bare matrix, control qubits, and a target.
+///
+/// This is the unit of work emitted by the circuit-level batch scheduler
+/// (`qcs-circuits::schedule`): a run of fused single-qubit gates collapses
+/// into one `BatchGate` with an empty control list, while controlled gates
+/// pass through with their controls intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchGate {
+    /// The 2x2 unitary to apply (a product matrix for fused runs).
+    pub gate: Gate1,
+    /// Control qubits; all must read `|1>` for the gate to fire (Eq. 7).
+    pub controls: Vec<usize>,
+    /// Target qubit.
+    pub target: usize,
+}
+
+impl BatchGate {
+    /// An uncontrolled gate on `target`.
+    pub fn new(gate: Gate1, target: usize) -> Self {
+        Self {
+            gate,
+            controls: Vec::new(),
+            target,
+        }
+    }
+
+    /// A controlled gate.
+    pub fn controlled(gate: Gate1, controls: Vec<usize>, target: usize) -> Self {
+        Self {
+            gate,
+            controls,
+            target,
+        }
+    }
+}
+
 /// A dense `n`-qubit state vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateVector {
@@ -160,6 +197,23 @@ impl StateVector {
                 .for_each(|(k, c)| apply_range(c, k * chunk));
         } else {
             apply_range(&mut self.amps, 0);
+        }
+    }
+
+    /// Apply a batch of (possibly fused) gates in order.
+    ///
+    /// The dense counterpart of the compressed engine's batched path: the
+    /// batch scheduler groups gates so the compressed simulator touches
+    /// each block once per batch, and this method replays the same batch on
+    /// a dense vector — the reference the differential and property tests
+    /// compare against.
+    pub fn apply_batch(&mut self, batch: &[BatchGate]) {
+        for g in batch {
+            if g.controls.is_empty() {
+                self.apply_gate(&g.gate, g.target);
+            } else {
+                self.apply_multi_controlled(&g.gate, &g.controls, g.target);
+            }
         }
     }
 
@@ -396,6 +450,28 @@ mod tests {
         // uniform 2^{-n/2}; controls on zero-index amplitudes do nothing.
         let expect = 2f64.powi(-15 / 2) / 2f64.sqrt();
         assert!((big.amplitudes()[0].re - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_application() {
+        let batch = vec![
+            BatchGate::new(Gate1::h(), 0),
+            BatchGate::new(Gate1::t(), 2),
+            BatchGate::controlled(Gate1::x(), vec![0], 1),
+            BatchGate::controlled(Gate1::z(), vec![1, 2], 3),
+        ];
+        let mut batched = StateVector::zero_state(4);
+        batched.apply_gate(&Gate1::h(), 3);
+        let mut sequential = batched.clone();
+        batched.apply_batch(&batch);
+        sequential.apply_gate(&Gate1::h(), 0);
+        sequential.apply_gate(&Gate1::t(), 2);
+        sequential.apply_controlled(&Gate1::x(), 0, 1);
+        sequential.apply_multi_controlled(&Gate1::z(), &[1, 2], 3);
+        assert!(batched.fidelity(&sequential) > 1.0 - 1e-12);
+        for (a, b) in batched.amplitudes().iter().zip(sequential.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
     }
 
     #[test]
