@@ -1,0 +1,125 @@
+//! Criterion kernels for the rank-worker execution layer: single in-place
+//! worker vs. real thread-per-rank clusters, and the cost of the
+//! compressed inter-rank exchange relative to local routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_circuits::Circuit;
+use qcs_core::{CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The same mixed circuit on 1 / 2 / 4 rank workers: measures what the
+/// cluster dispatch and exchange machinery costs (or saves) end to end.
+fn bench_rank_scaling(c: &mut Criterion) {
+    let n = 16usize;
+    let mut circuit = Circuit::new(n);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    for q in 0..n - 1 {
+        circuit.cx(q, q + 1);
+    }
+    for q in 0..n {
+        circuit.rz(0.2 * (q + 1) as f64, q);
+    }
+    let mut group = c.benchmark_group("rank_scaling_16q");
+    group.sample_size(10);
+    for ranks_log2 in [0u32, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("ranks", 1usize << ranks_log2),
+            &ranks_log2,
+            |b, &r| {
+                b.iter(|| {
+                    let cfg = SimConfig::default()
+                        .with_block_log2(10)
+                        .with_ranks_log2(r)
+                        .without_cache();
+                    let mut sim = CompressedSimulator::new(n as u32, cfg).unwrap();
+                    let mut rng = StdRng::seed_from_u64(0);
+                    sim.run(&circuit, &mut rng).unwrap();
+                    sim.report().gates
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One gate per routing case on a 2-rank cluster over a spread state: the
+/// inter_rank case pays the compressed exchange, the others stay local.
+fn bench_exchange_vs_local(c: &mut Criterion) {
+    let n = 16u32;
+    let mut group = c.benchmark_group("cluster_gate_16q");
+    group.sample_size(10);
+    // Layout: block_log2=10, ranks_log2=1 -> offsets 0-9, blocks 10-14,
+    // rank bit 15.
+    for (label, target) in [
+        ("in_block", 0usize),
+        ("inter_block", 12),
+        ("inter_rank", 15),
+    ] {
+        group.bench_with_input(BenchmarkId::new("h", label), &target, |b, &t| {
+            let cfg = SimConfig::default()
+                .with_block_log2(10)
+                .with_ranks_log2(1)
+                .without_cache();
+            let mut sim = CompressedSimulator::new(n, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut warm = Circuit::new(n as usize);
+            for q in 0..n as usize {
+                warm.h(q);
+            }
+            sim.run(&warm, &mut rng).unwrap();
+            let mut gate = Circuit::new(n as usize);
+            gate.h(t);
+            b.iter(|| sim.run(&gate, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Threads-per-rank sweep at a fixed rank count (the fig. 5 axis the
+/// criterion harness can watch for regressions).
+fn bench_threads_per_rank(c: &mut Criterion) {
+    let n = 18usize;
+    let circuit = {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n {
+            c.rz(0.31 * (q + 1) as f64, q);
+        }
+        c
+    };
+    let mut group = c.benchmark_group("threads_per_rank_18q");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("4ranks", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cfg = SimConfig::default()
+                        .with_block_log2(10)
+                        .with_ranks_log2(2)
+                        .with_threads_per_rank(threads)
+                        .without_cache();
+                    let mut sim = CompressedSimulator::new(n as u32, cfg).unwrap();
+                    let mut rng = StdRng::seed_from_u64(0);
+                    sim.run(&circuit, &mut rng).unwrap();
+                    sim.report().gates
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rank_scaling,
+    bench_exchange_vs_local,
+    bench_threads_per_rank
+);
+criterion_main!(benches);

@@ -137,43 +137,52 @@ fn table1(dir: &Path) {
 fn fig5(dir: &Path) {
     // Paper: 35-qubit random circuit across (ranks/node x threads/rank)
     // with ranks*threads = 256 KNL threads; best at 128x2. Scaled: an
-    // 18-qubit random circuit across ranks x rayon-threads with
-    // ranks*threads = 16.
+    // 18-qubit random circuit across real rank workers x rayon threads
+    // per worker with ranks*threads = 16. Each configuration instantiates
+    // genuine `ClusterSim` rank workers on dedicated threads (ranks >= 2),
+    // so the sweep trades real inter-rank compressed-block exchanges
+    // against intra-rank rayon width — not just a thread-pool resize.
     let budget_cores = 16usize;
     let circuit = random_circuit(Grid::new(3, 6), 8, 5);
     let n = circuit.num_qubits() as u32;
-    let mut t = Table::new(vec!["Ranks x Threads", "Time (s)", "Normalized"]);
+    let mut t = Table::new(vec![
+        "Ranks x Threads",
+        "Time (s)",
+        "Normalized",
+        "comm (ms)",
+        "MB exchanged",
+        "exch/gate",
+    ]);
     let mut baseline = None;
     for ranks_log2 in 0..=4u32 {
         let ranks = 1usize << ranks_log2;
         let threads = budget_cores / ranks;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
         // Paper-shape reproduction: measure the strict gate-at-a-time
         // pipeline (the batch scheduler is compared in ablation-fusion).
         let cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(ranks_log2)
+            .with_threads_per_rank(threads)
             .without_cache()
             .without_fusion();
-        let elapsed = pool.install(|| {
-            let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
-            let mut rng = StdRng::seed_from_u64(0);
-            let t0 = Instant::now();
-            sim.run(&circuit, &mut rng).expect("run");
-            t0.elapsed().as_secs_f64()
-        });
+        let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
+        let mut rng = StdRng::seed_from_u64(0);
+        let t0 = Instant::now();
+        sim.run(&circuit, &mut rng).expect("run");
+        let elapsed = t0.elapsed().as_secs_f64();
+        let report = sim.report();
         let base = *baseline.get_or_insert(elapsed);
         t.row(vec![
             format!("{ranks}x{threads}"),
             format!("{elapsed:.3}"),
             format!("{:.1}%", 100.0 * elapsed / base),
+            format!("{:.2}", report.comm_ns as f64 / 1e6),
+            format!("{:.2}", report.bytes_exchanged as f64 / 1e6),
+            format!("{:.2}", report.exchanges_per_gate()),
         ]);
     }
     finish(&t, dir, "fig5");
-    println!("paper shape: a mid-sweep optimum (128 ranks x 2 threads best of 8x32..256x1)");
+    println!("paper shape: a mid-sweep optimum (128 ranks x 2 threads best of 8x32..256x1); comm grows with the rank count");
 }
 
 // --- Fig. 6: fidelity lower bound vs gate count --------------------------
@@ -467,34 +476,31 @@ fn fig15(dir: &Path) {
 
 fn fig16(dir: &Path) {
     // Paper: 51-qubit H-wall across 128/256/512 Theta nodes (speedups
-    // 1 / 1.698 / 2.84 vs ideal 1 / 2 / 4). Scaled: 22-qubit H-wall across
-    // 2/4/8/16 threads.
+    // 1 / 1.698 / 2.84 vs ideal 1 / 2 / 4). Scaled: 22-qubit H-wall on a
+    // fixed 4-rank-worker cluster, growing the rayon width inside each
+    // rank worker (4/8/16 total threads).
     let circuit = hadamard_wall(22);
     let mut t = Table::new(vec!["threads", "time (s)", "speedup", "ideal"]);
     let mut base = None;
-    for threads in [2usize, 4, 8, 16] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
+    for threads_per_rank in [1usize, 2, 4] {
+        let threads = 4 * threads_per_rank;
         let cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(2)
+            .with_threads_per_rank(threads_per_rank)
             .without_cache()
             .without_fusion();
-        let el = pool.install(|| {
-            let mut sim = CompressedSimulator::new(22, cfg).expect("sim");
-            let mut rng = StdRng::seed_from_u64(0);
-            let t0 = Instant::now();
-            sim.run(&circuit, &mut rng).expect("run");
-            t0.elapsed().as_secs_f64()
-        });
+        let mut sim = CompressedSimulator::new(22, cfg).expect("sim");
+        let mut rng = StdRng::seed_from_u64(0);
+        let t0 = Instant::now();
+        sim.run(&circuit, &mut rng).expect("run");
+        let el = t0.elapsed().as_secs_f64();
         let b = *base.get_or_insert(el);
         t.row(vec![
             format!("{threads}"),
             format!("{el:.3}"),
             format!("{:.2}", b / el),
-            format!("{:.0}", threads as f64 / 2.0),
+            format!("{:.0}", threads as f64 / 4.0),
         ]);
     }
     finish(&t, dir, "fig16");
@@ -558,6 +564,7 @@ fn table2(dir: &Path) {
         "comm%",
         "compute%",
         "ms/gate",
+        "MB exch",
         "fid(bound)",
         "fid(meas)",
         "min ratio",
@@ -593,6 +600,7 @@ fn table2(dir: &Path) {
             format!("{:.1}", pct[2]),
             format!("{:.1}", pct[3]),
             format!("{:.1}", 1000.0 * report.time_per_gate()),
+            format!("{:.1}", report.bytes_exchanged as f64 / 1e6),
             format!("{:.3}", report.fidelity_lower_bound),
             format!("{fid:.3}"),
             format!("{:.2}", report.min_compression_ratio),
@@ -695,7 +703,7 @@ fn ablation_fusion(dir: &Path) {
     ]);
     for (name, circuit) in workloads {
         let n = circuit.num_qubits() as u32;
-        let mut run = |fusion: bool| {
+        let run = |fusion: bool| {
             let cfg = SimConfig::default()
                 .with_block_log2(10)
                 .with_ranks_log2(2)

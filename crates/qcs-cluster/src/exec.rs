@@ -1,0 +1,305 @@
+//! Thread-per-rank execution: the in-process stand-in for the paper's MPI
+//! job (§3.1, §3.6).
+//!
+//! The paper runs one MPI rank per core group; each rank owns a contiguous
+//! slice of the compressed state and rank-crossing gates are realized by
+//! exchanging *compressed* block payloads between paired ranks. This module
+//! provides the generic plumbing for that shape without prescribing what a
+//! rank stores:
+//!
+//! - [`Worker`] — the per-rank execution unit: a state machine that answers
+//!   commands. `qcs-core` implements it for its `RankWorker` (which owns
+//!   exactly its rank's compressed blocks).
+//! - [`ClusterSim`] — the orchestrator: spawns one dedicated OS thread per
+//!   worker and drives all of them with a scatter/gather command protocol
+//!   ([`ClusterSim::dispatch`]). This is the seam that maps to
+//!   `MPI_COMM_WORLD`: one `dispatch` is one collective step.
+//! - [`Duplex`] — a bidirectional message link between two workers,
+//!   created per exchange wave by the orchestrator and carried *inside* a
+//!   command. Paired workers use it to move compressed payloads directly
+//!   between their threads — the stand-in for `MPI_Sendrecv` in §3.3
+//!   case (c). Because the links are buffered channels, a sender can queue
+//!   every payload before the receiver finishes computing, which is exactly
+//!   the compression/communication overlap the paper exploits.
+//!
+//! Per-rank intra-block parallelism stays inside the worker: each spawned
+//! thread installs a rayon pool of `threads_per_rank` workers around its
+//! command loop, so `rank workers × rayon threads` reproduces the paper's
+//! ranks-per-node × threads-per-rank configuration space (Fig. 5).
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A per-rank execution unit driven by [`ClusterSim`].
+///
+/// A worker is moved onto its dedicated thread at spawn time and then
+/// answers one command at a time. Blocking inside [`Worker::handle`] on a
+/// [`Duplex`] endpoint is allowed (and expected for exchange commands):
+/// the orchestrator issues the whole wave before gathering any response,
+/// so both sides of a pair are always running.
+pub trait Worker: Send + 'static {
+    /// Command payload scattered by the orchestrator.
+    type Cmd: Send + 'static;
+    /// Response payload gathered by the orchestrator.
+    type Resp: Send + 'static;
+
+    /// Execute one command and produce its response.
+    fn handle(&mut self, cmd: Self::Cmd) -> Self::Resp;
+}
+
+/// One endpoint of a bidirectional rank-to-rank message link.
+///
+/// Sends never block (the underlying channels are unbounded), so a worker
+/// can queue all its outgoing payloads before its peer starts draining
+/// them — communication overlaps with the peer's (de)compression.
+#[derive(Debug)]
+pub struct Duplex<M> {
+    tx: Sender<M>,
+    rx: Receiver<M>,
+}
+
+impl<M> Duplex<M> {
+    /// Send a message to the peer. Returns `false` when the peer endpoint
+    /// was dropped (e.g. the peer worker failed mid-wave).
+    pub fn send(&self, msg: M) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+
+    /// Receive the next message from the peer, blocking until one arrives.
+    /// Returns `None` when the peer endpoint was dropped, which callers
+    /// must treat as a failed exchange (never as end-of-data).
+    pub fn recv(&self) -> Option<M> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Create a connected pair of [`Duplex`] endpoints.
+pub fn duplex<M>() -> (Duplex<M>, Duplex<M>) {
+    let (tx_ab, rx_ab) = channel();
+    let (tx_ba, rx_ba) = channel();
+    (
+        Duplex {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
+        Duplex {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
+    )
+}
+
+/// Thread-per-rank orchestrator: owns one dedicated OS thread per
+/// [`Worker`] and drives them with a scatter/gather command protocol.
+///
+/// Dropping the orchestrator closes every command channel and joins the
+/// worker threads.
+pub struct ClusterSim<W: Worker> {
+    cmd_txs: Vec<Sender<W::Cmd>>,
+    resp_rxs: Vec<Receiver<W::Resp>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<W: Worker> ClusterSim<W> {
+    /// Spawn one thread per worker. `threads_per_rank` fixes the rayon
+    /// width installed around each worker's command loop; `None` divides
+    /// the machine's available parallelism evenly across ranks (minimum 1).
+    pub fn new(workers: Vec<W>, threads_per_rank: Option<usize>) -> Self {
+        assert!(!workers.is_empty(), "a cluster needs at least one rank");
+        let ranks = workers.len();
+        let width = threads_per_rank.unwrap_or_else(|| {
+            let avail = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (avail / ranks).max(1)
+        });
+        let mut cmd_txs = Vec::with_capacity(ranks);
+        let mut resp_rxs = Vec::with_capacity(ranks);
+        let mut handles = Vec::with_capacity(ranks);
+        for (rank, mut worker) in workers.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel::<W::Cmd>();
+            let (resp_tx, resp_rx) = channel::<W::Resp>();
+            let handle = std::thread::Builder::new()
+                .name(format!("qcs-rank-{rank}"))
+                .spawn(move || {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(width)
+                        .build()
+                        .expect("rank rayon pool");
+                    pool.install(|| {
+                        while let Ok(cmd) = cmd_rx.recv() {
+                            if resp_tx.send(worker.handle(cmd)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                })
+                .expect("spawn rank worker thread");
+            cmd_txs.push(cmd_tx);
+            resp_rxs.push(resp_rx);
+            handles.push(handle);
+        }
+        Self {
+            cmd_txs,
+            resp_rxs,
+            handles,
+        }
+    }
+
+    /// Number of rank workers.
+    pub fn ranks(&self) -> usize {
+        self.cmd_txs.len()
+    }
+
+    /// Scatter one command per rank (`cmds[r]` goes to rank `r`), then
+    /// gather one response per rank, in rank order.
+    ///
+    /// Every command of the wave is sent before any response is awaited,
+    /// so commands that rendezvous through [`Duplex`] links (inter-rank
+    /// exchanges) cannot deadlock on dispatch order.
+    ///
+    /// # Panics
+    /// Panics when a worker thread has died (a worker panicked mid-wave).
+    pub fn dispatch(&self, cmds: Vec<W::Cmd>) -> Vec<W::Resp> {
+        assert_eq!(cmds.len(), self.ranks(), "one command per rank");
+        for (rank, cmd) in cmds.into_iter().enumerate() {
+            self.cmd_txs[rank]
+                .send(cmd)
+                .unwrap_or_else(|_| panic!("rank {rank} worker is gone"));
+        }
+        self.resp_rxs
+            .iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                rx.recv()
+                    .unwrap_or_else(|_| panic!("rank {rank} worker died mid-wave"))
+            })
+            .collect()
+    }
+
+    /// Scatter a clone of `cmd` to every rank and gather the responses.
+    pub fn broadcast(&self, cmd: W::Cmd) -> Vec<W::Resp>
+    where
+        W::Cmd: Clone,
+    {
+        self.dispatch(vec![cmd; self.ranks()])
+    }
+}
+
+impl<W: Worker> Drop for ClusterSim<W> {
+    fn drop(&mut self) {
+        // Closing the command channels ends each worker loop.
+        self.cmd_txs.clear();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already surfaced the panic at the
+            // dispatch that hit it; ignore the poisoned join here.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy worker: owns a counter, supports add/read/exchange-sum.
+    struct Toy {
+        value: u64,
+    }
+
+    enum ToyCmd {
+        Add(u64),
+        Read,
+        /// Swap values with a peer and keep the sum.
+        ExchangeSum(Duplex<u64>),
+    }
+
+    impl Worker for Toy {
+        type Cmd = ToyCmd;
+        type Resp = u64;
+        fn handle(&mut self, cmd: ToyCmd) -> u64 {
+            match cmd {
+                ToyCmd::Add(v) => {
+                    self.value += v;
+                    self.value
+                }
+                ToyCmd::Read => self.value,
+                ToyCmd::ExchangeSum(link) => {
+                    assert!(link.send(self.value));
+                    let peer = link.recv().expect("peer alive");
+                    self.value += peer;
+                    self.value
+                }
+            }
+        }
+    }
+
+    fn cluster(n: usize) -> ClusterSim<Toy> {
+        let workers = (0..n).map(|rank| Toy { value: rank as u64 }).collect();
+        ClusterSim::new(workers, Some(1))
+    }
+
+    #[test]
+    fn dispatch_routes_per_rank_and_gathers_in_order() {
+        let c = cluster(4);
+        let out = c.dispatch(vec![
+            ToyCmd::Add(10),
+            ToyCmd::Add(20),
+            ToyCmd::Add(30),
+            ToyCmd::Add(40),
+        ]);
+        assert_eq!(out, vec![10, 21, 32, 43]);
+        let again = c.dispatch(vec![ToyCmd::Read, ToyCmd::Read, ToyCmd::Read, ToyCmd::Read]);
+        assert_eq!(again, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn paired_exchange_rendezvous_inside_one_wave() {
+        let c = cluster(4);
+        // Pair (0,1) and (2,3): each pair swaps and sums.
+        let (a0, a1) = duplex();
+        let (b0, b1) = duplex();
+        let out = c.dispatch(vec![
+            ToyCmd::ExchangeSum(a0),
+            ToyCmd::ExchangeSum(a1),
+            ToyCmd::ExchangeSum(b0),
+            ToyCmd::ExchangeSum(b1),
+        ]);
+        assert_eq!(out, vec![1, 1, 5, 5]);
+    }
+
+    #[test]
+    fn duplex_reports_dropped_peer() {
+        let (a, b) = duplex::<u64>();
+        assert!(a.send(7));
+        assert_eq!(b.recv(), Some(7));
+        drop(a);
+        assert_eq!(b.recv(), None);
+        assert!(!b.send(1));
+    }
+
+    #[test]
+    fn workers_run_on_dedicated_threads() {
+        struct ThreadProbe;
+        impl Worker for ThreadProbe {
+            type Cmd = ();
+            type Resp = String;
+            fn handle(&mut self, _: ()) -> String {
+                std::thread::current().name().unwrap_or("").to_string()
+            }
+        }
+        let c = ClusterSim::new(vec![ThreadProbe, ThreadProbe], None);
+        let names = c.dispatch(vec![(), ()]);
+        assert_eq!(names, vec!["qcs-rank-0", "qcs-rank-1"]);
+    }
+
+    #[test]
+    fn state_persists_across_waves_per_rank() {
+        let c = cluster(2);
+        c.dispatch(vec![ToyCmd::Add(5), ToyCmd::Add(5)]);
+        c.dispatch(vec![ToyCmd::Add(5), ToyCmd::Add(5)]);
+        let out = c.dispatch(vec![ToyCmd::Read, ToyCmd::Read]);
+        assert_eq!(out, vec![10, 11]);
+        assert_eq!(c.ranks(), 2);
+    }
+}

@@ -2,18 +2,27 @@
 //!
 //! In-process substitute for the paper's MPI deployment (§3.1, §3.3, §3.6).
 //!
-//! The paper runs on 4,096 Theta nodes with 128 MPI ranks per node. What
-//! the simulation algorithm actually depends on is the *logical* layout —
-//! how the `2^n` amplitudes split into ranks and blocks, and which of the
-//! three routing cases a target qubit falls into. [`Layout`] implements
-//! exactly that index arithmetic; [`Metrics`] accounts wall time per phase
-//! and bytes exchanged between ranks so that the Table 2 breakdown can be
+//! The paper runs on 4,096 Theta nodes with 128 MPI ranks per node. Two
+//! layers of that deployment are reproduced here:
+//!
+//! - the *logical* layout — how the `2^n` amplitudes split into ranks and
+//!   blocks, and which of the three routing cases a target qubit falls
+//!   into. [`Layout`] implements exactly that index arithmetic;
+//! - the *physical* execution shape — one dedicated thread per rank,
+//!   driven by a scatter/gather command protocol, with rank-to-rank
+//!   compressed-payload links ([`exec`]). [`exec::ClusterSim`] is the
+//!   in-process `MPI_COMM_WORLD`; [`exec::Duplex`] is `MPI_Sendrecv`.
+//!
+//! [`Metrics`] accounts wall time per phase, bytes exchanged between
+//! ranks, and block-exchange counts so that the Table 2 breakdown can be
 //! reproduced without physical network hardware.
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod metrics;
 pub mod topology;
 
+pub use exec::{duplex, ClusterSim, Duplex, Worker};
 pub use metrics::{Metrics, Phase, TimeBreakdown};
 pub use topology::{max_qubits_for_memory, ControlScope, Layout, Route};

@@ -42,6 +42,7 @@ impl Phase {
 struct Inner {
     durations: [Duration; 4],
     comm_bytes: u64,
+    exchanges: u64,
     block_touches: u64,
     batched_gate_applications: u64,
 }
@@ -79,6 +80,17 @@ impl Metrics {
     /// Total bytes exchanged between ranks.
     pub fn comm_bytes(&self) -> u64 {
         self.inner.lock().comm_bytes
+    }
+
+    /// Record one inter-rank block-pair exchange (a compressed payload
+    /// crossing to the partner rank and its replacement coming back).
+    pub fn add_exchange(&self) {
+        self.inner.lock().exchanges += 1;
+    }
+
+    /// Total inter-rank block-pair exchanges performed.
+    pub fn exchanges(&self) -> u64 {
+        self.inner.lock().exchanges
     }
 
     /// Record one block-touch (a decompress → compute → recompress cycle of
@@ -133,6 +145,7 @@ impl Metrics {
             communication: inner.durations[Phase::Communication as usize],
             computation: inner.durations[Phase::Computation as usize],
             comm_bytes: inner.comm_bytes,
+            exchanges: inner.exchanges,
             block_touches: inner.block_touches,
             batched_gate_applications: inner.batched_gate_applications,
         }
@@ -158,6 +171,8 @@ pub struct TimeBreakdown {
     pub computation: Duration,
     /// Bytes exchanged between ranks.
     pub comm_bytes: u64,
+    /// Inter-rank block-pair exchanges performed.
+    pub exchanges: u64,
     /// Decompress → compute → recompress cycles performed.
     pub block_touches: u64,
     /// Gate kernels applied across all block touches.
@@ -168,6 +183,12 @@ impl TimeBreakdown {
     /// Total across phases.
     pub fn total(&self) -> Duration {
         self.compression + self.decompression + self.communication + self.computation
+    }
+
+    /// Communication time in nanoseconds (saturating; the Table 2 row the
+    /// repro harness prints directly).
+    pub fn comm_ns(&self) -> u64 {
+        u64::try_from(self.communication.as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Average gate kernels per block touch (0 when nothing ran).

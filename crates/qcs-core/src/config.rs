@@ -9,9 +9,15 @@ pub struct SimConfig {
     /// amplitudes (16 MB); the default here is smaller so laptop-scale
     /// experiments have enough blocks per rank to exercise the layout.
     pub block_log2: u32,
-    /// `log2` of the simulated MPI rank count (paper: 128 ranks/node x
-    /// up to 4,096 nodes; here ranks are in-process bookkeeping).
+    /// `log2` of the rank-worker count (paper: 128 ranks/node x up to
+    /// 4,096 nodes). `0` runs a single in-place worker; `>= 1` spawns one
+    /// dedicated worker thread per rank, with rank-crossing gates moving
+    /// compressed payloads between paired workers.
     pub ranks_log2: u32,
+    /// Rayon threads installed inside each rank worker (the paper's
+    /// threads-per-rank axis in Fig. 5). `None` divides the machine's
+    /// available parallelism evenly across ranks.
+    pub threads_per_rank: Option<usize>,
     /// Memory budget in bytes for Eq. 8 accounting (compressed blocks plus
     /// two scratch blocks per rank). `None` disables the adaptive ladder:
     /// the simulation stays at the first ladder level.
@@ -54,6 +60,7 @@ impl Default for SimConfig {
         Self {
             block_log2: 12,
             ranks_log2: 0,
+            threads_per_rank: None,
             memory_budget: None,
             lossy_codec: CodecId::SolutionC,
             ladder: qcs_compress::ladder().to_vec(),
@@ -77,6 +84,13 @@ impl SimConfig {
     /// Config with a simulated rank count exponent.
     pub fn with_ranks_log2(mut self, ranks_log2: u32) -> Self {
         self.ranks_log2 = ranks_log2;
+        self
+    }
+
+    /// Config with a fixed rayon width per rank worker (Fig. 5's
+    /// threads-per-rank axis).
+    pub fn with_threads_per_rank(mut self, threads: usize) -> Self {
+        self.threads_per_rank = Some(threads.max(1));
         self
     }
 

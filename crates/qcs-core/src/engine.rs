@@ -1,17 +1,31 @@
 //! The compressed-block full-state simulator (paper §3).
 //!
-//! The state vector is divided over simulated MPI ranks and, within each
-//! rank, into blocks stored compressed in memory (Fig. 2). A gate on target
-//! qubit `q` decompresses at most two blocks at a time into scratch buffers
-//! (the MCDRAM stand-in), applies the pair update of Eq. 6/7, recompresses,
-//! and moves on. Routing between the three cases of §3.3 (intra-block,
-//! intra-rank, inter-rank) is delegated to [`qcs_cluster::Layout`].
+//! The state vector is divided over ranks and, within each rank, into
+//! blocks stored compressed in memory (Fig. 2). Since the rank-worker
+//! split, this module is the *facade and orchestrator glue*: the actual
+//! per-rank state — compressed blocks, scratch buffers, the §3.2 unit
+//! pipeline — lives in the private `worker` module's `RankWorker`, and
+//! [`CompressedSimulator`] routes every operation to its workers:
+//!
+//! - `ranks_log2 = 0`: one worker, driven in place on the calling thread
+//!   (no threads, no channels — the classic single-node pipeline);
+//! - `ranks_log2 >= 1`: one worker per rank on its own dedicated thread
+//!   via [`qcs_cluster::exec::ClusterSim`], driven by a message-passing
+//!   command protocol (apply-gate, apply-batch, exchange, collapse,
+//!   snapshot, …). A gate is one scatter/gather wave.
+//!
+//! Gate routing follows §3.3: intra-block and intra-rank gates are local
+//! to each worker; `Route::InterRank` gates pair ranks `r` and
+//! `r | stride` and move **compressed** block payloads between the two
+//! paired workers over a per-wave duplex link — compress, send, decompress
+//! on the receiver — exactly the seam the paper places on MPI.
 //!
 //! The hybrid adaptive pipeline of §3.7 runs lossless (`qzstd`) until the
 //! memory budget (Eq. 8) is exceeded, then walks the error-bound ladder,
-//! recording fidelity ledger entries per Eq. 11. The compressed-block cache
-//! of §3.4 skips decompress-compute-compress cycles entirely when the same
-//! gate hits byte-identical blocks.
+//! recording fidelity ledger entries per Eq. 11 (one entry per gate *or*
+//! batch wave, gathered across ranks). The compressed-block cache of §3.4
+//! is shared by all workers (it is internally sharded), so byte-identical
+//! blocks on different ranks still hit.
 //!
 //! # The batch scheduler
 //!
@@ -19,13 +33,13 @@
 //! batch scheduler in [`qcs_circuits::schedule`]: runs of consecutive
 //! single-qubit gates on the same qubit fuse into one matrix, and runs of
 //! gates whose targets all route intra-block (§3.3 case (a)) group into
-//! [`GateBatch`]es. [`CompressedSimulator::apply_batch`] then fills each
-//! worker's scratch once per *batch*, applies every member gate to the
-//! decompressed amplitudes, and recompresses once — amortizing the
-//! decompress/recompress cycle that dominates Table 2 across the whole
-//! batch. Because a batched recompression is a single lossy event, the
-//! fidelity ledger also charges one `delta` per batch instead of one per
-//! gate.
+//! [`GateBatch`]es. [`CompressedSimulator::apply_batch`] broadcasts the
+//! batch plan to every worker; each worker fills its scratch once per
+//! *batch*, applies every member gate to the decompressed amplitudes, and
+//! recompresses once — amortizing the decompress/recompress cycle that
+//! dominates Table 2 across the whole batch. Because a batched
+//! recompression is a single lossy event, the fidelity ledger also charges
+//! one `delta` per batch instead of one per gate.
 //!
 //! Cache soundness: a batch's cache key is its schedule-level signature
 //! mixed with the per-block *selection mask* (which member gates actually
@@ -38,12 +52,15 @@ use crate::block::{BlockCodec, CompressedBlock};
 use crate::cache::BlockCache;
 use crate::config::SimConfig;
 use crate::fidelity_bound::FidelityLedger;
-use qcs_circuits::schedule::mix;
+use crate::worker::{
+    BatchCmd, BatchPlan, ExchangeCmd, ExchangeRole, GateCmd, RankWorker, WaveOut, WorkerCmd,
+    WorkerOut,
+};
 use qcs_circuits::{schedule_circuit, Circuit, GateBatch, Op, Schedule, ScheduledOp};
+use qcs_cluster::exec::{duplex, ClusterSim, Worker as _};
 use qcs_cluster::{ControlScope, Layout, Metrics, Phase, Route, TimeBreakdown};
 use qcs_compress::ErrorBound;
-use qcs_statevec::{kernels, Complex64, Gate1, StateVector};
-use rayon::prelude::*;
+use qcs_statevec::{Complex64, Gate1, StateVector};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,6 +73,8 @@ pub enum SimError {
     Codec(qcs_compress::CodecError),
     /// Checkpoint I/O or format problems.
     Checkpoint(String),
+    /// An inter-rank exchange broke down (a paired worker failed).
+    Exchange(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -64,6 +83,7 @@ impl std::fmt::Display for SimError {
             SimError::Config(m) => write!(f, "configuration error: {m}"),
             SimError::Codec(e) => write!(f, "codec error: {e}"),
             SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            SimError::Exchange(m) => write!(f, "exchange error: {m}"),
         }
     }
 }
@@ -105,8 +125,12 @@ pub struct SimReport {
     pub cache_hits: u64,
     /// Compressed-block cache misses.
     pub cache_misses: u64,
-    /// Bytes exchanged between simulated ranks.
-    pub comm_bytes: u64,
+    /// Compressed bytes moved between rank workers.
+    pub bytes_exchanged: u64,
+    /// Wall time spent in inter-rank communication, in nanoseconds.
+    pub comm_ns: u64,
+    /// Inter-rank block-pair exchanges performed.
+    pub exchanges: u64,
 }
 
 impl SimReport {
@@ -118,31 +142,34 @@ impl SimReport {
             self.wall_time.as_secs_f64() / self.gates as f64
         }
     }
+
+    /// Average inter-rank block exchanges per gate.
+    pub fn exchanges_per_gate(&self) -> f64 {
+        if self.gates == 0 {
+            0.0
+        } else {
+            self.exchanges as f64 / self.gates as f64
+        }
+    }
 }
 
-/// One work unit: a single block, or a pair of blocks whose amplitudes are
-/// gate partners.
-struct Unit {
-    slot_a: usize,
-    slot_b: Option<usize>,
-    in_a: CompressedBlock,
-    in_b: Option<CompressedBlock>,
-    /// Inter-rank pair: account exchanged bytes as communication.
-    cross_rank: bool,
+/// How the facade drives its rank workers.
+enum Backend {
+    /// `ranks_log2 = 0`: a single worker, called in place. The pool pins
+    /// the configured `threads_per_rank` rayon width around every command
+    /// (absent when the config leaves the ambient width in force), so the
+    /// single-rank baseline of a ranks×threads sweep is honestly sized.
+    Local(Box<RankWorker>, Option<rayon::ThreadPool>),
+    /// `ranks_log2 >= 1`: one worker per rank on a dedicated thread.
+    Cluster(ClusterSim<RankWorker>),
 }
 
-struct UnitOut {
-    slot_a: usize,
-    slot_b: Option<usize>,
-    out_a: CompressedBlock,
-    out_b: Option<CompressedBlock>,
-    timings: [Duration; 4],
-    comm_bytes: u64,
-    compressed_lossy: bool,
-    /// False when the block cache answered and no cycle ran.
-    cache_hit: bool,
-    /// Gate kernels applied during the cycle (0 on a cache hit).
-    gates_applied: u64,
+/// Run `f` under the local backend's pinned rayon width, if any.
+fn with_pool<T>(pool: &Option<rayon::ThreadPool>, f: impl FnOnce() -> T) -> T {
+    match pool {
+        Some(p) => p.install(f),
+        None => f(),
+    }
 }
 
 /// The compressed-state simulator.
@@ -150,11 +177,13 @@ pub struct CompressedSimulator {
     cfg: SimConfig,
     layout: Layout,
     codec: Arc<BlockCodec>,
-    /// Rank-major flat block storage: index = rank * blocks_per_rank + block.
-    blocks: Vec<Option<CompressedBlock>>,
-    level: usize,
-    metrics: Metrics,
     cache: Arc<BlockCache>,
+    metrics: Metrics,
+    backend: Backend,
+    /// Last-known compressed byte total per rank, refreshed by every
+    /// state-mutating wave (Eq. 8 accounting without an extra collective).
+    rank_bytes: Vec<u64>,
+    level: usize,
     ledger: FidelityLedger,
     min_ratio: f64,
     peak_memory: u64,
@@ -185,19 +214,82 @@ impl CompressedSimulator {
             blocks.push(Some(zero_block.clone()));
         }
 
+        Self::from_parts(cfg, layout, codec, 0, FidelityLedger::new(), blocks)
+    }
+
+    /// Assemble a simulator around an existing rank-major block table
+    /// (fresh state or checkpoint restore): split the table into per-rank
+    /// ownership and stand the backend up.
+    fn from_parts(
+        cfg: SimConfig,
+        layout: Layout,
+        codec: Arc<BlockCodec>,
+        level: usize,
+        ledger: FidelityLedger,
+        blocks: Vec<Option<CompressedBlock>>,
+    ) -> Result<Self, SimError> {
+        let ranks = layout.ranks();
+        let bpr = layout.blocks_per_rank();
+        debug_assert_eq!(blocks.len(), ranks * bpr);
         let cache = Arc::new(BlockCache::new(
             cfg.cache_lines,
             cfg.cache_auto_disable_after,
         ));
+        let metrics = Metrics::new();
+
+        let mut rank_bytes = Vec::with_capacity(ranks);
+        let mut per_rank: Vec<Vec<Option<CompressedBlock>>> = Vec::with_capacity(ranks);
+        let mut iter = blocks.into_iter();
+        for _ in 0..ranks {
+            let local: Vec<_> = iter.by_ref().take(bpr).collect();
+            rank_bytes.push(
+                local
+                    .iter()
+                    .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
+                    .sum(),
+            );
+            per_rank.push(local);
+        }
+
+        let workers: Vec<RankWorker> = per_rank
+            .into_iter()
+            .enumerate()
+            .map(|(rank, local)| {
+                RankWorker::new(
+                    rank,
+                    layout,
+                    Arc::clone(&codec),
+                    Arc::clone(&cache),
+                    metrics.clone(),
+                    local,
+                )
+            })
+            .collect();
+        let backend = if ranks == 1 {
+            let pool = cfg.threads_per_rank.map(|threads| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("local rank rayon pool")
+            });
+            Backend::Local(
+                Box::new(workers.into_iter().next().expect("one worker")),
+                pool,
+            )
+        } else {
+            Backend::Cluster(ClusterSim::new(workers, cfg.threads_per_rank))
+        };
+
         let mut sim = Self {
             cfg,
             layout,
             codec,
-            blocks,
-            level: 0,
-            metrics: Metrics::new(),
             cache,
-            ledger: FidelityLedger::new(),
+            metrics,
+            backend,
+            rank_bytes,
+            level,
+            ledger,
             min_ratio: f64::INFINITY,
             peak_memory: 0,
             escalations: 0,
@@ -223,12 +315,14 @@ impl CompressedSimulator {
         self.cfg.ladder[self.level]
     }
 
-    /// Sum of compressed block sizes.
+    /// Number of rank workers executing this simulation.
+    pub fn ranks(&self) -> usize {
+        self.layout.ranks()
+    }
+
+    /// Sum of compressed block sizes across all ranks.
     pub fn compressed_bytes(&self) -> u64 {
-        self.blocks
-            .iter()
-            .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
-            .sum()
+        self.rank_bytes.iter().sum()
     }
 
     /// Eq. 8 memory accounting: compressed blocks plus two decompression
@@ -254,6 +348,95 @@ impl CompressedSimulator {
             self.min_ratio = ratio;
         }
     }
+
+    // --- wave dispatch ----------------------------------------------------
+
+    /// Scatter one command per rank and gather the mutating-wave outputs,
+    /// refreshing the per-rank byte watermarks.
+    fn mutate_wave(&mut self, cmds: Vec<WorkerCmd>) -> Result<Vec<WaveOut>, SimError> {
+        let outs: Vec<WaveOut> = match &mut self.backend {
+            Backend::Local(w, pool) => {
+                let cmd = cmds.into_iter().next().expect("one command");
+                vec![with_pool(pool, || w.handle(cmd))?.wave()]
+            }
+            Backend::Cluster(c) => {
+                let resps = c.dispatch(cmds);
+                let mut outs = Vec::with_capacity(resps.len());
+                for resp in resps {
+                    outs.push(resp?.wave());
+                }
+                outs
+            }
+        };
+        for (rank, wave) in outs.iter().enumerate() {
+            self.rank_bytes[rank] = wave.compressed_bytes;
+        }
+        Ok(outs)
+    }
+
+    /// Broadcast one mutating command to every rank.
+    fn mutate_all(&mut self, make: impl Fn() -> WorkerCmd) -> Result<Vec<WaveOut>, SimError> {
+        let cmds = (0..self.layout.ranks()).map(|_| make()).collect();
+        self.mutate_wave(cmds)
+    }
+
+    /// Broadcast one read-only command to every rank.
+    fn query_all(&self, make: impl Fn() -> WorkerCmd) -> Result<Vec<WorkerOut>, SimError> {
+        match &self.backend {
+            Backend::Local(w, pool) => Ok(vec![with_pool(pool, || w.query(make()))?]),
+            Backend::Cluster(c) => {
+                let cmds = (0..c.ranks()).map(|_| make()).collect();
+                c.dispatch(cmds).into_iter().collect()
+            }
+        }
+    }
+
+    /// Send one read-only command to a single rank (all others no-op).
+    fn query_rank(&self, rank: usize, cmd_for_rank: WorkerCmd) -> Result<WorkerOut, SimError> {
+        match &self.backend {
+            Backend::Local(w, pool) => with_pool(pool, || w.query(cmd_for_rank)),
+            Backend::Cluster(c) => {
+                let mut cmd = Some(cmd_for_rank);
+                let cmds = (0..c.ranks())
+                    .map(|r| {
+                        if r == rank {
+                            cmd.take().expect("one target rank")
+                        } else {
+                            WorkerCmd::Nop
+                        }
+                    })
+                    .collect();
+                let mut out = None;
+                for (r, resp) in c.dispatch(cmds).into_iter().enumerate() {
+                    let resp = resp?;
+                    if r == rank {
+                        out = Some(resp);
+                    }
+                }
+                Ok(out.expect("target rank answered"))
+            }
+        }
+    }
+
+    /// Fold a finished gate/batch wave into the ledger and the modeled
+    /// link time (one ledger entry per wave, as a batched recompression is
+    /// a single lossy event).
+    fn finish_wave(&mut self, waves: &[WaveOut], bound: ErrorBound) {
+        let any_lossy = waves.iter().any(|w| w.lossy);
+        self.ledger
+            .record_gate(if any_lossy { bound.magnitude() } else { 0.0 });
+        let comm_bytes: u64 = waves.iter().map(|w| w.comm_bytes).sum();
+        if comm_bytes > 0 {
+            if let Some(bw) = self.cfg.modeled_link_bandwidth {
+                self.metrics.add(
+                    Phase::Communication,
+                    Duration::from_secs_f64(comm_bytes as f64 / bw),
+                );
+            }
+        }
+    }
+
+    // --- circuit execution ------------------------------------------------
 
     /// Run a full circuit. `rng` drives intermediate measurements.
     ///
@@ -353,7 +536,23 @@ impl CompressedSimulator {
         Ok(())
     }
 
-    /// Apply a (multi-)controlled single-qubit unitary.
+    /// Partition control qubits by scope (§3.3).
+    fn control_masks(&self, controls: &[usize]) -> (usize, usize, usize) {
+        let mut offset_cmask = 0usize;
+        let mut block_cmask = 0usize;
+        let mut rank_cmask = 0usize;
+        for &c in controls {
+            match self.layout.control_scope(c as u32) {
+                ControlScope::InBlock { offset_bit } => offset_cmask |= 1 << offset_bit,
+                ControlScope::BlockSelect { block_bit } => block_cmask |= 1 << block_bit,
+                ControlScope::RankSelect { rank_bit } => rank_cmask |= 1 << rank_bit,
+            }
+        }
+        (offset_cmask, block_cmask, rank_cmask)
+    }
+
+    /// Apply a (multi-)controlled single-qubit unitary: one wave across all
+    /// rank workers, routed per §3.3.
     fn apply_unitary(
         &mut self,
         op_signature: u64,
@@ -362,103 +561,58 @@ impl CompressedSimulator {
         target: usize,
     ) -> Result<(), SimError> {
         let layout = self.layout;
-        let bpr = layout.blocks_per_rank();
+        let (offset_cmask, block_cmask, rank_cmask) = self.control_masks(controls);
+        let bound = self.cfg.ladder[self.level];
 
-        // Partition control qubits by scope (§3.3).
-        let mut offset_cmask = 0usize;
-        let mut block_cmask = 0usize;
-        let mut rank_cmask = 0usize;
-        for &c in controls {
-            match layout.control_scope(c as u32) {
-                ControlScope::InBlock { offset_bit } => offset_cmask |= 1 << offset_bit,
-                ControlScope::BlockSelect { block_bit } => block_cmask |= 1 << block_bit,
-                ControlScope::RankSelect { rank_bit } => rank_cmask |= 1 << rank_bit,
-            }
-        }
-
-        let rank_ok = |r: usize| r & rank_cmask == rank_cmask;
-        let block_ok = |b: usize| b & block_cmask == block_cmask;
-
-        // Assemble work units per the routing case.
-        let mut units = Vec::new();
-        match layout.route(target as u32) {
-            Route::InBlock { offset_bit } => {
-                for r in 0..layout.ranks() {
-                    if !rank_ok(r) {
-                        continue;
-                    }
-                    for b in 0..bpr {
-                        if !block_ok(b) {
-                            continue;
-                        }
-                        let slot = r * bpr + b;
-                        units.push(Unit {
-                            slot_a: slot,
-                            slot_b: None,
-                            in_a: self.blocks[slot].take().expect("block present"),
-                            in_b: None,
-                            cross_rank: false,
-                        });
-                    }
-                }
-                self.process_units(
-                    units,
-                    Kernel::InBlock { offset_bit },
-                    gate,
+        let waves = match layout.route(target as u32) {
+            route @ (Route::InBlock { .. } | Route::InterBlock { .. }) => {
+                let cmd = GateCmd {
+                    signature: op_signature,
+                    gate: *gate,
+                    route,
                     offset_cmask,
-                    op_signature,
-                )
-            }
-            Route::InterBlock { block_stride } => {
-                for r in 0..layout.ranks() {
-                    if !rank_ok(r) {
-                        continue;
-                    }
-                    for b in 0..bpr {
-                        let tbit = block_stride;
-                        if b & tbit != 0 || !block_ok(b) {
-                            continue;
-                        }
-                        let (s0, s1) = (r * bpr + b, r * bpr + (b | tbit));
-                        units.push(Unit {
-                            slot_a: s0,
-                            slot_b: Some(s1),
-                            in_a: self.blocks[s0].take().expect("block present"),
-                            in_b: Some(self.blocks[s1].take().expect("block present")),
-                            cross_rank: false,
-                        });
-                    }
-                }
-                self.process_units(units, Kernel::Cross, gate, offset_cmask, op_signature)
+                    block_cmask,
+                    rank_cmask,
+                    bound,
+                };
+                self.mutate_all(|| WorkerCmd::Gate(cmd.clone()))?
             }
             Route::InterRank { rank_stride } => {
-                for r in 0..layout.ranks() {
-                    if r & rank_stride != 0 || !rank_ok(r) {
+                // Pair rank r with r | stride; rank-scope controls deselect
+                // whole pairs (both members share the non-stride bits).
+                let ranks = layout.ranks();
+                let mut roles: Vec<ExchangeRole> = (0..ranks).map(|_| ExchangeRole::Idle).collect();
+                for r in 0..ranks {
+                    if r & rank_stride != 0 || r & rank_cmask != rank_cmask {
                         continue;
                     }
-                    let r2 = r | rank_stride;
-                    for b in 0..bpr {
-                        if !block_ok(b) {
-                            continue;
-                        }
-                        let (s0, s1) = (r * bpr + b, r2 * bpr + b);
-                        units.push(Unit {
-                            slot_a: s0,
-                            slot_b: Some(s1),
-                            in_a: self.blocks[s0].take().expect("block present"),
-                            in_b: Some(self.blocks[s1].take().expect("block present")),
-                            cross_rank: true,
-                        });
-                    }
+                    let (lead, follow) = duplex();
+                    roles[r] = ExchangeRole::Lead(lead);
+                    roles[r | rank_stride] = ExchangeRole::Follow(follow);
                 }
-                self.process_units(units, Kernel::Cross, gate, offset_cmask, op_signature)
+                let cmds = roles
+                    .into_iter()
+                    .map(|role| {
+                        WorkerCmd::Exchange(ExchangeCmd {
+                            signature: op_signature,
+                            gate: *gate,
+                            offset_cmask,
+                            block_cmask,
+                            bound,
+                            role,
+                        })
+                    })
+                    .collect();
+                self.mutate_wave(cmds)?
             }
-        }
+        };
+        self.finish_wave(&waves, bound);
+        Ok(())
     }
 
     /// Apply a [`GateBatch`]: every member gate targets an intra-block
-    /// qubit, so each block is decompressed once, all applicable gates run
-    /// over the scratch, and the block is recompressed once.
+    /// qubit, so each worker decompresses each of its blocks once, applies
+    /// all applicable gates, and recompresses once.
     ///
     /// Block/rank-scope controls are honored through a per-block *selection
     /// mask*: member gate `i` fires on a block only when the block's rank
@@ -468,7 +622,6 @@ impl CompressedSimulator {
     pub fn apply_batch(&mut self, batch: &GateBatch) -> Result<(), SimError> {
         let start = Instant::now();
         let layout = self.layout;
-        let bpr = layout.blocks_per_rank();
 
         // Precompute per-gate kernels and control masks.
         let mut plans = Vec::with_capacity(batch.len());
@@ -483,14 +636,7 @@ impl CompressedSimulator {
                     )))
                 }
             };
-            let (mut offset_cmask, mut block_cmask, mut rank_cmask) = (0usize, 0usize, 0usize);
-            for &c in &fg.op.controls {
-                match layout.control_scope(c as u32) {
-                    ControlScope::InBlock { offset_bit } => offset_cmask |= 1 << offset_bit,
-                    ControlScope::BlockSelect { block_bit } => block_cmask |= 1 << block_bit,
-                    ControlScope::RankSelect { rank_bit } => rank_cmask |= 1 << rank_bit,
-                }
-            }
+            let (offset_cmask, block_cmask, rank_cmask) = self.control_masks(&fg.op.controls);
             plans.push(BatchPlan {
                 gate: fg.op.gate,
                 offset_bit,
@@ -500,150 +646,24 @@ impl CompressedSimulator {
             });
         }
 
-        // One unit per block some gate selects.
-        let mut units = Vec::new();
-        for r in 0..layout.ranks() {
-            for b in 0..bpr {
-                let mut mask = 0u64;
-                for (i, p) in plans.iter().enumerate() {
-                    if r & p.rank_cmask == p.rank_cmask && b & p.block_cmask == p.block_cmask {
-                        mask |= 1 << i;
-                    }
-                }
-                if mask == 0 {
-                    continue;
-                }
-                let slot = r * bpr + b;
-                units.push(BatchUnit {
-                    slot,
-                    mask,
-                    block: self.blocks[slot].take().expect("block present"),
-                });
-            }
-        }
-
         let bound = self.cfg.ladder[self.level];
-        let codec = Arc::clone(&self.codec);
-        let cache = Arc::clone(&self.cache);
-        let block_f64s = self.layout.block_amps() * 2;
-        let batch_signature = batch.signature();
-
-        let results: Result<Vec<UnitOut>, SimError> = units
-            .into_par_iter()
-            .map_init(
-                || Vec::with_capacity(block_f64s),
-                |buf, unit| {
-                    process_batch_unit(&codec, &cache, &plans, batch_signature, bound, unit, buf)
-                },
-            )
-            .collect();
-        self.merge_unit_outputs(results?, bound)?;
+        let cmd = BatchCmd {
+            plans: Arc::new(plans),
+            signature: batch.signature(),
+            bound,
+        };
+        let waves = self.mutate_all(|| WorkerCmd::Batch(cmd.clone()))?;
+        self.finish_wave(&waves, bound);
         self.gates_applied += batch.source_gate_count();
         self.wall_time += start.elapsed();
         self.after_gate()
-    }
-
-    /// Decompress, compute, recompress every unit (in parallel), honoring
-    /// the compressed-block cache, then write results back.
-    fn process_units(
-        &mut self,
-        units: Vec<Unit>,
-        kernel: Kernel,
-        gate: &Gate1,
-        offset_cmask: usize,
-        op_signature: u64,
-    ) -> Result<(), SimError> {
-        let bound = self.cfg.ladder[self.level];
-        let codec = Arc::clone(&self.codec);
-        let cache = Arc::clone(&self.cache);
-        let block_f64s = self.layout.block_amps() * 2;
-        let g = *gate;
-
-        let results: Result<Vec<UnitOut>, SimError> = units
-            .into_par_iter()
-            .map_init(
-                // Per-worker scratch: the two decompressed blocks the paper
-                // holds in MCDRAM (§3.2).
-                || {
-                    (
-                        Vec::with_capacity(block_f64s),
-                        Vec::with_capacity(block_f64s),
-                    )
-                },
-                |(buf_a, buf_b), unit| {
-                    process_one(
-                        &codec,
-                        &cache,
-                        &g,
-                        kernel,
-                        offset_cmask,
-                        op_signature,
-                        bound,
-                        unit,
-                        buf_a,
-                        buf_b,
-                    )
-                },
-            )
-            .collect();
-        self.merge_unit_outputs(results?, bound)
-    }
-
-    /// Write unit results back into block storage, fold their timings and
-    /// touch counts into the metrics, and charge the fidelity ledger once
-    /// for the whole wave (one compression event per gate *or* batch).
-    fn merge_unit_outputs(
-        &mut self,
-        results: Vec<UnitOut>,
-        bound: ErrorBound,
-    ) -> Result<(), SimError> {
-        let mut any_lossy = false;
-        for out in results {
-            self.metrics.add(Phase::Compression, out.timings[0]);
-            self.metrics.add(Phase::Decompression, out.timings[1]);
-            self.metrics.add(Phase::Communication, out.timings[2]);
-            self.metrics.add(Phase::Computation, out.timings[3]);
-            if out.comm_bytes > 0 {
-                self.metrics.add_comm_bytes(out.comm_bytes);
-                if let Some(bw) = self.cfg.modeled_link_bandwidth {
-                    self.metrics.add(
-                        Phase::Communication,
-                        Duration::from_secs_f64(out.comm_bytes as f64 / bw),
-                    );
-                }
-            }
-            if !out.cache_hit {
-                self.metrics.add_block_touch(out.gates_applied);
-            }
-            any_lossy |= out.compressed_lossy;
-            self.blocks[out.slot_a] = Some(out.out_a);
-            if let Some(sb) = out.slot_b {
-                self.blocks[sb] = Some(out.out_b.expect("pair output"));
-            }
-        }
-        self.ledger
-            .record_gate(if any_lossy { bound.magnitude() } else { 0.0 });
-        Ok(())
     }
 
     /// Recompress every block at the current ladder level (used after an
     /// escalation so the budget is actually enforced).
     fn recompress_all(&mut self) -> Result<(), SimError> {
         let bound = self.cfg.ladder[self.level];
-        let codec = Arc::clone(&self.codec);
-        let blocks = std::mem::take(&mut self.blocks);
-        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
-            .into_par_iter()
-            .map(|b| match b {
-                None => Ok(None),
-                Some(blk) => {
-                    let mut buf = Vec::new();
-                    codec.decompress(&blk, &mut buf)?;
-                    Ok(Some(codec.compress(&buf, bound)?))
-                }
-            })
-            .collect();
-        self.blocks = results?;
+        self.mutate_all(|| WorkerCmd::Recompress { bound })?;
         if bound.is_lossy() {
             // The recompression pass is itself a lossy compression event.
             self.ledger.record_gate(bound.magnitude());
@@ -651,47 +671,19 @@ impl CompressedSimulator {
         Ok(())
     }
 
-    /// Probability that `qubit` reads `|1>`.
+    // --- measurement and observables --------------------------------------
+
+    /// Probability that `qubit` reads `|1>` (a sum-reduce across ranks).
     pub fn prob_one(&self, qubit: usize) -> Result<f64, SimError> {
-        let layout = self.layout;
-        let bpr = layout.blocks_per_rank();
-        let codec = Arc::clone(&self.codec);
-        let scope = layout.control_scope(qubit as u32);
-        let total: Result<Vec<f64>, SimError> = self
-            .blocks
-            .par_iter()
-            .enumerate()
-            .map(|(slot, blk)| {
-                let blk = blk.as_ref().expect("block present");
-                let (r, b) = (slot / bpr, slot % bpr);
-                let selected_whole = match scope {
-                    ControlScope::InBlock { .. } => None,
-                    ControlScope::BlockSelect { block_bit } => Some(b >> block_bit & 1 == 1),
-                    ControlScope::RankSelect { rank_bit } => Some(r >> rank_bit & 1 == 1),
-                };
-                if selected_whole == Some(false) {
-                    return Ok(0.0);
-                }
-                let mut buf = Vec::new();
-                codec.decompress(blk, &mut buf)?;
-                let sum = match scope {
-                    ControlScope::InBlock { offset_bit } => {
-                        let bit = 1usize << offset_bit;
-                        (0..buf.len() / 2)
-                            .filter(|o| o & bit != 0)
-                            .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
-                            .sum()
-                    }
-                    _ => buf.iter().map(|v| v * v).sum(),
-                };
-                Ok(sum)
-            })
-            .collect();
-        Ok(total?.into_iter().sum())
+        let scope = self.layout.control_scope(qubit as u32);
+        let outs = self.query_all(|| WorkerCmd::ProbOne { scope })?;
+        Ok(outs.into_iter().map(|o| o.scalar()).sum())
     }
 
     /// Measure `qubit`, collapsing the state (intermediate measurement,
-    /// the capability §1 argues full-state simulation enables).
+    /// the capability §1 argues full-state simulation enables). This is
+    /// the measure-reduce collective: a probability sum-reduce, the RNG
+    /// decision on the facade, and a collapse wave.
     pub fn measure(&mut self, qubit: usize, rng: &mut impl rand::Rng) -> Result<bool, SimError> {
         let p1 = self.prob_one(qubit)?;
         let outcome = rng.gen::<f64>() < p1;
@@ -702,58 +694,16 @@ impl CompressedSimulator {
     /// Collapse `qubit` to `outcome` with prior probability `p`.
     fn collapse(&mut self, qubit: usize, outcome: bool, p: f64) -> Result<(), SimError> {
         assert!(p > 0.0, "collapse onto zero-probability outcome");
-        let layout = self.layout;
-        let bpr = layout.blocks_per_rank();
-        let codec = Arc::clone(&self.codec);
-        let bound = self.cfg.ladder[self.level];
-        let scope = layout.control_scope(qubit as u32);
+        let scope = self.layout.control_scope(qubit as u32);
         let scale = 1.0 / p.sqrt();
-        let blocks = std::mem::take(&mut self.blocks);
-        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
-            .into_par_iter()
-            .enumerate()
-            .map(|(slot, blk)| {
-                let blk = blk.expect("block present");
-                let (r, b) = (slot / bpr, slot % bpr);
-                let mut buf = Vec::new();
-                codec.decompress(&blk, &mut buf)?;
-                match scope {
-                    ControlScope::InBlock { offset_bit } => {
-                        let bit = 1usize << offset_bit;
-                        for o in 0..buf.len() / 2 {
-                            if (o & bit != 0) == outcome {
-                                buf[2 * o] *= scale;
-                                buf[2 * o + 1] *= scale;
-                            } else {
-                                buf[2 * o] = 0.0;
-                                buf[2 * o + 1] = 0.0;
-                            }
-                        }
-                    }
-                    ControlScope::BlockSelect { block_bit } => {
-                        if (b >> block_bit & 1 == 1) == outcome {
-                            for v in buf.iter_mut() {
-                                *v *= scale;
-                            }
-                        } else {
-                            buf.iter_mut().for_each(|v| *v = 0.0);
-                        }
-                    }
-                    ControlScope::RankSelect { rank_bit } => {
-                        if (r >> rank_bit & 1 == 1) == outcome {
-                            for v in buf.iter_mut() {
-                                *v *= scale;
-                            }
-                        } else {
-                            buf.iter_mut().for_each(|v| *v = 0.0);
-                        }
-                    }
-                }
-                Ok(Some(codec.compress(&buf, bound)?))
-            })
-            .collect();
-        self.blocks = results?;
-        if bound.is_lossy() {
+        let bound = self.cfg.ladder[self.level];
+        let waves = self.mutate_all(|| WorkerCmd::Collapse {
+            scope,
+            outcome,
+            scale,
+            bound,
+        })?;
+        if waves.iter().any(|w| w.lossy) {
             self.ledger.record_gate(bound.magnitude());
         }
         Ok(())
@@ -761,17 +711,8 @@ impl CompressedSimulator {
 
     /// Squared 2-norm of the stored state (1 up to compression error).
     pub fn norm_sqr(&self) -> Result<f64, SimError> {
-        let codec = Arc::clone(&self.codec);
-        let sums: Result<Vec<f64>, SimError> = self
-            .blocks
-            .par_iter()
-            .map(|blk| {
-                let mut buf = Vec::new();
-                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
-                Ok(buf.iter().map(|v| v * v).sum())
-            })
-            .collect();
-        Ok(sums?.into_iter().sum())
+        let outs = self.query_all(|| WorkerCmd::NormSqr)?;
+        Ok(outs.into_iter().map(|o| o.scalar()).sum())
     }
 
     /// Decompress the full state into a dense [`StateVector`].
@@ -781,15 +722,19 @@ impl CompressedSimulator {
     pub fn snapshot_dense(&self) -> Result<StateVector, SimError> {
         let layout = self.layout;
         let mut amps = vec![Complex64::ZERO; layout.total_amps() as usize];
-        let bpr = layout.blocks_per_rank();
+        let outs = self.query_all(|| WorkerCmd::SnapshotBlocks)?;
         let mut buf = Vec::new();
-        for (slot, blk) in self.blocks.iter().enumerate() {
-            let (r, b) = (slot / bpr, slot % bpr);
-            self.codec
-                .decompress(blk.as_ref().expect("block present"), &mut buf)?;
-            let base = layout.join(r, b, 0) as usize;
-            for o in 0..layout.block_amps() {
-                amps[base + o] = Complex64::new(buf[2 * o], buf[2 * o + 1]);
+        for (rank, out) in outs.into_iter().enumerate() {
+            let blocks = match out {
+                WorkerOut::Blocks(v) => v,
+                _ => unreachable!("snapshot returns blocks"),
+            };
+            for (b, blk) in blocks.iter().enumerate() {
+                self.codec.decompress(blk, &mut buf)?;
+                let base = layout.join(rank, b, 0) as usize;
+                for o in 0..layout.block_amps() {
+                    amps[base + o] = Complex64::new(buf[2 * o], buf[2 * o + 1]);
+                }
             }
         }
         Ok(StateVector::from_amplitudes(amps))
@@ -807,18 +752,16 @@ impl CompressedSimulator {
     pub fn sample(&self, rng: &mut impl rand::Rng) -> Result<u64, SimError> {
         let layout = self.layout;
         let bpr = layout.blocks_per_rank();
-        // Two-pass: block weights, then within the chosen block.
-        let codec = Arc::clone(&self.codec);
-        let weights: Result<Vec<f64>, SimError> = self
-            .blocks
-            .par_iter()
-            .map(|blk| {
-                let mut buf = Vec::new();
-                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
-                Ok(buf.iter().map(|v| v * v).sum())
+        // Two-pass: per-block weights across ranks, then within the chosen
+        // block (fetched compressed from its owner).
+        let outs = self.query_all(|| WorkerCmd::Weights)?;
+        let weights: Vec<f64> = outs
+            .into_iter()
+            .flat_map(|o| match o {
+                WorkerOut::Weights(w) => w,
+                _ => unreachable!("weights response"),
             })
             .collect();
-        let weights = weights?;
         let total: f64 = weights.iter().sum();
         let mut r = rng.gen::<f64>() * total;
         let mut slot = weights.len() - 1;
@@ -829,9 +772,13 @@ impl CompressedSimulator {
             }
             r -= w;
         }
+        let block =
+            match self.query_rank(slot / bpr, WorkerCmd::FetchBlock { block: slot % bpr })? {
+                WorkerOut::Block(b) => b,
+                _ => unreachable!("block response"),
+            };
         let mut buf = Vec::new();
-        self.codec
-            .decompress(self.blocks[slot].as_ref().expect("block present"), &mut buf)?;
+        self.codec.decompress(&block, &mut buf)?;
         let mut o = layout.block_amps() - 1;
         for i in 0..layout.block_amps() {
             let w = buf[2 * i] * buf[2 * i] + buf[2 * i + 1] * buf[2 * i + 1];
@@ -850,42 +797,23 @@ impl CompressedSimulator {
     }
 
     /// Expectation value of `Z_a Z_b` (the MAXCUT cost term), computed in
-    /// one blockwise pass without decompressing the full state at once.
+    /// one blockwise pass per rank without decompressing the full state at
+    /// once.
     pub fn expectation_zz(&self, a: usize, b: usize) -> Result<f64, SimError> {
         assert!(a != b, "zz needs distinct qubits");
         let layout = self.layout;
         assert!(a < layout.num_qubits as usize && b < layout.num_qubits as usize);
-        let bpr = layout.blocks_per_rank();
-        let codec = Arc::clone(&self.codec);
-        let terms: Result<Vec<f64>, SimError> = self
-            .blocks
-            .par_iter()
-            .enumerate()
-            .map(|(slot, blk)| {
-                let (r, bidx) = (slot / bpr, slot % bpr);
-                let base = layout.join(r, bidx, 0);
-                let mut buf = Vec::new();
-                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
-                let mut acc = 0.0;
-                for o in 0..buf.len() / 2 {
-                    let idx = base + o as u64;
-                    let parity = ((idx >> a) & 1) ^ ((idx >> b) & 1);
-                    let w = buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1];
-                    acc += if parity == 0 { w } else { -w };
-                }
-                Ok(acc)
-            })
-            .collect();
-        Ok(terms?.into_iter().sum())
+        let outs = self.query_all(|| WorkerCmd::ExpectationZz { a, b })?;
+        Ok(outs.into_iter().map(|o| o.scalar()).sum())
     }
 
     /// Progress/result report (Table 2 rows).
     pub fn report(&self) -> SimReport {
+        let breakdown = self.metrics.breakdown();
         SimReport {
             num_qubits: self.layout.num_qubits,
             gates: self.gates_applied,
             wall_time: self.wall_time,
-            breakdown: self.metrics.breakdown(),
             fidelity_lower_bound: self.ledger.lower_bound(),
             current_bound: self.current_bound(),
             escalations: self.escalations,
@@ -898,7 +826,10 @@ impl CompressedSimulator {
             uncompressed_bytes: self.layout.uncompressed_bytes(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
-            comm_bytes: self.metrics.comm_bytes(),
+            bytes_exchanged: breakdown.comm_bytes,
+            comm_ns: breakdown.comm_ns(),
+            exchanges: breakdown.exchanges,
+            breakdown,
         }
     }
 
@@ -919,22 +850,33 @@ impl CompressedSimulator {
 
     // --- checkpoint support (fields exposed to the checkpoint module) ---
 
+    /// Gather every rank's compressed blocks in rank-major order (cheap:
+    /// payloads are shared `Arc`s).
+    pub(crate) fn gather_blocks(&self) -> Result<Vec<CompressedBlock>, SimError> {
+        let outs = self.query_all(|| WorkerCmd::SnapshotBlocks)?;
+        Ok(outs
+            .into_iter()
+            .flat_map(|o| match o {
+                WorkerOut::Blocks(v) => v,
+                _ => unreachable!("snapshot returns blocks"),
+            })
+            .collect())
+    }
+
     pub(crate) fn checkpoint_parts(
         &self,
-    ) -> (
-        &SimConfig,
-        Layout,
-        usize,
-        &FidelityLedger,
-        &[Option<CompressedBlock>],
-    ) {
+    ) -> Result<
         (
-            &self.cfg,
-            self.layout,
-            self.level,
-            &self.ledger,
-            &self.blocks,
-        )
+            &SimConfig,
+            Layout,
+            usize,
+            &FidelityLedger,
+            Vec<CompressedBlock>,
+        ),
+        SimError,
+    > {
+        let blocks = self.gather_blocks()?;
+        Ok((&self.cfg, self.layout, self.level, &self.ledger, blocks))
     }
 
     pub(crate) fn from_checkpoint_parts(
@@ -953,216 +895,8 @@ impl CompressedSimulator {
             return Err(SimError::Checkpoint("ladder level out of range".into()));
         }
         let codec = Arc::new(BlockCodec::new(cfg.lossy_codec));
-        let cache = Arc::new(BlockCache::new(
-            cfg.cache_lines,
-            cfg.cache_auto_disable_after,
-        ));
-        let mut sim = Self {
-            cfg,
-            layout,
-            codec,
-            blocks,
-            level,
-            metrics: Metrics::new(),
-            cache,
-            ledger,
-            min_ratio: f64::INFINITY,
-            peak_memory: 0,
-            escalations: 0,
-            gates_applied: 0,
-            wall_time: Duration::ZERO,
-        };
-        sim.note_memory();
-        Ok(sim)
+        Self::from_parts(cfg, layout, codec, level, ledger, blocks)
     }
-}
-
-/// Which pair-update kernel a unit runs.
-#[derive(Debug, Clone, Copy)]
-enum Kernel {
-    /// Pairs within one block, differing at `offset_bit`.
-    InBlock { offset_bit: u32 },
-    /// Pairs across two blocks at the same offset.
-    Cross,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn process_one(
-    codec: &BlockCodec,
-    cache: &BlockCache,
-    gate: &Gate1,
-    kernel: Kernel,
-    offset_cmask: usize,
-    op_signature: u64,
-    bound: ErrorBound,
-    unit: Unit,
-    buf_a: &mut Vec<f64>,
-    buf_b: &mut Vec<f64>,
-) -> Result<UnitOut, SimError> {
-    let mut timings = [Duration::ZERO; 4];
-    let comm_bytes = if unit.cross_rank {
-        // Model the MPI exchange: the compressed blocks cross the network in
-        // both directions. The copy below stands in for the transfer.
-        let t = Instant::now();
-        let moved: Vec<u8> = unit
-            .in_b
-            .as_ref()
-            .map(|b| b.bytes.to_vec())
-            .unwrap_or_default();
-        let back: Vec<u8> = unit.in_a.bytes.to_vec();
-        timings[2] += t.elapsed();
-        (moved.len() + back.len()) as u64
-    } else {
-        0
-    };
-
-    // Cache lookup (§3.4): skips decompress + compute + compress.
-    if let Some((out_a, out_b)) = cache.lookup(op_signature, &unit.in_a, unit.in_b.as_ref()) {
-        return Ok(UnitOut {
-            slot_a: unit.slot_a,
-            slot_b: unit.slot_b,
-            out_a,
-            out_b,
-            timings,
-            comm_bytes,
-            compressed_lossy: false,
-            cache_hit: true,
-            gates_applied: 0,
-        });
-    }
-
-    // Decompress (into the MCDRAM-modeled scratch).
-    let t = Instant::now();
-    codec.decompress(&unit.in_a, buf_a)?;
-    if let Some(in_b) = &unit.in_b {
-        codec.decompress(in_b, buf_b)?;
-    }
-    timings[1] += t.elapsed();
-
-    // Compute.
-    let t = Instant::now();
-    match kernel {
-        Kernel::InBlock { offset_bit } => {
-            kernels::apply_in_block(buf_a, offset_bit, gate, offset_cmask);
-        }
-        Kernel::Cross => {
-            kernels::apply_cross(buf_a, buf_b, gate, offset_cmask);
-        }
-    }
-    timings[3] += t.elapsed();
-
-    // Recompress.
-    let t = Instant::now();
-    let out_a = codec.compress(buf_a, bound)?;
-    let out_b = if unit.in_b.is_some() {
-        Some(codec.compress(buf_b, bound)?)
-    } else {
-        None
-    };
-    timings[0] += t.elapsed();
-
-    cache.insert(
-        op_signature,
-        &unit.in_a,
-        unit.in_b.as_ref(),
-        &out_a,
-        out_b.as_ref(),
-    );
-
-    Ok(UnitOut {
-        slot_a: unit.slot_a,
-        slot_b: unit.slot_b,
-        out_a,
-        out_b,
-        timings,
-        comm_bytes,
-        compressed_lossy: bound.is_lossy(),
-        cache_hit: false,
-        gates_applied: 1,
-    })
-}
-
-/// Per-gate kernel plan inside a batch: the matrix plus the control masks
-/// partitioned by scope (§3.3).
-struct BatchPlan {
-    gate: Gate1,
-    offset_bit: u32,
-    offset_cmask: usize,
-    block_cmask: usize,
-    rank_cmask: usize,
-}
-
-/// One block plus the subset of batch gates that fire on it.
-struct BatchUnit {
-    slot: usize,
-    mask: u64,
-    block: CompressedBlock,
-}
-
-/// Decompress once, apply every selected gate, recompress once.
-///
-/// The cache key mixes the batch signature with the unit's selection mask:
-/// byte-identical blocks with different applicable-gate subsets must never
-/// share a line, and one lookup/insert happens per block touch (not per
-/// member gate).
-fn process_batch_unit(
-    codec: &BlockCodec,
-    cache: &BlockCache,
-    plans: &[BatchPlan],
-    batch_signature: u64,
-    bound: ErrorBound,
-    unit: BatchUnit,
-    buf: &mut Vec<f64>,
-) -> Result<UnitOut, SimError> {
-    let mut timings = [Duration::ZERO; 4];
-    let sig = mix(batch_signature, unit.mask);
-
-    if let Some((out, _)) = cache.lookup(sig, &unit.block, None) {
-        return Ok(UnitOut {
-            slot_a: unit.slot,
-            slot_b: None,
-            out_a: out,
-            out_b: None,
-            timings,
-            comm_bytes: 0,
-            compressed_lossy: false,
-            cache_hit: true,
-            gates_applied: 0,
-        });
-    }
-
-    let t = Instant::now();
-    codec.decompress(&unit.block, buf)?;
-    timings[1] += t.elapsed();
-
-    let t = Instant::now();
-    let mut gates = 0u64;
-    for (i, plan) in plans.iter().enumerate() {
-        if unit.mask & (1 << i) == 0 {
-            continue;
-        }
-        kernels::apply_in_block(buf, plan.offset_bit, &plan.gate, plan.offset_cmask);
-        gates += 1;
-    }
-    timings[3] += t.elapsed();
-
-    let t = Instant::now();
-    let out = codec.compress(buf, bound)?;
-    timings[0] += t.elapsed();
-
-    cache.insert(sig, &unit.block, None, &out, None);
-
-    Ok(UnitOut {
-        slot_a: unit.slot,
-        slot_b: None,
-        out_a: out,
-        out_b: None,
-        timings,
-        comm_bytes: 0,
-        compressed_lossy: bound.is_lossy(),
-        cache_hit: false,
-        gates_applied: gates,
-    })
 }
 
 #[cfg(test)]
@@ -1342,17 +1076,78 @@ mod tests {
     }
 
     #[test]
-    fn comm_bytes_counted_only_for_rank_crossing_gates() {
+    fn comm_accounted_only_for_rank_crossing_gates() {
         let mut rng = StdRng::seed_from_u64(8);
         let mut sim = CompressedSimulator::new(6, small_cfg()).unwrap();
         let mut c = Circuit::new(6);
         c.h(0); // in-block
         sim.run(&c, &mut rng).unwrap();
-        assert_eq!(sim.report().comm_bytes, 0);
+        assert_eq!(sim.report().bytes_exchanged, 0);
+        assert_eq!(sim.report().exchanges, 0);
         let mut c2 = Circuit::new(6);
         c2.h(5); // rank bit
         sim.run(&c2, &mut rng).unwrap();
-        assert!(sim.report().comm_bytes > 0);
+        let report = sim.report();
+        assert!(report.bytes_exchanged > 0);
+        assert!(report.comm_ns > 0, "exchange must cost communication time");
+        // One pair of ranks, every block of the lead rank exchanged once.
+        assert_eq!(report.exchanges, 4);
+        assert!(report.exchanges_per_gate() > 0.0);
+    }
+
+    #[test]
+    fn rank_workers_match_single_worker_amplitudewise() {
+        // The same circuit on 1, 2, and 4 rank workers must produce
+        // identical states: the cluster path is a pure execution change.
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        c.t(7).cx(6, 1).cphase(0.45, 0, 7).ccx(7, 0, 4);
+        let snap = |ranks_log2: u32| {
+            let cfg = SimConfig::default()
+                .with_block_log2(3)
+                .with_ranks_log2(ranks_log2);
+            let mut sim = CompressedSimulator::new(8, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&c, &mut rng).unwrap();
+            sim.snapshot_dense().unwrap()
+        };
+        let (one, two, four) = (snap(0), snap(1), snap(2));
+        for (a, b) in one.amplitudes().iter().zip(two.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+        for (a, b) in one.amplitudes().iter().zip(four.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn threads_per_rank_is_behavior_neutral() {
+        let mut c = Circuit::new(7);
+        for q in 0..7 {
+            c.h(q);
+        }
+        c.cx(6, 0).rz(0.9, 6);
+        let snap = |ranks_log2: u32, threads: Option<usize>| {
+            let mut cfg = SimConfig::default()
+                .with_block_log2(3)
+                .with_ranks_log2(ranks_log2);
+            cfg.threads_per_rank = threads;
+            let mut sim = CompressedSimulator::new(7, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&c, &mut rng).unwrap();
+            sim.snapshot_dense().unwrap()
+        };
+        // Cluster path (4 rank threads) and the local path's pinned pool
+        // must both be bit-identical to the ambient-width run.
+        let auto = snap(2, None);
+        for other in [snap(2, Some(1)), snap(2, Some(4)), snap(0, Some(4))] {
+            for (a, b) in auto.amplitudes().iter().zip(other.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //!
 //! Key pieces, each mapping to a section of the paper:
 //!
-//! - [`CompressedSimulator`] — blocked compressed state + gate engine
-//!   (§3.1-§3.3, Fig. 2/3);
+//! - [`CompressedSimulator`] — the facade over the engine: routing,
+//!   scheduling, ladder/ledger bookkeeping (§3.1-§3.3, Fig. 2/3). Per-rank
+//!   state lives in a private `worker` module: each rank worker owns
+//!   exactly its `blocks_per_rank` compressed blocks, and with
+//!   `ranks_log2 >= 1` the workers run on dedicated threads under
+//!   [`qcs_cluster::exec::ClusterSim`], exchanging **compressed** payloads
+//!   for rank-crossing gates (the paper's MPI seam);
 //! - [`SimConfig`] — block/rank geometry, memory budget, error-bound
 //!   ladder (§3.7), cache size (§3.4);
 //! - [`BlockCache`] — the 64-line LRU compressed-block cache with
@@ -80,6 +85,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod fidelity_bound;
+mod worker;
 
 pub use block::{BlockCodec, CompressedBlock};
 pub use cache::BlockCache;

@@ -1,0 +1,914 @@
+//! Per-rank execution state: each [`RankWorker`] owns exactly its rank's
+//! `blocks_per_rank` compressed blocks plus its handles on the shared
+//! codec/cache/metrics state, and answers the [`WorkerCmd`] protocol the
+//! facade in [`crate::engine`] speaks.
+//!
+//! This is the half of the paper's MPI rank that lives *on* the rank: the
+//! decompress → compute → recompress unit pipeline (§3.2), the per-rank
+//! slice of every collective (probability sums, collapses, snapshots), and
+//! the rank's side of the §3.3 case (c) exchange. The other half — thread
+//! placement, scatter/gather, and pairing ranks for exchanges — lives in
+//! [`qcs_cluster::exec`].
+//!
+//! # The compressed exchange
+//!
+//! A `Route::InterRank` gate pairs rank `r` with rank `r | stride`. The
+//! higher rank (the *follower*) streams its selected compressed blocks to
+//! the lower rank (the *leader*) over a [`Duplex`] link and the leader
+//! does the math: decompress both payloads, run the shared
+//! [`kernels::apply_cross`] pair update, recompress both, and send the
+//! partner's updated block back — still compressed. Only compressed bytes
+//! ever cross the link, mirroring the paper's MPI exchange, and because
+//! the links are buffered the follower's sends overlap with the leader's
+//! (de)compression. Communication time and bytes are accounted on the
+//! leader (the follower's blocking wait is overlap, not traffic).
+
+use crate::block::{BlockCodec, CompressedBlock};
+use crate::cache::BlockCache;
+use crate::engine::SimError;
+use qcs_circuits::schedule::mix;
+use qcs_cluster::{exec, ControlScope, Duplex, Layout, Metrics, Phase, Route};
+use qcs_compress::ErrorBound;
+use qcs_statevec::{kernels, Gate1};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A compressed block in flight between two paired rank workers, tagged
+/// with its block index within the rank.
+pub(crate) type BlockMsg = (usize, CompressedBlock);
+
+/// One (possibly controlled) single-qubit gate wave, pre-routed by the
+/// facade. `route` is never `InterRank` — rank-crossing gates go through
+/// [`ExchangeCmd`] instead.
+#[derive(Clone)]
+pub(crate) struct GateCmd {
+    pub signature: u64,
+    pub gate: Gate1,
+    pub route: Route,
+    pub offset_cmask: usize,
+    pub block_cmask: usize,
+    pub rank_cmask: usize,
+    pub bound: ErrorBound,
+}
+
+/// This rank's role in an inter-rank exchange wave.
+pub(crate) enum ExchangeRole {
+    /// Lower rank of the pair: receives the partner's compressed blocks,
+    /// computes both halves of every pair update, sends the partner's
+    /// updated blocks back.
+    Lead(Duplex<BlockMsg>),
+    /// Higher rank of the pair: streams its compressed blocks out, then
+    /// installs the compressed replacements.
+    Follow(Duplex<BlockMsg>),
+    /// Deselected by a rank-scope control: sit the wave out.
+    Idle,
+}
+
+/// A `Route::InterRank` gate wave: the gate plus this rank's role.
+pub(crate) struct ExchangeCmd {
+    pub signature: u64,
+    pub gate: Gate1,
+    pub offset_cmask: usize,
+    pub block_cmask: usize,
+    pub bound: ErrorBound,
+    pub role: ExchangeRole,
+}
+
+/// Per-gate kernel plan inside a batch: the matrix plus the control masks
+/// partitioned by scope (§3.3).
+pub(crate) struct BatchPlan {
+    pub gate: Gate1,
+    pub offset_bit: u32,
+    pub offset_cmask: usize,
+    pub block_cmask: usize,
+    pub rank_cmask: usize,
+}
+
+/// An intra-block [`qcs_circuits::GateBatch`] wave: shared plans plus the
+/// batch cache signature.
+#[derive(Clone)]
+pub(crate) struct BatchCmd {
+    pub plans: Arc<Vec<BatchPlan>>,
+    pub signature: u64,
+    pub bound: ErrorBound,
+}
+
+/// The command protocol between the engine facade and its rank workers.
+pub(crate) enum WorkerCmd {
+    /// Apply an in-block or inter-block gate to the local blocks.
+    Gate(GateCmd),
+    /// Take part in an inter-rank compressed-block exchange.
+    Exchange(ExchangeCmd),
+    /// Apply a gate batch to the local blocks.
+    Batch(BatchCmd),
+    /// Project the local blocks onto a measurement outcome.
+    Collapse {
+        scope: ControlScope,
+        outcome: bool,
+        scale: f64,
+        bound: ErrorBound,
+    },
+    /// Recompress every local block at a (new) ladder bound.
+    Recompress { bound: ErrorBound },
+    /// Partial `P(qubit = 1)` over the local blocks.
+    ProbOne { scope: ControlScope },
+    /// Partial squared 2-norm over the local blocks.
+    NormSqr,
+    /// Per-block squared norms (sampling weights), in block order.
+    Weights,
+    /// Clone one local compressed block.
+    FetchBlock { block: usize },
+    /// Clone every local compressed block (snapshots, checkpoints).
+    SnapshotBlocks,
+    /// Partial `<Z_a Z_b>` over the local blocks.
+    ExpectationZz { a: usize, b: usize },
+    /// Sit a wave out (used to address a single rank within a collective).
+    Nop,
+}
+
+/// Summary of a state-mutating wave on one rank.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WaveOut {
+    /// A lossy recompression happened on this rank.
+    pub lossy: bool,
+    /// Bytes this rank moved across exchange links (leader-side count).
+    pub comm_bytes: u64,
+    /// Total compressed bytes resident on this rank after the wave.
+    pub compressed_bytes: u64,
+}
+
+/// Response half of the [`WorkerCmd`] protocol.
+pub(crate) enum WorkerOut {
+    Wave(WaveOut),
+    Scalar(f64),
+    Weights(Vec<f64>),
+    Block(CompressedBlock),
+    Blocks(Vec<CompressedBlock>),
+}
+
+impl WorkerOut {
+    pub(crate) fn wave(self) -> WaveOut {
+        match self {
+            WorkerOut::Wave(w) => w,
+            _ => unreachable!("expected a wave response"),
+        }
+    }
+
+    pub(crate) fn scalar(self) -> f64 {
+        match self {
+            WorkerOut::Scalar(v) => v,
+            _ => unreachable!("expected a scalar response"),
+        }
+    }
+}
+
+/// Segments below this many `f64`s are not worth splitting across rayon
+/// workers inside a single block.
+const MIN_SEGMENT_F64: usize = 4096;
+
+/// The per-rank execution unit: owns its rank's blocks and shares the
+/// codec, cache, and metrics sinks with every other rank.
+pub(crate) struct RankWorker {
+    rank: usize,
+    layout: Layout,
+    codec: Arc<BlockCodec>,
+    cache: Arc<BlockCache>,
+    metrics: Metrics,
+    /// Local block storage: index `b` holds global slot
+    /// `rank * blocks_per_rank + b`.
+    blocks: Vec<Option<CompressedBlock>>,
+}
+
+impl exec::Worker for RankWorker {
+    type Cmd = WorkerCmd;
+    type Resp = Result<WorkerOut, SimError>;
+
+    fn handle(&mut self, cmd: WorkerCmd) -> Result<WorkerOut, SimError> {
+        match cmd {
+            WorkerCmd::Gate(g) => self.apply_gate(&g).map(WorkerOut::Wave),
+            WorkerCmd::Exchange(x) => self.exchange(x).map(WorkerOut::Wave),
+            WorkerCmd::Batch(b) => self.apply_batch(&b).map(WorkerOut::Wave),
+            WorkerCmd::Collapse {
+                scope,
+                outcome,
+                scale,
+                bound,
+            } => self
+                .collapse(scope, outcome, scale, bound)
+                .map(WorkerOut::Wave),
+            WorkerCmd::Recompress { bound } => self.recompress_all(bound).map(WorkerOut::Wave),
+            other => self.query(other),
+        }
+    }
+}
+
+impl RankWorker {
+    pub(crate) fn new(
+        rank: usize,
+        layout: Layout,
+        codec: Arc<BlockCodec>,
+        cache: Arc<BlockCache>,
+        metrics: Metrics,
+        blocks: Vec<Option<CompressedBlock>>,
+    ) -> Self {
+        debug_assert_eq!(blocks.len(), layout.blocks_per_rank());
+        Self {
+            rank,
+            layout,
+            codec,
+            cache,
+            metrics,
+            blocks,
+        }
+    }
+
+    /// Sum of this rank's compressed block sizes.
+    pub(crate) fn compressed_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
+            .sum()
+    }
+
+    fn wave_out(&self, lossy: bool, comm_bytes: u64) -> WaveOut {
+        WaveOut {
+            lossy,
+            comm_bytes,
+            compressed_bytes: self.compressed_bytes(),
+        }
+    }
+
+    fn selected(&self, rank_cmask: usize) -> bool {
+        self.rank & rank_cmask == rank_cmask
+    }
+
+    /// Read-only commands, answerable through `&self` (the facade calls
+    /// this directly on the local path so queries stay `&self` there too).
+    pub(crate) fn query(&self, cmd: WorkerCmd) -> Result<WorkerOut, SimError> {
+        match cmd {
+            WorkerCmd::ProbOne { scope } => self.prob_one(scope).map(WorkerOut::Scalar),
+            WorkerCmd::NormSqr => self.norm_sqr().map(WorkerOut::Scalar),
+            WorkerCmd::Weights => self.weights().map(WorkerOut::Weights),
+            WorkerCmd::FetchBlock { block } => Ok(WorkerOut::Block(
+                self.blocks[block].clone().expect("block present"),
+            )),
+            WorkerCmd::SnapshotBlocks => Ok(WorkerOut::Blocks(
+                self.blocks
+                    .iter()
+                    .map(|b| b.clone().expect("block present"))
+                    .collect(),
+            )),
+            WorkerCmd::ExpectationZz { a, b } => self.expectation_zz(a, b).map(WorkerOut::Scalar),
+            WorkerCmd::Nop => Ok(WorkerOut::Scalar(0.0)),
+            _ => unreachable!("mutating command sent through the query path"),
+        }
+    }
+
+    // --- gate waves ------------------------------------------------------
+
+    fn apply_gate(&mut self, cmd: &GateCmd) -> Result<WaveOut, SimError> {
+        if !self.selected(cmd.rank_cmask) {
+            return Ok(self.wave_out(false, 0));
+        }
+        let bpr = self.layout.blocks_per_rank();
+        let block_ok = |b: usize| b & cmd.block_cmask == cmd.block_cmask;
+        let mut units = Vec::new();
+        let kernel = match cmd.route {
+            Route::InBlock { offset_bit } => {
+                for b in (0..bpr).filter(|&b| block_ok(b)) {
+                    units.push(Unit {
+                        slot_a: b,
+                        slot_b: None,
+                        in_a: self.blocks[b].take().expect("block present"),
+                        in_b: None,
+                    });
+                }
+                Kernel::InBlock { offset_bit }
+            }
+            Route::InterBlock { block_stride } => {
+                for b in (0..bpr).filter(|&b| b & block_stride == 0 && block_ok(b)) {
+                    units.push(Unit {
+                        slot_a: b,
+                        slot_b: Some(b | block_stride),
+                        in_a: self.blocks[b].take().expect("block present"),
+                        in_b: Some(self.blocks[b | block_stride].take().expect("block present")),
+                    });
+                }
+                Kernel::Cross
+            }
+            Route::InterRank { .. } => {
+                unreachable!("inter-rank gates are exchange commands")
+            }
+        };
+        self.process_units(units, kernel, cmd)
+    }
+
+    /// Run every unit's decompress → compute → recompress cycle (cache
+    /// permitting) and write results back. A lone unit runs on the calling
+    /// thread with the segmented kernel so a rank with one big block still
+    /// uses its whole rayon width; multiple units stripe across rayon.
+    fn process_units(
+        &mut self,
+        units: Vec<Unit>,
+        kernel: Kernel,
+        cmd: &GateCmd,
+    ) -> Result<WaveOut, SimError> {
+        let bound = cmd.bound;
+        let block_f64s = self.layout.block_amps() * 2;
+        let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
+            let mut buf_a = Vec::with_capacity(block_f64s);
+            let mut buf_b = Vec::with_capacity(block_f64s);
+            units
+                .into_iter()
+                .map(|unit| {
+                    process_one(
+                        &self.codec,
+                        &self.cache,
+                        &cmd.gate,
+                        kernel,
+                        cmd.offset_cmask,
+                        cmd.signature,
+                        bound,
+                        unit,
+                        &mut buf_a,
+                        &mut buf_b,
+                        true,
+                    )
+                })
+                .collect()
+        } else {
+            let codec = Arc::clone(&self.codec);
+            let cache = Arc::clone(&self.cache);
+            let g = cmd.gate;
+            let (offset_cmask, signature) = (cmd.offset_cmask, cmd.signature);
+            units
+                .into_par_iter()
+                .map_init(
+                    // Per-worker scratch: the two decompressed blocks the
+                    // paper holds in MCDRAM (§3.2).
+                    || {
+                        (
+                            Vec::with_capacity(block_f64s),
+                            Vec::with_capacity(block_f64s),
+                        )
+                    },
+                    |(buf_a, buf_b), unit| {
+                        process_one(
+                            &codec,
+                            &cache,
+                            &g,
+                            kernel,
+                            offset_cmask,
+                            signature,
+                            bound,
+                            unit,
+                            buf_a,
+                            buf_b,
+                            false,
+                        )
+                    },
+                )
+                .collect()
+        };
+        let mut lossy = false;
+        for out in results? {
+            self.merge_unit(&out);
+            lossy |= out.compressed_lossy;
+            self.blocks[out.slot_a] = Some(out.out_a);
+            if let Some(sb) = out.slot_b {
+                self.blocks[sb] = Some(out.out_b.expect("pair output"));
+            }
+        }
+        Ok(self.wave_out(lossy, 0))
+    }
+
+    /// Fold one unit's timings and touch counts into the shared metrics.
+    fn merge_unit(&self, out: &UnitOut) {
+        self.metrics.add(Phase::Compression, out.timings[0]);
+        self.metrics.add(Phase::Decompression, out.timings[1]);
+        self.metrics.add(Phase::Computation, out.timings[3]);
+        if !out.cache_hit {
+            self.metrics.add_block_touch(out.gates_applied);
+        }
+    }
+
+    // --- inter-rank exchange ---------------------------------------------
+
+    fn exchange(&mut self, mut cmd: ExchangeCmd) -> Result<WaveOut, SimError> {
+        match std::mem::replace(&mut cmd.role, ExchangeRole::Idle) {
+            ExchangeRole::Idle => Ok(self.wave_out(false, 0)),
+            ExchangeRole::Follow(link) => self.exchange_follow(&cmd, link),
+            ExchangeRole::Lead(link) => self.exchange_lead(&cmd, link),
+        }
+    }
+
+    fn selected_blocks(&self, block_cmask: usize) -> Vec<usize> {
+        (0..self.layout.blocks_per_rank())
+            .filter(|b| b & block_cmask == block_cmask)
+            .collect()
+    }
+
+    /// Follower side: stream every selected compressed block to the
+    /// leader up front (the sends buffer, overlapping the leader's
+    /// compute), then install the compressed replacements as they return.
+    fn exchange_follow(
+        &mut self,
+        cmd: &ExchangeCmd,
+        link: Duplex<BlockMsg>,
+    ) -> Result<WaveOut, SimError> {
+        let sel = self.selected_blocks(cmd.block_cmask);
+        for &b in &sel {
+            let blk = self.blocks[b].take().expect("block present");
+            if !link.send((b, blk)) {
+                return Err(SimError::Exchange("peer rank dropped the link".into()));
+            }
+        }
+        for _ in &sel {
+            let (b, blk) = link
+                .recv()
+                .ok_or_else(|| SimError::Exchange("peer rank failed mid-exchange".into()))?;
+            self.blocks[b] = Some(blk);
+        }
+        // The wait above is overlap with the leader's compute; the leader
+        // accounts the pair's communication time and bytes.
+        Ok(self.wave_out(false, 0))
+    }
+
+    /// Leader side: receive the partner's compressed block, pair it with
+    /// the local one, run the cycle, send the partner's updated block
+    /// back compressed.
+    fn exchange_lead(
+        &mut self,
+        cmd: &ExchangeCmd,
+        link: Duplex<BlockMsg>,
+    ) -> Result<WaveOut, SimError> {
+        let sel = self.selected_blocks(cmd.block_cmask);
+        let block_f64s = self.layout.block_amps() * 2;
+        let mut buf_a = Vec::with_capacity(block_f64s);
+        let mut buf_b = Vec::with_capacity(block_f64s);
+        let mut lossy = false;
+        let mut comm_bytes = 0u64;
+        for &b in &sel {
+            let t = Instant::now();
+            let (pb, partner) = link
+                .recv()
+                .ok_or_else(|| SimError::Exchange("peer rank failed mid-exchange".into()))?;
+            self.metrics.add(Phase::Communication, t.elapsed());
+            debug_assert_eq!(pb, b, "exchange block order diverged");
+            let own = self.blocks[b].take().expect("block present");
+            let inbound = partner.len() as u64;
+
+            let unit = Unit {
+                slot_a: b,
+                slot_b: None,
+                in_a: own,
+                in_b: Some(partner),
+            };
+            let out = process_one(
+                &self.codec,
+                &self.cache,
+                &cmd.gate,
+                Kernel::Cross,
+                cmd.offset_cmask,
+                cmd.signature,
+                cmd.bound,
+                unit,
+                &mut buf_a,
+                &mut buf_b,
+                sel.len() == 1,
+            )?;
+            self.merge_unit(&out);
+            lossy |= out.compressed_lossy;
+            let back = out.out_b.expect("pair output");
+            let outbound = back.len() as u64;
+            let t = Instant::now();
+            if !link.send((b, back)) {
+                return Err(SimError::Exchange("peer rank dropped the link".into()));
+            }
+            self.metrics.add(Phase::Communication, t.elapsed());
+            self.blocks[b] = Some(out.out_a);
+            comm_bytes += inbound + outbound;
+            self.metrics.add_comm_bytes(inbound + outbound);
+            self.metrics.add_exchange();
+        }
+        Ok(self.wave_out(lossy, comm_bytes))
+    }
+
+    // --- batches ---------------------------------------------------------
+
+    fn apply_batch(&mut self, cmd: &BatchCmd) -> Result<WaveOut, SimError> {
+        let bpr = self.layout.blocks_per_rank();
+        // One unit per local block some gate selects.
+        let mut units = Vec::new();
+        for b in 0..bpr {
+            let mut mask = 0u64;
+            for (i, p) in cmd.plans.iter().enumerate() {
+                if self.selected(p.rank_cmask) && b & p.block_cmask == p.block_cmask {
+                    mask |= 1 << i;
+                }
+            }
+            if mask != 0 {
+                units.push(BatchUnit {
+                    slot: b,
+                    mask,
+                    block: self.blocks[b].take().expect("block present"),
+                });
+            }
+        }
+
+        let bound = cmd.bound;
+        let block_f64s = self.layout.block_amps() * 2;
+        let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
+            let mut buf = Vec::with_capacity(block_f64s);
+            units
+                .into_iter()
+                .map(|unit| {
+                    process_batch_unit(
+                        &self.codec,
+                        &self.cache,
+                        &cmd.plans,
+                        cmd.signature,
+                        bound,
+                        unit,
+                        &mut buf,
+                        true,
+                    )
+                })
+                .collect()
+        } else {
+            let codec = Arc::clone(&self.codec);
+            let cache = Arc::clone(&self.cache);
+            let plans = Arc::clone(&cmd.plans);
+            let signature = cmd.signature;
+            units
+                .into_par_iter()
+                .map_init(
+                    || Vec::with_capacity(block_f64s),
+                    |buf, unit| {
+                        process_batch_unit(
+                            &codec, &cache, &plans, signature, bound, unit, buf, false,
+                        )
+                    },
+                )
+                .collect()
+        };
+        let mut lossy = false;
+        for out in results? {
+            self.merge_unit(&out);
+            lossy |= out.compressed_lossy;
+            self.blocks[out.slot_a] = Some(out.out_a);
+        }
+        Ok(self.wave_out(lossy, 0))
+    }
+
+    // --- collectives ------------------------------------------------------
+
+    fn collapse(
+        &mut self,
+        scope: ControlScope,
+        outcome: bool,
+        scale: f64,
+        bound: ErrorBound,
+    ) -> Result<WaveOut, SimError> {
+        let rank = self.rank;
+        let codec = Arc::clone(&self.codec);
+        let blocks = std::mem::take(&mut self.blocks);
+        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
+            .into_par_iter()
+            .enumerate()
+            .map(|(b, blk)| {
+                let blk = blk.expect("block present");
+                let mut buf = Vec::new();
+                codec.decompress(&blk, &mut buf)?;
+                match scope {
+                    ControlScope::InBlock { offset_bit } => {
+                        let bit = 1usize << offset_bit;
+                        for o in 0..buf.len() / 2 {
+                            if (o & bit != 0) == outcome {
+                                buf[2 * o] *= scale;
+                                buf[2 * o + 1] *= scale;
+                            } else {
+                                buf[2 * o] = 0.0;
+                                buf[2 * o + 1] = 0.0;
+                            }
+                        }
+                    }
+                    ControlScope::BlockSelect { block_bit } => {
+                        if (b >> block_bit & 1 == 1) == outcome {
+                            buf.iter_mut().for_each(|v| *v *= scale);
+                        } else {
+                            buf.iter_mut().for_each(|v| *v = 0.0);
+                        }
+                    }
+                    ControlScope::RankSelect { rank_bit } => {
+                        if (rank >> rank_bit & 1 == 1) == outcome {
+                            buf.iter_mut().for_each(|v| *v *= scale);
+                        } else {
+                            buf.iter_mut().for_each(|v| *v = 0.0);
+                        }
+                    }
+                }
+                Ok(Some(codec.compress(&buf, bound)?))
+            })
+            .collect();
+        self.blocks = results?;
+        Ok(self.wave_out(bound.is_lossy(), 0))
+    }
+
+    fn recompress_all(&mut self, bound: ErrorBound) -> Result<WaveOut, SimError> {
+        let codec = Arc::clone(&self.codec);
+        let blocks = std::mem::take(&mut self.blocks);
+        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
+            .into_par_iter()
+            .map(|b| match b {
+                None => Ok(None),
+                Some(blk) => {
+                    let mut buf = Vec::new();
+                    codec.decompress(&blk, &mut buf)?;
+                    Ok(Some(codec.compress(&buf, bound)?))
+                }
+            })
+            .collect();
+        self.blocks = results?;
+        Ok(self.wave_out(bound.is_lossy(), 0))
+    }
+
+    fn prob_one(&self, scope: ControlScope) -> Result<f64, SimError> {
+        let rank = self.rank;
+        let codec = Arc::clone(&self.codec);
+        let sums: Result<Vec<f64>, SimError> = self
+            .blocks
+            .par_iter()
+            .enumerate()
+            .map(|(b, blk)| {
+                let blk = blk.as_ref().expect("block present");
+                let selected_whole = match scope {
+                    ControlScope::InBlock { .. } => None,
+                    ControlScope::BlockSelect { block_bit } => Some(b >> block_bit & 1 == 1),
+                    ControlScope::RankSelect { rank_bit } => Some(rank >> rank_bit & 1 == 1),
+                };
+                if selected_whole == Some(false) {
+                    return Ok(0.0);
+                }
+                let mut buf = Vec::new();
+                codec.decompress(blk, &mut buf)?;
+                let sum = match scope {
+                    ControlScope::InBlock { offset_bit } => {
+                        let bit = 1usize << offset_bit;
+                        (0..buf.len() / 2)
+                            .filter(|o| o & bit != 0)
+                            .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
+                            .sum()
+                    }
+                    _ => buf.iter().map(|v| v * v).sum(),
+                };
+                Ok(sum)
+            })
+            .collect();
+        Ok(sums?.into_iter().sum())
+    }
+
+    fn norm_sqr(&self) -> Result<f64, SimError> {
+        Ok(self.weights()?.into_iter().sum())
+    }
+
+    /// Per-block squared norms (the sampling weights; their sum is the
+    /// rank's contribution to the state's squared 2-norm).
+    fn weights(&self) -> Result<Vec<f64>, SimError> {
+        let codec = Arc::clone(&self.codec);
+        self.blocks
+            .par_iter()
+            .map(|blk| {
+                let mut buf = Vec::new();
+                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
+                Ok(buf.iter().map(|v| v * v).sum())
+            })
+            .collect()
+    }
+
+    fn expectation_zz(&self, a: usize, b: usize) -> Result<f64, SimError> {
+        let layout = self.layout;
+        let rank = self.rank;
+        let codec = Arc::clone(&self.codec);
+        let terms: Result<Vec<f64>, SimError> = self
+            .blocks
+            .par_iter()
+            .enumerate()
+            .map(|(bidx, blk)| {
+                let base = layout.join(rank, bidx, 0);
+                let mut buf = Vec::new();
+                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
+                let mut acc = 0.0;
+                for o in 0..buf.len() / 2 {
+                    let idx = base + o as u64;
+                    let parity = ((idx >> a) & 1) ^ ((idx >> b) & 1);
+                    let w = buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1];
+                    acc += if parity == 0 { w } else { -w };
+                }
+                Ok(acc)
+            })
+            .collect();
+        Ok(terms?.into_iter().sum())
+    }
+}
+
+/// One work unit: a single block, or a pair of blocks whose amplitudes are
+/// gate partners (local pair or an exchange pair on the leader).
+struct Unit {
+    slot_a: usize,
+    slot_b: Option<usize>,
+    in_a: CompressedBlock,
+    in_b: Option<CompressedBlock>,
+}
+
+struct UnitOut {
+    slot_a: usize,
+    slot_b: Option<usize>,
+    out_a: CompressedBlock,
+    out_b: Option<CompressedBlock>,
+    timings: [Duration; 4],
+    compressed_lossy: bool,
+    /// False when the block cache answered and no cycle ran.
+    cache_hit: bool,
+    /// Gate kernels applied during the cycle (0 on a cache hit).
+    gates_applied: u64,
+}
+
+/// Which pair-update kernel a unit runs.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    /// Pairs within one block, differing at `offset_bit`.
+    InBlock { offset_bit: u32 },
+    /// Pairs across two blocks at the same offset.
+    Cross,
+}
+
+/// In-block pair update over a whole scratch buffer, splitting the buffer
+/// into pair-aligned segments across the rank's rayon width when `wide`.
+fn run_in_block_kernel(buf: &mut [f64], offset_bit: u32, gate: &Gate1, cmask: usize, wide: bool) {
+    let pair_f64 = (1usize << (offset_bit + 1)) * 2;
+    let chunk_f64 = pair_f64.max(MIN_SEGMENT_F64);
+    if !wide || buf.len() <= chunk_f64 {
+        kernels::apply_in_block(buf, offset_bit, gate, cmask);
+        return;
+    }
+    buf.par_chunks_mut(chunk_f64)
+        .enumerate()
+        .for_each(|(k, seg)| {
+            kernels::apply_in_block_at(seg, k * chunk_f64 / 2, offset_bit, gate, cmask);
+        });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_one(
+    codec: &BlockCodec,
+    cache: &BlockCache,
+    gate: &Gate1,
+    kernel: Kernel,
+    offset_cmask: usize,
+    op_signature: u64,
+    bound: ErrorBound,
+    unit: Unit,
+    buf_a: &mut Vec<f64>,
+    buf_b: &mut Vec<f64>,
+    wide: bool,
+) -> Result<UnitOut, SimError> {
+    let mut timings = [Duration::ZERO; 4];
+
+    // Cache lookup (§3.4): skips decompress + compute + compress.
+    if let Some((out_a, out_b)) = cache.lookup(op_signature, &unit.in_a, unit.in_b.as_ref()) {
+        return Ok(UnitOut {
+            slot_a: unit.slot_a,
+            slot_b: unit.slot_b,
+            out_a,
+            out_b,
+            timings,
+            compressed_lossy: false,
+            cache_hit: true,
+            gates_applied: 0,
+        });
+    }
+
+    // Decompress (into the MCDRAM-modeled scratch).
+    let t = Instant::now();
+    codec.decompress(&unit.in_a, buf_a)?;
+    if let Some(in_b) = &unit.in_b {
+        codec.decompress(in_b, buf_b)?;
+    }
+    timings[1] += t.elapsed();
+
+    // Compute.
+    let t = Instant::now();
+    match kernel {
+        Kernel::InBlock { offset_bit } => {
+            run_in_block_kernel(buf_a, offset_bit, gate, offset_cmask, wide);
+        }
+        Kernel::Cross => {
+            kernels::apply_cross(buf_a, buf_b, gate, offset_cmask);
+        }
+    }
+    timings[3] += t.elapsed();
+
+    // Recompress.
+    let t = Instant::now();
+    let out_a = codec.compress(buf_a, bound)?;
+    let out_b = if unit.in_b.is_some() {
+        Some(codec.compress(buf_b, bound)?)
+    } else {
+        None
+    };
+    timings[0] += t.elapsed();
+
+    cache.insert(
+        op_signature,
+        &unit.in_a,
+        unit.in_b.as_ref(),
+        &out_a,
+        out_b.as_ref(),
+    );
+
+    Ok(UnitOut {
+        slot_a: unit.slot_a,
+        slot_b: unit.slot_b,
+        out_a,
+        out_b,
+        timings,
+        compressed_lossy: bound.is_lossy(),
+        cache_hit: false,
+        gates_applied: 1,
+    })
+}
+
+/// One block plus the subset of batch gates that fire on it.
+struct BatchUnit {
+    slot: usize,
+    mask: u64,
+    block: CompressedBlock,
+}
+
+/// Decompress once, apply every selected gate, recompress once.
+///
+/// The cache key mixes the batch signature with the unit's selection mask:
+/// byte-identical blocks with different applicable-gate subsets must never
+/// share a line, and one lookup/insert happens per block touch (not per
+/// member gate).
+#[allow(clippy::too_many_arguments)]
+fn process_batch_unit(
+    codec: &BlockCodec,
+    cache: &BlockCache,
+    plans: &[BatchPlan],
+    batch_signature: u64,
+    bound: ErrorBound,
+    unit: BatchUnit,
+    buf: &mut Vec<f64>,
+    wide: bool,
+) -> Result<UnitOut, SimError> {
+    let mut timings = [Duration::ZERO; 4];
+    let sig = mix(batch_signature, unit.mask);
+
+    if let Some((out, _)) = cache.lookup(sig, &unit.block, None) {
+        return Ok(UnitOut {
+            slot_a: unit.slot,
+            slot_b: None,
+            out_a: out,
+            out_b: None,
+            timings,
+            compressed_lossy: false,
+            cache_hit: true,
+            gates_applied: 0,
+        });
+    }
+
+    let t = Instant::now();
+    codec.decompress(&unit.block, buf)?;
+    timings[1] += t.elapsed();
+
+    let t = Instant::now();
+    let mut gates = 0u64;
+    for (i, plan) in plans.iter().enumerate() {
+        if unit.mask & (1 << i) == 0 {
+            continue;
+        }
+        run_in_block_kernel(buf, plan.offset_bit, &plan.gate, plan.offset_cmask, wide);
+        gates += 1;
+    }
+    timings[3] += t.elapsed();
+
+    let t = Instant::now();
+    let out = codec.compress(buf, bound)?;
+    timings[0] += t.elapsed();
+
+    cache.insert(sig, &unit.block, None, &out, None);
+
+    Ok(UnitOut {
+        slot_a: unit.slot,
+        slot_b: None,
+        out_a: out,
+        out_b: None,
+        timings,
+        compressed_lossy: bound.is_lossy(),
+        cache_hit: false,
+        gates_applied: gates,
+    })
+}

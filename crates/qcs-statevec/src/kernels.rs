@@ -18,11 +18,35 @@ use crate::gates::Gate1;
 /// amplitudes. `cmask` is a mask over amplitude offsets (in-block control
 /// qubits only); offsets whose bits do not cover it are left untouched.
 pub fn apply_in_block(buf: &mut [f64], offset_bit: u32, gate: &Gate1, cmask: usize) {
+    apply_in_block_at(buf, 0, offset_bit, gate, cmask);
+}
+
+/// [`apply_in_block`] over a *segment* of a block: `buf` holds the
+/// amplitudes at global offsets `base .. base + buf.len() / 2`, and the
+/// control mask `cmask` is evaluated against those global offsets.
+///
+/// `base` must be aligned to `2^(offset_bit + 1)` amplitudes so that every
+/// gate pair lies inside the segment. This is what lets a rank worker split
+/// one large decompressed block into independent segments and update them
+/// in parallel (the per-rank intra-block parallelism of the distributed
+/// engine) while reusing the exact same pair-update arithmetic.
+pub fn apply_in_block_at(
+    buf: &mut [f64],
+    base: usize,
+    offset_bit: u32,
+    gate: &Gate1,
+    cmask: usize,
+) {
     let amps = buf.len() / 2;
     let tbit = 1usize << offset_bit;
+    debug_assert_eq!(
+        base & (2 * tbit - 1),
+        0,
+        "segment base must be pair-aligned"
+    );
     let m = gate.m;
     for o in 0..amps {
-        if o & tbit != 0 || o & cmask != cmask {
+        if o & tbit != 0 || (base | o) & cmask != cmask {
             continue;
         }
         let p = o | tbit;
@@ -101,6 +125,31 @@ mod tests {
         apply_in_block(&mut buf, 3, &Gate1::x(), 0b001 | 0b010);
         s.apply_multi_controlled(&Gate1::x(), &[0, 1], 3);
         assert_buf_matches(&buf, &s);
+    }
+
+    #[test]
+    fn segmented_in_block_kernel_matches_whole_block() {
+        // Splitting a buffer into pair-aligned segments and applying the
+        // base-offset kernel per segment must equal one whole-block pass,
+        // including global control masks that select only some segments.
+        let mut s = StateVector::zero_state(6);
+        for q in 0..6 {
+            s.apply_gate(&Gate1::h(), q);
+        }
+        s.apply_gate(&Gate1::rz(0.83), 4);
+        let g = Gate1::u3(0.4, 0.9, -0.2);
+        for (offset_bit, cmask) in [(0u32, 0usize), (1, 0b1000), (2, 0b100000), (3, 0b1)] {
+            let mut whole = to_buf(&s);
+            apply_in_block(&mut whole, offset_bit, &g, cmask);
+            let mut segmented = to_buf(&s);
+            let seg_f64 = (1usize << (offset_bit + 1)) * 2;
+            for (k, seg) in segmented.chunks_mut(seg_f64).enumerate() {
+                apply_in_block_at(seg, k * seg_f64 / 2, offset_bit, &g, cmask);
+            }
+            for (a, b) in whole.iter().zip(&segmented) {
+                assert_eq!(a.to_bits(), b.to_bits(), "ob={offset_bit} cmask={cmask:b}");
+            }
+        }
     }
 
     #[test]

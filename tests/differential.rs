@@ -1,6 +1,9 @@
 //! Differential harness: every circuit family, compressed (lossless qzstd)
 //! vs. plain dense [`qcsim::StateVector`], amplitude-wise, with the batch
-//! scheduler both on and off.
+//! scheduler both on and off, swept across `ranks_log2 ∈ {0, 1, 2}` — a
+//! single in-place worker, two rank workers, and four rank workers, so
+//! the thread-per-rank cluster path and its compressed inter-rank
+//! exchanges are held to the same contract as the single-node pipeline.
 //!
 //! Fidelity comparisons can hide systematic per-amplitude drift behind the
 //! inner product; this suite asserts |a_i - b_i| <= 1e-10 for *every*
@@ -38,59 +41,66 @@ fn max_amp_error(sim: &CompressedSimulator, dense: &StateVector) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
-fn assert_family_matches(name: &str, circuit: &Circuit, block_log2: u32, ranks_log2: u32) {
+/// Run one family at every rank-worker count: a single in-place worker
+/// (`ranks_log2 = 0`) and real multi-threaded clusters of 2 and 4 rank
+/// workers, each with fusion on and off. Rank-crossing gates in the
+/// cluster runs exercise the compressed exchange path.
+fn assert_family_matches(name: &str, circuit: &Circuit, block_log2: u32) {
     let n = circuit.num_qubits() as u32;
     let mut rng = StdRng::seed_from_u64(2019);
     let dense = circuit.simulate_dense(&mut rng);
-    for fusion in [true, false] {
-        let cfg = lossless_cfg(block_log2, ranks_log2, fusion);
-        let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
-        let mut rng = StdRng::seed_from_u64(2019);
-        sim.run(circuit, &mut rng).expect("run");
-        let err = max_amp_error(&sim, &dense);
-        assert!(
-            err <= TOL,
-            "{name} (fusion={fusion}): max amplitude error {err:e} > {TOL:e}"
-        );
-        assert_eq!(
-            sim.report().fidelity_lower_bound,
-            1.0,
-            "{name}: lossless run must keep the ledger at 1"
-        );
+    for ranks_log2 in [0u32, 1, 2] {
+        for fusion in [true, false] {
+            let cfg = lossless_cfg(block_log2, ranks_log2, fusion);
+            let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
+            let mut rng = StdRng::seed_from_u64(2019);
+            sim.run(circuit, &mut rng).expect("run");
+            let err = max_amp_error(&sim, &dense);
+            assert!(
+                err <= TOL,
+                "{name} (ranks_log2={ranks_log2}, fusion={fusion}): \
+                 max amplitude error {err:e} > {TOL:e}"
+            );
+            assert_eq!(
+                sim.report().fidelity_lower_bound,
+                1.0,
+                "{name}: lossless run must keep the ledger at 1"
+            );
+        }
     }
 }
 
 #[test]
 fn qft_differential() {
     let c = qft_benchmark_circuit(10, 7);
-    assert_family_matches("qft", &c, 4, 1);
+    assert_family_matches("qft", &c, 4);
 }
 
 #[test]
 fn grover_differential() {
     let n = 8;
     let c = grover_circuit(n, 0b1011_0101, optimal_iterations(n));
-    assert_family_matches("grover", &c, 4, 1);
+    assert_family_matches("grover", &c, 4);
 }
 
 #[test]
 fn qaoa_differential() {
     let g = random_regular_graph(10, 4, 11);
     let c = qaoa_circuit(&g, &QaoaParams::standard(2));
-    assert_family_matches("qaoa", &c, 4, 2);
+    assert_family_matches("qaoa", &c, 4);
 }
 
 #[test]
 fn phase_estimation_differential() {
     // 7 precision qubits + 1 eigenstate qubit.
     let c = phase_estimation_circuit(7, 0.328125);
-    assert_family_matches("phase_estimation", &c, 3, 1);
+    assert_family_matches("phase_estimation", &c, 3);
 }
 
 #[test]
 fn supremacy_differential() {
     let c = random_circuit(Grid::new(3, 4), 11, 5);
-    assert_family_matches("supremacy", &c, 5, 1);
+    assert_family_matches("supremacy", &c, 5);
 }
 
 #[test]

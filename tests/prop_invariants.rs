@@ -187,6 +187,32 @@ proptest! {
     }
 
     #[test]
+    fn interrank_exchange_roundtrip_is_byte_preserving_lossless(data in state_like_data()) {
+        // The Route::InterRank protocol: the follower sends a compressed
+        // block over a duplex link; the leader decompresses, (here: applies
+        // no gate), and recompresses at the same bound before sending it
+        // back. Under a lossless codec that full round trip must reproduce
+        // the payload byte-for-byte — the exchange itself can never be a
+        // fidelity event.
+        use qcsim::cluster::duplex;
+        use qcsim::core::block::{BlockCodec, CompressedBlock};
+        let codec = BlockCodec::new(CodecId::SolutionC);
+        let block = codec.compress(&data, ErrorBound::Lossless).unwrap();
+        let (follower, leader) = duplex::<(usize, CompressedBlock)>();
+        prop_assert!(follower.send((0, block.clone())));
+        let (idx, inbound) = leader.recv().unwrap();
+        prop_assert_eq!(idx, 0);
+        prop_assert_eq!(&*inbound.bytes, &*block.bytes);
+        let mut buf = Vec::new();
+        codec.decompress(&inbound, &mut buf).unwrap();
+        let outbound = codec.compress(&buf, ErrorBound::Lossless).unwrap();
+        prop_assert!(leader.send((0, outbound)));
+        let (_, returned) = follower.recv().unwrap();
+        prop_assert_eq!(&*returned.bytes, &*block.bytes);
+        prop_assert_eq!(returned.codec, block.codec);
+    }
+
+    #[test]
     fn lossy_sim_fidelity_above_ledger_bound(c in random_ops(6)) {
         let cfg = SimConfig::default()
             .with_block_log2(3)

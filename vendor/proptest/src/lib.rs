@@ -27,6 +27,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The crate-level doctest demonstrates the `proptest!` macro, whose syntax
+// requires `#[test]` items inside the macro invocation.
+#![allow(clippy::test_attr_in_doctest)]
 
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};

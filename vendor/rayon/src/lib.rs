@@ -234,7 +234,7 @@ impl<I: Iterator> ParIter<I> {
         F: Fn(I::Item) + Sync,
     {
         let items: Vec<I::Item> = self.inner.collect();
-        striped_map(items, current_num_threads(), |t| f(t));
+        striped_map(items, current_num_threads(), f);
     }
 
     /// Collect items in order (sequential; pair with `map` for parallelism).
@@ -442,7 +442,7 @@ mod tests {
 
     #[test]
     fn par_iter_enumerate_map_collect() {
-        let v = vec![10u64, 20, 30];
+        let v = [10u64, 20, 30];
         let out: Vec<u64> = v
             .par_iter()
             .enumerate()
