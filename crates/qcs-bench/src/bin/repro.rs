@@ -2,7 +2,7 @@
 //!
 //! Usage: `repro <experiment> [--csv-dir DIR]` where experiment is one of
 //! `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//! fig16 table2 ablation-cache ablation-qzstd ablation-ladder
+//! fig16 table2 table-spill ablation-cache ablation-qzstd ablation-ladder
 //! ablation-fusion all`.
 //!
 //! Each subcommand prints the rows/series the paper reports (at laptop
@@ -38,7 +38,7 @@ fn main() {
     }
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR]"
+            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|table-spill|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR]"
         );
         std::process::exit(2);
     }
@@ -57,6 +57,7 @@ fn main() {
         "fig15",
         "fig16",
         "table2",
+        "table-spill",
         "ablation-cache",
         "ablation-qzstd",
         "ablation-ladder",
@@ -85,6 +86,7 @@ fn main() {
             "fig15" => fig15(&csv_dir),
             "fig16" => fig16(&csv_dir),
             "table2" => table2(&csv_dir),
+            "table-spill" => table_spill(&csv_dir),
             "ablation-cache" => ablation_cache(&csv_dir),
             "ablation-qzstd" => ablation_qzstd(&csv_dir),
             "ablation-ladder" => ablation_ladder(&csv_dir),
@@ -734,6 +736,64 @@ fn ablation_fusion(dir: &Path) {
     }
     finish(&t, dir, "ablation_fusion");
     println!("expected: fused strictly faster per gate on every workload; largest win on the QFT (long intra-block cphase cascades)");
+}
+
+fn table_spill(dir: &Path) {
+    // The out-of-core tier's tradeoff: memory budget (resident compressed
+    // blocks per rank) vs wall-clock on the deep-QFT and supremacy
+    // workloads. "all" keeps every block resident (the paper's regime);
+    // the shrinking budgets push an ever larger share of the working set
+    // to the per-rank segment files, trading spill I/O for RAM. Peak
+    // memory is Eq. 8 over *resident* bytes, so it must shrink with the
+    // budget while the amplitudes stay bit-identical (pinned by
+    // tests/out_of_core.rs).
+    let workloads: Vec<(&'static str, qcs_circuits::Circuit)> = vec![
+        ("qft_18", qft_benchmark_circuit(18, 12)),
+        ("sup_16", random_circuit(Grid::new(4, 4), 11, 2019)),
+    ];
+    let mut t = Table::new(vec![
+        "workload",
+        "qubits",
+        "budget (blk)",
+        "wall (s)",
+        "peak MB",
+        "spills",
+        "fetches",
+        "spill MB",
+        "io (ms)",
+    ]);
+    for (name, circuit) in workloads {
+        let n = circuit.num_qubits() as u32;
+        let bpr = 1usize << (n - 10); // block_log2 = 10, one rank
+        let mut budgets = vec![None, Some(bpr / 4), Some(bpr / 16), Some(4)];
+        budgets.dedup();
+        for budget in budgets {
+            let mut cfg = SimConfig::default().with_block_log2(10);
+            if let Some(blocks) = budget {
+                cfg = cfg.with_spill(blocks);
+            }
+            let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
+            let mut rng = StdRng::seed_from_u64(0);
+            let t0 = Instant::now();
+            sim.run(&circuit, &mut rng).expect("run");
+            let wall = t0.elapsed().as_secs_f64();
+            let report = sim.report();
+            t.row(vec![
+                name.to_string(),
+                format!("{n}"),
+                budget.map_or("all".to_string(), |b| format!("{b}")),
+                format!("{wall:.2}"),
+                format!("{:.1}", report.peak_memory_bytes as f64 / 1e6),
+                format!("{}", report.spills),
+                format!("{}", report.fetches),
+                format!("{:.1}", report.spill_bytes as f64 / 1e6),
+                format!("{:.0}", report.spill_io_ns as f64 / 1e6),
+            ]);
+        }
+        println!("... {name} done");
+    }
+    finish(&t, dir, "table_spill");
+    println!("expected: peak memory falls with the budget; spill traffic and i/o time rise as the budget shrinks; wall-clock degrades gracefully");
 }
 
 fn ablation_ladder(dir: &Path) {

@@ -1,5 +1,6 @@
 //! Time-breakdown and communication accounting (paper Table 2 rows:
-//! compression / decompression / communication / computation time).
+//! compression / decompression / communication / computation time), plus
+//! the out-of-core tier's spill/fetch traffic and I/O time.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -16,15 +17,18 @@ pub enum Phase {
     Communication,
     /// Applying gate arithmetic.
     Computation,
+    /// Reading/writing spilled blocks on the out-of-core tier.
+    SpillIo,
 }
 
 impl Phase {
     /// All phases in report order.
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 5] = [
         Phase::Compression,
         Phase::Decompression,
         Phase::Communication,
         Phase::Computation,
+        Phase::SpillIo,
     ];
 
     /// Display name.
@@ -34,17 +38,22 @@ impl Phase {
             Phase::Decompression => "decompression",
             Phase::Communication => "communication",
             Phase::Computation => "computation",
+            Phase::SpillIo => "spill i/o",
         }
     }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    durations: [Duration; 4],
+    durations: [Duration; 5],
     comm_bytes: u64,
     exchanges: u64,
     block_touches: u64,
     batched_gate_applications: u64,
+    spills: u64,
+    fetches: u64,
+    spill_bytes: u64,
+    fetch_bytes: u64,
 }
 
 /// Thread-safe accumulator of per-phase wall time and communication volume.
@@ -91,6 +100,42 @@ impl Metrics {
     /// Total inter-rank block-pair exchanges performed.
     pub fn exchanges(&self) -> u64 {
         self.inner.lock().exchanges
+    }
+
+    /// Record one block evicted from residency and written to the spill
+    /// tier (`bytes` = the frame's on-disk footprint).
+    pub fn add_spill(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.spills += 1;
+        inner.spill_bytes += bytes;
+    }
+
+    /// Record one block read back from the spill tier (`bytes` = the
+    /// frame's on-disk footprint).
+    pub fn add_fetch(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.fetches += 1;
+        inner.fetch_bytes += bytes;
+    }
+
+    /// Total blocks written to the spill tier.
+    pub fn spills(&self) -> u64 {
+        self.inner.lock().spills
+    }
+
+    /// Total blocks read back from the spill tier.
+    pub fn fetches(&self) -> u64 {
+        self.inner.lock().fetches
+    }
+
+    /// Total bytes written to the spill tier.
+    pub fn spill_bytes(&self) -> u64 {
+        self.inner.lock().spill_bytes
+    }
+
+    /// Total bytes read back from the spill tier.
+    pub fn fetch_bytes(&self) -> u64 {
+        self.inner.lock().fetch_bytes
     }
 
     /// Record one block-touch (a decompress → compute → recompress cycle of
@@ -144,10 +189,15 @@ impl Metrics {
             decompression: inner.durations[Phase::Decompression as usize],
             communication: inner.durations[Phase::Communication as usize],
             computation: inner.durations[Phase::Computation as usize],
+            spill_io: inner.durations[Phase::SpillIo as usize],
             comm_bytes: inner.comm_bytes,
             exchanges: inner.exchanges,
             block_touches: inner.block_touches,
             batched_gate_applications: inner.batched_gate_applications,
+            spills: inner.spills,
+            fetches: inner.fetches,
+            spill_bytes: inner.spill_bytes,
+            fetch_bytes: inner.fetch_bytes,
         }
     }
 
@@ -169,6 +219,8 @@ pub struct TimeBreakdown {
     pub communication: Duration,
     /// Time spent in gate arithmetic.
     pub computation: Duration,
+    /// Time spent reading/writing spilled blocks on the out-of-core tier.
+    pub spill_io: Duration,
     /// Bytes exchanged between ranks.
     pub comm_bytes: u64,
     /// Inter-rank block-pair exchanges performed.
@@ -177,18 +229,35 @@ pub struct TimeBreakdown {
     pub block_touches: u64,
     /// Gate kernels applied across all block touches.
     pub batched_gate_applications: u64,
+    /// Blocks written to the spill tier.
+    pub spills: u64,
+    /// Blocks read back from the spill tier.
+    pub fetches: u64,
+    /// Bytes written to the spill tier.
+    pub spill_bytes: u64,
+    /// Bytes read back from the spill tier.
+    pub fetch_bytes: u64,
 }
 
 impl TimeBreakdown {
     /// Total across phases.
     pub fn total(&self) -> Duration {
-        self.compression + self.decompression + self.communication + self.computation
+        self.compression
+            + self.decompression
+            + self.communication
+            + self.computation
+            + self.spill_io
     }
 
     /// Communication time in nanoseconds (saturating; the Table 2 row the
     /// repro harness prints directly).
     pub fn comm_ns(&self) -> u64 {
         u64::try_from(self.communication.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Spill-tier I/O time in nanoseconds (saturating).
+    pub fn spill_io_ns(&self) -> u64 {
+        u64::try_from(self.spill_io.as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Average gate kernels per block touch (0 when nothing ran).
@@ -202,16 +271,17 @@ impl TimeBreakdown {
 
     /// Percentage of total for each phase, in [`Phase::ALL`] order.
     /// Returns zeros when nothing was recorded.
-    pub fn percentages(&self) -> [f64; 4] {
+    pub fn percentages(&self) -> [f64; 5] {
         let total = self.total().as_secs_f64();
         if total == 0.0 {
-            return [0.0; 4];
+            return [0.0; 5];
         }
         [
             self.compression.as_secs_f64() / total * 100.0,
             self.decompression.as_secs_f64() / total * 100.0,
             self.communication.as_secs_f64() / total * 100.0,
             self.computation.as_secs_f64() / total * 100.0,
+            self.spill_io.as_secs_f64() / total * 100.0,
         ]
     }
 }
@@ -264,7 +334,31 @@ mod tests {
 
     #[test]
     fn empty_percentages_are_zero() {
-        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 4]);
+        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn spill_traffic_accumulates_and_resets() {
+        let m = Metrics::new();
+        m.add_spill(100);
+        m.add_spill(40);
+        m.add_fetch(100);
+        m.add(Phase::SpillIo, Duration::from_millis(3));
+        assert_eq!(m.spills(), 2);
+        assert_eq!(m.fetches(), 1);
+        assert_eq!(m.spill_bytes(), 140);
+        assert_eq!(m.fetch_bytes(), 100);
+        let b = m.breakdown();
+        assert_eq!(b.spills, 2);
+        assert_eq!(b.fetches, 1);
+        assert_eq!(b.spill_bytes, 140);
+        assert_eq!(b.fetch_bytes, 100);
+        assert_eq!(b.spill_io, Duration::from_millis(3));
+        assert_eq!(b.spill_io_ns(), 3_000_000);
+        assert!(b.percentages()[4] > 99.0, "only spill i/o was recorded");
+        m.reset();
+        assert_eq!(m.spills(), 0);
+        assert_eq!(m.spill_bytes(), 0);
     }
 
     #[test]

@@ -26,6 +26,30 @@ impl ErrorBound {
     }
 }
 
+impl ErrorBound {
+    /// Stable one-byte discriminant used by on-disk formats (frames,
+    /// checkpoints): 0 = lossless, 1 = absolute, 2 = pointwise-relative.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ErrorBound::Lossless => 0,
+            ErrorBound::Absolute(_) => 1,
+            ErrorBound::PointwiseRelative(_) => 2,
+        }
+    }
+
+    /// Inverse of [`ErrorBound::tag`] + [`ErrorBound::magnitude`]: rebuild
+    /// a bound from its serialized `(tag, magnitude)` pair. Returns `None`
+    /// for an unknown tag.
+    pub fn from_tag(tag: u8, magnitude: f64) -> Option<Self> {
+        match tag {
+            0 => Some(ErrorBound::Lossless),
+            1 => Some(ErrorBound::Absolute(magnitude)),
+            2 => Some(ErrorBound::PointwiseRelative(magnitude)),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ErrorBound {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -1,0 +1,268 @@
+//! Self-describing frames for compressed blocks at rest.
+//!
+//! A *frame* is the unit every persistent tier of the simulator speaks:
+//! the out-of-core spill store appends frames to per-rank segment files,
+//! and checkpoints are a header followed by one frame per block. The frame
+//! carries everything needed to rebuild the block without out-of-band
+//! context — which codec produced the payload, under which error bound,
+//! how long the payload is, and a checksum that catches torn writes and
+//! bit rot before a corrupt payload ever reaches a decompressor:
+//!
+//! ```text
+//! magic "QCF1" (4) | codec u8 | bound tag u8 | bound magnitude f64 le
+//! | payload_len u32 le | checksum u64 le (FNV-1a over payload) | payload
+//! ```
+//!
+//! The header is a fixed [`HEADER_LEN`] bytes, so a reader can skip a
+//! frame without parsing its payload and a writer knows a frame's on-disk
+//! footprint up front ([`encoded_len`]).
+//!
+//! ```
+//! use qcs_compress::frame::{read_frame, write_frame};
+//! use qcs_compress::{CodecId, ErrorBound};
+//!
+//! let mut seg = Vec::new();
+//! write_frame(&mut seg, CodecId::SolutionC, ErrorBound::PointwiseRelative(1e-4), b"payload").unwrap();
+//! let frame = read_frame(&mut seg.as_slice()).unwrap();
+//! assert_eq!(frame.codec, CodecId::SolutionC);
+//! assert_eq!(frame.payload, b"payload");
+//! ```
+
+use crate::codec::CodecId;
+use crate::error_bound::ErrorBound;
+use std::io::{Read, Write};
+
+/// Frame magic: "QCF" + format version 1.
+pub const MAGIC: [u8; 4] = *b"QCF1";
+
+/// Fixed size of the frame header preceding the payload:
+/// magic 4 + codec 1 + bound tag 1 + bound magnitude 8 + payload_len 4
+/// + checksum 8.
+pub const HEADER_LEN: usize = 26;
+
+/// Largest payload a frame accepts (1 GiB): a length field beyond this is
+/// treated as corruption rather than an allocation request.
+pub const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Errors surfaced while encoding or decoding frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The stream is not a frame, or its checksum/fields are inconsistent.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// A decoded frame: the compressed payload plus the metadata needed to
+/// decompress it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Codec that produced `payload`.
+    pub codec: CodecId,
+    /// Error bound the payload was compressed under.
+    pub bound: ErrorBound,
+    /// The compressed bytes.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over `bytes` — the frame checksum (also usable as a cheap
+/// content hash by callers that already hold a payload).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Total on-disk footprint of a frame with a `payload_len`-byte payload.
+pub fn encoded_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len
+}
+
+/// Write one frame to `w`. Returns the number of bytes written
+/// (`encoded_len(payload.len())`).
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    codec: CodecId,
+    bound: ErrorBound,
+    payload: &[u8],
+) -> Result<usize, FrameError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(FrameError::Corrupt(format!(
+            "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&MAGIC)?;
+    w.write_all(&[codec as u8, bound.tag()])?;
+    w.write_all(&bound.magnitude().to_le_bytes())?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(encoded_len(payload.len()))
+}
+
+/// Read one frame from `r`, verifying magic, field validity, and the
+/// payload checksum.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(FrameError::Corrupt("bad magic".into()));
+    }
+    let codec = CodecId::from_u8(header[4])
+        .ok_or_else(|| FrameError::Corrupt(format!("unknown codec id {}", header[4])))?;
+    let magnitude = f64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let bound = ErrorBound::from_tag(header[5], magnitude)
+        .ok_or_else(|| FrameError::Corrupt(format!("unknown bound tag {}", header[5])))?;
+    let payload_len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Corrupt(format!(
+            "payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte frame cap"
+        )));
+    }
+    let checksum = u64::from_le_bytes(header[18..26].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != checksum {
+        return Err(FrameError::Corrupt("payload checksum mismatch".into()));
+    }
+    Ok(Frame {
+        codec,
+        bound,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: CodecId, bound: ErrorBound, payload: &[u8]) -> Frame {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, codec, bound, payload).unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(n, encoded_len(payload.len()));
+        read_frame(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_every_bound_kind() {
+        for bound in [
+            ErrorBound::Lossless,
+            ErrorBound::Absolute(1e-6),
+            ErrorBound::PointwiseRelative(1e-3),
+        ] {
+            let f = round_trip(CodecId::Qzstd, bound, b"some compressed bytes");
+            assert_eq!(f.codec, CodecId::Qzstd);
+            assert_eq!(f.bound, bound);
+            assert_eq!(f.payload, b"some compressed bytes");
+        }
+    }
+
+    #[test]
+    fn round_trips_empty_payload() {
+        let f = round_trip(CodecId::SolutionD, ErrorBound::Lossless, b"");
+        assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"x").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_flipped_payload_bit() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Corrupt(m)) => assert!(m.contains("checksum"), "{m}"),
+            other => panic!("corrupted payload accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_codec_and_bound_tags() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"x").unwrap();
+        let mut bad_codec = buf.clone();
+        bad_codec[4] = 0xEE;
+        assert!(read_frame(&mut bad_codec.as_slice()).is_err());
+        let mut bad_bound = buf;
+        bad_bound[5] = 0xEE;
+        assert!(read_frame(&mut bad_bound.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            CodecId::Qzstd,
+            ErrorBound::Lossless,
+            b"0123456789",
+        )
+        .unwrap();
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 4] {
+            assert!(
+                matches!(read_frame(&mut &buf[..cut]), Err(FrameError::Io(_))),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_absurd_length_field_without_allocating() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"x").unwrap();
+        buf[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn frames_concatenate_into_a_segment() {
+        let mut seg = Vec::new();
+        for (i, bound) in [ErrorBound::Lossless, ErrorBound::PointwiseRelative(1e-5)]
+            .iter()
+            .enumerate()
+        {
+            write_frame(&mut seg, CodecId::SolutionC, *bound, &vec![i as u8; 5 + i]).unwrap();
+        }
+        let mut r = seg.as_slice();
+        let a = read_frame(&mut r).unwrap();
+        let b = read_frame(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(a.payload, vec![0u8; 5]);
+        assert_eq!(b.payload, vec![1u8; 6]);
+        assert_eq!(b.bound, ErrorBound::PointwiseRelative(1e-5));
+    }
+}

@@ -134,6 +134,7 @@ pub mod bitio;
 pub mod codec;
 pub mod error_bound;
 pub mod fpzip;
+pub mod frame;
 pub mod huffman;
 pub mod lz77;
 pub mod qzstd;
@@ -144,6 +145,7 @@ pub mod zfp;
 
 pub use codec::{bytes_to_f64s, f64s_to_bytes, Codec, CodecError, CodecId};
 pub use error_bound::{ladder, mantissa_bits_for_relative, ErrorBound, PWR_LEVELS};
+pub use frame::{Frame, FrameError};
 
 /// Lossless codec over raw f64 bytes, wrapping [`qzstd`].
 ///

@@ -10,6 +10,10 @@ use std::sync::Arc;
 pub struct CompressedBlock {
     /// Codec that produced `bytes`.
     pub codec: CodecId,
+    /// Error bound `bytes` was compressed under. Metadata only (the codec
+    /// stream is self-contained), but it makes a block self-describing when
+    /// written to a persistent tier as a frame.
+    pub bound: ErrorBound,
     /// Compressed payload, shared with the block cache.
     pub bytes: Arc<[u8]>,
 }
@@ -25,13 +29,10 @@ impl CompressedBlock {
         self.bytes.is_empty()
     }
 
-    /// FNV-1a hash of the payload, used as the cache-line tag.
+    /// FNV-1a hash of the payload, used as the cache-line tag (the same
+    /// hash the frame format uses as its checksum).
     pub fn content_hash(&self) -> u64 {
-        let mut h = 0xcbf29ce484222325u64;
-        for &b in self.bytes.iter() {
-            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-        }
-        h
+        qcs_compress::frame::fnv1a(&self.bytes)
     }
 }
 
@@ -81,6 +82,7 @@ impl BlockCodec {
         };
         Ok(CompressedBlock {
             codec: id,
+            bound,
             bytes: bytes.into(),
         })
     }

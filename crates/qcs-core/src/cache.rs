@@ -236,6 +236,7 @@ mod tests {
     fn block(fill: u8, len: usize) -> CompressedBlock {
         CompressedBlock {
             codec: CodecId::Qzstd,
+            bound: qcs_compress::ErrorBound::Lossless,
             bytes: vec![fill; len].into(),
         }
     }

@@ -7,30 +7,45 @@
 //! binary format:
 //!
 //! ```text
-//! magic "QCSCKPT1" | num_qubits u32 | ranks_log2 u32 | block_log2 u32
+//! magic "QCSCKPT2" | num_qubits u32 | ranks_log2 u32 | block_log2 u32
 //! | level u32 | lossy_codec u8
 //! | ledger: log_product f64, gates u64, lossy_gates u64, max_delta f64
-//! | block_count u64 | blocks: (codec u8, len u64, bytes) *
+//! | block_count u64 | blocks: one qcs_compress::frame each *
 //! ```
+//!
+//! Version 2 stores each block as a self-describing
+//! [`qcs_compress::frame`] — the same format the out-of-core spill tier
+//! uses — so every block record carries its codec id, error bound, length,
+//! and a payload checksum; a flipped bit in a checkpoint surfaces as a
+//! frame error on load, not as silently corrupt amplitudes.
+//!
+//! Checkpointing composes with the out-of-core tier in both directions:
+//! saving streams spilled blocks one at a time through the block store
+//! (never materializing more than one block beyond the workers' residency
+//! budgets), and a checkpoint written under one residency budget can be
+//! restored under any other (the restore simply re-seeds each rank's
+//! store, which re-spills whatever exceeds the new budget).
 
 use crate::block::CompressedBlock;
 use crate::config::SimConfig;
 use crate::engine::{CompressedSimulator, SimError};
 use crate::fidelity_bound::FidelityLedger;
-use qcs_compress::CodecId;
+use qcs_compress::{frame, CodecId};
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"QCSCKPT1";
+const MAGIC: &[u8; 8] = b"QCSCKPT2";
 
 /// Write a checkpoint of `sim` to `path`.
 ///
-/// Works for any rank-worker count: the blocks are gathered from every
-/// rank in rank-major order (a cheap collective — compressed payloads are
-/// shared `Arc`s), so the on-disk format is identical whether the state
-/// was held by one in-place worker or by many rank threads.
+/// Works for any rank-worker count: the blocks are streamed out of their
+/// owning ranks in rank-major order, one at a time, so the on-disk format
+/// is identical whether the state was held by one in-place worker or by
+/// many rank threads — and saving an out-of-core simulation never pulls
+/// more than one block beyond the workers' residency budgets into memory
+/// at once (spilled blocks go disk → frame → disk).
 pub fn save(sim: &CompressedSimulator, path: &Path) -> Result<(), SimError> {
-    let (cfg, layout, level, ledger, blocks) = sim.checkpoint_parts()?;
+    let (cfg, layout, level, ledger) = sim.checkpoint_parts();
     let mut w = std::io::BufWriter::new(
         std::fs::File::create(path)
             .map_err(|e| SimError::Checkpoint(format!("create {path:?}: {e}")))?,
@@ -47,13 +62,15 @@ pub fn save(sim: &CompressedSimulator, path: &Path) -> Result<(), SimError> {
     w.write_all(&gates.to_le_bytes()).map_err(io)?;
     w.write_all(&lossy_gates.to_le_bytes()).map_err(io)?;
     w.write_all(&max_delta.to_le_bytes()).map_err(io)?;
-    w.write_all(&(blocks.len() as u64).to_le_bytes())
+    let (ranks, bpr) = (layout.ranks(), layout.blocks_per_rank());
+    w.write_all(&((ranks * bpr) as u64).to_le_bytes())
         .map_err(io)?;
-    for blk in &blocks {
-        w.write_all(&[blk.codec as u8]).map_err(io)?;
-        w.write_all(&(blk.bytes.len() as u64).to_le_bytes())
-            .map_err(io)?;
-        w.write_all(&blk.bytes).map_err(io)?;
+    for rank in 0..ranks {
+        for block in 0..bpr {
+            let blk = sim.fetch_block(rank, block)?;
+            frame::write_frame(&mut w, blk.codec, blk.bound, &blk.bytes)
+                .map_err(|e| SimError::Checkpoint(format!("write block frame: {e}")))?;
+        }
     }
     w.flush().map_err(io)
 }
@@ -76,6 +93,13 @@ pub fn load(path: &Path, mut cfg: SimConfig) -> Result<CompressedSimulator, SimE
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(io)?;
     if &magic != MAGIC {
+        if magic.starts_with(b"QCSCKPT") {
+            return Err(SimError::Checkpoint(format!(
+                "unsupported checkpoint version '{}' (this build reads '{}'); \
+                 re-save the state with the current build",
+                magic[7] as char, MAGIC[7] as char
+            )));
+        }
         return Err(SimError::Checkpoint("bad magic".into()));
     }
     let mut u32buf = [0u8; 4];
@@ -120,16 +144,13 @@ pub fn load(path: &Path, mut cfg: SimConfig) -> Result<CompressedSimulator, SimE
         return Err(SimError::Checkpoint("absurd block count".into()));
     }
     let mut blocks = Vec::with_capacity(block_count);
-    for _ in 0..block_count {
-        r.read_exact(&mut byte).map_err(io)?;
-        let codec = CodecId::from_u8(byte[0])
-            .ok_or_else(|| SimError::Checkpoint(format!("unknown codec id {}", byte[0])))?;
-        let len = read_u64(&mut r)? as usize;
-        let mut bytes = vec![0u8; len];
-        r.read_exact(&mut bytes).map_err(io)?;
+    for i in 0..block_count {
+        let f = frame::read_frame(&mut r)
+            .map_err(|e| SimError::Checkpoint(format!("block frame {i}: {e}")))?;
         blocks.push(Some(CompressedBlock {
-            codec,
-            bytes: bytes.into(),
+            codec: f.codec,
+            bound: f.bound,
+            bytes: f.payload.into(),
         }));
     }
 
@@ -265,12 +286,135 @@ mod tests {
     }
 
     #[test]
+    fn save_while_spilled_restores_into_any_budget() {
+        // Run out-of-core (only 2 of 16 blocks resident), checkpoint, and
+        // restore under a smaller budget, a larger budget, and fully
+        // in-RAM. Every variant must hold bit-identical amplitudes to the
+        // all-resident reference run.
+        let base = SimConfig::default().with_block_log2(3);
+        let mut c = Circuit::new(7);
+        for q in 0..7 {
+            c.h(q);
+        }
+        c.t(6).cx(5, 0).rz(0.21, 3);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reference = CompressedSimulator::new(7, base.clone()).unwrap();
+        reference.run(&c, &mut rng).unwrap();
+        let want = reference.snapshot_dense().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut spilled = CompressedSimulator::new(7, base.clone().with_spill(2)).unwrap();
+        spilled.run(&c, &mut rng).unwrap();
+        assert!(spilled.report().spills > 0, "precondition: blocks on disk");
+
+        let path = tmp("spilled");
+        save(&spilled, &path).unwrap();
+
+        for restore_cfg in [
+            base.clone().with_spill(1),  // smaller residency budget
+            base.clone().with_spill(12), // larger than the spilled run's
+            base.clone(),                // no spilling at all
+        ] {
+            let restored = load(&path, restore_cfg).unwrap();
+            let got = restored.snapshot_dense().unwrap();
+            for (a, b) in want.amplitudes().iter().zip(got.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spilled_restore_continues_identically() {
+        // Checkpoint mid-circuit from a spilled simulator, restore into a
+        // *smaller* budget, run the tail, and match the uncheckpointed
+        // spilled run exactly.
+        let cfg = SimConfig::default().with_block_log2(3).with_spill(3);
+        let mut head = Circuit::new(7);
+        let mut tail = Circuit::new(7);
+        let mut full = Circuit::new(7);
+        for q in 0..7 {
+            head.h(q);
+            full.h(q);
+        }
+        tail.cx(0, 6).t(5).cphase(0.9, 2, 4);
+        full.cx(0, 6).t(5).cphase(0.9, 2, 4);
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut oneshot = CompressedSimulator::new(7, cfg.clone()).unwrap();
+        oneshot.run(&full, &mut rng).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut staged = CompressedSimulator::new(7, cfg.clone()).unwrap();
+        staged.run(&head, &mut rng).unwrap();
+        let path = tmp("spilled-resume");
+        save(&staged, &path).unwrap();
+        let mut resumed = load(&path, cfg.with_spill(1)).unwrap();
+        std::fs::remove_file(&path).ok();
+        resumed.run(&tail, &mut rng).unwrap();
+        assert!(resumed.report().spills > 0);
+
+        let (a, b) = (
+            oneshot.snapshot_dense().unwrap(),
+            resumed.snapshot_dense().unwrap(),
+        );
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_frame_corruption_is_detected_on_load() {
+        let cfg = SimConfig::default().with_block_log2(3);
+        let mut sim = CompressedSimulator::new(6, cfg.clone()).unwrap();
+        let mut c = Circuit::new(6);
+        c.h(0).h(5).t(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        sim.run(&c, &mut rng).unwrap();
+        let path = tmp("bitrot");
+        save(&sim, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit near the end (inside the last block frame).
+        let idx = bytes.len() - 2;
+        bytes[idx] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&path, cfg) {
+            Err(SimError::Checkpoint(m)) => {
+                assert!(m.contains("frame"), "unexpected error detail: {m}")
+            }
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("corrupt block frame accepted"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupt_checkpoint_rejected() {
         let path = tmp("corrupt");
         std::fs::write(&path, b"NOTACKPT").unwrap();
         assert!(load(&path, SimConfig::default()).is_err());
         std::fs::write(&path, b"QC").unwrap();
         assert!(load(&path, SimConfig::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn old_version_checkpoint_gets_actionable_error() {
+        let path = tmp("v1");
+        std::fs::write(&path, b"QCSCKPT1then-some-v1-payload").unwrap();
+        match load(&path, SimConfig::default()) {
+            Err(SimError::Checkpoint(m)) => assert!(
+                m.contains("version '1'") && m.contains("reads '2'"),
+                "v1 file must name the version mismatch, got: {m}"
+            ),
+            other => panic!(
+                "v1 checkpoint mishandled: {:?}",
+                other.err().map(|e| e.to_string())
+            ),
+        }
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,6 +1,36 @@
 //! Simulator configuration (paper §3, §5.1).
 
 use qcs_compress::{CodecId, ErrorBound};
+use std::path::PathBuf;
+
+/// Out-of-core tier configuration: how many hot compressed blocks each
+/// rank keeps resident, and where the cold ones spill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Residency budget per rank, in blocks (minimum 1): the hottest
+    /// `resident_blocks` compressed blocks stay in memory (LRU by last
+    /// touch); the rest live in the rank's segment file.
+    pub resident_blocks: usize,
+    /// Directory for the per-rank segment files; `None` uses the system
+    /// temp directory. Files are deleted when the simulator is dropped.
+    pub dir: Option<PathBuf>,
+}
+
+impl SpillConfig {
+    /// Spill config with the given per-rank residency budget, segments in
+    /// the system temp directory.
+    pub fn new(resident_blocks: usize) -> Self {
+        Self {
+            resident_blocks,
+            dir: None,
+        }
+    }
+
+    /// The directory segment files are created in.
+    pub fn directory(&self) -> PathBuf {
+        self.dir.clone().unwrap_or_else(std::env::temp_dir)
+    }
+}
 
 /// Configuration for the compressed-block simulator.
 #[derive(Debug, Clone)]
@@ -53,6 +83,11 @@ pub struct SimConfig {
     /// per-block gate-selection subset in a 64-bit mask). `1` keeps fusion
     /// but disables batching.
     pub max_batch_gates: usize,
+    /// Out-of-core tier: when set, each rank keeps only
+    /// `spill.resident_blocks` hot compressed blocks in memory and spills
+    /// the rest to a per-rank segment file of checksummed frames. `None`
+    /// (the default) keeps every block resident, as in the paper.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for SimConfig {
@@ -70,6 +105,7 @@ impl Default for SimConfig {
             modeled_link_bandwidth: None,
             fusion: true,
             max_batch_gates: qcs_circuits::schedule::MAX_BATCH_GATES,
+            spill: None,
         }
     }
 }
@@ -137,6 +173,24 @@ impl SimConfig {
         self
     }
 
+    /// Config with the out-of-core tier enabled: at most `resident_blocks`
+    /// hot compressed blocks per rank stay in memory, the rest spill to
+    /// per-rank segment files in the system temp directory.
+    pub fn with_spill(mut self, resident_blocks: usize) -> Self {
+        self.spill = Some(SpillConfig::new(resident_blocks));
+        self
+    }
+
+    /// Config with the out-of-core tier writing its segment files under
+    /// `dir` (enables spilling if it was off; keeps a previously set
+    /// residency budget).
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        let mut spill = self.spill.take().unwrap_or_else(|| SpillConfig::new(1));
+        spill.dir = Some(dir);
+        self.spill = Some(spill);
+        self
+    }
+
     /// The scheduling policy this config induces.
     pub fn fusion_policy(&self) -> qcs_circuits::FusionPolicy {
         qcs_circuits::FusionPolicy {
@@ -169,6 +223,11 @@ impl SimConfig {
                 self.max_batch_gates,
                 qcs_circuits::schedule::MAX_BATCH_GATES
             ));
+        }
+        if let Some(spill) = &self.spill {
+            if spill.resident_blocks == 0 {
+                return Err("spill residency budget must be at least 1 block".into());
+            }
         }
         Ok(())
     }
@@ -206,6 +265,23 @@ mod tests {
         let c = SimConfig::default().with_block_log2(10).with_ranks_log2(4);
         assert!(c.validate(20).is_ok());
         assert!(c.validate(14).is_err());
+    }
+
+    #[test]
+    fn spill_builders_and_validation() {
+        let c = SimConfig::default().with_block_log2(3).with_spill(4);
+        assert_eq!(c.spill.as_ref().unwrap().resident_blocks, 4);
+        assert!(c.validate(9).is_ok());
+        let c = c.with_spill_dir(PathBuf::from("/tmp/qcs-spill"));
+        let spill = c.spill.as_ref().unwrap();
+        assert_eq!(spill.resident_blocks, 4, "dir builder keeps the budget");
+        assert_eq!(spill.directory(), PathBuf::from("/tmp/qcs-spill"));
+        // A zero-block budget is rejected.
+        let bad = SimConfig::default().with_spill(0);
+        assert!(bad.validate(9).is_err());
+        // Default stays all-resident.
+        assert!(SimConfig::default().spill.is_none());
+        assert_eq!(SpillConfig::new(2).directory(), std::env::temp_dir());
     }
 
     #[test]

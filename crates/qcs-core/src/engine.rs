@@ -52,6 +52,7 @@ use crate::block::{BlockCodec, CompressedBlock};
 use crate::cache::BlockCache;
 use crate::config::SimConfig;
 use crate::fidelity_bound::FidelityLedger;
+use crate::store::{BlockStore, MemStore, SpillStore};
 use crate::worker::{
     BatchCmd, BatchPlan, ExchangeCmd, ExchangeRole, GateCmd, RankWorker, WaveOut, WorkerCmd,
     WorkerOut,
@@ -75,6 +76,8 @@ pub enum SimError {
     Checkpoint(String),
     /// An inter-rank exchange broke down (a paired worker failed).
     Exchange(String),
+    /// The out-of-core spill tier failed (segment I/O or a corrupt frame).
+    Spill(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -84,6 +87,7 @@ impl std::fmt::Display for SimError {
             SimError::Codec(e) => write!(f, "codec error: {e}"),
             SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SimError::Exchange(m) => write!(f, "exchange error: {m}"),
+            SimError::Spill(m) => write!(f, "spill error: {m}"),
         }
     }
 }
@@ -131,6 +135,17 @@ pub struct SimReport {
     pub comm_ns: u64,
     /// Inter-rank block-pair exchanges performed.
     pub exchanges: u64,
+    /// Blocks evicted from residency and written to the spill tier
+    /// (0 without an out-of-core store).
+    pub spills: u64,
+    /// Blocks read back from the spill tier.
+    pub fetches: u64,
+    /// Bytes written to the spill tier.
+    pub spill_bytes: u64,
+    /// Bytes read back from the spill tier.
+    pub fetch_bytes: u64,
+    /// Wall time spent in spill-tier I/O, in nanoseconds.
+    pub spill_io_ns: u64,
 }
 
 impl SimReport {
@@ -180,9 +195,13 @@ pub struct CompressedSimulator {
     cache: Arc<BlockCache>,
     metrics: Metrics,
     backend: Backend,
-    /// Last-known compressed byte total per rank, refreshed by every
-    /// state-mutating wave (Eq. 8 accounting without an extra collective).
+    /// Last-known compressed byte total per rank (resident + spilled),
+    /// refreshed by every state-mutating wave (compression-ratio
+    /// accounting without an extra collective).
     rank_bytes: Vec<u64>,
+    /// Last-known *resident* compressed bytes per rank — what Eq. 8
+    /// charges against the memory budget (spilled blocks live on disk).
+    rank_resident: Vec<u64>,
     level: usize,
     ledger: FidelityLedger,
     min_ratio: f64,
@@ -238,30 +257,37 @@ impl CompressedSimulator {
         let metrics = Metrics::new();
 
         let mut rank_bytes = Vec::with_capacity(ranks);
-        let mut per_rank: Vec<Vec<Option<CompressedBlock>>> = Vec::with_capacity(ranks);
+        let mut rank_resident = Vec::with_capacity(ranks);
+        let mut stores: Vec<Box<dyn BlockStore>> = Vec::with_capacity(ranks);
         let mut iter = blocks.into_iter();
-        for _ in 0..ranks {
+        for rank in 0..ranks {
             let local: Vec<_> = iter.by_ref().take(bpr).collect();
-            rank_bytes.push(
-                local
-                    .iter()
-                    .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
-                    .sum(),
-            );
-            per_rank.push(local);
+            let store: Box<dyn BlockStore> = match &cfg.spill {
+                None => Box::new(MemStore::new(local)),
+                Some(spill) => Box::new(SpillStore::create(
+                    &spill.directory(),
+                    &format!("r{rank}"),
+                    spill.resident_blocks,
+                    metrics.clone(),
+                    local,
+                )?),
+            };
+            rank_bytes.push(store.compressed_bytes());
+            rank_resident.push(store.resident_bytes());
+            stores.push(store);
         }
 
-        let workers: Vec<RankWorker> = per_rank
+        let workers: Vec<RankWorker> = stores
             .into_iter()
             .enumerate()
-            .map(|(rank, local)| {
+            .map(|(rank, store)| {
                 RankWorker::new(
                     rank,
                     layout,
                     Arc::clone(&codec),
                     Arc::clone(&cache),
                     metrics.clone(),
-                    local,
+                    store,
                 )
             })
             .collect();
@@ -288,6 +314,7 @@ impl CompressedSimulator {
             metrics,
             backend,
             rank_bytes,
+            rank_resident,
             level,
             ledger,
             min_ratio: f64::INFINITY,
@@ -320,16 +347,25 @@ impl CompressedSimulator {
         self.layout.ranks()
     }
 
-    /// Sum of compressed block sizes across all ranks.
+    /// Sum of compressed block sizes across all ranks, resident plus
+    /// spilled.
     pub fn compressed_bytes(&self) -> u64 {
         self.rank_bytes.iter().sum()
     }
 
-    /// Eq. 8 memory accounting: compressed blocks plus two decompression
-    /// scratch buffers per rank.
+    /// Compressed bytes actually resident in RAM across all ranks (equal
+    /// to [`CompressedSimulator::compressed_bytes`] without an out-of-core
+    /// store).
+    pub fn resident_bytes(&self) -> u64 {
+        self.rank_resident.iter().sum()
+    }
+
+    /// Eq. 8 memory accounting: *resident* compressed blocks plus two
+    /// decompression scratch buffers per rank. Spilled blocks live on disk
+    /// and are not charged against the memory budget.
     pub fn memory_bytes(&self) -> u64 {
         let scratch = 2 * (self.layout.block_amps() as u64) * 16;
-        self.compressed_bytes() + self.layout.ranks() as u64 * scratch
+        self.resident_bytes() + self.layout.ranks() as u64 * scratch
     }
 
     /// Current compression ratio: uncompressed state bytes over compressed
@@ -370,6 +406,7 @@ impl CompressedSimulator {
         };
         for (rank, wave) in outs.iter().enumerate() {
             self.rank_bytes[rank] = wave.compressed_bytes;
+            self.rank_resident[rank] = wave.resident_bytes;
         }
         Ok(outs)
     }
@@ -772,11 +809,7 @@ impl CompressedSimulator {
             }
             r -= w;
         }
-        let block =
-            match self.query_rank(slot / bpr, WorkerCmd::FetchBlock { block: slot % bpr })? {
-                WorkerOut::Block(b) => b,
-                _ => unreachable!("block response"),
-            };
+        let block = self.fetch_block(slot / bpr, slot % bpr)?;
         let mut buf = Vec::new();
         self.codec.decompress(&block, &mut buf)?;
         let mut o = layout.block_amps() - 1;
@@ -829,6 +862,11 @@ impl CompressedSimulator {
             bytes_exchanged: breakdown.comm_bytes,
             comm_ns: breakdown.comm_ns(),
             exchanges: breakdown.exchanges,
+            spills: breakdown.spills,
+            fetches: breakdown.fetches,
+            spill_bytes: breakdown.spill_bytes,
+            fetch_bytes: breakdown.fetch_bytes,
+            spill_io_ns: breakdown.spill_io_ns(),
             breakdown,
         }
     }
@@ -850,33 +888,25 @@ impl CompressedSimulator {
 
     // --- checkpoint support (fields exposed to the checkpoint module) ---
 
-    /// Gather every rank's compressed blocks in rank-major order (cheap:
-    /// payloads are shared `Arc`s).
-    pub(crate) fn gather_blocks(&self) -> Result<Vec<CompressedBlock>, SimError> {
-        let outs = self.query_all(|| WorkerCmd::SnapshotBlocks)?;
-        Ok(outs
-            .into_iter()
-            .flat_map(|o| match o {
-                WorkerOut::Blocks(v) => v,
-                _ => unreachable!("snapshot returns blocks"),
-            })
-            .collect())
+    /// Clone one block from its owning rank (a disk read when the block is
+    /// spilled; residency is not disturbed). Checkpointing streams the
+    /// state through this one block at a time, so saving never
+    /// materializes more than a single compressed block beyond the
+    /// workers' own residency budgets — even when the compressed state is
+    /// far larger than RAM.
+    pub(crate) fn fetch_block(
+        &self,
+        rank: usize,
+        block: usize,
+    ) -> Result<CompressedBlock, SimError> {
+        match self.query_rank(rank, WorkerCmd::FetchBlock { block })? {
+            WorkerOut::Block(b) => Ok(b),
+            _ => unreachable!("block response"),
+        }
     }
 
-    pub(crate) fn checkpoint_parts(
-        &self,
-    ) -> Result<
-        (
-            &SimConfig,
-            Layout,
-            usize,
-            &FidelityLedger,
-            Vec<CompressedBlock>,
-        ),
-        SimError,
-    > {
-        let blocks = self.gather_blocks()?;
-        Ok((&self.cfg, self.layout, self.level, &self.ledger, blocks))
+    pub(crate) fn checkpoint_parts(&self) -> (&SimConfig, Layout, usize, &FidelityLedger) {
+        (&self.cfg, self.layout, self.level, &self.ledger)
     }
 
     pub(crate) fn from_checkpoint_parts(
@@ -1327,6 +1357,94 @@ mod tests {
         assert_eq!(lossy_off, 4, "unfused: one lossy event per gate");
         assert_eq!(lossy_on, 1, "fused: one lossy event per batch");
         assert!(bound_on > bound_off);
+    }
+
+    #[test]
+    fn spilled_run_matches_resident_run_bitwise() {
+        // 9 qubits, 3-bit blocks, one rank -> 64 blocks; keep only 4
+        // resident. The out-of-core tier must be a pure storage change.
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.h(q);
+        }
+        c.t(0).rz(0.4, 8).cx(8, 1).cphase(0.7, 3, 6);
+        let snap = |spill: Option<usize>| {
+            let mut cfg = SimConfig::default().with_block_log2(3);
+            if let Some(budget) = spill {
+                cfg = cfg.with_spill(budget);
+            }
+            let mut sim = CompressedSimulator::new(9, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.run(&c, &mut rng).unwrap();
+            (sim.snapshot_dense().unwrap(), sim.report())
+        };
+        let (resident, r_mem) = snap(None);
+        let (spilled, r_spill) = snap(Some(4));
+        for (a, b) in resident.amplitudes().iter().zip(spilled.amplitudes()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(r_mem.spills, 0, "all-resident run must not spill");
+        assert!(r_spill.spills > 0, "budgeted run must spill");
+        assert!(r_spill.fetches > 0, "budgeted run must fetch");
+        assert!(r_spill.spill_bytes > 0 && r_spill.fetch_bytes > 0);
+        assert!(r_spill.spill_io_ns > 0, "spill i/o must cost time");
+    }
+
+    #[test]
+    fn spill_caps_resident_memory() {
+        let cfg = SimConfig::default().with_block_log2(3).with_spill(2);
+        let mut sim = CompressedSimulator::new(9, cfg).unwrap();
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.h(q);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        sim.run(&c, &mut rng).unwrap();
+        // 64 equal-sized nonzero blocks, 2 resident: resident bytes must
+        // be a small fraction of the full compressed footprint, and Eq. 8
+        // memory accounting must charge only the resident share.
+        assert!(sim.resident_bytes() * 8 < sim.compressed_bytes());
+        let scratch = 2 * (sim.layout().block_amps() as u64) * 16;
+        assert_eq!(sim.memory_bytes(), sim.resident_bytes() + scratch);
+    }
+
+    #[test]
+    fn spilled_cluster_run_matches_and_exchanges() {
+        // 2 rank workers, each with a 2-block residency budget: the
+        // compressed exchange must compose with the out-of-core tier.
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        c.cx(7, 0).t(7).cphase(0.3, 0, 7);
+        let run = |spill: bool| {
+            let mut cfg = SimConfig::default().with_block_log2(3).with_ranks_log2(1);
+            if spill {
+                cfg = cfg.with_spill(2);
+            }
+            let mut sim = CompressedSimulator::new(8, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            sim.run(&c, &mut rng).unwrap();
+            (sim.snapshot_dense().unwrap(), sim.report())
+        };
+        let (mem, _) = run(false);
+        let (spilled, report) = run(true);
+        for (a, b) in mem.amplitudes().iter().zip(spilled.amplitudes()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert!(report.spills > 0);
+        assert!(report.exchanges > 0, "rank-crossing gates must exchange");
+    }
+
+    #[test]
+    fn spill_config_validation() {
+        let cfg = SimConfig::default().with_block_log2(3).with_spill(0);
+        assert!(matches!(
+            CompressedSimulator::new(9, cfg),
+            Err(SimError::Config(_))
+        ));
     }
 
     #[test]

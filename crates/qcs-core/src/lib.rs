@@ -14,7 +14,12 @@
 //!   [`qcs_cluster::exec::ClusterSim`], exchanging **compressed** payloads
 //!   for rank-crossing gates (the paper's MPI seam);
 //! - [`SimConfig`] — block/rank geometry, memory budget, error-bound
-//!   ladder (§3.7), cache size (§3.4);
+//!   ladder (§3.7), cache size (§3.4), out-of-core residency budget;
+//! - [`store`] — the block storage tiers behind the workers: [`MemStore`]
+//!   (all-resident, the paper's regime) and [`SpillStore`] (hot blocks
+//!   under an LRU residency budget, cold blocks in per-rank segment files
+//!   of checksummed frames), so the simulable size is bounded by disk
+//!   rather than RAM;
 //! - [`BlockCache`] — the 64-line LRU compressed-block cache with
 //!   auto-disable (§3.4, Fig. 4);
 //! - [`FidelityLedger`] — the `prod (1 - delta_i)` fidelity lower bound
@@ -85,10 +90,12 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod fidelity_bound;
+pub mod store;
 mod worker;
 
 pub use block::{BlockCodec, CompressedBlock};
 pub use cache::BlockCache;
-pub use config::SimConfig;
+pub use config::{SimConfig, SpillConfig};
 pub use engine::{CompressedSimulator, SimError, SimReport};
 pub use fidelity_bound::{fidelity_curve, FidelityLedger};
+pub use store::{BlockStore, MemStore, SpillStore};

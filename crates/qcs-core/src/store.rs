@@ -1,0 +1,629 @@
+//! Block storage tiers: where a rank's compressed blocks live.
+//!
+//! The paper keeps every compressed block in RAM; this module makes that
+//! one policy among several by putting a [`BlockStore`] trait between the
+//! rank worker and its blocks:
+//!
+//! - [`MemStore`] — the classic all-resident tier (what the engine always
+//!   did): every block stays in memory, no I/O, no residency cap.
+//! - [`SpillStore`] — the out-of-core tier: a configurable number of hot
+//!   compressed blocks stay resident (LRU by last touch) and the rest are
+//!   spilled to a per-rank segment file as self-describing
+//!   [`qcs_compress::frame`]s (codec id, error bound, length, checksum).
+//!   The simulable qubit count is then bounded by disk, not RAM — the next
+//!   rung below the paper's compression ladder in the storage hierarchy.
+//!
+//! Workers address blocks by their local slot index and move them with
+//! [`BlockStore::take`] / [`BlockStore::put`] (exclusive, for the
+//! decompress → compute → recompress cycle) or copy them with
+//! [`BlockStore::peek`] (shared, for snapshots and read-only collectives).
+//! Every method takes `&self`: stores are internally locked so read-only
+//! collectives can run against `&RankWorker` exactly as before.
+//!
+//! # Segment-file layout and compaction
+//!
+//! A [`SpillStore`] appends one frame per eviction to its segment file and
+//! remembers `(offset, length)` per slot. A block fetched back leaves its
+//! old frame behind as garbage; when the dead bytes exceed both
+//! [`COMPACT_MIN_DEAD_BYTES`] and twice the live bytes, the store rewrites
+//! the live frames into a fresh segment and atomically renames it over the
+//! old one, bounding disk usage at ~3× the live spilled working set.
+//! Fetches verify the frame checksum, so torn writes and bit rot surface
+//! as [`SimError::Spill`] instead of corrupt amplitudes.
+//!
+//! Spill/fetch counts, bytes, and I/O time are recorded into the shared
+//! [`Metrics`] (`Phase::SpillIo`) and surfaced through `SimReport`.
+
+use crate::block::CompressedBlock;
+use crate::engine::SimError;
+use parking_lot::Mutex;
+use qcs_cluster::{Metrics, Phase};
+use qcs_compress::frame;
+use std::fs::File;
+use std::io::{Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Where a rank worker's compressed blocks live, addressed by local slot
+/// index (`0..len()`).
+///
+/// Exclusive access is a `take`/`put` pair: a taken block is *in flight*
+/// (owned by the caller, not resident, not spilled) until it is put back.
+/// Taking a slot twice without an intervening put, or addressing a slot
+/// out of range, is a caller bug and panics.
+pub trait BlockStore: Send + Sync + std::fmt::Debug {
+    /// Number of block slots (fixed at construction).
+    fn len(&self) -> usize;
+
+    /// True when the store has no slots.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return the block in `slot`, fetching it from the spill
+    /// tier if it is not resident.
+    fn take(&self, slot: usize) -> Result<CompressedBlock, SimError>;
+
+    /// Store `blk` into `slot`, evicting cold blocks to the spill tier if
+    /// the residency budget is now exceeded.
+    fn put(&self, slot: usize, blk: CompressedBlock) -> Result<(), SimError>;
+
+    /// Copy of the block in `slot` without changing its tier (cheap for
+    /// resident blocks — payloads are shared `Arc`s; a disk read for
+    /// spilled ones).
+    fn peek(&self, slot: usize) -> Result<CompressedBlock, SimError>;
+
+    /// Compressed bytes currently resident in memory.
+    fn resident_bytes(&self) -> u64;
+
+    /// Compressed bytes of all blocks, resident plus spilled.
+    fn compressed_bytes(&self) -> u64;
+
+    /// Residency budget in blocks; `None` means everything stays resident.
+    /// Workers use this to bound how many blocks they hold in flight at
+    /// once during a wave.
+    fn resident_cap(&self) -> Option<usize>;
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+/// The all-in-RAM tier: a slot table with no residency cap (the paper's
+/// baseline storage policy).
+#[derive(Debug)]
+pub struct MemStore {
+    slots: Mutex<Vec<Option<CompressedBlock>>>,
+}
+
+impl MemStore {
+    /// Store owning `blocks` (index = slot).
+    pub fn new(blocks: Vec<Option<CompressedBlock>>) -> Self {
+        Self {
+            slots: Mutex::new(blocks),
+        }
+    }
+}
+
+impl BlockStore for MemStore {
+    fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    fn take(&self, slot: usize) -> Result<CompressedBlock, SimError> {
+        Ok(self.slots.lock()[slot].take().expect("block present"))
+    }
+
+    fn put(&self, slot: usize, blk: CompressedBlock) -> Result<(), SimError> {
+        let mut slots = self.slots.lock();
+        debug_assert!(slots[slot].is_none(), "slot {slot} already occupied");
+        slots[slot] = Some(blk);
+        Ok(())
+    }
+
+    fn peek(&self, slot: usize) -> Result<CompressedBlock, SimError> {
+        Ok(self.slots.lock()[slot].clone().expect("block present"))
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.slots
+            .lock()
+            .iter()
+            .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
+            .sum()
+    }
+
+    fn compressed_bytes(&self) -> u64 {
+        self.resident_bytes()
+    }
+
+    fn resident_cap(&self) -> Option<usize> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpillStore
+// ---------------------------------------------------------------------------
+
+/// Compaction trigger: dead segment bytes must exceed this floor (and twice
+/// the live bytes) before the store rewrites its segment file.
+pub const COMPACT_MIN_DEAD_BYTES: u64 = 1 << 20;
+
+/// Uniquifier for segment file names within one process.
+static SEG_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One slot's tier in a [`SpillStore`].
+#[derive(Debug)]
+enum Slot {
+    /// Taken by the worker; will be put back at the end of the cycle.
+    InFlight,
+    /// Hot: held in memory, competing under LRU.
+    Resident { blk: CompressedBlock, stamp: u64 },
+    /// Cold: one frame in the segment file.
+    Spilled {
+        offset: u64,
+        frame_len: u32,
+        payload_len: u32,
+    },
+}
+
+#[derive(Debug)]
+struct SpillInner {
+    file: File,
+    slots: Vec<Slot>,
+    /// LRU clock; bumped on every residency touch.
+    clock: u64,
+    /// Append offset (end of the last frame).
+    end: u64,
+    /// Bytes of live frames in the segment file.
+    live: u64,
+    /// Bytes of superseded frames awaiting compaction.
+    dead: u64,
+    resident_count: usize,
+    resident_bytes: u64,
+    /// Sum of spilled payload (compressed block) lengths.
+    spilled_payload_bytes: u64,
+}
+
+/// The out-of-core tier: at most `cap` hot blocks resident (LRU by last
+/// touch), the rest spilled to a per-rank segment file of checksummed
+/// frames. The segment file is deleted on drop.
+pub struct SpillStore {
+    cap: usize,
+    path: PathBuf,
+    metrics: Metrics,
+    inner: Mutex<SpillInner>,
+}
+
+impl std::fmt::Debug for SpillStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillStore")
+            .field("cap", &self.cap)
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+fn io_err(ctx: &str, e: impl std::fmt::Display) -> SimError {
+    SimError::Spill(format!("{ctx}: {e}"))
+}
+
+impl SpillStore {
+    /// Create the segment file under `dir` (created if missing) and seed
+    /// the store with `blocks`; blocks beyond the `cap.max(1)` residency
+    /// budget spill immediately. `label` distinguishes per-rank files of
+    /// one simulation.
+    pub fn create(
+        dir: &Path,
+        label: &str,
+        cap: usize,
+        metrics: Metrics,
+        blocks: Vec<Option<CompressedBlock>>,
+    ) -> Result<Self, SimError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create spill dir", e))?;
+        let seq = SEG_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!(
+            "qcs-spill-{label}-{}-{seq}.seg",
+            std::process::id()
+        ));
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| io_err("create spill segment", e))?;
+        let store = Self {
+            cap: cap.max(1),
+            path,
+            metrics,
+            inner: Mutex::new(SpillInner {
+                file,
+                slots: blocks.iter().map(|_| Slot::InFlight).collect(),
+                clock: 0,
+                end: 0,
+                live: 0,
+                dead: 0,
+                resident_count: 0,
+                resident_bytes: 0,
+                spilled_payload_bytes: 0,
+            }),
+        };
+        for (slot, blk) in blocks.into_iter().enumerate() {
+            match blk {
+                Some(blk) => store.put(slot, blk)?,
+                None => panic!("spill store seeded with an absent block"),
+            }
+        }
+        Ok(store)
+    }
+
+    /// Path of the segment file (exposed for tests and diagnostics).
+    pub fn segment_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one frame for `blk`, returning `(offset, frame_len)`.
+    fn append_frame(inner: &mut SpillInner, blk: &CompressedBlock) -> Result<(u64, u32), SimError> {
+        let offset = inner.end;
+        inner
+            .file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("seek for spill", e))?;
+        let frame_len = frame::write_frame(&mut inner.file, blk.codec, blk.bound, &blk.bytes)
+            .map_err(|e| io_err("write spill frame", e))? as u64;
+        inner.end += frame_len;
+        Ok((offset, frame_len as u32))
+    }
+
+    /// Read the frame at `offset` back into a block, verifying its
+    /// checksum.
+    fn read_frame_at(inner: &mut SpillInner, offset: u64) -> Result<CompressedBlock, SimError> {
+        inner
+            .file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("seek for fetch", e))?;
+        let f = frame::read_frame(&mut inner.file).map_err(|e| io_err("read spill frame", e))?;
+        Ok(CompressedBlock {
+            codec: f.codec,
+            bound: f.bound,
+            bytes: f.payload.into(),
+        })
+    }
+
+    /// Evict least-recently-touched residents until the budget holds.
+    fn evict_over_cap(&self, inner: &mut SpillInner) -> Result<(), SimError> {
+        while inner.resident_count > self.cap {
+            let victim = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Slot::Resident { stamp, .. } => Some((*stamp, i)),
+                    _ => None,
+                })
+                .min()
+                .expect("resident_count > 0")
+                .1;
+            let blk = match std::mem::replace(&mut inner.slots[victim], Slot::InFlight) {
+                Slot::Resident { blk, .. } => blk,
+                _ => unreachable!("victim is resident"),
+            };
+            let t = Instant::now();
+            let (offset, frame_len) = Self::append_frame(inner, &blk)?;
+            self.metrics.add(Phase::SpillIo, t.elapsed());
+            self.metrics.add_spill(frame_len as u64);
+            inner.live += frame_len as u64;
+            inner.resident_count -= 1;
+            inner.resident_bytes -= blk.len() as u64;
+            inner.spilled_payload_bytes += blk.len() as u64;
+            inner.slots[victim] = Slot::Spilled {
+                offset,
+                frame_len,
+                payload_len: blk.len() as u32,
+            };
+        }
+        Ok(())
+    }
+
+    /// Rewrite live frames into a fresh segment when garbage dominates.
+    ///
+    /// The in-memory index is only repointed *after* the new segment is
+    /// fully written, synced, and renamed over the old one: a mid-
+    /// compaction I/O failure (out of disk, torn write) leaves the store
+    /// untouched on the old segment, and the orphaned `.seg.tmp` is
+    /// removed.
+    fn maybe_compact(&self, inner: &mut SpillInner) -> Result<(), SimError> {
+        if inner.dead < COMPACT_MIN_DEAD_BYTES || inner.dead < 2 * inner.live {
+            return Ok(());
+        }
+        let t = Instant::now();
+        let tmp_path = self.path.with_extension("seg.tmp");
+        let result = (|| {
+            let mut tmp = File::options()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)
+                .map_err(|e| io_err("create compaction segment", e))?;
+            // (slot, new offset) moves, applied only once the swap landed.
+            let mut moves = Vec::new();
+            let mut new_end = 0u64;
+            for i in 0..inner.slots.len() {
+                if let Slot::Spilled {
+                    offset, frame_len, ..
+                } = inner.slots[i]
+                {
+                    let blk = Self::read_frame_at(inner, offset)?;
+                    frame::write_frame(&mut tmp, blk.codec, blk.bound, &blk.bytes)
+                        .map_err(|e| io_err("rewrite spill frame", e))?;
+                    moves.push((i, new_end));
+                    new_end += frame_len as u64;
+                }
+            }
+            tmp.sync_all().map_err(|e| io_err("sync compaction", e))?;
+            std::fs::rename(&tmp_path, &self.path)
+                .map_err(|e| io_err("swap compacted segment", e))?;
+            Ok((tmp, moves, new_end))
+        })();
+        let (tmp, moves, new_end) = match result {
+            Ok(parts) => parts,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp_path);
+                return Err(e);
+            }
+        };
+        for (i, new_offset) in moves {
+            if let Slot::Spilled { offset, .. } = &mut inner.slots[i] {
+                *offset = new_offset;
+            }
+        }
+        inner.file = tmp;
+        inner.end = new_end;
+        inner.live = new_end;
+        inner.dead = 0;
+        self.metrics.add(Phase::SpillIo, t.elapsed());
+        Ok(())
+    }
+}
+
+impl BlockStore for SpillStore {
+    fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    fn take(&self, slot: usize) -> Result<CompressedBlock, SimError> {
+        let mut inner = self.inner.lock();
+        match std::mem::replace(&mut inner.slots[slot], Slot::InFlight) {
+            Slot::Resident { blk, .. } => {
+                inner.resident_count -= 1;
+                inner.resident_bytes -= blk.len() as u64;
+                Ok(blk)
+            }
+            Slot::Spilled {
+                offset,
+                frame_len,
+                payload_len,
+            } => {
+                let t = Instant::now();
+                let blk = Self::read_frame_at(&mut inner, offset)?;
+                self.metrics.add(Phase::SpillIo, t.elapsed());
+                self.metrics.add_fetch(frame_len as u64);
+                inner.live -= frame_len as u64;
+                inner.dead += frame_len as u64;
+                inner.spilled_payload_bytes -= payload_len as u64;
+                Ok(blk)
+            }
+            Slot::InFlight => panic!("slot {slot} taken twice"),
+        }
+    }
+
+    fn put(&self, slot: usize, blk: CompressedBlock) -> Result<(), SimError> {
+        let mut inner = self.inner.lock();
+        debug_assert!(
+            matches!(inner.slots[slot], Slot::InFlight),
+            "slot {slot} already occupied"
+        );
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.resident_count += 1;
+        inner.resident_bytes += blk.len() as u64;
+        inner.slots[slot] = Slot::Resident { blk, stamp };
+        self.evict_over_cap(&mut inner)?;
+        self.maybe_compact(&mut inner)
+    }
+
+    fn peek(&self, slot: usize) -> Result<CompressedBlock, SimError> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match &mut inner.slots[slot] {
+            Slot::Resident {
+                blk,
+                stamp: last_used,
+            } => {
+                *last_used = stamp;
+                Ok(blk.clone())
+            }
+            Slot::Spilled {
+                offset, frame_len, ..
+            } => {
+                let (offset, frame_len) = (*offset, *frame_len);
+                let t = Instant::now();
+                let blk = Self::read_frame_at(&mut inner, offset)?;
+                self.metrics.add(Phase::SpillIo, t.elapsed());
+                self.metrics.add_fetch(frame_len as u64);
+                Ok(blk)
+            }
+            Slot::InFlight => panic!("peek at in-flight slot {slot}"),
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.inner.lock().resident_bytes
+    }
+
+    fn compressed_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.resident_bytes + inner.spilled_payload_bytes
+    }
+
+    fn resident_cap(&self) -> Option<usize> {
+        Some(self.cap)
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_compress::{CodecId, ErrorBound};
+
+    fn blk(fill: u8, len: usize) -> CompressedBlock {
+        CompressedBlock {
+            codec: CodecId::Qzstd,
+            bound: ErrorBound::Lossless,
+            bytes: (0..len)
+                .map(|i| fill ^ (i as u8))
+                .collect::<Vec<_>>()
+                .into(),
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qcs-store-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn spill_store(name: &str, cap: usize, n: usize, metrics: &Metrics) -> SpillStore {
+        let blocks = (0..n).map(|i| Some(blk(i as u8, 64 + i))).collect();
+        SpillStore::create(&tmp_dir(name), "r0", cap, metrics.clone(), blocks).unwrap()
+    }
+
+    #[test]
+    fn mem_store_round_trips_and_counts_bytes() {
+        let s = MemStore::new(vec![Some(blk(1, 10)), Some(blk(2, 20))]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.resident_bytes(), 30);
+        assert_eq!(s.compressed_bytes(), 30);
+        assert_eq!(s.resident_cap(), None);
+        let b = s.take(0).unwrap();
+        assert_eq!(b.bytes[0], 1);
+        assert_eq!(s.resident_bytes(), 20);
+        s.put(0, b).unwrap();
+        assert_eq!(s.peek(0).unwrap().len(), 10);
+        assert_eq!(s.resident_bytes(), 30);
+    }
+
+    #[test]
+    fn spill_store_enforces_residency_and_round_trips() {
+        let metrics = Metrics::new();
+        let n = 8;
+        let s = spill_store("budget", 3, n, &metrics);
+        // Only 3 of 8 blocks may stay hot; the rest were spilled at seed.
+        assert_eq!(s.resident_cap(), Some(3));
+        assert!(metrics.spills() >= (n - 3) as u64);
+        assert!(s.resident_bytes() < s.compressed_bytes());
+        // Every block comes back byte-identical, wherever it lives.
+        for i in 0..n {
+            let b = s.take(i).unwrap();
+            let want = blk(i as u8, 64 + i);
+            assert_eq!(&b.bytes[..], &want.bytes[..], "slot {i}");
+            assert_eq!(b.codec, want.codec);
+            assert_eq!(b.bound, want.bound);
+            s.put(i, b).unwrap();
+        }
+        assert!(metrics.fetches() > 0);
+        assert!(metrics.fetch_bytes() > 0);
+        assert!(metrics.duration(Phase::SpillIo).as_nanos() > 0);
+    }
+
+    #[test]
+    fn spill_store_evicts_least_recently_touched() {
+        // cap 2, 3 slots. Seeding puts 0, 1, 2 in order: inserting 2
+        // overflows the budget and evicts slot 0 (oldest stamp), leaving
+        // residents {1, 2}.
+        let metrics = Metrics::new();
+        let s = spill_store("lru", 2, 3, &metrics);
+        assert_eq!(metrics.spills(), 1, "seed must evict exactly slot 0");
+        // Touch slot 1 so slot 2 becomes the LRU resident, then cycle the
+        // spilled slot 0 back in: the over-budget put must evict 2, not 1.
+        s.peek(1).unwrap();
+        let fetches_after_seed = metrics.fetches();
+        let b0 = s.take(0).unwrap(); // disk fetch
+        assert_eq!(metrics.fetches(), fetches_after_seed + 1);
+        s.put(0, b0).unwrap(); // residents must now be {0, 1}
+                               // Slot 1 stayed resident: cycling it costs no fetch.
+        let b1 = s.take(1).unwrap();
+        s.put(1, b1).unwrap();
+        assert_eq!(metrics.fetches(), fetches_after_seed + 1, "1 was hot");
+        // Slot 2 was the eviction victim: reading it goes to disk, and the
+        // round-tripped bytes are intact.
+        let b2 = s.peek(2).unwrap();
+        assert_eq!(metrics.fetches(), fetches_after_seed + 2, "2 was cold");
+        assert_eq!(&b2.bytes[..], &blk(2, 66).bytes[..]);
+    }
+
+    #[test]
+    fn spill_store_compacts_garbage() {
+        let metrics = Metrics::new();
+        let n = 6;
+        let big = 96 * 1024; // big payloads so dead bytes accumulate fast
+        let blocks = (0..n).map(|i| Some(blk(i as u8, big))).collect();
+        let s = SpillStore::create(&tmp_dir("compact"), "r0", 2, metrics.clone(), blocks).unwrap();
+        // Churn: every take+put of a cold block kills one frame and writes
+        // another; dead bytes cross the 1 MiB floor quickly.
+        for round in 0..10 {
+            for i in 0..n {
+                let b = s.take(i).unwrap();
+                s.put(i, b).unwrap();
+                let _ = round;
+            }
+        }
+        let seg_len = std::fs::metadata(s.segment_path()).unwrap().len();
+        let spilled = s.compressed_bytes() - s.resident_bytes();
+        assert!(
+            seg_len < 8 * spilled.max(1),
+            "segment grew unbounded: {seg_len} bytes for {spilled} live spilled bytes"
+        );
+        // Blocks still intact after compaction cycles.
+        for i in 0..n {
+            assert_eq!(&s.peek(i).unwrap().bytes[..], &blk(i as u8, big).bytes[..]);
+        }
+    }
+
+    #[test]
+    fn spill_store_removes_segment_on_drop() {
+        let metrics = Metrics::new();
+        let s = spill_store("drop", 1, 4, &metrics);
+        let path = s.segment_path().to_path_buf();
+        assert!(path.exists());
+        drop(s);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn spill_store_detects_segment_corruption() {
+        let metrics = Metrics::new();
+        let s = spill_store("corrupt", 1, 3, &metrics);
+        // Slots 0 and 1 are spilled. Flip a byte mid-file.
+        let path = s.segment_path().to_path_buf();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // This invalidates the file the store already has open — reopen
+        // semantics differ per OS, so corrupt through the same inode
+        // instead: at least one of the spilled fetches must fail.
+        let failures = (0..2).filter(|&i| s.peek(i).is_err()).count();
+        assert!(failures >= 1, "corruption went unnoticed");
+    }
+}

@@ -10,6 +10,66 @@
 //! placement, scatter/gather, and pairing ranks for exchanges — lives in
 //! [`qcs_cluster::exec`].
 //!
+//! # Wave lifecycle
+//!
+//! Every operation the facade performs is one *wave*: a scatter of one
+//! [`WorkerCmd`] per rank, handled concurrently, gathered as one
+//! [`WorkerOut`] per rank. The diagram below traces a wave through the
+//! seams, with the MPI construct each seam stands in for on the right —
+//! the protocol is deliberately shaped so that replacing
+//! `qcs_cluster::exec` with real MPI calls would leave this module
+//! untouched:
+//!
+//! ```text
+//!  facade (engine.rs)                                 MPI counterpart
+//!  ──────────────────                                 ───────────────
+//!  route gate / plan batch / pick collective
+//!        │
+//!        │  ClusterSim::dispatch(Vec<WorkerCmd>)      MPI_Scatter over
+//!        ▼                                            MPI_COMM_WORLD
+//!  ┌─ rank 0 ──────┐  ┌─ rank 1 ──────┐
+//!  │ RankWorker     │  │ RankWorker     │             one MPI rank each
+//!  │  ::handle(cmd) │  │  ::handle(cmd) │             (its event loop)
+//!  │                │  │                │
+//!  │ Gate/Batch:    │  │                │
+//!  │  store.take ─▶ decompress ─▶ kernel ─▶           §3.2 unit pipeline
+//!  │  recompress ─▶ store.put    (chunked to the      on the rank's own
+//!  │                residency budget; spilled         memory (MCDRAM
+//!  │                blocks fetch from disk)           scratch)
+//!  │                │  │                │
+//!  │ Exchange:      │◀─┼─ Duplex link ─▶│             MPI_Sendrecv of
+//!  │  leader recv/  │  │ follower sends │             compressed blocks
+//!  │  compute/send  │  │ then installs  │             (§3.3 case (c))
+//!  │                │  │                │
+//!  │ Collapse/Prob/ │  │                │             the rank's term of
+//!  │ Norm/Weights/Zz│  │                │             an MPI_Allreduce
+//!  └──────┬─────────┘  └──────┬─────────┘
+//!         │   WorkerOut       │
+//!         ▼                   ▼
+//!        gather (rank order)                          MPI_Gather
+//!        │
+//!  facade folds WaveOuts: ledger entry, byte
+//!  watermarks, modeled link time                      (root bookkeeping)
+//! ```
+//!
+//! Command-to-collective map: [`WorkerCmd::Gate`] / [`WorkerCmd::Batch`] /
+//! [`WorkerCmd::Collapse`] / [`WorkerCmd::Recompress`] are broadcast to
+//! every rank (an `MPI_Bcast` of the op followed by embarrassingly
+//! parallel local work); [`WorkerCmd::ProbOne`], [`WorkerCmd::NormSqr`],
+//! [`WorkerCmd::Weights`] and [`WorkerCmd::ExpectationZz`] are the
+//! reduce family (each rank returns its partial, the facade sums);
+//! [`WorkerCmd::SnapshotBlocks`] / [`WorkerCmd::FetchBlock`] are gathers;
+//! [`WorkerCmd::Exchange`] is the point-to-point case below; and
+//! [`WorkerCmd::Nop`] lets the facade address a single rank inside an
+//! otherwise-collective wave (an `MPI_Send` to one rank, dressed as a
+//! collective so the dispatch stays one-wave-one-gather).
+//!
+//! Block storage is behind the [`BlockStore`] seam: a worker never holds
+//! raw block tables, so the same pipeline runs all-in-RAM (`MemStore`) or
+//! out-of-core (`SpillStore`, hot blocks resident under an LRU budget,
+//! cold blocks in per-rank segment files). Waves chunk their in-flight
+//! blocks to the store's residency cap.
+//!
 //! # The compressed exchange
 //!
 //! A `Route::InterRank` gate pairs rank `r` with rank `r | stride`. The
@@ -26,6 +86,7 @@
 use crate::block::{BlockCodec, CompressedBlock};
 use crate::cache::BlockCache;
 use crate::engine::SimError;
+use crate::store::BlockStore;
 use qcs_circuits::schedule::mix;
 use qcs_cluster::{exec, ControlScope, Duplex, Layout, Metrics, Phase, Route};
 use qcs_compress::ErrorBound;
@@ -134,8 +195,12 @@ pub(crate) struct WaveOut {
     pub lossy: bool,
     /// Bytes this rank moved across exchange links (leader-side count).
     pub comm_bytes: u64,
-    /// Total compressed bytes resident on this rank after the wave.
+    /// Total compressed bytes owned by this rank after the wave (resident
+    /// plus spilled).
     pub compressed_bytes: u64,
+    /// Compressed bytes actually resident in memory after the wave (equal
+    /// to `compressed_bytes` without an out-of-core tier).
+    pub resident_bytes: u64,
 }
 
 /// Response half of the [`WorkerCmd`] protocol.
@@ -167,17 +232,21 @@ impl WorkerOut {
 /// workers inside a single block.
 const MIN_SEGMENT_F64: usize = 4096;
 
-/// The per-rank execution unit: owns its rank's blocks and shares the
-/// codec, cache, and metrics sinks with every other rank.
+/// The per-rank execution unit: owns its rank's blocks (through a
+/// [`BlockStore`] tier) and shares the codec, cache, and metrics sinks
+/// with every other rank.
 pub(crate) struct RankWorker {
     rank: usize,
     layout: Layout,
     codec: Arc<BlockCodec>,
     cache: Arc<BlockCache>,
     metrics: Metrics,
-    /// Local block storage: index `b` holds global slot
-    /// `rank * blocks_per_rank + b`.
-    blocks: Vec<Option<CompressedBlock>>,
+    /// Local block storage: slot `b` holds global slot
+    /// `rank * blocks_per_rank + b`. All block access goes through the
+    /// trait, so the worker is oblivious to whether a block is resident or
+    /// spilled; waves are chunked to the store's residency cap so at most
+    /// a budget's worth of blocks is ever in flight.
+    store: Box<dyn BlockStore>,
 }
 
 impl exec::Worker for RankWorker {
@@ -210,37 +279,39 @@ impl RankWorker {
         codec: Arc<BlockCodec>,
         cache: Arc<BlockCache>,
         metrics: Metrics,
-        blocks: Vec<Option<CompressedBlock>>,
+        store: Box<dyn BlockStore>,
     ) -> Self {
-        debug_assert_eq!(blocks.len(), layout.blocks_per_rank());
+        debug_assert_eq!(store.len(), layout.blocks_per_rank());
         Self {
             rank,
             layout,
             codec,
             cache,
             metrics,
-            blocks,
+            store,
         }
-    }
-
-    /// Sum of this rank's compressed block sizes.
-    pub(crate) fn compressed_bytes(&self) -> u64 {
-        self.blocks
-            .iter()
-            .map(|b| b.as_ref().map(|b| b.len() as u64).unwrap_or(0))
-            .sum()
     }
 
     fn wave_out(&self, lossy: bool, comm_bytes: u64) -> WaveOut {
         WaveOut {
             lossy,
             comm_bytes,
-            compressed_bytes: self.compressed_bytes(),
+            compressed_bytes: self.store.compressed_bytes(),
+            resident_bytes: self.store.resident_bytes(),
         }
     }
 
     fn selected(&self, rank_cmask: usize) -> bool {
         self.rank & rank_cmask == rank_cmask
+    }
+
+    /// How many blocks a wave may hold in flight at once: the store's
+    /// residency cap, or everything when the store is all-resident.
+    fn flight_budget(&self) -> usize {
+        self.store
+            .resident_cap()
+            .unwrap_or_else(|| self.layout.blocks_per_rank())
+            .max(1)
     }
 
     /// Read-only commands, answerable through `&self` (the facade calls
@@ -250,14 +321,11 @@ impl RankWorker {
             WorkerCmd::ProbOne { scope } => self.prob_one(scope).map(WorkerOut::Scalar),
             WorkerCmd::NormSqr => self.norm_sqr().map(WorkerOut::Scalar),
             WorkerCmd::Weights => self.weights().map(WorkerOut::Weights),
-            WorkerCmd::FetchBlock { block } => Ok(WorkerOut::Block(
-                self.blocks[block].clone().expect("block present"),
-            )),
+            WorkerCmd::FetchBlock { block } => Ok(WorkerOut::Block(self.store.peek(block)?)),
             WorkerCmd::SnapshotBlocks => Ok(WorkerOut::Blocks(
-                self.blocks
-                    .iter()
-                    .map(|b| b.clone().expect("block present"))
-                    .collect(),
+                (0..self.store.len())
+                    .map(|b| self.store.peek(b))
+                    .collect::<Result<_, _>>()?,
             )),
             WorkerCmd::ExpectationZz { a, b } => self.expectation_zz(a, b).map(WorkerOut::Scalar),
             WorkerCmd::Nop => Ok(WorkerOut::Scalar(0.0)),
@@ -273,111 +341,120 @@ impl RankWorker {
         }
         let bpr = self.layout.blocks_per_rank();
         let block_ok = |b: usize| b & cmd.block_cmask == cmd.block_cmask;
-        let mut units = Vec::new();
+        let mut slots: Vec<(usize, Option<usize>)> = Vec::new();
         let kernel = match cmd.route {
             Route::InBlock { offset_bit } => {
-                for b in (0..bpr).filter(|&b| block_ok(b)) {
-                    units.push(Unit {
-                        slot_a: b,
-                        slot_b: None,
-                        in_a: self.blocks[b].take().expect("block present"),
-                        in_b: None,
-                    });
-                }
+                slots.extend((0..bpr).filter(|&b| block_ok(b)).map(|b| (b, None)));
                 Kernel::InBlock { offset_bit }
             }
             Route::InterBlock { block_stride } => {
-                for b in (0..bpr).filter(|&b| b & block_stride == 0 && block_ok(b)) {
-                    units.push(Unit {
-                        slot_a: b,
-                        slot_b: Some(b | block_stride),
-                        in_a: self.blocks[b].take().expect("block present"),
-                        in_b: Some(self.blocks[b | block_stride].take().expect("block present")),
-                    });
-                }
+                slots.extend(
+                    (0..bpr)
+                        .filter(|&b| b & block_stride == 0 && block_ok(b))
+                        .map(|b| (b, Some(b | block_stride))),
+                );
                 Kernel::Cross
             }
             Route::InterRank { .. } => {
                 unreachable!("inter-rank gates are exchange commands")
             }
         };
-        self.process_units(units, kernel, cmd)
+        self.process_units(&slots, kernel, cmd)
     }
 
     /// Run every unit's decompress → compute → recompress cycle (cache
-    /// permitting) and write results back. A lone unit runs on the calling
-    /// thread with the segmented kernel so a rank with one big block still
-    /// uses its whole rayon width; multiple units stripe across rayon.
+    /// permitting) and write results back, chunked so at most the store's
+    /// residency budget of blocks is in flight at once. A lone unit runs
+    /// on the calling thread with the segmented kernel so a rank with one
+    /// big block still uses its whole rayon width; multiple units stripe
+    /// across rayon.
     fn process_units(
         &mut self,
-        units: Vec<Unit>,
+        slots: &[(usize, Option<usize>)],
         kernel: Kernel,
         cmd: &GateCmd,
     ) -> Result<WaveOut, SimError> {
         let bound = cmd.bound;
         let block_f64s = self.layout.block_amps() * 2;
-        let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
-            let mut buf_a = Vec::with_capacity(block_f64s);
-            let mut buf_b = Vec::with_capacity(block_f64s);
-            units
-                .into_iter()
-                .map(|unit| {
-                    process_one(
-                        &self.codec,
-                        &self.cache,
-                        &cmd.gate,
-                        kernel,
-                        cmd.offset_cmask,
-                        cmd.signature,
-                        bound,
-                        unit,
-                        &mut buf_a,
-                        &mut buf_b,
-                        true,
-                    )
-                })
-                .collect()
+        let blocks_per_unit = if matches!(kernel, Kernel::Cross) {
+            2
         } else {
-            let codec = Arc::clone(&self.codec);
-            let cache = Arc::clone(&self.cache);
-            let g = cmd.gate;
-            let (offset_cmask, signature) = (cmd.offset_cmask, cmd.signature);
-            units
-                .into_par_iter()
-                .map_init(
-                    // Per-worker scratch: the two decompressed blocks the
-                    // paper holds in MCDRAM (§3.2).
-                    || {
-                        (
-                            Vec::with_capacity(block_f64s),
-                            Vec::with_capacity(block_f64s),
-                        )
-                    },
-                    |(buf_a, buf_b), unit| {
+            1
+        };
+        let chunk_len = (self.flight_budget() / blocks_per_unit).max(1);
+        let mut lossy = false;
+        let mut buf_a = Vec::with_capacity(block_f64s);
+        let mut buf_b = Vec::with_capacity(block_f64s);
+        for chunk in slots.chunks(chunk_len) {
+            let mut units = Vec::with_capacity(chunk.len());
+            for &(a, b) in chunk {
+                units.push(Unit {
+                    slot_a: a,
+                    slot_b: b,
+                    in_a: self.store.take(a)?,
+                    in_b: b.map(|b| self.store.take(b)).transpose()?,
+                });
+            }
+            let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
+                units
+                    .into_iter()
+                    .map(|unit| {
                         process_one(
-                            &codec,
-                            &cache,
-                            &g,
+                            &self.codec,
+                            &self.cache,
+                            &cmd.gate,
                             kernel,
-                            offset_cmask,
-                            signature,
+                            cmd.offset_cmask,
+                            cmd.signature,
                             bound,
                             unit,
-                            buf_a,
-                            buf_b,
-                            false,
+                            &mut buf_a,
+                            &mut buf_b,
+                            true,
                         )
-                    },
-                )
-                .collect()
-        };
-        let mut lossy = false;
-        for out in results? {
-            self.merge_unit(&out);
-            lossy |= out.compressed_lossy;
-            self.blocks[out.slot_a] = Some(out.out_a);
-            if let Some(sb) = out.slot_b {
-                self.blocks[sb] = Some(out.out_b.expect("pair output"));
+                    })
+                    .collect()
+            } else {
+                let codec = Arc::clone(&self.codec);
+                let cache = Arc::clone(&self.cache);
+                let g = cmd.gate;
+                let (offset_cmask, signature) = (cmd.offset_cmask, cmd.signature);
+                units
+                    .into_par_iter()
+                    .map_init(
+                        // Per-worker scratch: the two decompressed blocks the
+                        // paper holds in MCDRAM (§3.2).
+                        || {
+                            (
+                                Vec::with_capacity(block_f64s),
+                                Vec::with_capacity(block_f64s),
+                            )
+                        },
+                        |(buf_a, buf_b), unit| {
+                            process_one(
+                                &codec,
+                                &cache,
+                                &g,
+                                kernel,
+                                offset_cmask,
+                                signature,
+                                bound,
+                                unit,
+                                buf_a,
+                                buf_b,
+                                false,
+                            )
+                        },
+                    )
+                    .collect()
+            };
+            for out in results? {
+                self.merge_unit(&out);
+                lossy |= out.compressed_lossy;
+                self.store.put(out.slot_a, out.out_a)?;
+                if let Some(sb) = out.slot_b {
+                    self.store.put(sb, out.out_b.expect("pair output"))?;
+                }
             }
         }
         Ok(self.wave_out(lossy, 0))
@@ -412,6 +489,10 @@ impl RankWorker {
     /// Follower side: stream every selected compressed block to the
     /// leader up front (the sends buffer, overlapping the leader's
     /// compute), then install the compressed replacements as they return.
+    ///
+    /// Streamed blocks are in flight on the link rather than resident, so
+    /// the residency budget of an out-of-core store is not enforced on the
+    /// wire — the same allowance the paper makes for MPI send buffers.
     fn exchange_follow(
         &mut self,
         cmd: &ExchangeCmd,
@@ -419,7 +500,7 @@ impl RankWorker {
     ) -> Result<WaveOut, SimError> {
         let sel = self.selected_blocks(cmd.block_cmask);
         for &b in &sel {
-            let blk = self.blocks[b].take().expect("block present");
+            let blk = self.store.take(b)?;
             if !link.send((b, blk)) {
                 return Err(SimError::Exchange("peer rank dropped the link".into()));
             }
@@ -428,7 +509,7 @@ impl RankWorker {
             let (b, blk) = link
                 .recv()
                 .ok_or_else(|| SimError::Exchange("peer rank failed mid-exchange".into()))?;
-            self.blocks[b] = Some(blk);
+            self.store.put(b, blk)?;
         }
         // The wait above is overlap with the leader's compute; the leader
         // accounts the pair's communication time and bytes.
@@ -456,7 +537,7 @@ impl RankWorker {
                 .ok_or_else(|| SimError::Exchange("peer rank failed mid-exchange".into()))?;
             self.metrics.add(Phase::Communication, t.elapsed());
             debug_assert_eq!(pb, b, "exchange block order diverged");
-            let own = self.blocks[b].take().expect("block present");
+            let own = self.store.take(b)?;
             let inbound = partner.len() as u64;
 
             let unit = Unit {
@@ -487,7 +568,7 @@ impl RankWorker {
                 return Err(SimError::Exchange("peer rank dropped the link".into()));
             }
             self.metrics.add(Phase::Communication, t.elapsed());
-            self.blocks[b] = Some(out.out_a);
+            self.store.put(b, out.out_a)?;
             comm_bytes += inbound + outbound;
             self.metrics.add_comm_bytes(inbound + outbound);
             self.metrics.add_exchange();
@@ -500,7 +581,7 @@ impl RankWorker {
     fn apply_batch(&mut self, cmd: &BatchCmd) -> Result<WaveOut, SimError> {
         let bpr = self.layout.blocks_per_rank();
         // One unit per local block some gate selects.
-        let mut units = Vec::new();
+        let mut selections: Vec<(usize, u64)> = Vec::new();
         for b in 0..bpr {
             let mut mask = 0u64;
             for (i, p) in cmd.plans.iter().enumerate() {
@@ -509,60 +590,93 @@ impl RankWorker {
                 }
             }
             if mask != 0 {
-                units.push(BatchUnit {
-                    slot: b,
-                    mask,
-                    block: self.blocks[b].take().expect("block present"),
-                });
+                selections.push((b, mask));
             }
         }
 
         let bound = cmd.bound;
         let block_f64s = self.layout.block_amps() * 2;
-        let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
-            let mut buf = Vec::with_capacity(block_f64s);
-            units
-                .into_iter()
-                .map(|unit| {
-                    process_batch_unit(
-                        &self.codec,
-                        &self.cache,
-                        &cmd.plans,
-                        cmd.signature,
-                        bound,
-                        unit,
-                        &mut buf,
-                        true,
-                    )
-                })
-                .collect()
-        } else {
-            let codec = Arc::clone(&self.codec);
-            let cache = Arc::clone(&self.cache);
-            let plans = Arc::clone(&cmd.plans);
-            let signature = cmd.signature;
-            units
-                .into_par_iter()
-                .map_init(
-                    || Vec::with_capacity(block_f64s),
-                    |buf, unit| {
-                        process_batch_unit(
-                            &codec, &cache, &plans, signature, bound, unit, buf, false,
-                        )
-                    },
-                )
-                .collect()
-        };
+        let chunk_len = self.flight_budget();
         let mut lossy = false;
-        for out in results? {
-            self.merge_unit(&out);
-            lossy |= out.compressed_lossy;
-            self.blocks[out.slot_a] = Some(out.out_a);
+        let mut seq_buf = Vec::with_capacity(block_f64s);
+        for chunk in selections.chunks(chunk_len) {
+            let mut units = Vec::with_capacity(chunk.len());
+            for &(slot, mask) in chunk {
+                units.push(BatchUnit {
+                    slot,
+                    mask,
+                    block: self.store.take(slot)?,
+                });
+            }
+            let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
+                units
+                    .into_iter()
+                    .map(|unit| {
+                        process_batch_unit(
+                            &self.codec,
+                            &self.cache,
+                            &cmd.plans,
+                            cmd.signature,
+                            bound,
+                            unit,
+                            &mut seq_buf,
+                            true,
+                        )
+                    })
+                    .collect()
+            } else {
+                let codec = Arc::clone(&self.codec);
+                let cache = Arc::clone(&self.cache);
+                let plans = Arc::clone(&cmd.plans);
+                let signature = cmd.signature;
+                units
+                    .into_par_iter()
+                    .map_init(
+                        || Vec::with_capacity(block_f64s),
+                        |buf, unit| {
+                            process_batch_unit(
+                                &codec, &cache, &plans, signature, bound, unit, buf, false,
+                            )
+                        },
+                    )
+                    .collect()
+            };
+            for out in results? {
+                self.merge_unit(&out);
+                lossy |= out.compressed_lossy;
+                self.store.put(out.slot_a, out.out_a)?;
+            }
         }
         Ok(self.wave_out(lossy, 0))
     }
 
     // --- collectives ------------------------------------------------------
+
+    /// Take each local block through `f` (decompress → mutate → compress),
+    /// chunked to the residency budget and striped across rayon inside
+    /// each chunk.
+    fn rewrite_blocks(
+        &mut self,
+        f: impl Fn(usize, &CompressedBlock) -> Result<CompressedBlock, SimError> + Sync,
+    ) -> Result<(), SimError> {
+        let bpr = self.layout.blocks_per_rank();
+        let chunk_len = self.flight_budget();
+        let all: Vec<usize> = (0..bpr).collect();
+        for chunk in all.chunks(chunk_len) {
+            let mut taken = Vec::with_capacity(chunk.len());
+            for &b in chunk {
+                taken.push((b, self.store.take(b)?));
+            }
+            let results: Result<Vec<(usize, CompressedBlock)>, SimError> = taken
+                .into_par_iter()
+                .map(|(b, blk)| Ok((b, f(b, &blk)?)))
+                .collect();
+            for (b, blk) in results? {
+                self.store.put(b, blk)?;
+            }
+        }
+        Ok(())
+    }
 
     fn collapse(
         &mut self,
@@ -573,100 +687,103 @@ impl RankWorker {
     ) -> Result<WaveOut, SimError> {
         let rank = self.rank;
         let codec = Arc::clone(&self.codec);
-        let blocks = std::mem::take(&mut self.blocks);
-        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
-            .into_par_iter()
-            .enumerate()
-            .map(|(b, blk)| {
-                let blk = blk.expect("block present");
-                let mut buf = Vec::new();
-                codec.decompress(&blk, &mut buf)?;
-                match scope {
-                    ControlScope::InBlock { offset_bit } => {
-                        let bit = 1usize << offset_bit;
-                        for o in 0..buf.len() / 2 {
-                            if (o & bit != 0) == outcome {
-                                buf[2 * o] *= scale;
-                                buf[2 * o + 1] *= scale;
-                            } else {
-                                buf[2 * o] = 0.0;
-                                buf[2 * o + 1] = 0.0;
-                            }
-                        }
-                    }
-                    ControlScope::BlockSelect { block_bit } => {
-                        if (b >> block_bit & 1 == 1) == outcome {
-                            buf.iter_mut().for_each(|v| *v *= scale);
+        self.rewrite_blocks(|b, blk| {
+            let mut buf = Vec::new();
+            codec.decompress(blk, &mut buf)?;
+            match scope {
+                ControlScope::InBlock { offset_bit } => {
+                    let bit = 1usize << offset_bit;
+                    for o in 0..buf.len() / 2 {
+                        if (o & bit != 0) == outcome {
+                            buf[2 * o] *= scale;
+                            buf[2 * o + 1] *= scale;
                         } else {
-                            buf.iter_mut().for_each(|v| *v = 0.0);
-                        }
-                    }
-                    ControlScope::RankSelect { rank_bit } => {
-                        if (rank >> rank_bit & 1 == 1) == outcome {
-                            buf.iter_mut().for_each(|v| *v *= scale);
-                        } else {
-                            buf.iter_mut().for_each(|v| *v = 0.0);
+                            buf[2 * o] = 0.0;
+                            buf[2 * o + 1] = 0.0;
                         }
                     }
                 }
-                Ok(Some(codec.compress(&buf, bound)?))
-            })
-            .collect();
-        self.blocks = results?;
+                ControlScope::BlockSelect { block_bit } => {
+                    if (b >> block_bit & 1 == 1) == outcome {
+                        buf.iter_mut().for_each(|v| *v *= scale);
+                    } else {
+                        buf.iter_mut().for_each(|v| *v = 0.0);
+                    }
+                }
+                ControlScope::RankSelect { rank_bit } => {
+                    if (rank >> rank_bit & 1 == 1) == outcome {
+                        buf.iter_mut().for_each(|v| *v *= scale);
+                    } else {
+                        buf.iter_mut().for_each(|v| *v = 0.0);
+                    }
+                }
+            }
+            Ok(codec.compress(&buf, bound)?)
+        })?;
         Ok(self.wave_out(bound.is_lossy(), 0))
     }
 
     fn recompress_all(&mut self, bound: ErrorBound) -> Result<WaveOut, SimError> {
         let codec = Arc::clone(&self.codec);
-        let blocks = std::mem::take(&mut self.blocks);
-        let results: Result<Vec<Option<CompressedBlock>>, SimError> = blocks
-            .into_par_iter()
-            .map(|b| match b {
-                None => Ok(None),
-                Some(blk) => {
-                    let mut buf = Vec::new();
-                    codec.decompress(&blk, &mut buf)?;
-                    Ok(Some(codec.compress(&buf, bound)?))
-                }
-            })
-            .collect();
-        self.blocks = results?;
+        self.rewrite_blocks(|_, blk| {
+            let mut buf = Vec::new();
+            codec.decompress(blk, &mut buf)?;
+            Ok(codec.compress(&buf, bound)?)
+        })?;
         Ok(self.wave_out(bound.is_lossy(), 0))
+    }
+
+    /// Map every local block through read-only `f` and collect the per-
+    /// block outputs in block order, chunked to the residency budget
+    /// (spilled blocks are peeked from disk without displacing hot ones)
+    /// and striped across rayon inside each chunk.
+    fn map_blocks<T: Send>(
+        &self,
+        f: impl Fn(usize, &CompressedBlock) -> Result<T, SimError> + Sync,
+    ) -> Result<Vec<T>, SimError> {
+        let bpr = self.layout.blocks_per_rank();
+        let chunk_len = self.flight_budget();
+        let all: Vec<usize> = (0..bpr).collect();
+        let mut out = Vec::with_capacity(bpr);
+        for chunk in all.chunks(chunk_len) {
+            let mut peeked = Vec::with_capacity(chunk.len());
+            for &b in chunk {
+                peeked.push((b, self.store.peek(b)?));
+            }
+            let results: Result<Vec<T>, SimError> =
+                peeked.into_par_iter().map(|(b, blk)| f(b, &blk)).collect();
+            out.extend(results?);
+        }
+        Ok(out)
     }
 
     fn prob_one(&self, scope: ControlScope) -> Result<f64, SimError> {
         let rank = self.rank;
         let codec = Arc::clone(&self.codec);
-        let sums: Result<Vec<f64>, SimError> = self
-            .blocks
-            .par_iter()
-            .enumerate()
-            .map(|(b, blk)| {
-                let blk = blk.as_ref().expect("block present");
-                let selected_whole = match scope {
-                    ControlScope::InBlock { .. } => None,
-                    ControlScope::BlockSelect { block_bit } => Some(b >> block_bit & 1 == 1),
-                    ControlScope::RankSelect { rank_bit } => Some(rank >> rank_bit & 1 == 1),
-                };
-                if selected_whole == Some(false) {
-                    return Ok(0.0);
+        let sums = self.map_blocks(|b, blk| {
+            let selected_whole = match scope {
+                ControlScope::InBlock { .. } => None,
+                ControlScope::BlockSelect { block_bit } => Some(b >> block_bit & 1 == 1),
+                ControlScope::RankSelect { rank_bit } => Some(rank >> rank_bit & 1 == 1),
+            };
+            if selected_whole == Some(false) {
+                return Ok(0.0);
+            }
+            let mut buf = Vec::new();
+            codec.decompress(blk, &mut buf)?;
+            let sum = match scope {
+                ControlScope::InBlock { offset_bit } => {
+                    let bit = 1usize << offset_bit;
+                    (0..buf.len() / 2)
+                        .filter(|o| o & bit != 0)
+                        .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
+                        .sum()
                 }
-                let mut buf = Vec::new();
-                codec.decompress(blk, &mut buf)?;
-                let sum = match scope {
-                    ControlScope::InBlock { offset_bit } => {
-                        let bit = 1usize << offset_bit;
-                        (0..buf.len() / 2)
-                            .filter(|o| o & bit != 0)
-                            .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
-                            .sum()
-                    }
-                    _ => buf.iter().map(|v| v * v).sum(),
-                };
-                Ok(sum)
-            })
-            .collect();
-        Ok(sums?.into_iter().sum())
+                _ => buf.iter().map(|v| v * v).sum(),
+            };
+            Ok(sum)
+        })?;
+        Ok(sums.into_iter().sum())
     }
 
     fn norm_sqr(&self) -> Result<f64, SimError> {
@@ -677,39 +794,31 @@ impl RankWorker {
     /// rank's contribution to the state's squared 2-norm).
     fn weights(&self) -> Result<Vec<f64>, SimError> {
         let codec = Arc::clone(&self.codec);
-        self.blocks
-            .par_iter()
-            .map(|blk| {
-                let mut buf = Vec::new();
-                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
-                Ok(buf.iter().map(|v| v * v).sum())
-            })
-            .collect()
+        self.map_blocks(|_, blk| {
+            let mut buf = Vec::new();
+            codec.decompress(blk, &mut buf)?;
+            Ok(buf.iter().map(|v| v * v).sum())
+        })
     }
 
     fn expectation_zz(&self, a: usize, b: usize) -> Result<f64, SimError> {
         let layout = self.layout;
         let rank = self.rank;
         let codec = Arc::clone(&self.codec);
-        let terms: Result<Vec<f64>, SimError> = self
-            .blocks
-            .par_iter()
-            .enumerate()
-            .map(|(bidx, blk)| {
-                let base = layout.join(rank, bidx, 0);
-                let mut buf = Vec::new();
-                codec.decompress(blk.as_ref().expect("block present"), &mut buf)?;
-                let mut acc = 0.0;
-                for o in 0..buf.len() / 2 {
-                    let idx = base + o as u64;
-                    let parity = ((idx >> a) & 1) ^ ((idx >> b) & 1);
-                    let w = buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1];
-                    acc += if parity == 0 { w } else { -w };
-                }
-                Ok(acc)
-            })
-            .collect();
-        Ok(terms?.into_iter().sum())
+        let terms = self.map_blocks(|bidx, blk| {
+            let base = layout.join(rank, bidx, 0);
+            let mut buf = Vec::new();
+            codec.decompress(blk, &mut buf)?;
+            let mut acc = 0.0;
+            for o in 0..buf.len() / 2 {
+                let idx = base + o as u64;
+                let parity = ((idx >> a) & 1) ^ ((idx >> b) & 1);
+                let w = buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1];
+                acc += if parity == 0 { w } else { -w };
+            }
+            Ok(acc)
+        })?;
+        Ok(terms.into_iter().sum())
     }
 }
 

@@ -1,0 +1,144 @@
+//! Out-of-core differential harness: the spill tier must be a pure
+//! *storage* change. A simulation whose residency budget is far smaller
+//! than its compressed working set has to produce the same amplitudes as
+//! the all-in-RAM run — while actually spilling and fetching blocks
+//! through the per-rank segment files.
+//!
+//! The headline test runs a 20-qubit circuit (2^20 amplitudes, 256
+//! compressed blocks) with only 4 blocks resident per rank, the regime the
+//! paper's storage hierarchy extends to: dense → compressed-resident →
+//! spilled to disk.
+
+use qcsim::core::SimConfig;
+use qcsim::{Circuit, CompressedSimulator, ErrorBound};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-10;
+
+/// Max absolute amplitude difference between two simulators' snapshots.
+fn max_amp_error(a: &CompressedSimulator, b: &CompressedSimulator) -> f64 {
+    let sa = a.snapshot_dense().expect("snapshot a");
+    let sb = b.snapshot_dense().expect("snapshot b");
+    sa.amplitudes()
+        .iter()
+        .zip(sb.amplitudes())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+fn lossless_cfg(block_log2: u32, ranks_log2: u32) -> SimConfig {
+    SimConfig::default()
+        .with_block_log2(block_log2)
+        .with_ranks_log2(ranks_log2)
+        .with_fixed_bound(ErrorBound::Lossless)
+}
+
+fn run(c: &Circuit, cfg: SimConfig) -> CompressedSimulator {
+    let n = c.num_qubits() as u32;
+    let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
+    let mut rng = StdRng::seed_from_u64(2019);
+    sim.run(c, &mut rng).expect("run");
+    sim
+}
+
+#[test]
+fn twenty_qubit_spilled_run_matches_in_ram() {
+    // 20 qubits, 2^12-amplitude blocks -> 256 blocks on one rank. The
+    // circuit entangles across all three routing segments (in-block,
+    // inter-block) so every block carries real amplitude mass.
+    let n = 20usize;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.t(0)
+        .rz(0.37, 5)
+        .cphase(0.81, 3, 17)
+        .cx(19, 1)
+        .rz(1.13, 14)
+        .cphase(0.29, 12, 7)
+        .t(16);
+
+    let in_ram = run(&c, lossless_cfg(12, 0));
+    // Residency budget: 4 of 256 blocks. The compressed working set (all
+    // blocks hold nonzero amplitudes after the Hadamard wall) is far
+    // larger than 4 blocks' worth, so the run cannot avoid spilling.
+    let spilled = run(&c, lossless_cfg(12, 0).with_spill(4));
+
+    let report = spilled.report();
+    assert!(
+        spilled.resident_bytes() < spilled.compressed_bytes() / 8,
+        "residency budget must be a small fraction of the working set: \
+         {} resident of {} compressed",
+        spilled.resident_bytes(),
+        spilled.compressed_bytes()
+    );
+    assert!(report.spills > 0, "no blocks were spilled");
+    assert!(report.fetches > 0, "no blocks were fetched back");
+    assert!(report.spill_bytes > 0 && report.fetch_bytes > 0);
+
+    let err = max_amp_error(&in_ram, &spilled);
+    assert!(
+        err <= TOL,
+        "spilled 20-qubit run diverged: max amplitude error {err:e} > {TOL:e}"
+    );
+}
+
+#[test]
+fn spilled_multi_rank_run_matches_in_ram() {
+    // 4 rank workers, each over-budget: spilling must compose with the
+    // compressed inter-rank exchange.
+    let n = 12usize;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.cx(11, 0).t(10).cphase(0.55, 1, 11).rz(0.9, 6);
+
+    let in_ram = run(&c, lossless_cfg(4, 2));
+    let spilled = run(&c, lossless_cfg(4, 2).with_spill(3));
+
+    let report = spilled.report();
+    assert!(report.spills > 0);
+    assert!(report.exchanges > 0, "rank-crossing gates must exchange");
+    let err = max_amp_error(&in_ram, &spilled);
+    assert!(err <= TOL, "max amplitude error {err:e} > {TOL:e}");
+}
+
+#[test]
+fn spilled_measurement_and_observables_match() {
+    // Collapses and the read-only collectives (probabilities, norms,
+    // expectation values, sampling) must see through the spill tier.
+    let n = 10usize;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.cx(0, 9).rz(0.3, 4);
+
+    let mut mem = run(&c, lossless_cfg(4, 0));
+    let mut spill = run(&c, lossless_cfg(4, 0).with_spill(2));
+
+    for q in [0usize, 4, 9] {
+        let (a, b) = (mem.prob_one(q).unwrap(), spill.prob_one(q).unwrap());
+        assert!((a - b).abs() < 1e-12, "prob_one({q}): {a} vs {b}");
+    }
+    assert!((mem.norm_sqr().unwrap() - spill.norm_sqr().unwrap()).abs() < 1e-12);
+    let (za, zb) = (
+        mem.expectation_zz(0, 9).unwrap(),
+        spill.expectation_zz(0, 9).unwrap(),
+    );
+    assert!((za - zb).abs() < 1e-12);
+
+    // Measure with identical RNG streams: outcomes and post-measurement
+    // states must agree.
+    let mut rng_a = StdRng::seed_from_u64(99);
+    let mut rng_b = StdRng::seed_from_u64(99);
+    let oa = mem.measure(3, &mut rng_a).unwrap();
+    let ob = spill.measure(3, &mut rng_b).unwrap();
+    assert_eq!(oa, ob);
+    let err = max_amp_error(&mem, &spill);
+    assert!(err <= TOL, "post-measurement divergence {err:e}");
+    assert!(spill.report().fetches > 0);
+}
