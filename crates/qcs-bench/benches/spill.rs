@@ -27,17 +27,28 @@ fn bench_budget_sweep(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("spill_budget_16q");
     group.sample_size(10);
-    for budget in [None, Some(16usize), Some(4)] {
-        let label = budget.map_or("all".to_string(), |b| format!("{b}"));
+    for (budget, prefetch) in [
+        (None, false),
+        (Some(16usize), false),
+        (Some(16), true),
+        (Some(4), false),
+        (Some(4), true),
+    ] {
+        let label = match budget {
+            None => "all".to_string(),
+            Some(b) if prefetch => format!("{b}-prefetch"),
+            Some(b) => format!("{b}-blocking"),
+        };
         group.bench_with_input(
             BenchmarkId::new("resident", label),
-            &budget,
-            |b, &budget| {
+            &(budget, prefetch),
+            |b, &(budget, prefetch)| {
                 b.iter(|| {
                     let mut cfg = SimConfig::default().with_block_log2(10).without_cache();
                     if let Some(blocks) = budget {
                         cfg = cfg.with_spill(blocks);
                     }
+                    cfg = cfg.with_prefetch(prefetch);
                     let mut sim = CompressedSimulator::new(n as u32, cfg).unwrap();
                     let mut rng = StdRng::seed_from_u64(0);
                     sim.run(&circuit, &mut rng).unwrap();
@@ -86,6 +97,28 @@ fn bench_store_round_trip(c: &mut Criterion) {
             for i in 0..64 {
                 let blk = store.take(i).unwrap();
                 store.put(i, blk).unwrap();
+            }
+            store.resident_bytes()
+        })
+    });
+    // The same working set pulled one residency-budget chunk at a time
+    // through the coalescing batched read instead of a take per block.
+    group.bench_function("spill_8_resident_fetch_many", |b| {
+        let store = SpillStore::create(
+            &std::env::temp_dir(),
+            "bench-many",
+            8,
+            Metrics::new(),
+            blocks.clone(),
+        )
+        .unwrap();
+        b.iter(|| {
+            let slots: Vec<usize> = (0..64).collect();
+            for chunk in slots.chunks(8) {
+                let fetched = store.fetch_many(chunk).unwrap();
+                for (&i, blk) in chunk.iter().zip(fetched) {
+                    store.put(i, blk).unwrap();
+                }
             }
             store.resident_bytes()
         })

@@ -747,6 +747,13 @@ fn table_spill(dir: &Path) {
     // memory is Eq. 8 over *resident* bytes, so it must shrink with the
     // budget while the amplitudes stay bit-identical (pinned by
     // tests/out_of_core.rs).
+    //
+    // Each budget runs twice: prefetch off (every cold block a blocking
+    // seek-and-read, the PR-4 regime) and on (schedule-planned access,
+    // the next chunk streaming off disk while the current one computes).
+    // The pf-hit / blocking columns make the two pipelines directly
+    // comparable: with prefetch on, staged hits replace blocking fetches
+    // and the spill I/O left on the critical path shrinks.
     let workloads: Vec<(&'static str, qcs_circuits::Circuit)> = vec![
         ("qft_18", qft_benchmark_circuit(18, 12)),
         ("sup_16", random_circuit(Grid::new(4, 4), 11, 2019)),
@@ -755,12 +762,17 @@ fn table_spill(dir: &Path) {
         "workload",
         "qubits",
         "budget (blk)",
+        "prefetch",
         "wall (s)",
         "peak MB",
         "spills",
         "fetches",
+        "pf hits",
+        "hit rate",
+        "blocking",
         "spill MB",
         "io (ms)",
+        "pf io (ms)",
     ]);
     for (name, circuit) in workloads {
         let n = circuit.num_qubits() as u32;
@@ -768,32 +780,46 @@ fn table_spill(dir: &Path) {
         let mut budgets = vec![None, Some(bpr / 4), Some(bpr / 16), Some(4)];
         budgets.dedup();
         for budget in budgets {
-            let mut cfg = SimConfig::default().with_block_log2(10);
-            if let Some(blocks) = budget {
-                cfg = cfg.with_spill(blocks);
+            let prefetch_modes: &[Option<bool>] = match budget {
+                None => &[None], // all-resident: nothing to prefetch
+                Some(_) => &[Some(false), Some(true)],
+            };
+            for &prefetch in prefetch_modes {
+                let mut cfg = SimConfig::default().with_block_log2(10);
+                if let Some(blocks) = budget {
+                    cfg = cfg.with_spill(blocks);
+                }
+                cfg = cfg.with_prefetch(prefetch.unwrap_or(false));
+                let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
+                let mut rng = StdRng::seed_from_u64(0);
+                let t0 = Instant::now();
+                sim.run(&circuit, &mut rng).expect("run");
+                let wall = t0.elapsed().as_secs_f64();
+                let report = sim.report();
+                t.row(vec![
+                    name.to_string(),
+                    format!("{n}"),
+                    budget.map_or("all".to_string(), |b| format!("{b}")),
+                    prefetch.map_or("-".to_string(), |p| {
+                        if p { "on" } else { "off" }.to_string()
+                    }),
+                    format!("{wall:.2}"),
+                    format!("{:.1}", report.peak_memory_bytes as f64 / 1e6),
+                    format!("{}", report.spills),
+                    format!("{}", report.fetches),
+                    format!("{}", report.prefetch_hits),
+                    format!("{:.0}%", 100.0 * report.prefetch_hit_rate()),
+                    format!("{}", report.prefetch_misses),
+                    format!("{:.1}", report.spill_bytes as f64 / 1e6),
+                    format!("{:.0}", report.spill_io_ns as f64 / 1e6),
+                    format!("{:.0}", report.prefetch_ns as f64 / 1e6),
+                ]);
             }
-            let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
-            let mut rng = StdRng::seed_from_u64(0);
-            let t0 = Instant::now();
-            sim.run(&circuit, &mut rng).expect("run");
-            let wall = t0.elapsed().as_secs_f64();
-            let report = sim.report();
-            t.row(vec![
-                name.to_string(),
-                format!("{n}"),
-                budget.map_or("all".to_string(), |b| format!("{b}")),
-                format!("{wall:.2}"),
-                format!("{:.1}", report.peak_memory_bytes as f64 / 1e6),
-                format!("{}", report.spills),
-                format!("{}", report.fetches),
-                format!("{:.1}", report.spill_bytes as f64 / 1e6),
-                format!("{:.0}", report.spill_io_ns as f64 / 1e6),
-            ]);
         }
         println!("... {name} done");
     }
     finish(&t, dir, "table_spill");
-    println!("expected: peak memory falls with the budget; spill traffic and i/o time rise as the budget shrinks; wall-clock degrades gracefully");
+    println!("expected: peak memory falls with the budget; with prefetch on, staged hits replace blocking fetches at every budget and critical-path spill i/o drops; wall-clock degrades gracefully");
 }
 
 fn ablation_ladder(dir: &Path) {

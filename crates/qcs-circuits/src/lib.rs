@@ -35,7 +35,8 @@ pub use phase_estimation::{bernstein_vazirani_circuit, phase_estimation_circuit}
 pub use qaoa::{qaoa_circuit, QaoaParams};
 pub use qft::{iqft_circuit, qft_benchmark_circuit, qft_circuit};
 pub use schedule::{
-    schedule_circuit, FusedGate, FusionPolicy, GateBatch, Schedule, ScheduleStats, ScheduledOp,
+    schedule_circuit, AccessPlan, FusedGate, FusionPolicy, GateBatch, Schedule, ScheduleStats,
+    ScheduledOp, WaveAccess,
 };
 pub use supremacy::{cz_pattern, random_circuit, Grid};
 

@@ -22,6 +22,14 @@
 //! `0..circuit.gate_count()` in order. Fusion therefore never commutes a
 //! gate across a two-qubit, controlled, swap, or measurement operation —
 //! the invariant the property suite in `tests/prop_fusion.rs` pins down.
+//!
+//! Because the schedule fixes the execution order, it also fixes *which
+//! blocks* every wave will touch once a block geometry is chosen: an
+//! [`AccessPlan`] derives, per wave and per rank, the ordered block-slot
+//! list ahead of execution. The engine's out-of-core tier uses the plan to
+//! prefetch the next chunk of spilled blocks while the current chunk
+//! computes, turning blocking seek-and-read fetches into overlapped
+//! background I/O.
 
 use crate::circuit::{Circuit, Op};
 use qcs_statevec::{BatchGate, StateVector};
@@ -427,6 +435,271 @@ pub fn schedule_circuit(circuit: &Circuit, policy: &FusionPolicy) -> Schedule {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Access planning
+// ---------------------------------------------------------------------------
+
+/// The ordered local block slots one wave touches on each rank.
+///
+/// `per_rank[r]` lists the block slots rank `r`'s wave loop reads, in the
+/// exact order the engine's rank worker takes (or peeks) them: ascending
+/// block index for in-block and batch waves, interleaved `[b, b|stride]`
+/// pairs for inter-block waves, and the selected-block list (shared by the
+/// leader and the follower of each rank pair) for inter-rank exchanges.
+/// Ranks deselected by a rank-scope control get an empty list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveAccess {
+    /// Ordered block slots per rank (index = rank).
+    pub per_rank: Vec<Vec<usize>>,
+}
+
+impl WaveAccess {
+    /// True when no rank touches any block in this wave.
+    pub fn is_empty(&self) -> bool {
+        self.per_rank.iter().all(|v| v.is_empty())
+    }
+}
+
+/// A schedule's block-access plan: for every wave of every scheduled item,
+/// the ordered set of block slots each rank will touch.
+///
+/// Because a [`Schedule`] fixes the gate order and the block geometry
+/// fixes §3.3 routing, the blocks every wave touches are known *before
+/// execution* — the fact the out-of-core prefetch pipeline exploits: the
+/// engine streams the next chunk's blocks off disk while the current
+/// chunk computes, and hints each wave's store at the following wave's
+/// first slots. Most items expand to exactly one wave; a bare `Swap`
+/// expands to its three controlled-X waves and a bare `Measure` to its
+/// probability-reduce (peek) wave followed by its collapse wave.
+///
+/// The plan is exact, not speculative: the engine's property suite pins
+/// the planned slots against the accesses an instrumented block store
+/// actually observes, for every circuit family and rank count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPlan {
+    per_item: Vec<Vec<WaveAccess>>,
+    ranks: usize,
+}
+
+/// Block-layout arithmetic shared by the wave builders (the same index
+/// split as the engine's `Layout`, re-derived here so planning needs only
+/// the schedule and two geometry exponents).
+struct PlanGeom {
+    num_qubits: u32,
+    ranks_log2: u32,
+    block_log2: u32,
+}
+
+impl PlanGeom {
+    fn ranks(&self) -> usize {
+        1usize << self.ranks_log2
+    }
+
+    fn blocks_per_rank(&self) -> usize {
+        1usize << (self.num_qubits - self.ranks_log2 - self.block_log2)
+    }
+
+    /// First qubit index owned by the rank segment.
+    fn rank_base(&self) -> u32 {
+        self.num_qubits - self.ranks_log2
+    }
+
+    /// Partition `controls` into `(block_cmask, rank_cmask)`; offset-scope
+    /// controls never affect which blocks a wave touches.
+    fn masks(&self, controls: &[usize]) -> (usize, usize) {
+        let mut block_cmask = 0usize;
+        let mut rank_cmask = 0usize;
+        for &c in controls {
+            let c = c as u32;
+            if c < self.block_log2 {
+                // Offset scope: selects amplitudes inside every block.
+            } else if c < self.rank_base() {
+                block_cmask |= 1usize << (c - self.block_log2);
+            } else {
+                rank_cmask |= 1usize << (c - self.rank_base());
+            }
+        }
+        (block_cmask, rank_cmask)
+    }
+
+    /// Access of one (possibly controlled) single-qubit gate wave.
+    fn gate_wave(&self, target: usize, controls: &[usize]) -> WaveAccess {
+        let (bcm, rcm) = self.masks(controls);
+        let bpr = self.blocks_per_rank();
+        let block_ok = |b: usize| b & bcm == bcm;
+        let t = target as u32;
+        let mut per_rank = vec![Vec::new(); self.ranks()];
+        if t < self.block_log2 {
+            let list: Vec<usize> = (0..bpr).filter(|&b| block_ok(b)).collect();
+            for (r, slots) in per_rank.iter_mut().enumerate() {
+                if r & rcm == rcm {
+                    *slots = list.clone();
+                }
+            }
+        } else if t < self.rank_base() {
+            let stride = 1usize << (t - self.block_log2);
+            let list: Vec<usize> = (0..bpr)
+                .filter(|&b| b & stride == 0 && block_ok(b))
+                .flat_map(|b| [b, b | stride])
+                .collect();
+            for (r, slots) in per_rank.iter_mut().enumerate() {
+                if r & rcm == rcm {
+                    *slots = list.clone();
+                }
+            }
+        } else {
+            let rstride = 1usize << (t - self.rank_base());
+            let sel: Vec<usize> = (0..bpr).filter(|&b| block_ok(b)).collect();
+            for r in 0..self.ranks() {
+                if r & rstride == 0 && r & rcm == rcm {
+                    per_rank[r] = sel.clone();
+                    per_rank[r | rstride] = sel.clone();
+                }
+            }
+        }
+        WaveAccess { per_rank }
+    }
+
+    /// Access of a [`GateBatch`] wave: each rank touches, in ascending
+    /// order, every block at least one member gate selects.
+    fn batch_wave(&self, gates: &[FusedGate]) -> WaveAccess {
+        let masks: Vec<(usize, usize)> = gates.iter().map(|g| self.masks(&g.op.controls)).collect();
+        let bpr = self.blocks_per_rank();
+        let per_rank = (0..self.ranks())
+            .map(|r| {
+                (0..bpr)
+                    .filter(|&b| {
+                        masks
+                            .iter()
+                            .any(|&(bcm, rcm)| r & rcm == rcm && b & bcm == bcm)
+                    })
+                    .collect()
+            })
+            .collect();
+        WaveAccess { per_rank }
+    }
+
+    /// Access of a whole-state wave (collapse, recompress, probability
+    /// reduce): every rank touches every block in ascending order.
+    fn all_blocks_wave(&self) -> WaveAccess {
+        let all: Vec<usize> = (0..self.blocks_per_rank()).collect();
+        WaveAccess {
+            per_rank: vec![all; self.ranks()],
+        }
+    }
+
+    /// The waves one scheduled item expands into, in execution order.
+    fn item_waves(&self, item: &ScheduledOp) -> Vec<WaveAccess> {
+        match item {
+            ScheduledOp::Batch(b) => vec![self.batch_wave(b.gates())],
+            ScheduledOp::Gate(g) => vec![self.gate_wave(g.op.target, &g.op.controls)],
+            ScheduledOp::Bare { op, .. } => match op {
+                // The engine decomposes SWAP into three controlled-X
+                // waves: CX(a,b); CX(b,a); CX(a,b).
+                Op::Swap { a, b } => vec![
+                    self.gate_wave(*b, &[*a]),
+                    self.gate_wave(*a, &[*b]),
+                    self.gate_wave(*b, &[*a]),
+                ],
+                // Measurement is a probability sum-reduce (peek of
+                // every block) followed by a collapse rewrite of every
+                // block, whatever the outcome.
+                Op::Measure { .. } => vec![self.all_blocks_wave(), self.all_blocks_wave()],
+                _ => unreachable!("unitaries are never scheduled bare"),
+            },
+        }
+    }
+}
+
+impl AccessPlan {
+    /// Plan the block accesses of every wave of `schedule` under the given
+    /// block geometry (`2^ranks_log2` ranks, `2^block_log2` amplitudes per
+    /// block — the same exponents as the engine's `SimConfig`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry does not fit the schedule's qubit count
+    /// (`num_qubits < ranks_log2 + block_log2`).
+    pub fn for_schedule(schedule: &Schedule, ranks_log2: u32, block_log2: u32) -> Self {
+        let n = schedule.num_qubits() as u32;
+        assert!(
+            n >= ranks_log2 + block_log2,
+            "cannot split 2^{n} amplitudes into 2^{ranks_log2} ranks x 2^{block_log2} amp blocks"
+        );
+        let geom = PlanGeom {
+            num_qubits: n,
+            ranks_log2,
+            block_log2,
+        };
+        let per_item = schedule
+            .items()
+            .iter()
+            .map(|item| geom.item_waves(item))
+            .collect();
+        Self {
+            per_item,
+            ranks: geom.ranks(),
+        }
+    }
+
+    /// Plan a single scheduled item without materializing a whole-schedule
+    /// plan — what the engine uses to derive each wave's lookahead lazily,
+    /// so planning memory stays proportional to one item rather than
+    /// `O(items × ranks × blocks_per_rank)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry does not fit `num_qubits` (see
+    /// [`AccessPlan::for_schedule`]).
+    pub fn for_item(
+        item: &ScheduledOp,
+        num_qubits: u32,
+        ranks_log2: u32,
+        block_log2: u32,
+    ) -> Vec<WaveAccess> {
+        assert!(
+            num_qubits >= ranks_log2 + block_log2,
+            "cannot split 2^{num_qubits} amplitudes into 2^{ranks_log2} ranks x \
+             2^{block_log2} amp blocks"
+        );
+        PlanGeom {
+            num_qubits,
+            ranks_log2,
+            block_log2,
+        }
+        .item_waves(item)
+    }
+
+    /// Number of scheduled items covered (equal to `schedule.items().len()`).
+    pub fn len(&self) -> usize {
+        self.per_item.len()
+    }
+
+    /// True when the schedule had no items.
+    pub fn is_empty(&self) -> bool {
+        self.per_item.is_empty()
+    }
+
+    /// Rank count the plan was built for.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The waves of scheduled item `item`, in execution order.
+    pub fn item_waves(&self, item: usize) -> &[WaveAccess] {
+        &self.per_item[item]
+    }
+
+    /// The first non-empty wave at or after scheduled item `item` — what a
+    /// wave finishing item `item - 1` should hint its stores to prefetch.
+    pub fn first_wave_at(&self, item: usize) -> Option<&WaveAccess> {
+        self.per_item[item.min(self.per_item.len())..]
+            .iter()
+            .flatten()
+            .find(|w| !w.is_empty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,6 +906,73 @@ mod tests {
             st
         };
         assert!(fidelity(&direct, &scheduled) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn access_plan_routes_all_three_cases() {
+        // n=6, ranks=2^1, block=2^2: offsets 0-1, block bits 2-4, rank bit 5.
+        let mut c = Circuit::new(6);
+        c.h(0); // in-block: every block on every rank
+        c.h(3); // inter-block, stride 2: interleaved pairs
+        c.h(5); // inter-rank: rank 0 leads, rank 1 follows, same blocks
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        let plan = AccessPlan::for_schedule(&s, 1, 2);
+        assert_eq!(plan.len(), s.items().len());
+        assert_eq!(plan.ranks(), 2);
+        let waves: Vec<&WaveAccess> = (0..plan.len()).flat_map(|i| plan.item_waves(i)).collect();
+        assert_eq!(waves.len(), 3);
+        // h(0): all 8 blocks, ascending, both ranks.
+        let all: Vec<usize> = (0..8).collect();
+        assert_eq!(waves[0].per_rank, vec![all.clone(), all]);
+        // h(3): stride 2 pairs in take order a1,b1,a2,b2,...
+        let pairs = vec![0, 2, 1, 3, 4, 6, 5, 7];
+        assert_eq!(waves[1].per_rank, vec![pairs.clone(), pairs]);
+        // h(5): the exchange pair shares the full selected-block list.
+        let sel: Vec<usize> = (0..8).collect();
+        assert_eq!(waves[2].per_rank, vec![sel.clone(), sel]);
+    }
+
+    #[test]
+    fn access_plan_honors_block_and_rank_controls() {
+        // n=6, ranks=2^1, block=2^2: qubit 3 is block bit 1, qubit 5 the
+        // rank bit.
+        let mut c = Circuit::new(6);
+        c.cx(3, 0); // block-scope control: only blocks with bit 1 set
+        c.cx(5, 0); // rank-scope control: only rank 1 touches blocks
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        let plan = AccessPlan::for_schedule(&s, 1, 2);
+        let waves: Vec<&WaveAccess> = (0..plan.len()).flat_map(|i| plan.item_waves(i)).collect();
+        // The two CX gates batch together (both target qubit 0): the batch
+        // wave is the union of the two selections per rank.
+        assert_eq!(waves.len(), 1);
+        assert_eq!(
+            waves[0].per_rank[0],
+            vec![2, 3, 6, 7],
+            "rank 0: block-control only"
+        );
+        assert_eq!(
+            waves[0].per_rank[1],
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            "rank 1: both gates"
+        );
+    }
+
+    #[test]
+    fn access_plan_expands_bare_ops() {
+        let mut c = Circuit::new(4);
+        c.swap(0, 1).measure(2);
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        let plan = AccessPlan::for_schedule(&s, 0, 2);
+        assert_eq!(plan.item_waves(0).len(), 3, "swap = three CX waves");
+        assert_eq!(plan.item_waves(1).len(), 2, "measure = reduce + collapse");
+        for w in plan.item_waves(1) {
+            assert_eq!(w.per_rank, vec![vec![0, 1, 2, 3]]);
+        }
+        // Lookahead helper: the first non-empty wave at or after an item.
+        assert_eq!(plan.first_wave_at(0), Some(&plan.item_waves(0)[0]));
+        assert_eq!(plan.first_wave_at(1), Some(&plan.item_waves(1)[0]));
+        assert_eq!(plan.first_wave_at(2), None);
+        assert!(!plan.is_empty());
     }
 
     #[test]

@@ -17,18 +17,24 @@ pub enum Phase {
     Communication,
     /// Applying gate arithmetic.
     Computation,
-    /// Reading/writing spilled blocks on the out-of-core tier.
+    /// Reading/writing spilled blocks on the out-of-core tier, *on the
+    /// critical path* (blocking seeks and reads the wave waited for).
     SpillIo,
+    /// Background prefetch I/O: spilled frames read by a store's fetch
+    /// thread while the compute chunk runs. Time here is off the wave's
+    /// critical path — the overlap the prefetch pipeline buys.
+    Prefetch,
 }
 
 impl Phase {
     /// All phases in report order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Compression,
         Phase::Decompression,
         Phase::Communication,
         Phase::Computation,
         Phase::SpillIo,
+        Phase::Prefetch,
     ];
 
     /// Display name.
@@ -39,13 +45,14 @@ impl Phase {
             Phase::Communication => "communication",
             Phase::Computation => "computation",
             Phase::SpillIo => "spill i/o",
+            Phase::Prefetch => "prefetch",
         }
     }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    durations: [Duration; 5],
+    durations: [Duration; 6],
     comm_bytes: u64,
     exchanges: u64,
     block_touches: u64,
@@ -54,6 +61,10 @@ struct Inner {
     fetches: u64,
     spill_bytes: u64,
     fetch_bytes: u64,
+    prefetch_hits: u64,
+    prefetch_misses: u64,
+    blocking_fetch_bytes: u64,
+    overlapped_fetch_bytes: u64,
 }
 
 /// Thread-safe accumulator of per-phase wall time and communication volume.
@@ -110,12 +121,29 @@ impl Metrics {
         inner.spill_bytes += bytes;
     }
 
-    /// Record one block read back from the spill tier (`bytes` = the
-    /// frame's on-disk footprint).
-    pub fn add_fetch(&self, bytes: u64) {
+    /// Record one block read back from the spill tier on the critical
+    /// path — the wave blocked, either on its own synchronous read or
+    /// waiting for a background read still in flight (`bytes` = the
+    /// frame's on-disk footprint). Counted as a prefetch *miss*: an
+    /// overlap that finished too late is still a stall.
+    pub fn add_fetch_blocking(&self, bytes: u64) {
         let mut inner = self.inner.lock();
         inner.fetches += 1;
         inner.fetch_bytes += bytes;
+        inner.prefetch_misses += 1;
+        inner.blocking_fetch_bytes += bytes;
+    }
+
+    /// Record one block read back from the spill tier that was served
+    /// from the prefetch staging buffer — the disk read happened in the
+    /// background, overlapped with compute (`bytes` = the frame's
+    /// on-disk footprint). Counted as a prefetch *hit*.
+    pub fn add_fetch_overlapped(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.fetches += 1;
+        inner.fetch_bytes += bytes;
+        inner.prefetch_hits += 1;
+        inner.overlapped_fetch_bytes += bytes;
     }
 
     /// Total blocks written to the spill tier.
@@ -136,6 +164,26 @@ impl Metrics {
     /// Total bytes read back from the spill tier.
     pub fn fetch_bytes(&self) -> u64 {
         self.inner.lock().fetch_bytes
+    }
+
+    /// Spilled fetches served from the prefetch staging buffer.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.inner.lock().prefetch_hits
+    }
+
+    /// Spilled fetches that blocked on a critical-path disk read.
+    pub fn prefetch_misses(&self) -> u64 {
+        self.inner.lock().prefetch_misses
+    }
+
+    /// Spill-tier bytes read on the critical path.
+    pub fn blocking_fetch_bytes(&self) -> u64 {
+        self.inner.lock().blocking_fetch_bytes
+    }
+
+    /// Spill-tier bytes read in the background, overlapped with compute.
+    pub fn overlapped_fetch_bytes(&self) -> u64 {
+        self.inner.lock().overlapped_fetch_bytes
     }
 
     /// Record one block-touch (a decompress → compute → recompress cycle of
@@ -190,6 +238,7 @@ impl Metrics {
             communication: inner.durations[Phase::Communication as usize],
             computation: inner.durations[Phase::Computation as usize],
             spill_io: inner.durations[Phase::SpillIo as usize],
+            prefetch: inner.durations[Phase::Prefetch as usize],
             comm_bytes: inner.comm_bytes,
             exchanges: inner.exchanges,
             block_touches: inner.block_touches,
@@ -198,6 +247,10 @@ impl Metrics {
             fetches: inner.fetches,
             spill_bytes: inner.spill_bytes,
             fetch_bytes: inner.fetch_bytes,
+            prefetch_hits: inner.prefetch_hits,
+            prefetch_misses: inner.prefetch_misses,
+            blocking_fetch_bytes: inner.blocking_fetch_bytes,
+            overlapped_fetch_bytes: inner.overlapped_fetch_bytes,
         }
     }
 
@@ -219,8 +272,12 @@ pub struct TimeBreakdown {
     pub communication: Duration,
     /// Time spent in gate arithmetic.
     pub computation: Duration,
-    /// Time spent reading/writing spilled blocks on the out-of-core tier.
+    /// Time spent reading/writing spilled blocks on the out-of-core
+    /// tier's critical path (blocking I/O the waves waited for).
     pub spill_io: Duration,
+    /// Time the background prefetch threads spent reading spilled frames
+    /// (overlapped with compute — not on any wave's critical path).
+    pub prefetch: Duration,
     /// Bytes exchanged between ranks.
     pub comm_bytes: u64,
     /// Inter-rank block-pair exchanges performed.
@@ -237,6 +294,14 @@ pub struct TimeBreakdown {
     pub spill_bytes: u64,
     /// Bytes read back from the spill tier.
     pub fetch_bytes: u64,
+    /// Spilled fetches served from the prefetch staging buffer.
+    pub prefetch_hits: u64,
+    /// Spilled fetches that blocked on a critical-path disk read.
+    pub prefetch_misses: u64,
+    /// Spill-tier bytes read on the critical path.
+    pub blocking_fetch_bytes: u64,
+    /// Spill-tier bytes read in the background, overlapped with compute.
+    pub overlapped_fetch_bytes: u64,
 }
 
 impl TimeBreakdown {
@@ -247,6 +312,7 @@ impl TimeBreakdown {
             + self.communication
             + self.computation
             + self.spill_io
+            + self.prefetch
     }
 
     /// Communication time in nanoseconds (saturating; the Table 2 row the
@@ -260,6 +326,22 @@ impl TimeBreakdown {
         u64::try_from(self.spill_io.as_nanos()).unwrap_or(u64::MAX)
     }
 
+    /// Background prefetch I/O time in nanoseconds (saturating).
+    pub fn prefetch_ns(&self) -> u64 {
+        u64::try_from(self.prefetch.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Fraction of spilled fetches served from the prefetch staging
+    /// buffer (0 when nothing was fetched).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let total = self.prefetch_hits + self.prefetch_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
+        }
+    }
+
     /// Average gate kernels per block touch (0 when nothing ran).
     pub fn gates_per_block_touch(&self) -> f64 {
         if self.block_touches == 0 {
@@ -271,10 +353,10 @@ impl TimeBreakdown {
 
     /// Percentage of total for each phase, in [`Phase::ALL`] order.
     /// Returns zeros when nothing was recorded.
-    pub fn percentages(&self) -> [f64; 5] {
+    pub fn percentages(&self) -> [f64; 6] {
         let total = self.total().as_secs_f64();
         if total == 0.0 {
-            return [0.0; 5];
+            return [0.0; 6];
         }
         [
             self.compression.as_secs_f64() / total * 100.0,
@@ -282,6 +364,7 @@ impl TimeBreakdown {
             self.communication.as_secs_f64() / total * 100.0,
             self.computation.as_secs_f64() / total * 100.0,
             self.spill_io.as_secs_f64() / total * 100.0,
+            self.prefetch.as_secs_f64() / total * 100.0,
         ]
     }
 }
@@ -334,7 +417,7 @@ mod tests {
 
     #[test]
     fn empty_percentages_are_zero() {
-        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 5]);
+        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 6]);
     }
 
     #[test]
@@ -342,7 +425,7 @@ mod tests {
         let m = Metrics::new();
         m.add_spill(100);
         m.add_spill(40);
-        m.add_fetch(100);
+        m.add_fetch_blocking(100);
         m.add(Phase::SpillIo, Duration::from_millis(3));
         assert_eq!(m.spills(), 2);
         assert_eq!(m.fetches(), 1);
@@ -359,6 +442,36 @@ mod tests {
         m.reset();
         assert_eq!(m.spills(), 0);
         assert_eq!(m.spill_bytes(), 0);
+    }
+
+    #[test]
+    fn prefetch_accounting_splits_blocking_from_overlapped() {
+        let m = Metrics::new();
+        m.add_fetch_blocking(100);
+        m.add_fetch_overlapped(60);
+        m.add_fetch_overlapped(40);
+        m.add(Phase::Prefetch, Duration::from_millis(2));
+        // Hits and misses partition the fetch total.
+        assert_eq!(m.fetches(), 3);
+        assert_eq!(m.prefetch_hits(), 2);
+        assert_eq!(m.prefetch_misses(), 1);
+        assert_eq!(m.fetch_bytes(), 200);
+        assert_eq!(m.blocking_fetch_bytes(), 100);
+        assert_eq!(m.overlapped_fetch_bytes(), 100);
+        let b = m.breakdown();
+        assert_eq!(b.prefetch_hits + b.prefetch_misses, b.fetches);
+        assert_eq!(
+            b.blocking_fetch_bytes + b.overlapped_fetch_bytes,
+            b.fetch_bytes
+        );
+        assert!((b.prefetch_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.prefetch, Duration::from_millis(2));
+        assert_eq!(b.prefetch_ns(), 2_000_000);
+        assert!(b.percentages()[5] > 99.0, "only prefetch i/o was recorded");
+        m.reset();
+        assert_eq!(m.prefetch_hits(), 0);
+        assert_eq!(m.blocking_fetch_bytes(), 0);
+        assert_eq!(TimeBreakdown::default().prefetch_hit_rate(), 0.0);
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub struct SimConfig {
     /// the rest to a per-rank segment file of checksummed frames. `None`
     /// (the default) keeps every block resident, as in the paper.
     pub spill: Option<SpillConfig>,
+    /// Overlap spill-tier reads with compute (the default; only
+    /// meaningful with `spill` set). Each rank's store runs a background
+    /// fetch thread, waves are driven by the schedule's `AccessPlan`, and
+    /// the next chunk of spilled blocks streams off disk while the
+    /// current chunk computes — staged in a buffer bounded by the
+    /// residency budget (double-buffering: one budget resident, at most
+    /// one more staged). Disable to reproduce the pull-on-demand tier
+    /// where every cold block is a blocking seek-and-read.
+    pub prefetch: bool,
 }
 
 impl Default for SimConfig {
@@ -106,6 +115,7 @@ impl Default for SimConfig {
             fusion: true,
             max_batch_gates: qcs_circuits::schedule::MAX_BATCH_GATES,
             spill: None,
+            prefetch: true,
         }
     }
 }
@@ -188,6 +198,13 @@ impl SimConfig {
         let mut spill = self.spill.take().unwrap_or_else(|| SpillConfig::new(1));
         spill.dir = Some(dir);
         self.spill = Some(spill);
+        self
+    }
+
+    /// Config with the out-of-core prefetch pipeline explicitly on or off
+    /// (on by default; only meaningful together with a spill budget).
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
         self
     }
 
@@ -279,8 +296,11 @@ mod tests {
         // A zero-block budget is rejected.
         let bad = SimConfig::default().with_spill(0);
         assert!(bad.validate(9).is_err());
-        // Default stays all-resident.
+        // Default stays all-resident, with the prefetch pipeline armed
+        // for whenever a spill budget appears.
         assert!(SimConfig::default().spill.is_none());
+        assert!(SimConfig::default().prefetch);
+        assert!(!SimConfig::default().with_prefetch(false).prefetch);
         assert_eq!(SpillConfig::new(2).directory(), std::env::temp_dir());
     }
 

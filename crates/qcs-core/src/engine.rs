@@ -52,12 +52,14 @@ use crate::block::{BlockCodec, CompressedBlock};
 use crate::cache::BlockCache;
 use crate::config::SimConfig;
 use crate::fidelity_bound::FidelityLedger;
-use crate::store::{BlockStore, MemStore, SpillStore};
+use crate::store::{BlockStore, MemStore, SegmentDirGuard, SpillOptions, SpillStore};
 use crate::worker::{
-    BatchCmd, BatchPlan, ExchangeCmd, ExchangeRole, GateCmd, RankWorker, WaveOut, WorkerCmd,
-    WorkerOut,
+    BatchCmd, BatchPlan, ExchangeCmd, ExchangeRole, GateCmd, Lookahead, RankWorker, WaveOut,
+    WorkerCmd, WorkerOut,
 };
-use qcs_circuits::{schedule_circuit, Circuit, GateBatch, Op, Schedule, ScheduledOp};
+use qcs_circuits::{
+    schedule_circuit, AccessPlan, Circuit, GateBatch, Op, Schedule, ScheduledOp, WaveAccess,
+};
 use qcs_cluster::exec::{duplex, ClusterSim, Worker as _};
 use qcs_cluster::{ControlScope, Layout, Metrics, Phase, Route, TimeBreakdown};
 use qcs_compress::ErrorBound;
@@ -144,8 +146,23 @@ pub struct SimReport {
     pub spill_bytes: u64,
     /// Bytes read back from the spill tier.
     pub fetch_bytes: u64,
-    /// Wall time spent in spill-tier I/O, in nanoseconds.
+    /// Wall time spent in blocking (critical-path) spill-tier I/O, in
+    /// nanoseconds.
     pub spill_io_ns: u64,
+    /// Spilled fetches served from the prefetch staging buffer — the
+    /// background read overlapped with compute (0 with prefetch off or
+    /// without an out-of-core store).
+    pub prefetch_hits: u64,
+    /// Spilled fetches that blocked on a critical-path disk read (with
+    /// prefetch off, every spilled fetch is a miss).
+    pub prefetch_misses: u64,
+    /// Spill-tier bytes read on the critical path (blocking fetches).
+    pub blocking_fetch_bytes: u64,
+    /// Spill-tier bytes read in the background, off the critical path.
+    pub overlapped_fetch_bytes: u64,
+    /// Wall time the background prefetch threads spent reading spilled
+    /// frames, in nanoseconds (overlap, not critical path).
+    pub prefetch_ns: u64,
 }
 
 impl SimReport {
@@ -164,6 +181,18 @@ impl SimReport {
             0.0
         } else {
             self.exchanges as f64 / self.gates as f64
+        }
+    }
+
+    /// Fraction of spilled fetches that were served from the prefetch
+    /// staging buffer instead of blocking on disk (0 when nothing was
+    /// fetched).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let total = self.prefetch_hits + self.prefetch_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
         }
     }
 }
@@ -209,6 +238,10 @@ pub struct CompressedSimulator {
     escalations: u64,
     gates_applied: usize,
     wall_time: Duration,
+    /// Keeps the spill directory alive until the facade drops; the last
+    /// owner (facade or a per-rank store) removes the whole tree, so a
+    /// panicking worker thread cannot leak segment files.
+    _spill_guard: Option<Arc<SegmentDirGuard>>,
 }
 
 impl CompressedSimulator {
@@ -217,23 +250,60 @@ impl CompressedSimulator {
         cfg.validate(num_qubits).map_err(SimError::Config)?;
         let layout = Layout::new(num_qubits, cfg.ranks_log2, cfg.block_log2);
         let codec = Arc::new(BlockCodec::new(cfg.lossy_codec));
+        let blocks = Self::initial_blocks(&cfg, layout, &codec)?;
+        Self::from_parts(cfg, layout, codec, 0, FidelityLedger::new(), blocks)
+    }
+
+    /// Test-only: [`CompressedSimulator::new`] with every rank's store
+    /// wrapped in the recording shim from [`crate::store::trace`], so the
+    /// plan-vs-observed property suite can compare an `AccessPlan` against
+    /// the slots the workers actually touch.
+    #[cfg(test)]
+    pub(crate) fn new_traced(
+        num_qubits: u32,
+        cfg: SimConfig,
+        log: crate::store::trace::AccessLog,
+    ) -> Result<Self, SimError> {
+        cfg.validate(num_qubits).map_err(SimError::Config)?;
+        let layout = Layout::new(num_qubits, cfg.ranks_log2, cfg.block_log2);
+        let codec = Arc::new(BlockCodec::new(cfg.lossy_codec));
+        let blocks = Self::initial_blocks(&cfg, layout, &codec)?;
+        Self::from_parts_wrapped(
+            cfg,
+            layout,
+            codec,
+            0,
+            FidelityLedger::new(),
+            blocks,
+            |rank, store| {
+                Box::new(crate::store::trace::TraceStore::new(
+                    rank,
+                    Arc::clone(&log),
+                    store,
+                ))
+            },
+        )
+    }
+
+    /// The `|0...0>` block table: all blocks zero except block 0 of rank 0.
+    fn initial_blocks(
+        cfg: &SimConfig,
+        layout: Layout,
+        codec: &BlockCodec,
+    ) -> Result<Vec<Option<CompressedBlock>>, SimError> {
         let total_blocks = layout.ranks() * layout.blocks_per_rank();
         let block_f64s = layout.block_amps() * 2;
-
-        // All blocks are zero except block 0 of rank 0.
         let zeros = vec![0.0f64; block_f64s];
         let zero_block = codec.compress(&zeros, cfg.ladder[0])?;
         let mut first = zeros.clone();
         first[0] = 1.0; // amplitude |0...0> = 1 + 0i
         let first_block = codec.compress(&first, cfg.ladder[0])?;
-
         let mut blocks = Vec::with_capacity(total_blocks);
         blocks.push(Some(first_block));
         for _ in 1..total_blocks {
             blocks.push(Some(zero_block.clone()));
         }
-
-        Self::from_parts(cfg, layout, codec, 0, FidelityLedger::new(), blocks)
+        Ok(blocks)
     }
 
     /// Assemble a simulator around an existing rank-major block table
@@ -247,6 +317,22 @@ impl CompressedSimulator {
         ledger: FidelityLedger,
         blocks: Vec<Option<CompressedBlock>>,
     ) -> Result<Self, SimError> {
+        Self::from_parts_wrapped(cfg, layout, codec, level, ledger, blocks, |_, store| store)
+    }
+
+    /// [`CompressedSimulator::from_parts`] with a store-wrapping seam:
+    /// the engine's plan-vs-observed property suite interposes an
+    /// instrumented shim between each worker and its real store through
+    /// `wrap(rank, store)`; production callers pass the identity.
+    fn from_parts_wrapped(
+        cfg: SimConfig,
+        layout: Layout,
+        codec: Arc<BlockCodec>,
+        level: usize,
+        ledger: FidelityLedger,
+        blocks: Vec<Option<CompressedBlock>>,
+        wrap: impl Fn(usize, Box<dyn BlockStore>) -> Box<dyn BlockStore>,
+    ) -> Result<Self, SimError> {
         let ranks = layout.ranks();
         let bpr = layout.blocks_per_rank();
         debug_assert_eq!(blocks.len(), ranks * bpr);
@@ -256,22 +342,31 @@ impl CompressedSimulator {
         ));
         let metrics = Metrics::new();
 
+        let spill_guard = match &cfg.spill {
+            Some(spill) => Some(SegmentDirGuard::create(&spill.directory())?),
+            None => None,
+        };
         let mut rank_bytes = Vec::with_capacity(ranks);
         let mut rank_resident = Vec::with_capacity(ranks);
         let mut stores: Vec<Box<dyn BlockStore>> = Vec::with_capacity(ranks);
         let mut iter = blocks.into_iter();
         for rank in 0..ranks {
             let local: Vec<_> = iter.by_ref().take(bpr).collect();
-            let store: Box<dyn BlockStore> = match &cfg.spill {
-                None => Box::new(MemStore::new(local)),
-                Some(spill) => Box::new(SpillStore::create(
-                    &spill.directory(),
+            let store: Box<dyn BlockStore> = match (&cfg.spill, &spill_guard) {
+                (Some(spill), Some(guard)) => Box::new(SpillStore::create_with(
+                    guard.path(),
                     &format!("r{rank}"),
                     spill.resident_blocks,
                     metrics.clone(),
                     local,
+                    SpillOptions {
+                        prefetch: cfg.prefetch,
+                        dir_guard: Some(Arc::clone(guard)),
+                    },
                 )?),
+                _ => Box::new(MemStore::new(local)),
             };
+            let store = wrap(rank, store);
             rank_bytes.push(store.compressed_bytes());
             rank_resident.push(store.resident_bytes());
             stores.push(store);
@@ -322,6 +417,7 @@ impl CompressedSimulator {
             escalations: 0,
             gates_applied: 0,
             wall_time: Duration::ZERO,
+            _spill_guard: spill_guard,
         };
         sim.note_memory();
         Ok(sim)
@@ -363,6 +459,17 @@ impl CompressedSimulator {
     /// Eq. 8 memory accounting: *resident* compressed blocks plus two
     /// decompression scratch buffers per rank. Spilled blocks live on disk
     /// and are not charged against the memory budget.
+    ///
+    /// With [`SimConfig::prefetch`] on, each rank's store may additionally
+    /// hold up to one more residency budget of compressed blocks in its
+    /// prefetch staging buffer (the double-buffer the pipeline needs).
+    /// That allowance is deliberately *not* charged here — the same
+    /// exemption the exchange path grants MPI-style send buffers — both
+    /// because it is bounded by construction and because staging occupancy
+    /// is timing-dependent: charging it would make adaptive-ladder
+    /// escalation (and with it the simulated amplitudes) nondeterministic.
+    /// Size real memory limits as `memory_bytes()` plus one residency
+    /// budget of compressed blocks per rank when prefetching.
     pub fn memory_bytes(&self) -> u64 {
         let scratch = 2 * (self.layout.block_amps() as u64) * 16;
         self.resident_bytes() + self.layout.ranks() as u64 * scratch
@@ -411,10 +518,35 @@ impl CompressedSimulator {
         Ok(outs)
     }
 
-    /// Broadcast one mutating command to every rank.
-    fn mutate_all(&mut self, make: impl Fn() -> WorkerCmd) -> Result<Vec<WaveOut>, SimError> {
-        let cmds = (0..self.layout.ranks()).map(|_| make()).collect();
+    /// Broadcast one mutating command to every rank (`make` receives the
+    /// rank index, so per-rank payloads like prefetch lookaheads can
+    /// differ).
+    fn mutate_all(&mut self, make: impl Fn(usize) -> WorkerCmd) -> Result<Vec<WaveOut>, SimError> {
+        let cmds = (0..self.layout.ranks()).map(make).collect();
         self.mutate_wave(cmds)
+    }
+
+    /// Per-rank lookahead payloads for the next planned wave: rank `r`
+    /// gets the first slots `next.per_rank[r]` will touch, truncated to
+    /// the staging budget. All `None` when the run is not prefetching.
+    fn lookahead_for(&self, next: Option<&WaveAccess>) -> Vec<Lookahead> {
+        let ranks = self.layout.ranks();
+        match (next, &self.cfg.spill) {
+            (Some(wave), Some(spill)) if self.cfg.prefetch => {
+                let cap = spill.resident_blocks.max(1);
+                (0..ranks)
+                    .map(|r| {
+                        let slots = &wave.per_rank[r];
+                        if slots.is_empty() {
+                            None
+                        } else {
+                            Some(Arc::new(slots[..slots.len().min(cap)].to_vec()))
+                        }
+                    })
+                    .collect()
+            }
+            _ => vec![None; ranks],
+        }
     }
 
     /// Broadcast one read-only command to every rank.
@@ -498,26 +630,66 @@ impl CompressedSimulator {
     /// The schedule must have been produced for this simulator's block
     /// geometry: a batch whose target does not route intra-block is a
     /// configuration error.
+    ///
+    /// On an out-of-core run with [`SimConfig::prefetch`] on, each wave
+    /// is dispatched with the *next* scheduled item's first planned wave
+    /// as its prefetch lookahead — an [`AccessPlan::for_item`] lookup,
+    /// computed lazily so planning memory stays proportional to one item
+    /// rather than the whole schedule. Spill-tier reads therefore stream
+    /// ahead across wave boundaries as well as between chunks inside a
+    /// wave.
     pub fn run_schedule(
         &mut self,
         schedule: &Schedule,
         rng: &mut impl rand::Rng,
     ) -> Result<(), SimError> {
         assert_eq!(schedule.num_qubits() as u32, self.layout.num_qubits);
-        for item in schedule.items() {
-            match item {
-                ScheduledOp::Batch(batch) => self.apply_batch(batch)?,
-                ScheduledOp::Gate(g) => {
-                    let start = Instant::now();
-                    self.apply_unitary(g.signature, &g.op.gate, &g.op.controls, g.op.target)?;
-                    self.gates_applied += g.src_len;
-                    self.wall_time += start.elapsed();
-                    self.after_gate()?;
-                }
-                ScheduledOp::Bare { op, .. } => self.apply_op(op, rng)?,
-            }
+        let planning = self.cfg.prefetch && self.cfg.spill.is_some();
+        let items = schedule.items();
+        for (i, item) in items.iter().enumerate() {
+            let next_waves = (planning && i + 1 < items.len()).then(|| {
+                AccessPlan::for_item(
+                    &items[i + 1],
+                    self.layout.num_qubits,
+                    self.cfg.ranks_log2,
+                    self.cfg.block_log2,
+                )
+            });
+            let lookahead = next_waves
+                .as_ref()
+                .and_then(|waves| waves.iter().find(|w| !w.is_empty()));
+            self.apply_item(item, rng, lookahead)?;
         }
         Ok(())
+    }
+
+    /// Apply one scheduled item, with the next planned wave's access (if
+    /// any) as the prefetch lookahead. Exposed to the crate's
+    /// plan-vs-observed property suite, which drives items one at a time
+    /// against an instrumented store.
+    pub(crate) fn apply_item(
+        &mut self,
+        item: &ScheduledOp,
+        rng: &mut impl rand::Rng,
+        lookahead: Option<&WaveAccess>,
+    ) -> Result<(), SimError> {
+        match item {
+            ScheduledOp::Batch(batch) => self.apply_batch_planned(batch, lookahead),
+            ScheduledOp::Gate(g) => {
+                let start = Instant::now();
+                self.apply_unitary(
+                    g.signature,
+                    &g.op.gate,
+                    &g.op.controls,
+                    g.op.target,
+                    lookahead,
+                )?;
+                self.gates_applied += g.src_len;
+                self.wall_time += start.elapsed();
+                self.after_gate()
+            }
+            ScheduledOp::Bare { op, .. } => self.apply_op(op, rng),
+        }
     }
 
     /// Apply one operation.
@@ -525,28 +697,28 @@ impl CompressedSimulator {
         let start = Instant::now();
         match op {
             Op::Single { gate, target } => {
-                self.apply_unitary(op.signature(), &gate.matrix(), &[], *target)?;
+                self.apply_unitary(op.signature(), &gate.matrix(), &[], *target, None)?;
             }
             Op::Controlled {
                 gate,
                 control,
                 target,
             } => {
-                self.apply_unitary(op.signature(), &gate.matrix(), &[*control], *target)?;
+                self.apply_unitary(op.signature(), &gate.matrix(), &[*control], *target, None)?;
             }
             Op::MultiControlled {
                 gate,
                 controls,
                 target,
             } => {
-                self.apply_unitary(op.signature(), &gate.matrix(), controls, *target)?;
+                self.apply_unitary(op.signature(), &gate.matrix(), controls, *target, None)?;
             }
             Op::Swap { a, b } => {
                 // SWAP = CX(a,b) CX(b,a) CX(a,b); counted as one gate.
                 let x = Gate1::x();
-                self.apply_unitary(op.signature() ^ 1, &x, &[*a], *b)?;
-                self.apply_unitary(op.signature() ^ 2, &x, &[*b], *a)?;
-                self.apply_unitary(op.signature() ^ 3, &x, &[*a], *b)?;
+                self.apply_unitary(op.signature() ^ 1, &x, &[*a], *b, None)?;
+                self.apply_unitary(op.signature() ^ 2, &x, &[*b], *a, None)?;
+                self.apply_unitary(op.signature() ^ 3, &x, &[*a], *b, None)?;
             }
             Op::Measure { target } => {
                 self.measure(*target, rng)?;
@@ -589,17 +761,20 @@ impl CompressedSimulator {
     }
 
     /// Apply a (multi-)controlled single-qubit unitary: one wave across all
-    /// rank workers, routed per §3.3.
+    /// rank workers, routed per §3.3. `lookahead` carries the next planned
+    /// wave's access so the workers can prefetch across the wave boundary.
     fn apply_unitary(
         &mut self,
         op_signature: u64,
         gate: &Gate1,
         controls: &[usize],
         target: usize,
+        lookahead: Option<&WaveAccess>,
     ) -> Result<(), SimError> {
         let layout = self.layout;
         let (offset_cmask, block_cmask, rank_cmask) = self.control_masks(controls);
         let bound = self.cfg.ladder[self.level];
+        let lookaheads = self.lookahead_for(lookahead);
 
         let waves = match layout.route(target as u32) {
             route @ (Route::InBlock { .. } | Route::InterBlock { .. }) => {
@@ -611,8 +786,13 @@ impl CompressedSimulator {
                     block_cmask,
                     rank_cmask,
                     bound,
+                    lookahead: None,
                 };
-                self.mutate_all(|| WorkerCmd::Gate(cmd.clone()))?
+                self.mutate_all(|rank| {
+                    let mut cmd = cmd.clone();
+                    cmd.lookahead = lookaheads[rank].clone();
+                    WorkerCmd::Gate(cmd)
+                })?
             }
             Route::InterRank { rank_stride } => {
                 // Pair rank r with r | stride; rank-scope controls deselect
@@ -629,7 +809,8 @@ impl CompressedSimulator {
                 }
                 let cmds = roles
                     .into_iter()
-                    .map(|role| {
+                    .zip(&lookaheads)
+                    .map(|(role, lookahead)| {
                         WorkerCmd::Exchange(ExchangeCmd {
                             signature: op_signature,
                             gate: *gate,
@@ -637,6 +818,7 @@ impl CompressedSimulator {
                             block_cmask,
                             bound,
                             role,
+                            lookahead: lookahead.clone(),
                         })
                     })
                     .collect();
@@ -657,6 +839,16 @@ impl CompressedSimulator {
     /// mixed into the cache key, and blocks no gate selects are skipped
     /// outright (no touch, no cache traffic).
     pub fn apply_batch(&mut self, batch: &GateBatch) -> Result<(), SimError> {
+        self.apply_batch_planned(batch, None)
+    }
+
+    /// [`CompressedSimulator::apply_batch`] with the next planned wave's
+    /// access as the prefetch lookahead (the path `run_schedule` drives).
+    fn apply_batch_planned(
+        &mut self,
+        batch: &GateBatch,
+        lookahead: Option<&WaveAccess>,
+    ) -> Result<(), SimError> {
         let start = Instant::now();
         let layout = self.layout;
 
@@ -684,12 +876,18 @@ impl CompressedSimulator {
         }
 
         let bound = self.cfg.ladder[self.level];
+        let lookaheads = self.lookahead_for(lookahead);
         let cmd = BatchCmd {
             plans: Arc::new(plans),
             signature: batch.signature(),
             bound,
+            lookahead: None,
         };
-        let waves = self.mutate_all(|| WorkerCmd::Batch(cmd.clone()))?;
+        let waves = self.mutate_all(|rank| {
+            let mut cmd = cmd.clone();
+            cmd.lookahead = lookaheads[rank].clone();
+            WorkerCmd::Batch(cmd)
+        })?;
         self.finish_wave(&waves, bound);
         self.gates_applied += batch.source_gate_count();
         self.wall_time += start.elapsed();
@@ -700,7 +898,7 @@ impl CompressedSimulator {
     /// escalation so the budget is actually enforced).
     fn recompress_all(&mut self) -> Result<(), SimError> {
         let bound = self.cfg.ladder[self.level];
-        self.mutate_all(|| WorkerCmd::Recompress { bound })?;
+        self.mutate_all(|_| WorkerCmd::Recompress { bound })?;
         if bound.is_lossy() {
             // The recompression pass is itself a lossy compression event.
             self.ledger.record_gate(bound.magnitude());
@@ -734,7 +932,7 @@ impl CompressedSimulator {
         let scope = self.layout.control_scope(qubit as u32);
         let scale = 1.0 / p.sqrt();
         let bound = self.cfg.ladder[self.level];
-        let waves = self.mutate_all(|| WorkerCmd::Collapse {
+        let waves = self.mutate_all(|_| WorkerCmd::Collapse {
             scope,
             outcome,
             scale,
@@ -867,6 +1065,11 @@ impl CompressedSimulator {
             spill_bytes: breakdown.spill_bytes,
             fetch_bytes: breakdown.fetch_bytes,
             spill_io_ns: breakdown.spill_io_ns(),
+            prefetch_hits: breakdown.prefetch_hits,
+            prefetch_misses: breakdown.prefetch_misses,
+            blocking_fetch_bytes: breakdown.blocking_fetch_bytes,
+            overlapped_fetch_bytes: breakdown.overlapped_fetch_bytes,
+            prefetch_ns: breakdown.prefetch_ns(),
             breakdown,
         }
     }

@@ -19,7 +19,10 @@
 //!   (all-resident, the paper's regime) and [`SpillStore`] (hot blocks
 //!   under an LRU residency budget, cold blocks in per-rank segment files
 //!   of checksummed frames), so the simulable size is bounded by disk
-//!   rather than RAM;
+//!   rather than RAM. Out-of-core runs are *planned*: the schedule's
+//!   `AccessPlan` fixes every wave's block order ahead of time, and each
+//!   store's background fetcher streams the next chunk off disk while the
+//!   current one computes ([`SimConfig::prefetch`]);
 //! - [`BlockCache`] — the 64-line LRU compressed-block cache with
 //!   auto-disable (§3.4, Fig. 4);
 //! - [`FidelityLedger`] — the `prod (1 - delta_i)` fidelity lower bound
@@ -90,6 +93,8 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod fidelity_bound;
+#[cfg(test)]
+mod plan_check;
 pub mod store;
 mod worker;
 
@@ -98,4 +103,4 @@ pub use cache::BlockCache;
 pub use config::{SimConfig, SpillConfig};
 pub use engine::{CompressedSimulator, SimError, SimReport};
 pub use fidelity_bound::{fidelity_curve, FidelityLedger};
-pub use store::{BlockStore, MemStore, SpillStore};
+pub use store::{BlockStore, MemStore, SegmentDirGuard, SpillOptions, SpillStore};

@@ -17,6 +17,11 @@
 //! [`BlockStore::take`] / [`BlockStore::put`] (exclusive, for the
 //! decompress → compute → recompress cycle) or copy them with
 //! [`BlockStore::peek`] (shared, for snapshots and read-only collectives).
+//! Planned waves pull whole chunks with [`BlockStore::fetch_many`] (a
+//! spill tier coalesces adjacent segment frames into single reads) and
+//! announce the chunk after next with [`BlockStore::prefetch`], which a
+//! [`SpillStore`] serves from a background fetch thread so the next
+//! chunk's disk reads overlap the current chunk's compute.
 //! Every method takes `&self`: stores are internally locked so read-only
 //! collectives can run against `&RankWorker` exactly as before.
 //!
@@ -32,17 +37,27 @@
 //! as [`SimError::Spill`] instead of corrupt amplitudes.
 //!
 //! Spill/fetch counts, bytes, and I/O time are recorded into the shared
-//! [`Metrics`] (`Phase::SpillIo`) and surfaced through `SimReport`.
+//! [`Metrics`]: critical-path reads under `Phase::SpillIo` (prefetch
+//! misses, blocking bytes), background reads under `Phase::Prefetch`
+//! (hits, overlapped bytes) — all surfaced through `SimReport`.
+//!
+//! Segment files are deleted when their store drops; a simulation
+//! additionally wraps its per-rank segment files in a shared
+//! [`SegmentDirGuard`] whose last owner removes the whole directory, so
+//! even a panicking worker thread cannot leak spill files.
 
 use crate::block::CompressedBlock;
 use crate::engine::SimError;
 use parking_lot::Mutex;
 use qcs_cluster::{Metrics, Phase};
 use qcs_compress::frame;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{Seek, SeekFrom};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::Instant;
 
 /// Where a rank worker's compressed blocks live, addressed by local slot
@@ -73,6 +88,25 @@ pub trait BlockStore: Send + Sync + std::fmt::Debug {
     /// resident blocks — payloads are shared `Arc`s; a disk read for
     /// spilled ones).
     fn peek(&self, slot: usize) -> Result<CompressedBlock, SimError>;
+
+    /// Remove and return the blocks in `slots`, in `slots` order — the
+    /// batched form of [`BlockStore::take`] a planned wave uses to pull a
+    /// whole chunk at once. A spill tier coalesces adjacent frames of its
+    /// segment file into a single ordered read instead of paying one seek
+    /// per block; the default implementation just loops `take`.
+    fn fetch_many(&self, slots: &[usize]) -> Result<Vec<CompressedBlock>, SimError> {
+        slots.iter().map(|&s| self.take(s)).collect()
+    }
+
+    /// Hint that `slots` will be fetched soon (the next chunk of a planned
+    /// wave, or the next wave's first chunk). A spill tier starts reading
+    /// the spilled frames among them on a background thread, staging the
+    /// decoded blocks so the upcoming `take`/`fetch_many` calls do not
+    /// block on disk. Purely advisory: stores without a background fetch
+    /// path (or with prefetching disabled) ignore it.
+    fn prefetch(&self, slots: &[usize]) {
+        let _ = slots;
+    }
 
     /// Compressed bytes currently resident in memory.
     fn resident_bytes(&self) -> u64;
@@ -154,6 +188,57 @@ pub const COMPACT_MIN_DEAD_BYTES: u64 = 1 << 20;
 /// Uniquifier for segment file names within one process.
 static SEG_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Owns a simulation's spill directory and removes the whole tree when
+/// the last owner drops.
+///
+/// Every [`SpillStore`] of a simulation holds a clone of the guard and the
+/// engine facade holds one more, so whichever side is torn down last —
+/// including a worker thread unwinding from a panic — deletes the
+/// directory. A store still deletes its own segment file eagerly on drop;
+/// the guard is the backstop that also sweeps files a panicking thread
+/// never got to remove, keeping crashed simulations from leaking spill
+/// files into the temp dir.
+#[derive(Debug)]
+pub struct SegmentDirGuard {
+    path: PathBuf,
+}
+
+impl SegmentDirGuard {
+    /// Create a fresh, uniquely named directory under `parent` (created if
+    /// missing) and guard it.
+    pub fn create(parent: &Path) -> Result<Arc<Self>, SimError> {
+        let seq = SEG_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = parent.join(format!("qcs-spill-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&path).map_err(|e| io_err("create spill dir", e))?;
+        Ok(Arc::new(Self { path }))
+    }
+
+    /// The guarded directory (where the per-rank segment files live).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SegmentDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Construction options for a [`SpillStore`] beyond the required
+/// geometry: whether to run the background prefetch pipeline, and an
+/// optional shared [`SegmentDirGuard`] for panic-safe cleanup.
+#[derive(Debug, Default, Clone)]
+pub struct SpillOptions {
+    /// Spawn the store's background fetch thread and honor
+    /// [`BlockStore::prefetch`] hints (off: hints are ignored and every
+    /// spilled fetch blocks, the pre-pipeline behavior).
+    pub prefetch: bool,
+    /// Directory guard keeping the segment dir alive until the last store
+    /// (or the facade) drops, then removing the whole tree.
+    pub dir_guard: Option<Arc<SegmentDirGuard>>,
+}
+
 /// One slot's tier in a [`SpillStore`].
 #[derive(Debug)]
 enum Slot {
@@ -185,16 +270,82 @@ struct SpillInner {
     resident_bytes: u64,
     /// Sum of spilled payload (compressed block) lengths.
     spilled_payload_bytes: u64,
+    /// Blocks the background fetcher decoded ahead of need: the staging
+    /// half of the double buffer, bounded (together with `pending`) by
+    /// the residency budget. Entries are one-shot — consumed by the next
+    /// `take`/`peek`/`fetch_many` of the slot and invalidated by `put`.
+    staged: HashMap<usize, CompressedBlock>,
+    /// Slots whose frames the background fetcher is currently reading.
+    /// Foreground fetches of a pending slot wait on `Shared::resolved`
+    /// instead of issuing a duplicate read.
+    pending: HashSet<usize>,
+}
+
+/// State shared between a [`SpillStore`] and its background fetcher.
+#[derive(Debug)]
+struct Shared {
+    inner: StdMutex<SpillInner>,
+    /// Signaled whenever pending prefetches resolve (staged or failed).
+    resolved: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, SpillInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One spilled frame the background fetcher should read and stage.
+#[derive(Debug, Clone, Copy)]
+struct FrameAt {
+    slot: usize,
+    offset: u64,
+    frame_len: u32,
+}
+
+/// A prefetch request: a consistent snapshot of frame locations plus a
+/// handle cloned from the segment file *at snapshot time*, so reads stay
+/// valid even if a compaction renames a fresh segment over the path
+/// mid-flight (the clone still addresses the old inode, whose live
+/// frames are untouched).
+struct PrefetchJob {
+    file: File,
+    frames: Vec<FrameAt>,
 }
 
 /// The out-of-core tier: at most `cap` hot blocks resident (LRU by last
 /// touch), the rest spilled to a per-rank segment file of checksummed
 /// frames. The segment file is deleted on drop.
+///
+/// # The prefetch pipeline
+///
+/// With [`SpillOptions::prefetch`] on, the store runs one background
+/// fetch thread. [`BlockStore::prefetch`] snapshots the spilled frames
+/// among the hinted slots (marking them *pending*) and hands the snapshot
+/// to the thread, which reads them — adjacent frames coalesced into
+/// single reads — and parks the decoded blocks in a *staging* buffer.
+/// Staging plus pending never exceed the residency budget, so the store's
+/// memory ceiling is at most double-buffered: one budget of residents,
+/// one of staged next-chunk blocks. A later `take`/`fetch_many` of a
+/// staged slot consumes the staged block without touching disk (a
+/// *prefetch hit*, its bytes counted as overlapped I/O); a fetch of a
+/// slot still pending waits for the in-flight background read rather
+/// than issuing a duplicate one — and because the wave stalled, that
+/// consumption is accounted as a *blocking* fetch even though the bytes
+/// came through the fetcher. Everything else is a blocking fetch,
+/// exactly as without the pipeline.
 pub struct SpillStore {
     cap: usize,
     path: PathBuf,
     metrics: Metrics,
-    inner: Mutex<SpillInner>,
+    shared: Arc<Shared>,
+    /// Send half of the fetcher's queue; `None` when prefetch is off.
+    fetch_tx: Option<mpsc::Sender<PrefetchJob>>,
+    fetcher: Option<std::thread::JoinHandle<()>>,
+    /// Keeps the segment directory alive until the last store drops.
+    _dir_guard: Option<Arc<SegmentDirGuard>>,
 }
 
 impl std::fmt::Debug for SpillStore {
@@ -214,13 +365,26 @@ impl SpillStore {
     /// Create the segment file under `dir` (created if missing) and seed
     /// the store with `blocks`; blocks beyond the `cap.max(1)` residency
     /// budget spill immediately. `label` distinguishes per-rank files of
-    /// one simulation.
+    /// one simulation. Prefetching is off; use [`SpillStore::create_with`]
+    /// to enable it or to attach a directory guard.
     pub fn create(
         dir: &Path,
         label: &str,
         cap: usize,
         metrics: Metrics,
         blocks: Vec<Option<CompressedBlock>>,
+    ) -> Result<Self, SimError> {
+        Self::create_with(dir, label, cap, metrics, blocks, SpillOptions::default())
+    }
+
+    /// [`SpillStore::create`] with explicit [`SpillOptions`].
+    pub fn create_with(
+        dir: &Path,
+        label: &str,
+        cap: usize,
+        metrics: Metrics,
+        blocks: Vec<Option<CompressedBlock>>,
+        opts: SpillOptions,
     ) -> Result<Self, SimError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("create spill dir", e))?;
         let seq = SEG_SEQ.fetch_add(1, Ordering::Relaxed);
@@ -234,11 +398,8 @@ impl SpillStore {
             .create_new(true)
             .open(&path)
             .map_err(|e| io_err("create spill segment", e))?;
-        let store = Self {
-            cap: cap.max(1),
-            path,
-            metrics,
-            inner: Mutex::new(SpillInner {
+        let shared = Arc::new(Shared {
+            inner: StdMutex::new(SpillInner {
                 file,
                 slots: blocks.iter().map(|_| Slot::InFlight).collect(),
                 clock: 0,
@@ -248,7 +409,33 @@ impl SpillStore {
                 resident_count: 0,
                 resident_bytes: 0,
                 spilled_payload_bytes: 0,
+                staged: HashMap::new(),
+                pending: HashSet::new(),
             }),
+            resolved: Condvar::new(),
+        });
+        let (fetch_tx, fetcher) = if opts.prefetch {
+            let (tx, rx) = mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("qcs-prefetch-{label}"))
+                .spawn({
+                    let shared = Arc::clone(&shared);
+                    let metrics = metrics.clone();
+                    move || run_fetcher(&shared, &metrics, &rx)
+                })
+                .map_err(|e| io_err("spawn prefetch thread", e))?;
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+        let store = Self {
+            cap: cap.max(1),
+            path,
+            metrics,
+            shared,
+            fetch_tx,
+            fetcher,
+            _dir_guard: opts.dir_guard,
         };
         for (slot, blk) in blocks.into_iter().enumerate() {
             match blk {
@@ -257,6 +444,53 @@ impl SpillStore {
             }
         }
         Ok(store)
+    }
+
+    /// Block the calling thread until no slot in `slots` has an in-flight
+    /// background read, charging the (critical-path) wait to `SpillIo`.
+    ///
+    /// Returns the requested slots that were still pending on arrival:
+    /// their staged blocks were *waited for*, not overlapped, so the
+    /// consumers account them as blocking fetches — keeping the hit/miss
+    /// counters aligned with the time accounting (a fetch only counts as
+    /// a prefetch hit when the wave never stalled for it).
+    fn wait_pending<'a>(
+        &self,
+        mut inner: MutexGuard<'a, SpillInner>,
+        slots: &[usize],
+    ) -> (MutexGuard<'a, SpillInner>, Vec<usize>) {
+        let waited: Vec<usize> = slots
+            .iter()
+            .copied()
+            .filter(|s| inner.pending.contains(s))
+            .collect();
+        if waited.is_empty() {
+            return (inner, waited);
+        }
+        let t = Instant::now();
+        while slots.iter().any(|s| inner.pending.contains(s)) {
+            inner = self
+                .shared
+                .resolved
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        self.metrics.add(Phase::SpillIo, t.elapsed());
+        (inner, waited)
+    }
+
+    /// Test-only: park until the background fetcher has resolved every
+    /// pending prefetch, so staged consumption is deterministic.
+    #[cfg(test)]
+    pub(crate) fn debug_wait_staged(&self) {
+        let mut inner = self.shared.lock();
+        while !inner.pending.is_empty() {
+            inner = self
+                .shared
+                .resolved
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 
     /// Path of the segment file (exposed for tests and diagnostics).
@@ -391,11 +625,12 @@ impl SpillStore {
 
 impl BlockStore for SpillStore {
     fn len(&self) -> usize {
-        self.inner.lock().slots.len()
+        self.shared.lock().slots.len()
     }
 
     fn take(&self, slot: usize) -> Result<CompressedBlock, SimError> {
-        let mut inner = self.inner.lock();
+        let inner = self.shared.lock();
+        let (mut inner, waited) = self.wait_pending(inner, &[slot]);
         match std::mem::replace(&mut inner.slots[slot], Slot::InFlight) {
             Slot::Resident { blk, .. } => {
                 inner.resident_count -= 1;
@@ -407,10 +642,25 @@ impl BlockStore for SpillStore {
                 frame_len,
                 payload_len,
             } => {
-                let t = Instant::now();
-                let blk = Self::read_frame_at(&mut inner, offset)?;
-                self.metrics.add(Phase::SpillIo, t.elapsed());
-                self.metrics.add_fetch(frame_len as u64);
+                let blk = match inner.staged.remove(&slot) {
+                    Some(blk) => {
+                        if waited.is_empty() {
+                            self.metrics.add_fetch_overlapped(frame_len as u64);
+                        } else {
+                            // The wave stalled for the background read:
+                            // critical-path I/O, not overlap.
+                            self.metrics.add_fetch_blocking(frame_len as u64);
+                        }
+                        blk
+                    }
+                    None => {
+                        let t = Instant::now();
+                        let blk = Self::read_frame_at(&mut inner, offset)?;
+                        self.metrics.add(Phase::SpillIo, t.elapsed());
+                        self.metrics.add_fetch_blocking(frame_len as u64);
+                        blk
+                    }
+                };
                 inner.live -= frame_len as u64;
                 inner.dead += frame_len as u64;
                 inner.spilled_payload_bytes -= payload_len as u64;
@@ -421,11 +671,13 @@ impl BlockStore for SpillStore {
     }
 
     fn put(&self, slot: usize, blk: CompressedBlock) -> Result<(), SimError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.lock();
         debug_assert!(
             matches!(inner.slots[slot], Slot::InFlight),
             "slot {slot} already occupied"
         );
+        // A staged copy (if any survived an aborted wave) is now stale.
+        inner.staged.remove(&slot);
         inner.clock += 1;
         let stamp = inner.clock;
         inner.resident_count += 1;
@@ -436,7 +688,8 @@ impl BlockStore for SpillStore {
     }
 
     fn peek(&self, slot: usize) -> Result<CompressedBlock, SimError> {
-        let mut inner = self.inner.lock();
+        let inner = self.shared.lock();
+        let (mut inner, waited) = self.wait_pending(inner, &[slot]);
         inner.clock += 1;
         let stamp = inner.clock;
         match &mut inner.slots[slot] {
@@ -451,22 +704,146 @@ impl BlockStore for SpillStore {
                 offset, frame_len, ..
             } => {
                 let (offset, frame_len) = (*offset, *frame_len);
+                // Staging is a one-shot buffer: consuming on peek keeps
+                // its occupancy bounded by what is still ahead of the
+                // wave, at the cost of re-reading on a later fetch.
+                if let Some(blk) = inner.staged.remove(&slot) {
+                    if waited.is_empty() {
+                        self.metrics.add_fetch_overlapped(frame_len as u64);
+                    } else {
+                        self.metrics.add_fetch_blocking(frame_len as u64);
+                    }
+                    return Ok(blk);
+                }
                 let t = Instant::now();
                 let blk = Self::read_frame_at(&mut inner, offset)?;
                 self.metrics.add(Phase::SpillIo, t.elapsed());
-                self.metrics.add_fetch(frame_len as u64);
+                self.metrics.add_fetch_blocking(frame_len as u64);
                 Ok(blk)
             }
             Slot::InFlight => panic!("peek at in-flight slot {slot}"),
         }
     }
 
+    /// Take a whole chunk at once: resident and staged blocks come out of
+    /// memory, and the remaining spilled frames are sorted by segment
+    /// offset and coalesced — adjacent frames are served by one contiguous
+    /// read instead of a seek-and-read per block.
+    fn fetch_many(&self, slots: &[usize]) -> Result<Vec<CompressedBlock>, SimError> {
+        let inner = self.shared.lock();
+        let (mut inner, waited) = self.wait_pending(inner, slots);
+        let mut out: Vec<Option<CompressedBlock>> = slots.iter().map(|_| None).collect();
+        // (result index, offset, frame_len): the blocking reads to do.
+        let mut reads: Vec<(usize, u64, u32)> = Vec::new();
+        for (i, &slot) in slots.iter().enumerate() {
+            match std::mem::replace(&mut inner.slots[slot], Slot::InFlight) {
+                Slot::Resident { blk, .. } => {
+                    inner.resident_count -= 1;
+                    inner.resident_bytes -= blk.len() as u64;
+                    out[i] = Some(blk);
+                }
+                Slot::Spilled {
+                    offset,
+                    frame_len,
+                    payload_len,
+                } => {
+                    inner.live -= frame_len as u64;
+                    inner.dead += frame_len as u64;
+                    inner.spilled_payload_bytes -= payload_len as u64;
+                    match inner.staged.remove(&slot) {
+                        Some(blk) => {
+                            if waited.contains(&slot) {
+                                self.metrics.add_fetch_blocking(frame_len as u64);
+                            } else {
+                                self.metrics.add_fetch_overlapped(frame_len as u64);
+                            }
+                            out[i] = Some(blk);
+                        }
+                        None => reads.push((i, offset, frame_len)),
+                    }
+                }
+                Slot::InFlight => panic!("slot {slot} taken twice"),
+            }
+        }
+        if !reads.is_empty() {
+            let t = Instant::now();
+            let decoded = read_frame_runs(&inner.file, &mut reads);
+            self.metrics.add(Phase::SpillIo, t.elapsed());
+            for (i, frame_len, blk) in decoded {
+                self.metrics.add_fetch_blocking(frame_len as u64);
+                out[i] = Some(blk?);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("every requested slot fetched"))
+            .collect())
+    }
+
+    /// Reserve the spilled frames among `slots` (up to the staging
+    /// budget) and hand them to the background fetcher. No-op when
+    /// prefetching is off.
+    fn prefetch(&self, slots: &[usize]) {
+        let Some(tx) = &self.fetch_tx else { return };
+        let mut inner = self.shared.lock();
+        let mut frames = Vec::new();
+        for &slot in slots {
+            if inner.staged.len() + inner.pending.len() + frames.len() >= self.cap {
+                break;
+            }
+            if inner.staged.contains_key(&slot)
+                || inner.pending.contains(&slot)
+                || frames.iter().any(|f: &FrameAt| f.slot == slot)
+            {
+                continue;
+            }
+            if let Slot::Spilled {
+                offset, frame_len, ..
+            } = inner.slots[slot]
+            {
+                frames.push(FrameAt {
+                    slot,
+                    offset,
+                    frame_len,
+                });
+            }
+        }
+        if frames.is_empty() {
+            return;
+        }
+        // Snapshot the file handle under the same lock as the offsets: a
+        // later compaction swaps in a new segment file, but this clone
+        // keeps addressing the inode the offsets were taken from.
+        let Ok(file) = inner.file.try_clone() else {
+            return;
+        };
+        for f in &frames {
+            inner.pending.insert(f.slot);
+        }
+        drop(inner);
+        if tx
+            .send(PrefetchJob {
+                file,
+                frames: frames.clone(),
+            })
+            .is_err()
+        {
+            // Fetcher already shut down: roll the reservation back.
+            let mut inner = self.shared.lock();
+            for f in &frames {
+                inner.pending.remove(&f.slot);
+            }
+            drop(inner);
+            self.shared.resolved.notify_all();
+        }
+    }
+
     fn resident_bytes(&self) -> u64 {
-        self.inner.lock().resident_bytes
+        self.shared.lock().resident_bytes
     }
 
     fn compressed_bytes(&self) -> u64 {
-        let inner = self.inner.lock();
+        let inner = self.shared.lock();
         inner.resident_bytes + inner.spilled_payload_bytes
     }
 
@@ -475,9 +852,182 @@ impl BlockStore for SpillStore {
     }
 }
 
+/// Read and decode a set of spilled frames, coalescing segment-adjacent
+/// ones into single contiguous positional reads — the one copy of the
+/// sort/run/decode logic shared by the foreground (`fetch_many`, blocking)
+/// and the background fetcher (`run_fetcher`, overlapped). `reads`
+/// entries are `(key, offset, frame_len)`; the input is sorted in place
+/// by offset and one `(key, frame_len, outcome)` is returned per entry.
+fn read_frame_runs<K: Copy>(
+    file: &File,
+    reads: &mut [(K, u64, u32)],
+) -> Vec<(K, u32, Result<CompressedBlock, SimError>)> {
+    reads.sort_unstable_by_key(|&(_, offset, _)| offset);
+    let mut out = Vec::with_capacity(reads.len());
+    let mut start = 0usize;
+    while start < reads.len() {
+        // Extend the run while frames are segment-adjacent.
+        let mut end = start + 1;
+        let mut run_len = reads[start].2 as usize;
+        while end < reads.len() && reads[end].1 == reads[end - 1].1 + reads[end - 1].2 as u64 {
+            run_len += reads[end].2 as usize;
+            end += 1;
+        }
+        let mut buf = vec![0u8; run_len];
+        match file.read_exact_at(&mut buf, reads[start].1) {
+            Err(e) => {
+                let msg = format!("read spill run: {e}");
+                for &(k, _, frame_len) in &reads[start..end] {
+                    out.push((k, frame_len, Err(SimError::Spill(msg.clone()))));
+                }
+            }
+            Ok(()) => {
+                let mut pos = 0usize;
+                for &(k, _, frame_len) in &reads[start..end] {
+                    let res = frame::read_frame(&mut &buf[pos..pos + frame_len as usize])
+                        .map(|f| CompressedBlock {
+                            codec: f.codec,
+                            bound: f.bound,
+                            bytes: f.payload.into(),
+                        })
+                        .map_err(|e| io_err("decode spill frame", e));
+                    pos += frame_len as usize;
+                    out.push((k, frame_len, res));
+                }
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// Body of a [`SpillStore`]'s background fetch thread: drain prefetch
+/// jobs, read their frames through [`read_frame_runs`], and stage the
+/// decoded blocks. Read time lands in [`Phase::Prefetch`] — off the
+/// critical path. A frame that fails to read or decode is simply not
+/// staged; the foreground's blocking fetch retries and surfaces the
+/// error.
+fn run_fetcher(shared: &Shared, metrics: &Metrics, rx: &mpsc::Receiver<PrefetchJob>) {
+    while let Ok(job) = rx.recv() {
+        let mut reads: Vec<(usize, u64, u32)> = job
+            .frames
+            .iter()
+            .map(|f| (f.slot, f.offset, f.frame_len))
+            .collect();
+        let t = Instant::now();
+        let decoded = read_frame_runs(&job.file, &mut reads);
+        metrics.add(Phase::Prefetch, t.elapsed());
+        let mut inner = shared.lock();
+        for (slot, _, blk) in decoded {
+            inner.pending.remove(&slot);
+            if let Ok(blk) = blk {
+                // Pending slots cannot change tier (foreground fetches of
+                // them wait), so the frame we read is still current.
+                debug_assert!(matches!(inner.slots[slot], Slot::Spilled { .. }));
+                inner.staged.insert(slot, blk);
+            }
+        }
+        drop(inner);
+        shared.resolved.notify_all();
+    }
+}
+
 impl Drop for SpillStore {
     fn drop(&mut self) {
+        // Closing the queue ends the fetcher; join before deleting the
+        // segment so no background read races the unlink.
+        self.fetch_tx = None;
+        if let Some(handle) = self.fetcher.take() {
+            let _ = handle.join();
+        }
         let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Test-only instrumented store shim: records the exact slot order of
+/// every logical access (`take`/`peek`/`fetch_many`) a worker issues, so
+/// the engine's property suite can pin the schedule's `AccessPlan`
+/// against what a wave actually touched. Prefetch hints are deliberately
+/// *not* recorded — they are advisory, and the plan must match the
+/// blocking access stream, not the hints derived from it.
+#[cfg(test)]
+pub(crate) mod trace {
+    use super::*;
+
+    /// Observed slot sequences, one list per rank.
+    pub(crate) type AccessLog = Arc<Mutex<Vec<Vec<usize>>>>;
+
+    /// Fresh log for `ranks` ranks.
+    pub(crate) fn access_log(ranks: usize) -> AccessLog {
+        Arc::new(Mutex::new(vec![Vec::new(); ranks]))
+    }
+
+    /// Drain the log, leaving empty per-rank lists behind.
+    pub(crate) fn drain(log: &AccessLog) -> Vec<Vec<usize>> {
+        let mut l = log.lock();
+        let ranks = l.len();
+        std::mem::replace(&mut *l, vec![Vec::new(); ranks])
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct TraceStore {
+        rank: usize,
+        log: AccessLog,
+        inner: Box<dyn BlockStore>,
+    }
+
+    impl TraceStore {
+        pub(crate) fn new(rank: usize, log: AccessLog, inner: Box<dyn BlockStore>) -> Self {
+            Self { rank, log, inner }
+        }
+
+        fn record(&self, slot: usize) {
+            self.log.lock()[self.rank].push(slot);
+        }
+    }
+
+    impl BlockStore for TraceStore {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn take(&self, slot: usize) -> Result<CompressedBlock, SimError> {
+            self.record(slot);
+            self.inner.take(slot)
+        }
+
+        fn put(&self, slot: usize, blk: CompressedBlock) -> Result<(), SimError> {
+            self.inner.put(slot, blk)
+        }
+
+        fn peek(&self, slot: usize) -> Result<CompressedBlock, SimError> {
+            self.record(slot);
+            self.inner.peek(slot)
+        }
+
+        fn fetch_many(&self, slots: &[usize]) -> Result<Vec<CompressedBlock>, SimError> {
+            {
+                let mut l = self.log.lock();
+                l[self.rank].extend_from_slice(slots);
+            }
+            self.inner.fetch_many(slots)
+        }
+
+        fn prefetch(&self, slots: &[usize]) {
+            self.inner.prefetch(slots);
+        }
+
+        fn resident_bytes(&self) -> u64 {
+            self.inner.resident_bytes()
+        }
+
+        fn compressed_bytes(&self) -> u64 {
+            self.inner.compressed_bytes()
+        }
+
+        fn resident_cap(&self) -> Option<usize> {
+            self.inner.resident_cap()
+        }
     }
 }
 
@@ -598,6 +1148,194 @@ mod tests {
         for i in 0..n {
             assert_eq!(&s.peek(i).unwrap().bytes[..], &blk(i as u8, big).bytes[..]);
         }
+    }
+
+    #[test]
+    fn fetch_many_round_trips_and_coalesces() {
+        // cap 1, 8 blocks: slots 0..7 are almost all spilled, written in
+        // eviction order, so a fetch of several of them exercises the
+        // sorted, adjacency-coalesced read path.
+        let metrics = Metrics::new();
+        let n = 8usize;
+        let s = spill_store("fetch-many", 1, n, &metrics);
+        let slots: Vec<usize> = vec![5, 0, 3, 2, 1, 6];
+        let blocks = s.fetch_many(&slots).unwrap();
+        assert_eq!(blocks.len(), slots.len());
+        for (b, &slot) in blocks.iter().zip(&slots) {
+            let want = blk(slot as u8, 64 + slot);
+            assert_eq!(&b.bytes[..], &want.bytes[..], "slot {slot}");
+            assert_eq!(b.bound, want.bound);
+        }
+        for (&slot, b) in slots.iter().zip(blocks) {
+            s.put(slot, b).unwrap();
+        }
+        assert!(metrics.fetches() > 0);
+        assert_eq!(metrics.prefetch_hits(), 0, "no prefetch was requested");
+        // MemStore honors the same contract through the default impl.
+        let m = MemStore::new(vec![Some(blk(1, 10)), Some(blk(2, 20))]);
+        let got = m.fetch_many(&[1, 0]).unwrap();
+        assert_eq!(got[0].len(), 20);
+        assert_eq!(got[1].len(), 10);
+        m.prefetch(&[0]); // default no-op
+    }
+
+    #[test]
+    fn prefetch_stages_and_fetches_hit_overlapped() {
+        let metrics = Metrics::new();
+        let n = 6usize;
+        let s = SpillStore::create_with(
+            &tmp_dir("prefetch"),
+            "r0",
+            2,
+            metrics.clone(),
+            (0..n).map(|i| Some(blk(i as u8, 64 + i))).collect(),
+            SpillOptions {
+                prefetch: true,
+                dir_guard: None,
+            },
+        )
+        .unwrap();
+        // Slots 0..=3 are spilled (cap 2 keeps only the last two puts).
+        s.prefetch(&[0, 1]);
+        // Let the background read complete so consumption is overlapped
+        // (a fetch that arrives while the read is in flight waits and is
+        // accounted as blocking instead).
+        s.debug_wait_staged();
+        let b0 = s.take(0).unwrap();
+        assert_eq!(&b0.bytes[..], &blk(0, 64).bytes[..]);
+        let b1 = s.fetch_many(&[1]).unwrap().remove(0);
+        assert_eq!(&b1.bytes[..], &blk(1, 65).bytes[..]);
+        assert_eq!(metrics.prefetch_hits(), 2);
+        assert!(metrics.overlapped_fetch_bytes() > 0);
+        assert_eq!(metrics.prefetch_misses(), 0, "nothing should have blocked");
+        // A non-prefetched spilled slot still blocks (a miss).
+        let b2 = s.take(2).unwrap();
+        assert_eq!(&b2.bytes[..], &blk(2, 66).bytes[..]);
+        assert_eq!(metrics.prefetch_misses(), 1);
+        assert!(metrics.blocking_fetch_bytes() > 0);
+        s.put(0, b0).unwrap();
+        s.put(1, b1).unwrap();
+        s.put(2, b2).unwrap();
+        // Fetch total is exactly hits + misses.
+        assert_eq!(
+            metrics.fetches(),
+            metrics.prefetch_hits() + metrics.prefetch_misses()
+        );
+        // Hints about resident or already-staged slots are absorbed.
+        s.prefetch(&[0, 1, 2, 3, 4, 5]);
+        drop(s); // joins the fetcher cleanly with requests possibly queued
+    }
+
+    #[test]
+    fn prefetch_respects_staging_budget() {
+        let metrics = Metrics::new();
+        let n = 12usize;
+        let cap = 3usize;
+        let s = SpillStore::create_with(
+            &tmp_dir("prefetch-budget"),
+            "r0",
+            cap,
+            metrics.clone(),
+            (0..n).map(|i| Some(blk(i as u8, 64 + i))).collect(),
+            SpillOptions {
+                prefetch: true,
+                dir_guard: None,
+            },
+        )
+        .unwrap();
+        // Hint far more spilled slots than the budget: at most `cap` may
+        // ever be staged or in flight, so hits are bounded by cap.
+        let all: Vec<usize> = (0..n - cap).collect();
+        s.prefetch(&all);
+        s.debug_wait_staged();
+        for &slot in &all {
+            let b = s.take(slot).unwrap();
+            assert_eq!(&b.bytes[..], &blk(slot as u8, 64 + slot).bytes[..]);
+            s.put(slot, b).unwrap();
+        }
+        assert!(metrics.prefetch_hits() <= cap as u64);
+        assert!(metrics.prefetch_hits() > 0, "the budgeted prefix must hit");
+    }
+
+    #[test]
+    fn segment_dir_guard_survives_worker_panic() {
+        // Satellite: a panicking worker thread must not leak spill files.
+        let parent = tmp_dir("panic-guard");
+        let guard = SegmentDirGuard::create(&parent).unwrap();
+        let dir = guard.path().to_path_buf();
+        assert!(dir.is_dir());
+        let metrics = Metrics::new();
+        let thread_guard = Arc::clone(&guard);
+        let handle = std::thread::spawn(move || {
+            let s = SpillStore::create_with(
+                &dir,
+                "r0",
+                1,
+                metrics,
+                (0..4).map(|i| Some(blk(i as u8, 64))).collect(),
+                SpillOptions {
+                    prefetch: true,
+                    dir_guard: Some(thread_guard),
+                },
+            )
+            .unwrap();
+            assert!(s.segment_path().exists());
+            panic!("worker died mid-wave");
+        });
+        assert!(handle.join().is_err(), "the worker must have panicked");
+        // The unwinding thread dropped its store (segment file gone); the
+        // facade's guard clone is the last owner — dropping it removes
+        // the directory tree itself.
+        let dir = guard.path().to_path_buf();
+        assert!(
+            std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) == 0,
+            "segment files leaked after the worker panic"
+        );
+        drop(guard);
+        assert!(!dir.exists(), "guard must remove the spill dir");
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn compaction_under_churn_preserves_blocks_and_shrinks_segment() {
+        // Satellite: sustained take/put churn must trigger dead-frame
+        // compaction (observable as the segment file shrinking between
+        // puts) while every live block round-trips byte-identically.
+        let metrics = Metrics::new();
+        let n = 6usize;
+        let big = 192 * 1024; // large frames -> dead bytes pile up fast
+        let blocks = (0..n).map(|i| Some(blk(i as u8, big))).collect();
+        let s = SpillStore::create(&tmp_dir("churn"), "r0", 2, metrics.clone(), blocks).unwrap();
+        let seg = s.segment_path().to_path_buf();
+        let mut shrinks = 0u32;
+        let mut prev_len = std::fs::metadata(&seg).unwrap().len();
+        for _round in 0..8 {
+            for i in 0..n {
+                let b = s.take(i).unwrap();
+                assert_eq!(&b.bytes[..], &blk(i as u8, big).bytes[..], "slot {i}");
+                s.put(i, b).unwrap();
+                let len = std::fs::metadata(&seg).unwrap().len();
+                if len < prev_len {
+                    shrinks += 1;
+                }
+                prev_len = len;
+            }
+        }
+        assert!(
+            shrinks > 0,
+            "sustained churn never triggered a compaction shrink"
+        );
+        // After the churn, all blocks — resident and spilled — are intact.
+        for i in 0..n {
+            assert_eq!(&s.peek(i).unwrap().bytes[..], &blk(i as u8, big).bytes[..]);
+        }
+        // And the segment is bounded near the live spilled working set.
+        let seg_len = std::fs::metadata(&seg).unwrap().len();
+        let spilled = s.compressed_bytes() - s.resident_bytes();
+        assert!(
+            seg_len < 8 * spilled.max(1),
+            "segment grew unbounded: {seg_len} bytes for {spilled} live spilled bytes"
+        );
     }
 
     #[test]

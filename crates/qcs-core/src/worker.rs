@@ -23,7 +23,10 @@
 //! ```text
 //!  facade (engine.rs)                                 MPI counterpart
 //!  ──────────────────                                 ───────────────
-//!  route gate / plan batch / pick collective
+//!  route gate / plan batch / pick collective;
+//!  look up the next wave's planned block slots
+//!  in the schedule's AccessPlan (per-rank
+//!  prefetch lookahead, out-of-core runs only)
 //!        │
 //!        │  ClusterSim::dispatch(Vec<WorkerCmd>)      MPI_Scatter over
 //!        ▼                                            MPI_COMM_WORLD
@@ -31,18 +34,24 @@
 //!  │ RankWorker     │  │ RankWorker     │             one MPI rank each
 //!  │  ::handle(cmd) │  │  ::handle(cmd) │             (its event loop)
 //!  │                │  │                │
-//!  │ Gate/Batch:    │  │                │
-//!  │  store.take ─▶ decompress ─▶ kernel ─▶           §3.2 unit pipeline
-//!  │  recompress ─▶ store.put    (chunked to the      on the rank's own
-//!  │                residency budget; spilled         memory (MCDRAM
-//!  │                blocks fetch from disk)           scratch)
+//!  │ Gate/Batch — a PlanCursor walks the              §3.2 unit pipeline
+//!  │ wave's planned slots, one residency-             on the rank's own
+//!  │ budget chunk at a time:                          memory (MCDRAM
+//!  │  fetch_many(chunk k)   coalesced reads           scratch); the
+//!  │  ─▶ prefetch(chunk k+1) ─▶ decompress            prefetch hint is
+//!  │  ─▶ kernel ─▶ recompress ─▶ store.put            the paper's MPI
+//!  │  (the wave's last chunk prefetches the           overlap aimed at
+//!  │  *next* wave's first slots — the facade's        disk: a recv
+//!  │  AccessPlan lookahead — so wave boundaries       posted before the
+//!  │  overlap too)                                    wave that needs it
 //!  │                │  │                │
 //!  │ Exchange:      │◀─┼─ Duplex link ─▶│             MPI_Sendrecv of
 //!  │  leader recv/  │  │ follower sends │             compressed blocks
 //!  │  compute/send  │  │ then installs  │             (§3.3 case (c))
 //!  │                │  │                │
 //!  │ Collapse/Prob/ │  │                │             the rank's term of
-//!  │ Norm/Weights/Zz│  │                │             an MPI_Allreduce
+//!  │ Norm/Weights/Zz│  │ (PlanCursor-   │             an MPI_Allreduce
+//!  │                │  │  chunked too)  │
 //!  └──────┬─────────┘  └──────┬─────────┘
 //!         │   WorkerOut       │
 //!         ▼                   ▼
@@ -67,8 +76,15 @@
 //! Block storage is behind the [`BlockStore`] seam: a worker never holds
 //! raw block tables, so the same pipeline runs all-in-RAM (`MemStore`) or
 //! out-of-core (`SpillStore`, hot blocks resident under an LRU budget,
-//! cold blocks in per-rank segment files). Waves chunk their in-flight
-//! blocks to the store's residency cap.
+//! cold blocks in per-rank segment files). Gate, batch, recompress,
+//! collapse, and query waves all walk their planned slot lists through a
+//! [`PlanCursor`]: each chunk (at most a residency budget of blocks) is
+//! pulled with one coalesced [`BlockStore::fetch_many`], and before the
+//! chunk computes the cursor hints the store at the chunk after it — or,
+//! on a wave's last chunk, at the next wave's first slots, delivered by
+//! the facade from the schedule's `AccessPlan` — so a spilling store
+//! streams the upcoming blocks off disk in the background instead of
+//! blocking the wave on a seek-and-read per block.
 //!
 //! # The compressed exchange
 //!
@@ -99,6 +115,12 @@ use std::time::{Duration, Instant};
 /// with its block index within the rank.
 pub(crate) type BlockMsg = (usize, CompressedBlock);
 
+/// The next wave's first planned block slots for this rank, handed down
+/// by the facade from the schedule's `AccessPlan` so a wave's last chunk
+/// can prefetch across the wave boundary. `None` when the run is not
+/// planned (no schedule, prefetch off, or an unplanned wave follows).
+pub(crate) type Lookahead = Option<Arc<Vec<usize>>>;
+
 /// One (possibly controlled) single-qubit gate wave, pre-routed by the
 /// facade. `route` is never `InterRank` — rank-crossing gates go through
 /// [`ExchangeCmd`] instead.
@@ -111,6 +133,7 @@ pub(crate) struct GateCmd {
     pub block_cmask: usize,
     pub rank_cmask: usize,
     pub bound: ErrorBound,
+    pub lookahead: Lookahead,
 }
 
 /// This rank's role in an inter-rank exchange wave.
@@ -134,6 +157,7 @@ pub(crate) struct ExchangeCmd {
     pub block_cmask: usize,
     pub bound: ErrorBound,
     pub role: ExchangeRole,
+    pub lookahead: Lookahead,
 }
 
 /// Per-gate kernel plan inside a batch: the matrix plus the control masks
@@ -153,6 +177,7 @@ pub(crate) struct BatchCmd {
     pub plans: Arc<Vec<BatchPlan>>,
     pub signature: u64,
     pub bound: ErrorBound,
+    pub lookahead: Lookahead,
 }
 
 /// The command protocol between the engine facade and its rank workers.
@@ -231,6 +256,69 @@ impl WorkerOut {
 /// Segments below this many `f64`s are not worth splitting across rayon
 /// workers inside a single block.
 const MIN_SEGMENT_F64: usize = 4096;
+
+/// Walks one wave's planned unit list in residency-budget chunks — the
+/// single place wave chunking lives, shared by gate, batch, recompress,
+/// collapse, and query waves.
+///
+/// Protocol per chunk: the worker pulls the chunk's blocks with one
+/// coalesced [`BlockStore::fetch_many`] (or peeks, for read-only waves),
+/// then calls [`PlanCursor::hint_upcoming`] so the store's background
+/// fetcher starts on the *next* chunk — or, once the wave is drained, on
+/// the next wave's first slots (the facade's `AccessPlan` lookahead) —
+/// while the current chunk computes. The hint goes out after the fetch on
+/// purpose: consuming the current chunk frees the store's staging budget
+/// for exactly the blocks being hinted.
+pub(crate) struct PlanCursor<'a, U> {
+    units: &'a [U],
+    chunk_len: usize,
+    pos: usize,
+}
+
+impl<'a, U> PlanCursor<'a, U> {
+    pub(crate) fn new(units: &'a [U], chunk_len: usize) -> Self {
+        Self {
+            units,
+            chunk_len: chunk_len.max(1),
+            pos: 0,
+        }
+    }
+
+    /// The next chunk of units to fetch and compute, or `None` when the
+    /// wave is drained.
+    pub(crate) fn next_chunk(&mut self) -> Option<&'a [U]> {
+        if self.pos >= self.units.len() {
+            return None;
+        }
+        let end = (self.pos + self.chunk_len).min(self.units.len());
+        let chunk = &self.units[self.pos..end];
+        self.pos = end;
+        Some(chunk)
+    }
+
+    /// Hint the store at what the wave touches next: the upcoming chunk's
+    /// slots (extracted by `slots_of`), or `lookahead` when this wave has
+    /// no chunks left.
+    pub(crate) fn hint_upcoming(
+        &self,
+        store: &dyn BlockStore,
+        lookahead: Option<&[usize]>,
+        slots_of: impl Fn(&U, &mut Vec<usize>),
+    ) {
+        let end = (self.pos + self.chunk_len).min(self.units.len());
+        if self.pos < end {
+            let mut slots = Vec::with_capacity(end - self.pos);
+            for u in &self.units[self.pos..end] {
+                slots_of(u, &mut slots);
+            }
+            store.prefetch(&slots);
+        } else if let Some(next) = lookahead {
+            if !next.is_empty() {
+                store.prefetch(next);
+            }
+        }
+    }
+}
 
 /// The per-rank execution unit: owns its rank's blocks (through a
 /// [`BlockStore`] tier) and shares the codec, cache, and metrics sinks
@@ -363,11 +451,12 @@ impl RankWorker {
     }
 
     /// Run every unit's decompress → compute → recompress cycle (cache
-    /// permitting) and write results back, chunked so at most the store's
-    /// residency budget of blocks is in flight at once. A lone unit runs
-    /// on the calling thread with the segmented kernel so a rank with one
-    /// big block still uses its whole rayon width; multiple units stripe
-    /// across rayon.
+    /// permitting) and write results back, walking the wave's planned
+    /// units through a [`PlanCursor`] so at most the store's residency
+    /// budget of blocks is in flight at once and the next chunk prefetches
+    /// while the current one computes. A lone unit runs on the calling
+    /// thread with the segmented kernel so a rank with one big block still
+    /// uses its whole rayon width; multiple units stripe across rayon.
     fn process_units(
         &mut self,
         slots: &[(usize, Option<usize>)],
@@ -382,17 +471,33 @@ impl RankWorker {
             1
         };
         let chunk_len = (self.flight_budget() / blocks_per_unit).max(1);
+        let unit_slots = |&(a, b): &(usize, Option<usize>), out: &mut Vec<usize>| {
+            out.push(a);
+            if let Some(b) = b {
+                out.push(b);
+            }
+        };
+        let lookahead = cmd.lookahead.as_ref().map(|v| v.as_slice());
         let mut lossy = false;
         let mut buf_a = Vec::with_capacity(block_f64s);
         let mut buf_b = Vec::with_capacity(block_f64s);
-        for chunk in slots.chunks(chunk_len) {
+        let mut cursor = PlanCursor::new(slots, chunk_len);
+        while let Some(chunk) = cursor.next_chunk() {
+            let mut flat = Vec::with_capacity(chunk.len() * blocks_per_unit);
+            for unit in chunk {
+                unit_slots(unit, &mut flat);
+            }
+            let mut fetched = self.store.fetch_many(&flat)?.into_iter();
+            cursor.hint_upcoming(self.store.as_ref(), lookahead, unit_slots);
             let mut units = Vec::with_capacity(chunk.len());
             for &(a, b) in chunk {
+                let in_a = fetched.next().expect("fetched block");
+                let in_b = b.map(|_| fetched.next().expect("fetched pair block"));
                 units.push(Unit {
                     slot_a: a,
                     slot_b: b,
-                    in_a: self.store.take(a)?,
-                    in_b: b.map(|b| self.store.take(b)).transpose()?,
+                    in_a,
+                    in_b,
                 });
             }
             let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
@@ -473,11 +578,17 @@ impl RankWorker {
     // --- inter-rank exchange ---------------------------------------------
 
     fn exchange(&mut self, mut cmd: ExchangeCmd) -> Result<WaveOut, SimError> {
-        match std::mem::replace(&mut cmd.role, ExchangeRole::Idle) {
+        let out = match std::mem::replace(&mut cmd.role, ExchangeRole::Idle) {
             ExchangeRole::Idle => Ok(self.wave_out(false, 0)),
             ExchangeRole::Follow(link) => self.exchange_follow(&cmd, link),
             ExchangeRole::Lead(link) => self.exchange_lead(&cmd, link),
+        };
+        // The exchange is this wave's last (only) chunk: start on the next
+        // wave's planned slots while the facade gathers.
+        if let (Ok(_), Some(next)) = (&out, &cmd.lookahead) {
+            self.store.prefetch(next);
         }
+        out
     }
 
     fn selected_blocks(&self, block_cmask: usize) -> Vec<usize> {
@@ -499,10 +610,16 @@ impl RankWorker {
         link: Duplex<BlockMsg>,
     ) -> Result<WaveOut, SimError> {
         let sel = self.selected_blocks(cmd.block_cmask);
-        for &b in &sel {
-            let blk = self.store.take(b)?;
-            if !link.send((b, blk)) {
-                return Err(SimError::Exchange("peer rank dropped the link".into()));
+        // Stream in residency-budget chunks: each chunk is one coalesced
+        // fetch, and the sent payloads live in the link's buffer (the MPI
+        // send-buffer allowance) — the follower never materializes more
+        // than a budget's worth of blocks outside the link.
+        for chunk in sel.chunks(self.flight_budget()) {
+            let blocks = self.store.fetch_many(chunk)?;
+            for (&b, blk) in chunk.iter().zip(blocks) {
+                if !link.send((b, blk)) {
+                    return Err(SimError::Exchange("peer rank dropped the link".into()));
+                }
             }
         }
         for _ in &sel {
@@ -525,6 +642,10 @@ impl RankWorker {
         link: Duplex<BlockMsg>,
     ) -> Result<WaveOut, SimError> {
         let sel = self.selected_blocks(cmd.block_cmask);
+        // The leader takes its own block once per received partner block:
+        // stage them ahead so those takes ride the background fetcher
+        // instead of blocking between pair updates.
+        self.store.prefetch(&sel);
         let block_f64s = self.layout.block_amps() * 2;
         let mut buf_a = Vec::with_capacity(block_f64s);
         let mut buf_b = Vec::with_capacity(block_f64s);
@@ -597,17 +718,20 @@ impl RankWorker {
         let bound = cmd.bound;
         let block_f64s = self.layout.block_amps() * 2;
         let chunk_len = self.flight_budget();
+        let unit_slots = |&(slot, _): &(usize, u64), out: &mut Vec<usize>| out.push(slot);
+        let lookahead = cmd.lookahead.as_ref().map(|v| v.as_slice());
         let mut lossy = false;
         let mut seq_buf = Vec::with_capacity(block_f64s);
-        for chunk in selections.chunks(chunk_len) {
-            let mut units = Vec::with_capacity(chunk.len());
-            for &(slot, mask) in chunk {
-                units.push(BatchUnit {
-                    slot,
-                    mask,
-                    block: self.store.take(slot)?,
-                });
-            }
+        let mut cursor = PlanCursor::new(&selections, chunk_len);
+        while let Some(chunk) = cursor.next_chunk() {
+            let flat: Vec<usize> = chunk.iter().map(|&(slot, _)| slot).collect();
+            let fetched = self.store.fetch_many(&flat)?;
+            cursor.hint_upcoming(self.store.as_ref(), lookahead, unit_slots);
+            let units: Vec<BatchUnit> = chunk
+                .iter()
+                .zip(fetched)
+                .map(|(&(slot, mask), block)| BatchUnit { slot, mask, block })
+                .collect();
             let results: Result<Vec<UnitOut>, SimError> = if units.len() == 1 {
                 units
                     .into_iter()
@@ -653,20 +777,20 @@ impl RankWorker {
     // --- collectives ------------------------------------------------------
 
     /// Take each local block through `f` (decompress → mutate → compress),
-    /// chunked to the residency budget and striped across rayon inside
-    /// each chunk.
+    /// walked through a [`PlanCursor`] — chunked to the residency budget,
+    /// each chunk fetched in one coalesced read while the next one
+    /// prefetches, striped across rayon inside each chunk.
     fn rewrite_blocks(
         &mut self,
         f: impl Fn(usize, &CompressedBlock) -> Result<CompressedBlock, SimError> + Sync,
     ) -> Result<(), SimError> {
         let bpr = self.layout.blocks_per_rank();
-        let chunk_len = self.flight_budget();
         let all: Vec<usize> = (0..bpr).collect();
-        for chunk in all.chunks(chunk_len) {
-            let mut taken = Vec::with_capacity(chunk.len());
-            for &b in chunk {
-                taken.push((b, self.store.take(b)?));
-            }
+        let mut cursor = PlanCursor::new(&all, self.flight_budget());
+        while let Some(chunk) = cursor.next_chunk() {
+            let fetched = self.store.fetch_many(chunk)?;
+            cursor.hint_upcoming(self.store.as_ref(), None, |&b, out| out.push(b));
+            let taken: Vec<(usize, CompressedBlock)> = chunk.iter().copied().zip(fetched).collect();
             let results: Result<Vec<(usize, CompressedBlock)>, SimError> = taken
                 .into_par_iter()
                 .map(|(b, blk)| Ok((b, f(b, &blk)?)))
@@ -734,22 +858,25 @@ impl RankWorker {
     }
 
     /// Map every local block through read-only `f` and collect the per-
-    /// block outputs in block order, chunked to the residency budget
-    /// (spilled blocks are peeked from disk without displacing hot ones)
-    /// and striped across rayon inside each chunk.
+    /// block outputs in block order. Query waves walk the same
+    /// [`PlanCursor`] as the mutating ones: chunked to the residency
+    /// budget (spilled blocks are peeked from disk without displacing hot
+    /// ones), the next chunk prefetching while the current one reduces,
+    /// striped across rayon inside each chunk.
     fn map_blocks<T: Send>(
         &self,
         f: impl Fn(usize, &CompressedBlock) -> Result<T, SimError> + Sync,
     ) -> Result<Vec<T>, SimError> {
         let bpr = self.layout.blocks_per_rank();
-        let chunk_len = self.flight_budget();
         let all: Vec<usize> = (0..bpr).collect();
         let mut out = Vec::with_capacity(bpr);
-        for chunk in all.chunks(chunk_len) {
+        let mut cursor = PlanCursor::new(&all, self.flight_budget());
+        while let Some(chunk) = cursor.next_chunk() {
             let mut peeked = Vec::with_capacity(chunk.len());
             for &b in chunk {
                 peeked.push((b, self.store.peek(b)?));
             }
+            cursor.hint_upcoming(self.store.as_ref(), None, |&b, out| out.push(b));
             let results: Result<Vec<T>, SimError> =
                 peeked.into_par_iter().map(|(b, blk)| f(b, &blk)).collect();
             out.extend(results?);

@@ -4,10 +4,13 @@
 //! the all-in-RAM run — while actually spilling and fetching blocks
 //! through the per-rank segment files.
 //!
-//! The headline test runs a 20-qubit circuit (2^20 amplitudes, 256
+//! The headline tests run a 20-qubit circuit (2^20 amplitudes, 256
 //! compressed blocks) with only 4 blocks resident per rank, the regime the
 //! paper's storage hierarchy extends to: dense → compressed-resident →
-//! spilled to disk.
+//! spilled to disk — once with the blocking pull-on-demand tier and once
+//! with the schedule-planned prefetch pipeline, which must produce the
+//! same amplitudes while moving spill reads off the critical path
+//! (non-zero prefetch hits, strictly fewer blocking fetches).
 
 use qcsim::core::SimConfig;
 use qcsim::{Circuit, CompressedSimulator, ErrorBound};
@@ -42,11 +45,10 @@ fn run(c: &Circuit, cfg: SimConfig) -> CompressedSimulator {
     sim
 }
 
-#[test]
-fn twenty_qubit_spilled_run_matches_in_ram() {
-    // 20 qubits, 2^12-amplitude blocks -> 256 blocks on one rank. The
-    // circuit entangles across all three routing segments (in-block,
-    // inter-block) so every block carries real amplitude mass.
+/// The 20-qubit workload shared by the blocking and prefetching variants:
+/// entangles across all routing segments so every one of the 256 blocks
+/// carries real amplitude mass.
+fn twenty_qubit_circuit() -> Circuit {
     let n = 20usize;
     let mut c = Circuit::new(n);
     for q in 0..n {
@@ -59,29 +61,78 @@ fn twenty_qubit_spilled_run_matches_in_ram() {
         .rz(1.13, 14)
         .cphase(0.29, 12, 7)
         .t(16);
+    c
+}
+
+#[test]
+fn twenty_qubit_spilled_runs_match_in_ram_blocking_and_prefetched() {
+    // 20 qubits, 2^12-amplitude blocks -> 256 blocks on one rank, with a
+    // 4-block residency budget, in both spill pipelines (one run of each
+    // — the in-RAM baseline and the two spilled variants are the suite's
+    // heaviest sims, so every assertion shares them):
+    //  * prefetch off — the pure pull-on-demand tier, every cold block a
+    //    blocking seek-and-read;
+    //  * prefetch on — the schedule's AccessPlan drives the waves and the
+    //    next chunk's spilled frames stream off disk (background fetch
+    //    thread, coalesced reads) while the current chunk computes.
+    // Both are storage-only changes: amplitudes must match the all-in-RAM
+    // run, while with prefetch on the fetch traffic moves from blocking
+    // reads to staged hits.
+    let c = twenty_qubit_circuit();
 
     let in_ram = run(&c, lossless_cfg(12, 0));
-    // Residency budget: 4 of 256 blocks. The compressed working set (all
-    // blocks hold nonzero amplitudes after the Hadamard wall) is far
-    // larger than 4 blocks' worth, so the run cannot avoid spilling.
-    let spilled = run(&c, lossless_cfg(12, 0).with_spill(4));
+    // The compressed working set (all blocks hold nonzero amplitudes
+    // after the Hadamard wall) is far larger than 4 blocks' worth, so
+    // neither spilled run can avoid going out-of-core.
+    let blocking = run(&c, lossless_cfg(12, 0).with_spill(4).with_prefetch(false));
+    let prefetched = run(&c, lossless_cfg(12, 0).with_spill(4).with_prefetch(true));
 
-    let report = spilled.report();
+    let off = blocking.report();
+    assert_eq!(
+        off.prefetch_hits, 0,
+        "prefetch off must never serve staged blocks"
+    );
     assert!(
-        spilled.resident_bytes() < spilled.compressed_bytes() / 8,
+        blocking.resident_bytes() < blocking.compressed_bytes() / 8,
         "residency budget must be a small fraction of the working set: \
          {} resident of {} compressed",
-        spilled.resident_bytes(),
-        spilled.compressed_bytes()
+        blocking.resident_bytes(),
+        blocking.compressed_bytes()
     );
-    assert!(report.spills > 0, "no blocks were spilled");
-    assert!(report.fetches > 0, "no blocks were fetched back");
-    assert!(report.spill_bytes > 0 && report.fetch_bytes > 0);
-
-    let err = max_amp_error(&in_ram, &spilled);
+    assert!(off.spills > 0, "no blocks were spilled");
+    assert!(off.fetches > 0, "no blocks were fetched back");
+    assert!(off.spill_bytes > 0 && off.fetch_bytes > 0);
+    let err = max_amp_error(&in_ram, &blocking);
     assert!(
         err <= TOL,
         "spilled 20-qubit run diverged: max amplitude error {err:e} > {TOL:e}"
+    );
+
+    let on = prefetched.report();
+    let err = max_amp_error(&in_ram, &prefetched);
+    assert!(
+        err <= TOL,
+        "prefetched 20-qubit run diverged: max amplitude error {err:e} > {TOL:e}"
+    );
+    assert!(
+        on.spills > 0 && on.fetches > 0,
+        "the run must go out-of-core"
+    );
+    assert!(
+        on.prefetch_hits > 0,
+        "planned access must produce staged (overlapped) fetches"
+    );
+    assert!(on.overlapped_fetch_bytes > 0);
+    assert_eq!(
+        on.prefetch_hits + on.prefetch_misses,
+        on.fetches,
+        "hits and misses must partition the fetch total"
+    );
+    assert!(
+        on.prefetch_misses < off.prefetch_misses,
+        "prefetch on must block on fewer fetches than off ({} vs {})",
+        on.prefetch_misses,
+        off.prefetch_misses
     );
 }
 
