@@ -18,7 +18,7 @@ use qcs_compress::stats::{
 };
 use qcs_compress::trunc::truncation_levels;
 use qcs_compress::{CodecId, ErrorBound, PWR_LEVELS};
-use qcs_core::{fidelity_curve, CompressedSimulator, SimConfig};
+use qcs_core::{fidelity_curve, CompressedSimulator, Eviction, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -748,12 +748,27 @@ fn table_spill(dir: &Path) {
     // budget while the amplitudes stay bit-identical (pinned by
     // tests/out_of_core.rs).
     //
-    // Each budget runs twice: prefetch off (every cold block a blocking
-    // seek-and-read, the PR-4 regime) and on (schedule-planned access,
-    // the next chunk streaming off disk while the current one computes).
-    // The pf-hit / blocking columns make the two pipelines directly
-    // comparable: with prefetch on, staged hits replace blocking fetches
-    // and the spill I/O left on the critical path shrinks.
+    // Each budget runs a small pipeline matrix. The first row is the PR-4
+    // regime (prefetch off, LRU victims, synchronous eviction writes:
+    // every cold block a blocking seek-and-read). The remaining rows all
+    // keep prefetch on and sweep eviction policy x write mode:
+    //
+    //   policy  lru  — least-recently-used victims (plan-blind)
+    //           min  — Belady's MIN over the schedule's AccessPlan: evict
+    //                  the resident block whose next planned use is
+    //                  furthest away
+    //   writes  sync — eviction writes the frame to its segment file
+    //                  inline, on the critical path
+    //           wb   — write-behind: eviction parks the frame in a dirty
+    //                  buffer and a writer thread drains it to disk while
+    //                  the compute pipeline keeps going
+    //
+    // The pf-hit / blocking columns make the pipelines directly
+    // comparable: with prefetch on, staged hits replace blocking fetches;
+    // with MIN victims the blocks the plan touches soonest stay resident,
+    // so blocking fetches fall again; with write-behind the eviction half
+    // of spill I/O moves off the critical path (the wb io column counts
+    // the writer thread's time, which overlaps compute).
     let workloads: Vec<(&'static str, qcs_circuits::Circuit)> = vec![
         ("qft_18", qft_benchmark_circuit(18, 12)),
         ("sup_16", random_circuit(Grid::new(4, 4), 11, 2019)),
@@ -763,6 +778,8 @@ fn table_spill(dir: &Path) {
         "qubits",
         "budget (blk)",
         "prefetch",
+        "policy",
+        "writes",
         "wall (s)",
         "peak MB",
         "spills",
@@ -773,23 +790,40 @@ fn table_spill(dir: &Path) {
         "spill MB",
         "io (ms)",
         "pf io (ms)",
+        "wb MB",
+        "wb io (ms)",
     ]);
+    // (prefetch, eviction policy, write-behind) per row; `None` marks the
+    // all-resident row where the knobs are moot.
+    type Mode = Option<(bool, Eviction, bool)>;
+    let spilled_modes: &[Mode] = &[
+        Some((false, Eviction::Lru, false)), // PR-4 regime
+        Some((true, Eviction::Lru, false)),
+        Some((true, Eviction::Lru, true)),
+        Some((true, Eviction::PlannedMin, false)),
+        Some((true, Eviction::PlannedMin, true)),
+    ];
     for (name, circuit) in workloads {
         let n = circuit.num_qubits() as u32;
         let bpr = 1usize << (n - 10); // block_log2 = 10, one rank
         let mut budgets = vec![None, Some(bpr / 4), Some(bpr / 16), Some(4)];
         budgets.dedup();
         for budget in budgets {
-            let prefetch_modes: &[Option<bool>] = match budget {
-                None => &[None], // all-resident: nothing to prefetch
-                Some(_) => &[Some(false), Some(true)],
+            let modes: &[Mode] = match budget {
+                None => &[None], // all-resident: nothing to evict or prefetch
+                Some(_) => spilled_modes,
             };
-            for &prefetch in prefetch_modes {
+            for &mode in modes {
                 let mut cfg = SimConfig::default().with_block_log2(10);
                 if let Some(blocks) = budget {
                     cfg = cfg.with_spill(blocks);
                 }
-                cfg = cfg.with_prefetch(prefetch.unwrap_or(false));
+                if let Some((prefetch, eviction, write_behind)) = mode {
+                    cfg = cfg
+                        .with_prefetch(prefetch)
+                        .with_eviction(eviction)
+                        .with_write_behind(write_behind);
+                }
                 let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
                 let mut rng = StdRng::seed_from_u64(0);
                 let t0 = Instant::now();
@@ -800,8 +834,12 @@ fn table_spill(dir: &Path) {
                     name.to_string(),
                     format!("{n}"),
                     budget.map_or("all".to_string(), |b| format!("{b}")),
-                    prefetch.map_or("-".to_string(), |p| {
+                    mode.map_or("-".to_string(), |(p, _, _)| {
                         if p { "on" } else { "off" }.to_string()
+                    }),
+                    mode.map_or("-".to_string(), |(_, e, _)| e.name().to_string()),
+                    mode.map_or("-".to_string(), |(_, _, wb)| {
+                        if wb { "wb" } else { "sync" }.to_string()
                     }),
                     format!("{wall:.2}"),
                     format!("{:.1}", report.peak_memory_bytes as f64 / 1e6),
@@ -813,13 +851,15 @@ fn table_spill(dir: &Path) {
                     format!("{:.1}", report.spill_bytes as f64 / 1e6),
                     format!("{:.0}", report.spill_io_ns as f64 / 1e6),
                     format!("{:.0}", report.prefetch_ns as f64 / 1e6),
+                    format!("{:.1}", report.write_behind_bytes as f64 / 1e6),
+                    format!("{:.0}", report.write_behind_ns as f64 / 1e6),
                 ]);
             }
         }
         println!("... {name} done");
     }
     finish(&t, dir, "table_spill");
-    println!("expected: peak memory falls with the budget; with prefetch on, staged hits replace blocking fetches at every budget and critical-path spill i/o drops; wall-clock degrades gracefully");
+    println!("expected: peak memory falls with the budget; staged hits replace blocking fetches once prefetch is on; min victims cut blocking fetches further at tight budgets; write-behind moves eviction i/o off the critical path (io ms falls, wb io ms absorbs it)");
 }
 
 fn ablation_ladder(dir: &Path) {

@@ -24,17 +24,23 @@ pub enum Phase {
     /// thread while the compute chunk runs. Time here is off the wave's
     /// critical path — the overlap the prefetch pipeline buys.
     Prefetch,
+    /// Background write-behind I/O: evicted frames appended to segment
+    /// files by a store's writer thread while the compute chunk runs.
+    /// Time here is off the wave's critical path — the overlap the
+    /// asynchronous spill tier buys on the eviction side.
+    WriteBehind,
 }
 
 impl Phase {
     /// All phases in report order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Compression,
         Phase::Decompression,
         Phase::Communication,
         Phase::Computation,
         Phase::SpillIo,
         Phase::Prefetch,
+        Phase::WriteBehind,
     ];
 
     /// Display name.
@@ -46,13 +52,14 @@ impl Phase {
             Phase::Computation => "computation",
             Phase::SpillIo => "spill i/o",
             Phase::Prefetch => "prefetch",
+            Phase::WriteBehind => "write-behind",
         }
     }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    durations: [Duration; 6],
+    durations: [Duration; 7],
     comm_bytes: u64,
     exchanges: u64,
     block_touches: u64,
@@ -65,6 +72,8 @@ struct Inner {
     prefetch_misses: u64,
     blocking_fetch_bytes: u64,
     overlapped_fetch_bytes: u64,
+    write_behind_spills: u64,
+    write_behind_bytes: u64,
 }
 
 /// Thread-safe accumulator of per-phase wall time and communication volume.
@@ -146,6 +155,19 @@ impl Metrics {
         inner.overlapped_fetch_bytes += bytes;
     }
 
+    /// Record one block evicted from residency and written to the spill
+    /// tier by the background write-behind thread (`bytes` = the frame's
+    /// on-disk footprint). Counted as a spill, with the asynchronous
+    /// share tracked separately so reports can show how much eviction
+    /// traffic left the critical path.
+    pub fn add_spill_write_behind(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.spills += 1;
+        inner.spill_bytes += bytes;
+        inner.write_behind_spills += 1;
+        inner.write_behind_bytes += bytes;
+    }
+
     /// Total blocks written to the spill tier.
     pub fn spills(&self) -> u64 {
         self.inner.lock().spills
@@ -184,6 +206,16 @@ impl Metrics {
     /// Spill-tier bytes read in the background, overlapped with compute.
     pub fn overlapped_fetch_bytes(&self) -> u64 {
         self.inner.lock().overlapped_fetch_bytes
+    }
+
+    /// Spill-tier blocks written by the background write-behind thread.
+    pub fn write_behind_spills(&self) -> u64 {
+        self.inner.lock().write_behind_spills
+    }
+
+    /// Spill-tier bytes written by the background write-behind thread.
+    pub fn write_behind_bytes(&self) -> u64 {
+        self.inner.lock().write_behind_bytes
     }
 
     /// Record one block-touch (a decompress → compute → recompress cycle of
@@ -239,6 +271,7 @@ impl Metrics {
             computation: inner.durations[Phase::Computation as usize],
             spill_io: inner.durations[Phase::SpillIo as usize],
             prefetch: inner.durations[Phase::Prefetch as usize],
+            write_behind: inner.durations[Phase::WriteBehind as usize],
             comm_bytes: inner.comm_bytes,
             exchanges: inner.exchanges,
             block_touches: inner.block_touches,
@@ -251,6 +284,8 @@ impl Metrics {
             prefetch_misses: inner.prefetch_misses,
             blocking_fetch_bytes: inner.blocking_fetch_bytes,
             overlapped_fetch_bytes: inner.overlapped_fetch_bytes,
+            write_behind_spills: inner.write_behind_spills,
+            write_behind_bytes: inner.write_behind_bytes,
         }
     }
 
@@ -278,6 +313,9 @@ pub struct TimeBreakdown {
     /// Time the background prefetch threads spent reading spilled frames
     /// (overlapped with compute — not on any wave's critical path).
     pub prefetch: Duration,
+    /// Time the background write-behind threads spent appending evicted
+    /// frames (overlapped with compute — not on any wave's critical path).
+    pub write_behind: Duration,
     /// Bytes exchanged between ranks.
     pub comm_bytes: u64,
     /// Inter-rank block-pair exchanges performed.
@@ -302,6 +340,10 @@ pub struct TimeBreakdown {
     pub blocking_fetch_bytes: u64,
     /// Spill-tier bytes read in the background, overlapped with compute.
     pub overlapped_fetch_bytes: u64,
+    /// Spill-tier blocks written by the background write-behind thread.
+    pub write_behind_spills: u64,
+    /// Spill-tier bytes written by the background write-behind thread.
+    pub write_behind_bytes: u64,
 }
 
 impl TimeBreakdown {
@@ -313,6 +355,7 @@ impl TimeBreakdown {
             + self.computation
             + self.spill_io
             + self.prefetch
+            + self.write_behind
     }
 
     /// Communication time in nanoseconds (saturating; the Table 2 row the
@@ -329,6 +372,11 @@ impl TimeBreakdown {
     /// Background prefetch I/O time in nanoseconds (saturating).
     pub fn prefetch_ns(&self) -> u64 {
         u64::try_from(self.prefetch.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Background write-behind I/O time in nanoseconds (saturating).
+    pub fn write_behind_ns(&self) -> u64 {
+        u64::try_from(self.write_behind.as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Fraction of spilled fetches served from the prefetch staging
@@ -353,10 +401,10 @@ impl TimeBreakdown {
 
     /// Percentage of total for each phase, in [`Phase::ALL`] order.
     /// Returns zeros when nothing was recorded.
-    pub fn percentages(&self) -> [f64; 6] {
+    pub fn percentages(&self) -> [f64; 7] {
         let total = self.total().as_secs_f64();
         if total == 0.0 {
-            return [0.0; 6];
+            return [0.0; 7];
         }
         [
             self.compression.as_secs_f64() / total * 100.0,
@@ -365,6 +413,7 @@ impl TimeBreakdown {
             self.computation.as_secs_f64() / total * 100.0,
             self.spill_io.as_secs_f64() / total * 100.0,
             self.prefetch.as_secs_f64() / total * 100.0,
+            self.write_behind.as_secs_f64() / total * 100.0,
         ]
     }
 }
@@ -417,7 +466,7 @@ mod tests {
 
     #[test]
     fn empty_percentages_are_zero() {
-        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 6]);
+        assert_eq!(TimeBreakdown::default().percentages(), [0.0; 7]);
     }
 
     #[test]
@@ -472,6 +521,34 @@ mod tests {
         assert_eq!(m.prefetch_hits(), 0);
         assert_eq!(m.blocking_fetch_bytes(), 0);
         assert_eq!(TimeBreakdown::default().prefetch_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn write_behind_accounting_splits_async_spills() {
+        let m = Metrics::new();
+        m.add_spill(100);
+        m.add_spill_write_behind(60);
+        m.add_spill_write_behind(40);
+        m.add(Phase::WriteBehind, Duration::from_millis(4));
+        // Write-behind spills count toward the spill totals, with the
+        // asynchronous share tracked separately.
+        assert_eq!(m.spills(), 3);
+        assert_eq!(m.spill_bytes(), 200);
+        assert_eq!(m.write_behind_spills(), 2);
+        assert_eq!(m.write_behind_bytes(), 100);
+        let b = m.breakdown();
+        assert_eq!(b.spills, 3);
+        assert_eq!(b.write_behind_spills, 2);
+        assert_eq!(b.write_behind_bytes, 100);
+        assert_eq!(b.write_behind, Duration::from_millis(4));
+        assert_eq!(b.write_behind_ns(), 4_000_000);
+        assert!(
+            b.percentages()[6] > 99.0,
+            "only write-behind i/o was recorded"
+        );
+        m.reset();
+        assert_eq!(m.write_behind_spills(), 0);
+        assert_eq!(m.write_behind_bytes(), 0);
     }
 
     #[test]

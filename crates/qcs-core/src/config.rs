@@ -1,28 +1,47 @@
 //! Simulator configuration (paper §3, §5.1).
 
+use crate::store::Eviction;
 use qcs_compress::{CodecId, ErrorBound};
 use std::path::PathBuf;
 
 /// Out-of-core tier configuration: how many hot compressed blocks each
-/// rank keeps resident, and where the cold ones spill.
+/// rank keeps resident, which eviction policy picks victims, how
+/// eviction writes reach disk, and where the cold ones spill.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpillConfig {
     /// Residency budget per rank, in blocks (minimum 1): the hottest
-    /// `resident_blocks` compressed blocks stay in memory (LRU by last
-    /// touch); the rest live in the rank's segment file.
+    /// `resident_blocks` compressed blocks stay in memory (victims chosen
+    /// by `eviction`); the rest live in the rank's segment file(s).
     pub resident_blocks: usize,
     /// Directory for the per-rank segment files; `None` uses the system
     /// temp directory. Files are deleted when the simulator is dropped.
     pub dir: Option<PathBuf>,
+    /// Victim-selection policy for the residency budget: classic
+    /// [`Eviction::Lru`] (the default) or plan-driven
+    /// [`Eviction::PlannedMin`] (Belady's MIN over the schedule's
+    /// `AccessPlan`).
+    pub eviction: Eviction,
+    /// Drain eviction writes on a per-rank background writer thread
+    /// (bounded dirty buffer, coalesced appends, flush/drop barriers)
+    /// instead of appending synchronously on the critical path.
+    pub write_behind: bool,
+    /// Segment shards per rank (minimum 1): with `> 1`, each rank keeps
+    /// one segment file in each of `shards` directories and rotates
+    /// eviction runs across them in eviction order.
+    pub shards: usize,
 }
 
 impl SpillConfig {
     /// Spill config with the given per-rank residency budget, segments in
-    /// the system temp directory.
+    /// the system temp directory, LRU eviction, synchronous writes, one
+    /// shard.
     pub fn new(resident_blocks: usize) -> Self {
         Self {
             resident_blocks,
             dir: None,
+            eviction: Eviction::default(),
+            write_behind: false,
+            shards: 1,
         }
     }
 
@@ -208,6 +227,35 @@ impl SimConfig {
         self
     }
 
+    /// Config with the given spill eviction policy (enables spilling with
+    /// a 1-block budget if it was off; keeps a previously set budget).
+    pub fn with_eviction(mut self, eviction: Eviction) -> Self {
+        let mut spill = self.spill.take().unwrap_or_else(|| SpillConfig::new(1));
+        spill.eviction = eviction;
+        self.spill = Some(spill);
+        self
+    }
+
+    /// Config with spill write-behind explicitly on or off (enables
+    /// spilling with a 1-block budget if it was off; keeps a previously
+    /// set budget).
+    pub fn with_write_behind(mut self, write_behind: bool) -> Self {
+        let mut spill = self.spill.take().unwrap_or_else(|| SpillConfig::new(1));
+        spill.write_behind = write_behind;
+        self.spill = Some(spill);
+        self
+    }
+
+    /// Config with the given per-rank segment shard count (enables
+    /// spilling with a 1-block budget if it was off; keeps a previously
+    /// set budget; validated to be at least 1).
+    pub fn with_spill_shards(mut self, shards: usize) -> Self {
+        let mut spill = self.spill.take().unwrap_or_else(|| SpillConfig::new(1));
+        spill.shards = shards;
+        self.spill = Some(spill);
+        self
+    }
+
     /// The scheduling policy this config induces.
     pub fn fusion_policy(&self) -> qcs_circuits::FusionPolicy {
         qcs_circuits::FusionPolicy {
@@ -244,6 +292,9 @@ impl SimConfig {
         if let Some(spill) = &self.spill {
             if spill.resident_blocks == 0 {
                 return Err("spill residency budget must be at least 1 block".into());
+            }
+            if spill.shards == 0 {
+                return Err("spill shard count must be at least 1".into());
             }
         }
         Ok(())
@@ -302,6 +353,42 @@ mod tests {
         assert!(SimConfig::default().prefetch);
         assert!(!SimConfig::default().with_prefetch(false).prefetch);
         assert_eq!(SpillConfig::new(2).directory(), std::env::temp_dir());
+        // New-knob defaults keep pre-policy behavior: LRU, synchronous
+        // writes, single-segment layout.
+        let spill = SpillConfig::new(2);
+        assert_eq!(spill.eviction, Eviction::Lru);
+        assert!(!spill.write_behind);
+        assert_eq!(spill.shards, 1);
+    }
+
+    #[test]
+    fn eviction_and_write_behind_builders() {
+        let c = SimConfig::default()
+            .with_spill(4)
+            .with_eviction(Eviction::PlannedMin)
+            .with_write_behind(true)
+            .with_spill_shards(3);
+        let spill = c.spill.as_ref().unwrap();
+        assert_eq!(spill.resident_blocks, 4, "builders keep the budget");
+        assert_eq!(spill.eviction, Eviction::PlannedMin);
+        assert!(spill.write_behind);
+        assert_eq!(spill.shards, 3);
+        assert!(c.validate(9).is_err(), "block_log2 still default");
+        let c = c.with_block_log2(3);
+        assert!(c.validate(9).is_ok());
+        // Zero shards are rejected.
+        let bad = SimConfig::default()
+            .with_block_log2(3)
+            .with_spill(4)
+            .with_spill_shards(0);
+        assert!(bad.validate(9).is_err());
+        // Each builder arms the spill tier if it was off.
+        assert!(SimConfig::default()
+            .with_eviction(Eviction::PlannedMin)
+            .spill
+            .is_some());
+        assert!(SimConfig::default().with_write_behind(true).spill.is_some());
+        assert!(SimConfig::default().with_spill_shards(2).spill.is_some());
     }
 
     #[test]

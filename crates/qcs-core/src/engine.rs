@@ -163,6 +163,14 @@ pub struct SimReport {
     /// Wall time the background prefetch threads spent reading spilled
     /// frames, in nanoseconds (overlap, not critical path).
     pub prefetch_ns: u64,
+    /// Spills drained by the background write-behind threads (a subset of
+    /// `spills`; 0 with write-behind off).
+    pub write_behind_spills: u64,
+    /// Bytes those background drains appended, off the critical path.
+    pub write_behind_bytes: u64,
+    /// Wall time the background write-behind threads spent appending
+    /// eviction frames, in nanoseconds (overlap, not critical path).
+    pub write_behind_ns: u64,
 }
 
 impl SimReport {
@@ -362,6 +370,9 @@ impl CompressedSimulator {
                     SpillOptions {
                         prefetch: cfg.prefetch,
                         dir_guard: Some(Arc::clone(guard)),
+                        eviction: spill.eviction,
+                        write_behind: spill.write_behind,
+                        shards: spill.shards,
                     },
                 )?),
                 _ => Box::new(MemStore::new(local)),
@@ -456,20 +467,20 @@ impl CompressedSimulator {
         self.rank_resident.iter().sum()
     }
 
-    /// Eq. 8 memory accounting: *resident* compressed blocks plus two
-    /// decompression scratch buffers per rank. Spilled blocks live on disk
-    /// and are not charged against the memory budget.
+    /// Eq. 8 memory accounting: compressed blocks held *in memory* plus
+    /// two decompression scratch buffers per rank. Spilled blocks live on
+    /// disk and are not charged against the memory budget.
     ///
-    /// With [`SimConfig::prefetch`] on, each rank's store may additionally
-    /// hold up to one more residency budget of compressed blocks in its
-    /// prefetch staging buffer (the double-buffer the pipeline needs).
-    /// That allowance is deliberately *not* charged here — the same
-    /// exemption the exchange path grants MPI-style send buffers — both
-    /// because it is bounded by construction and because staging occupancy
-    /// is timing-dependent: charging it would make adaptive-ladder
-    /// escalation (and with it the simulated amplitudes) nondeterministic.
-    /// Size real memory limits as `memory_bytes()` plus one residency
-    /// budget of compressed blocks per rank when prefetching.
+    /// "In memory" is the honest footprint of an out-of-core store: hot
+    /// residents **plus** blocks staged by the prefetch pipeline **plus**
+    /// blocks parked in the write-behind dirty buffer. Each of those
+    /// buffers is bounded by one residency budget of compressed blocks,
+    /// so the tier's ceiling is at most budget + staging + dirty — what
+    /// the peak-memory regression in `tests/eviction_policy.rs` pins.
+    /// Because the two buffers drain on background threads, their
+    /// occupancy at a sample point is timing-dependent; pair a
+    /// `memory_budget` with the pipelines only when that slack is
+    /// acceptable in the escalation decision.
     pub fn memory_bytes(&self) -> u64 {
         let scratch = 2 * (self.layout.block_amps() as u64) * 16;
         self.resident_bytes() + self.layout.ranks() as u64 * scratch
@@ -1070,6 +1081,9 @@ impl CompressedSimulator {
             blocking_fetch_bytes: breakdown.blocking_fetch_bytes,
             overlapped_fetch_bytes: breakdown.overlapped_fetch_bytes,
             prefetch_ns: breakdown.prefetch_ns(),
+            write_behind_spills: breakdown.write_behind_spills,
+            write_behind_bytes: breakdown.write_behind_bytes,
+            write_behind_ns: breakdown.write_behind_ns(),
             breakdown,
         }
     }

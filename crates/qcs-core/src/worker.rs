@@ -402,6 +402,26 @@ impl RankWorker {
             .max(1)
     }
 
+    /// Announce a wave's ordered slot accesses — the wave's own planned
+    /// order with the next wave's `AccessPlan` lookahead appended — to a
+    /// plan-consuming store (Belady MIN keys eviction on the window).
+    /// Skipped entirely when the store ignores plans, so LRU and
+    /// all-resident runs build no window.
+    fn announce_plan(&self, wave_slots: &[usize], lookahead: Option<&[usize]>) {
+        if !self.store.wants_plan() {
+            return;
+        }
+        match lookahead {
+            Some(next) if !next.is_empty() => {
+                let mut window = Vec::with_capacity(wave_slots.len() + next.len());
+                window.extend_from_slice(wave_slots);
+                window.extend_from_slice(next);
+                self.store.plan_accesses(&window);
+            }
+            _ => self.store.plan_accesses(wave_slots),
+        }
+    }
+
     /// Read-only commands, answerable through `&self` (the facade calls
     /// this directly on the local path so queries stay `&self` there too).
     pub(crate) fn query(&self, cmd: WorkerCmd) -> Result<WorkerOut, SimError> {
@@ -409,12 +429,21 @@ impl RankWorker {
             WorkerCmd::ProbOne { scope } => self.prob_one(scope).map(WorkerOut::Scalar),
             WorkerCmd::NormSqr => self.norm_sqr().map(WorkerOut::Scalar),
             WorkerCmd::Weights => self.weights().map(WorkerOut::Weights),
-            WorkerCmd::FetchBlock { block } => Ok(WorkerOut::Block(self.store.peek(block)?)),
-            WorkerCmd::SnapshotBlocks => Ok(WorkerOut::Blocks(
-                (0..self.store.len())
-                    .map(|b| self.store.peek(b))
-                    .collect::<Result<_, _>>()?,
-            )),
+            WorkerCmd::FetchBlock { block } => {
+                // Checkpoint barrier: make pending write-behind frames
+                // durable (and surface any deferred write error) before
+                // handing out state a checkpoint will persist.
+                self.store.flush()?;
+                Ok(WorkerOut::Block(self.store.peek(block)?))
+            }
+            WorkerCmd::SnapshotBlocks => {
+                self.store.flush()?;
+                Ok(WorkerOut::Blocks(
+                    (0..self.store.len())
+                        .map(|b| self.store.peek(b))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
             WorkerCmd::ExpectationZz { a, b } => self.expectation_zz(a, b).map(WorkerOut::Scalar),
             WorkerCmd::Nop => Ok(WorkerOut::Scalar(0.0)),
             _ => unreachable!("mutating command sent through the query path"),
@@ -478,6 +507,13 @@ impl RankWorker {
             }
         };
         let lookahead = cmd.lookahead.as_ref().map(|v| v.as_slice());
+        if self.store.wants_plan() {
+            let mut wave_slots = Vec::with_capacity(slots.len() * blocks_per_unit);
+            for unit in slots {
+                unit_slots(unit, &mut wave_slots);
+            }
+            self.announce_plan(&wave_slots, lookahead);
+        }
         let mut lossy = false;
         let mut buf_a = Vec::with_capacity(block_f64s);
         let mut buf_b = Vec::with_capacity(block_f64s);
@@ -610,6 +646,7 @@ impl RankWorker {
         link: Duplex<BlockMsg>,
     ) -> Result<WaveOut, SimError> {
         let sel = self.selected_blocks(cmd.block_cmask);
+        self.announce_plan(&sel, cmd.lookahead.as_ref().map(|v| v.as_slice()));
         // Stream in residency-budget chunks: each chunk is one coalesced
         // fetch, and the sent payloads live in the link's buffer (the MPI
         // send-buffer allowance) — the follower never materializes more
@@ -642,6 +679,7 @@ impl RankWorker {
         link: Duplex<BlockMsg>,
     ) -> Result<WaveOut, SimError> {
         let sel = self.selected_blocks(cmd.block_cmask);
+        self.announce_plan(&sel, cmd.lookahead.as_ref().map(|v| v.as_slice()));
         // The leader takes its own block once per received partner block:
         // stage them ahead so those takes ride the background fetcher
         // instead of blocking between pair updates.
@@ -720,6 +758,10 @@ impl RankWorker {
         let chunk_len = self.flight_budget();
         let unit_slots = |&(slot, _): &(usize, u64), out: &mut Vec<usize>| out.push(slot);
         let lookahead = cmd.lookahead.as_ref().map(|v| v.as_slice());
+        if self.store.wants_plan() {
+            let wave_slots: Vec<usize> = selections.iter().map(|&(slot, _)| slot).collect();
+            self.announce_plan(&wave_slots, lookahead);
+        }
         let mut lossy = false;
         let mut seq_buf = Vec::with_capacity(block_f64s);
         let mut cursor = PlanCursor::new(&selections, chunk_len);
@@ -786,6 +828,7 @@ impl RankWorker {
     ) -> Result<(), SimError> {
         let bpr = self.layout.blocks_per_rank();
         let all: Vec<usize> = (0..bpr).collect();
+        self.announce_plan(&all, None);
         let mut cursor = PlanCursor::new(&all, self.flight_budget());
         while let Some(chunk) = cursor.next_chunk() {
             let fetched = self.store.fetch_many(chunk)?;
@@ -869,6 +912,7 @@ impl RankWorker {
     ) -> Result<Vec<T>, SimError> {
         let bpr = self.layout.blocks_per_rank();
         let all: Vec<usize> = (0..bpr).collect();
+        self.announce_plan(&all, None);
         let mut out = Vec::with_capacity(bpr);
         let mut cursor = PlanCursor::new(&all, self.flight_budget());
         while let Some(chunk) = cursor.next_chunk() {
