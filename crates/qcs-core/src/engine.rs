@@ -236,9 +236,14 @@ pub struct CompressedSimulator {
     /// refreshed by every state-mutating wave (compression-ratio
     /// accounting without an extra collective).
     rank_bytes: Vec<u64>,
-    /// Last-known *resident* compressed bytes per rank — what Eq. 8
-    /// charges against the memory budget (spilled blocks live on disk).
+    /// Last-known *resident* compressed bytes per rank — the honest
+    /// in-memory footprint (hot residents plus the prefetch-staging and
+    /// write-behind buffers), what `peak_memory` reports.
     rank_resident: Vec<u64>,
+    /// Last-known deterministic resident bytes per rank (foreground
+    /// residents only) — what Eq. 8 charges against the memory budget, so
+    /// ladder escalation never depends on background-thread timing.
+    rank_hot: Vec<u64>,
     level: usize,
     ledger: FidelityLedger,
     min_ratio: f64,
@@ -356,6 +361,7 @@ impl CompressedSimulator {
         };
         let mut rank_bytes = Vec::with_capacity(ranks);
         let mut rank_resident = Vec::with_capacity(ranks);
+        let mut rank_hot = Vec::with_capacity(ranks);
         let mut stores: Vec<Box<dyn BlockStore>> = Vec::with_capacity(ranks);
         let mut iter = blocks.into_iter();
         for rank in 0..ranks {
@@ -380,6 +386,7 @@ impl CompressedSimulator {
             let store = wrap(rank, store);
             rank_bytes.push(store.compressed_bytes());
             rank_resident.push(store.resident_bytes());
+            rank_hot.push(store.hot_bytes());
             stores.push(store);
         }
 
@@ -421,6 +428,7 @@ impl CompressedSimulator {
             backend,
             rank_bytes,
             rank_resident,
+            rank_hot,
             level,
             ledger,
             min_ratio: f64::INFINITY,
@@ -469,7 +477,7 @@ impl CompressedSimulator {
 
     /// Eq. 8 memory accounting: compressed blocks held *in memory* plus
     /// two decompression scratch buffers per rank. Spilled blocks live on
-    /// disk and are not charged against the memory budget.
+    /// disk and are not charged.
     ///
     /// "In memory" is the honest footprint of an out-of-core store: hot
     /// residents **plus** blocks staged by the prefetch pipeline **plus**
@@ -478,12 +486,25 @@ impl CompressedSimulator {
     /// so the tier's ceiling is at most budget + staging + dirty — what
     /// the peak-memory regression in `tests/eviction_policy.rs` pins.
     /// Because the two buffers drain on background threads, their
-    /// occupancy at a sample point is timing-dependent; pair a
-    /// `memory_budget` with the pipelines only when that slack is
-    /// acceptable in the escalation decision.
+    /// occupancy at a sample point is timing-dependent; this quantity
+    /// feeds `peak_memory_bytes` reporting, while the adaptive-ladder
+    /// escalation decision uses the deterministic
+    /// [`CompressedSimulator::hot_memory_bytes`].
     pub fn memory_bytes(&self) -> u64 {
         let scratch = 2 * (self.layout.block_amps() as u64) * 16;
         self.resident_bytes() + self.layout.ranks() as u64 * scratch
+    }
+
+    /// The deterministic variant of [`CompressedSimulator::memory_bytes`]
+    /// the ladder escalates on: foreground residents plus scratch only,
+    /// excluding the timing-dependent prefetch-staging and write-behind
+    /// occupancy. Keyed on this, escalation — and therefore the simulated
+    /// amplitudes — is reproducible run-to-run even when a
+    /// `memory_budget` is combined with the background pipelines.
+    /// Identical to `memory_bytes` without an out-of-core store.
+    pub fn hot_memory_bytes(&self) -> u64 {
+        let scratch = 2 * (self.layout.block_amps() as u64) * 16;
+        self.rank_hot.iter().sum::<u64>() + self.layout.ranks() as u64 * scratch
     }
 
     /// Current compression ratio: uncompressed state bytes over compressed
@@ -525,6 +546,7 @@ impl CompressedSimulator {
         for (rank, wave) in outs.iter().enumerate() {
             self.rank_bytes[rank] = wave.compressed_bytes;
             self.rank_resident[rank] = wave.resident_bytes;
+            self.rank_hot[rank] = wave.hot_bytes;
         }
         Ok(outs)
     }
@@ -741,10 +763,12 @@ impl CompressedSimulator {
     }
 
     /// Post-gate epilogue: walk the adaptive ladder (§3.7) while over
-    /// budget, then refresh the memory/ratio watermarks.
+    /// budget, then refresh the memory/ratio watermarks. Escalation keys
+    /// on the deterministic hot footprint so the ladder walk (and the
+    /// amplitudes it shapes) never depends on background-thread timing.
     fn after_gate(&mut self) -> Result<(), SimError> {
         if let Some(budget) = self.cfg.memory_budget {
-            while self.memory_bytes() > budget && self.level + 1 < self.cfg.ladder.len() {
+            while self.hot_memory_bytes() > budget && self.level + 1 < self.cfg.ladder.len() {
                 self.level += 1;
                 self.escalations += 1;
                 if self.cfg.recompress_on_escalate {
@@ -1624,6 +1648,9 @@ mod tests {
         assert!(sim.resident_bytes() * 8 < sim.compressed_bytes());
         let scratch = 2 * (sim.layout().block_amps() as u64) * 16;
         assert_eq!(sim.memory_bytes(), sim.resident_bytes() + scratch);
+        // Without the background pipelines the deterministic escalation
+        // quantity and the honest footprint coincide.
+        assert_eq!(sim.hot_memory_bytes(), sim.memory_bytes());
     }
 
     #[test]

@@ -159,6 +159,18 @@ pub trait BlockStore: Send + Sync + std::fmt::Debug {
     /// Compressed bytes currently resident in memory.
     fn resident_bytes(&self) -> u64;
 
+    /// The deterministic subset of [`BlockStore::resident_bytes`]: bytes
+    /// held by foreground-managed residents only, excluding buffers that
+    /// background threads fill and drain (prefetch staging, write-behind
+    /// dirty blocks), whose occupancy at any sample point is
+    /// timing-dependent. The engine keys its adaptive-ladder escalation
+    /// on this quantity so escalation — and therefore the simulated
+    /// amplitudes — stay reproducible run-to-run; honest peak-footprint
+    /// reporting uses `resident_bytes`.
+    fn hot_bytes(&self) -> u64 {
+        self.resident_bytes()
+    }
+
     /// Compressed bytes of all blocks, resident plus spilled.
     fn compressed_bytes(&self) -> u64;
 
@@ -564,6 +576,10 @@ struct SpillInner {
     write_error: Option<String>,
     /// Rotates eviction runs across shards (in eviction order).
     spill_seq: u64,
+    /// Longest run one writer drain appends to a single shard (the
+    /// residency budget): capping runs keeps consecutive drains actually
+    /// rotating shards instead of landing a whole backlog on one.
+    run_cap: usize,
     /// Test-only fault injection for the writer thread.
     fault: WriteFault,
 }
@@ -730,6 +746,7 @@ impl SpillStore {
                 writer_alive: false,
                 write_error: None,
                 spill_seq: 0,
+                run_cap: cap.max(1),
                 fault: WriteFault::default(),
             }),
             resolved: Condvar::new(),
@@ -905,15 +922,26 @@ impl SpillStore {
                 }
                 // Bounded buffer: never hold more than a residency budget
                 // of dirty blocks; the wait (rare — the writer usually
-                // keeps up) is critical-path spill time.
+                // keeps up) is critical-path spill time. A writer parked
+                // on a deferred error never drains, so waiting on it
+                // would deadlock — exit and drain here instead.
                 if inner.dirty_queue.len() > self.cap {
                     let t = Instant::now();
-                    while inner.dirty_queue.len() > self.cap && inner.writer_alive {
+                    while inner.dirty_queue.len() > self.cap
+                        && inner.writer_alive
+                        && inner.write_error.is_none()
+                    {
                         inner = self
                             .shared
                             .resolved
                             .wait(inner)
                             .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    // Writer dead or parked on an error: bound the buffer
+                    // by draining on this thread; the deferred error still
+                    // surfaces on the next take/fetch_many/flush.
+                    if inner.dirty_queue.len() > self.cap {
+                        self.drain_dirty_sync(&mut inner)?;
                     }
                     self.metrics.add(Phase::SpillIo, t.elapsed());
                 }
@@ -1269,6 +1297,12 @@ impl BlockStore for SpillStore {
     fn fetch_many(&self, slots: &[usize]) -> Result<Vec<CompressedBlock>, SimError> {
         let inner = self.shared.lock();
         let (mut inner, waited) = self.wait_pending(inner, slots);
+        // The wave paths fetch exclusively through here: surface a
+        // deferred write-behind failure exactly as `take` does, instead
+        // of letting it sit unreported until a checkpoint flush.
+        if let Some(e) = inner.write_error.take() {
+            return Err(SimError::Spill(e));
+        }
         for &slot in slots {
             inner.policy.note_access(slot);
         }
@@ -1416,6 +1450,12 @@ impl BlockStore for SpillStore {
         inner.resident_bytes + inner.staged_bytes + inner.dirty_bytes
     }
 
+    /// Residents only: staging and dirty occupancy depend on background
+    /// thread timing, so they are excluded from the deterministic count.
+    fn hot_bytes(&self) -> u64 {
+        self.shared.lock().resident_bytes
+    }
+
     fn compressed_bytes(&self) -> u64 {
         let inner = self.shared.lock();
         // Staged blocks are copies of spilled frames, already counted in
@@ -1557,9 +1597,12 @@ fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
         if inner.write_error.is_some() || inner.dirty_queue.is_empty() {
             return;
         }
-        // Snapshot the whole queued run for one shard; consecutive runs
-        // rotate shards so coalesced writes land on distinct directories.
-        let run: Vec<usize> = inner.dirty_queue.drain(..).collect();
+        // Snapshot at most a residency budget of queued blocks for one
+        // shard; consecutive runs rotate shards so coalesced writes land
+        // on distinct directories (a longer backlog drains as several
+        // runs, each on the next shard).
+        let n = inner.dirty_queue.len().min(inner.run_cap);
+        let run: Vec<usize> = inner.dirty_queue.drain(..n).collect();
         let shard_idx = (inner.spill_seq % inner.shards.len() as u64) as usize;
         inner.spill_seq += 1;
         // (slot, generation, block copy): the block stays in the slot so
@@ -1790,6 +1833,10 @@ pub(crate) mod trace {
 
         fn resident_bytes(&self) -> u64 {
             self.inner.resident_bytes()
+        }
+
+        fn hot_bytes(&self) -> u64 {
+            self.inner.hot_bytes()
         }
 
         fn compressed_bytes(&self) -> u64 {
@@ -2471,10 +2518,129 @@ mod tests {
         s.debug_wait_written();
         assert_eq!(s.debug_dirty_len(), 1);
         assert_eq!(s.resident_bytes(), resident_only + 3 * 1024);
+        // The deterministic count excludes both background buffers: only
+        // foreground residents (unchanged by the take/put cycle — every
+        // block is 1024 bytes) are charged against the memory budget.
+        assert_eq!(s.hot_bytes(), resident_only);
         // And the total never double-counts: staged copies mirror spilled
         // payloads, dirty blocks are pre-durability residents.
         assert_eq!(s.compressed_bytes(), (n as u64) * 1024);
         s.debug_set_write_fault(false, false);
         let _ = s.flush_dirty();
+    }
+
+    #[test]
+    fn write_behind_error_surfaces_on_fetch_many() {
+        let metrics = Metrics::new();
+        let s = SpillStore::create_with(
+            &tmp_dir("wb-fetch-err"),
+            "r0",
+            1,
+            metrics.clone(),
+            (0..3).map(|i| Some(blk(i as u8, 64))).collect(),
+            SpillOptions {
+                write_behind: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        s.flush_dirty().unwrap();
+        s.debug_set_write_fault(true, false);
+        let b = s.take(0).unwrap();
+        s.put(0, b).unwrap();
+        s.debug_wait_written();
+        // The wave paths fetch through fetch_many: the deferred failure
+        // must surface there too, not wait for a checkpoint flush.
+        let err = s.fetch_many(&[1, 2]).unwrap_err();
+        assert!(
+            format!("{err}").contains("injected write-behind failure"),
+            "unexpected error: {err}"
+        );
+        s.debug_set_write_fault(false, false);
+        s.flush_dirty().unwrap();
+        for i in 0..3 {
+            assert_eq!(&s.peek(i).unwrap().bytes[..], &blk(i as u8, 64).bytes[..]);
+        }
+    }
+
+    #[test]
+    fn backpressure_does_not_deadlock_on_parked_write_error() {
+        let metrics = Metrics::new();
+        let s = SpillStore::create_with(
+            &tmp_dir("wb-backpressure-err"),
+            "r0",
+            1,
+            metrics.clone(),
+            (0..4).map(|i| Some(blk(i as u8, 64))).collect(),
+            SpillOptions {
+                write_behind: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        s.flush_dirty().unwrap();
+        let blocks = s.fetch_many(&[0, 1, 2]).unwrap();
+        s.debug_set_write_fault(true, false);
+        // Three puts against a 1-block budget while the writer parks on
+        // an injected failure: one of them overflows the dirty buffer.
+        // The backpressure wait must exit on the parked error and drain
+        // synchronously instead of waiting on the condvar forever.
+        for (slot, b) in blocks.into_iter().enumerate() {
+            s.put(slot, b).unwrap();
+        }
+        assert!(s.debug_dirty_len() <= 1, "dirty buffer left unbounded");
+        s.debug_set_write_fault(false, false);
+        // The deferred error still surfaces (at the latest on flush) —
+        // the synchronous fallback must not swallow it.
+        let mut surfaced = false;
+        for _ in 0..2 {
+            if let Err(e) = s.flush_dirty() {
+                assert!(format!("{e}").contains("injected write-behind failure"));
+                surfaced = true;
+                break;
+            }
+        }
+        assert!(surfaced, "parked write error was silently dropped");
+        s.flush_dirty().unwrap();
+        for i in 0..4 {
+            assert_eq!(&s.peek(i).unwrap().bytes[..], &blk(i as u8, 64).bytes[..]);
+        }
+    }
+
+    #[test]
+    fn write_behind_runs_rotate_across_shards() {
+        let metrics = Metrics::new();
+        let n = 10usize;
+        let dir = tmp_dir("wb-shards");
+        let s = SpillStore::create_with(
+            &dir,
+            "r0",
+            2,
+            metrics.clone(),
+            (0..n).map(|i| Some(blk(i as u8, 64 + i))).collect(),
+            SpillOptions {
+                write_behind: true,
+                shards: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        s.flush_dirty().unwrap();
+        // Eight evictions drained in runs capped at the residency budget
+        // (2): at least four runs, so rotation must have reached every
+        // shard — not one shard swallowing the whole backlog.
+        {
+            let inner = s.shared.lock();
+            for (k, shard) in inner.shards.iter().enumerate() {
+                assert!(shard.end > 0, "shard {k} never received a run");
+            }
+        }
+        let slots: Vec<usize> = (0..n).collect();
+        let blocks = s.fetch_many(&slots).unwrap();
+        for (&slot, b) in slots.iter().zip(&blocks) {
+            assert_eq!(&b.bytes[..], &blk(slot as u8, 64 + slot).bytes[..]);
+        }
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

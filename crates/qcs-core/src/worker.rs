@@ -226,6 +226,10 @@ pub(crate) struct WaveOut {
     /// Compressed bytes actually resident in memory after the wave (equal
     /// to `compressed_bytes` without an out-of-core tier).
     pub resident_bytes: u64,
+    /// Deterministic subset of `resident_bytes`: foreground residents
+    /// only, excluding the timing-dependent prefetch-staging and
+    /// write-behind buffers (see [`BlockStore::hot_bytes`]).
+    pub hot_bytes: u64,
 }
 
 /// Response half of the [`WorkerCmd`] protocol.
@@ -386,6 +390,7 @@ impl RankWorker {
             comm_bytes,
             compressed_bytes: self.store.compressed_bytes(),
             resident_bytes: self.store.resident_bytes(),
+            hot_bytes: self.store.hot_bytes(),
         }
     }
 
