@@ -1,9 +1,13 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
-//! Usage: `repro <experiment> [--csv-dir DIR]` where experiment is one of
-//! `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//! fig16 table2 table-spill ablation-cache ablation-qzstd ablation-ladder
-//! ablation-fusion all`.
+//! Usage: `repro <experiment> [--csv-dir DIR] [--remote]` where experiment
+//! is one of `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 fig15 fig16 table2 table-spill ablation-cache ablation-qzstd
+//! ablation-ladder ablation-fusion all`.
+//!
+//! `--remote` makes `fig5` host its rank workers in `qcsim-workerd`
+//! daemon loops over loopback TCP instead of in-process threads, so the
+//! ranks×threads sweep pays real socket exchanges.
 //!
 //! Each subcommand prints the rows/series the paper reports (at laptop
 //! scale — see DESIGN.md for the scaling map) and writes a CSV next to the
@@ -27,18 +31,21 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir = PathBuf::from("results");
+    let mut remote = false;
     let mut cmds = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--csv-dir" {
             csv_dir = PathBuf::from(it.next().expect("--csv-dir needs a value"));
+        } else if a == "--remote" {
+            remote = true;
         } else {
             cmds.push(a.clone());
         }
     }
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|table-spill|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR]"
+            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|table-spill|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR] [--remote]"
         );
         std::process::exit(2);
     }
@@ -73,7 +80,7 @@ fn main() {
         println!("\n=== {cmd} ===");
         match cmd.as_str() {
             "table1" => table1(&csv_dir),
-            "fig5" => fig5(&csv_dir),
+            "fig5" => fig5(&csv_dir, remote),
             "fig6" => fig6(&csv_dir),
             "fig7" => fig7(&csv_dir),
             "fig8" => fig8(&csv_dir),
@@ -136,7 +143,7 @@ fn table1(dir: &Path) {
 
 // --- Fig. 5: ranks x threads configuration sweep -------------------------
 
-fn fig5(dir: &Path) {
+fn fig5(dir: &Path, remote: bool) {
     // Paper: 35-qubit random circuit across (ranks/node x threads/rank)
     // with ranks*threads = 256 KNL threads; best at 128x2. Scaled: an
     // 18-qubit random circuit across real rank workers x rayon threads
@@ -144,6 +151,9 @@ fn fig5(dir: &Path) {
     // genuine `ClusterSim` rank workers on dedicated threads (ranks >= 2),
     // so the sweep trades real inter-rank compressed-block exchanges
     // against intra-rank rayon width — not just a thread-pool resize.
+    // With `--remote`, each configuration's ranks are instead hosted by a
+    // `qcsim-workerd` daemon loop on loopback TCP: commands, responses,
+    // and exchange payloads all cross real sockets.
     let budget_cores = 16usize;
     let circuit = random_circuit(Grid::new(3, 6), 8, 5);
     let n = circuit.num_qubits() as u32;
@@ -161,18 +171,30 @@ fn fig5(dir: &Path) {
         let threads = budget_cores / ranks;
         // Paper-shape reproduction: measure the strict gate-at-a-time
         // pipeline (the batch scheduler is compared in ablation-fusion).
-        let cfg = SimConfig::default()
+        let mut cfg = SimConfig::default()
             .with_block_log2(10)
             .with_ranks_log2(ranks_log2)
             .with_threads_per_rank(threads)
             .without_cache()
             .without_fusion();
+        let server = if remote {
+            let (addr, handle) = qcs_core::spawn_loopback(ranks, qcs_core::ServeOptions::default())
+                .expect("spawn loopback daemon");
+            cfg = cfg.with_remote(vec![addr]);
+            Some(handle)
+        } else {
+            None
+        };
         let mut sim = CompressedSimulator::new(n, cfg).expect("sim");
         let mut rng = StdRng::seed_from_u64(0);
         let t0 = Instant::now();
         sim.run(&circuit, &mut rng).expect("run");
         let elapsed = t0.elapsed().as_secs_f64();
         let report = sim.report();
+        drop(sim);
+        if let Some(handle) = server {
+            handle.join().expect("daemon loop");
+        }
         let base = *baseline.get_or_insert(elapsed);
         t.row(vec![
             format!("{ranks}x{threads}"),
@@ -183,7 +205,7 @@ fn fig5(dir: &Path) {
             format!("{:.2}", report.exchanges_per_gate()),
         ]);
     }
-    finish(&t, dir, "fig5");
+    finish(&t, dir, if remote { "fig5-remote" } else { "fig5" });
     println!("paper shape: a mid-sweep optimum (128 ranks x 2 threads best of 8x32..256x1); comm grows with the rank count");
 }
 

@@ -102,11 +102,18 @@ fn is_diagonal_phase(g: &qcs_statevec::Gate1) -> bool {
 /// Re-orient a controlled diagonal-phase gate onto its lowest qubit (a
 /// no-op for other gates). Lower targets route cheaper: intra-block beats
 /// inter-block beats inter-rank.
+///
+/// Total over every [`BatchGate`]: a gate with an empty controls list
+/// (legal at construction — it degrades to the bare single-qubit gate)
+/// has nothing to re-orient and passes through untouched.
 fn retarget_diagonal(op: &mut BatchGate) {
-    if op.controls.is_empty() || !is_diagonal_phase(&op.gate) {
+    if !is_diagonal_phase(&op.gate) {
         return;
     }
-    let lowest = op.controls.iter().copied().min().unwrap().min(op.target);
+    let lowest = match op.controls.iter().copied().min() {
+        Some(c) => c.min(op.target),
+        None => return,
+    };
     if lowest == op.target {
         return;
     }
@@ -941,6 +948,41 @@ mod tests {
             s.run_dense(&mut st, &mut rng2);
             st
         };
+        assert!(fidelity(&direct, &scheduled) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn empty_controls_list_degrades_to_single_qubit() {
+        use qcs_statevec::GateKind;
+        // A MultiControlled op with zero controls is legal at construction
+        // and must schedule as the bare single-qubit gate — in particular
+        // the diagonal-retarget pass must not assume a non-empty list.
+        let mut bare = qcs_statevec::BatchGate::controlled(Gate1::t(), vec![], 3);
+        retarget_diagonal(&mut bare);
+        assert_eq!((bare.target, bare.controls.as_slice()), (3, &[][..]));
+
+        let mut c = Circuit::new(5);
+        c.push(Op::MultiControlled {
+            gate: GateKind::T, // diagonal phase: exercises the retarget pass
+            controls: vec![],
+            target: 4,
+        });
+        let s = schedule_circuit(&c, &FusionPolicy::for_block(2));
+        let g = match &s.items()[0] {
+            ScheduledOp::Gate(g) => g,
+            other => panic!("expected a plain gate, got {other:?}"),
+        };
+        assert_eq!((g.op.target, g.op.controls.as_slice()), (4, &[][..]));
+
+        // Observationally identical to the plain T on qubit 4.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut direct = StateVector::zero_state(5);
+        for q in 0..5 {
+            direct.apply_gate(&Gate1::h(), q);
+        }
+        let mut scheduled = direct.clone();
+        direct.apply_gate(&Gate1::t(), 4);
+        s.run_dense(&mut scheduled, &mut rng);
         assert!(fidelity(&direct, &scheduled) > 1.0 - 1e-12);
     }
 

@@ -27,8 +27,55 @@
 //! command loop, so `rank workers × rayon threads` reproduces the paper's
 //! ranks-per-node × threads-per-rank configuration space (Fig. 5).
 
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
+
+/// Phase of the scatter/gather protocol in which a rank was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPhase {
+    /// The command could not be delivered: the rank's worker loop has
+    /// already exited (its thread panicked on an earlier wave or the
+    /// remote connection behind it closed).
+    Dispatch,
+    /// The worker accepted the command but died before producing its
+    /// response (it panicked mid-wave, or its link dropped mid-wave).
+    Gather,
+}
+
+impl fmt::Display for ClusterPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterPhase::Dispatch => write!(f, "dispatch"),
+            ClusterPhase::Gather => write!(f, "gather"),
+        }
+    }
+}
+
+/// Typed failure of a collective wave: one rank's worker is gone.
+///
+/// Locally this means a worker thread panicked; over a socket transport it
+/// additionally covers a dropped or timed-out connection — routine enough
+/// that it must surface as an `Err` to the facade, never as a panic that
+/// poisons the orchestrator thread. After a `ClusterError` the wave's
+/// results are lost and the [`ClusterSim`] must be torn down (later waves
+/// would gather stale responses); the facade maps this into its own fatal
+/// error type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterError {
+    /// Rank whose worker was lost.
+    pub rank: usize,
+    /// Protocol phase in which the loss was detected.
+    pub phase: ClusterPhase,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} worker lost during {}", self.rank, self.phase)
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// A per-rank execution unit driven by [`ClusterSim`].
 ///
@@ -68,6 +115,42 @@ impl<M> Duplex<M> {
     /// Receive the next message from the peer, blocking until one arrives.
     /// Returns `None` when the peer endpoint was dropped, which callers
     /// must treat as a failed exchange (never as end-of-data).
+    pub fn recv(&self) -> Option<M> {
+        self.rx.recv().ok()
+    }
+
+    /// Split the endpoint into independently owned send/receive halves.
+    ///
+    /// A transport bridge needs this: one thread drains the receive half
+    /// into a socket while another feeds the send half from it, and
+    /// dropping the send half alone signals end-of-exchange to the peer
+    /// without tearing down the drain.
+    pub fn split(self) -> (DuplexTx<M>, DuplexRx<M>) {
+        (DuplexTx { tx: self.tx }, DuplexRx { rx: self.rx })
+    }
+}
+
+/// Send half of a split [`Duplex`] endpoint.
+#[derive(Debug)]
+pub struct DuplexTx<M> {
+    tx: Sender<M>,
+}
+
+impl<M> DuplexTx<M> {
+    /// Send a message to the peer; `false` when the peer endpoint is gone.
+    pub fn send(&self, msg: M) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+}
+
+/// Receive half of a split [`Duplex`] endpoint.
+#[derive(Debug)]
+pub struct DuplexRx<M> {
+    rx: Receiver<M>,
+}
+
+impl<M> DuplexRx<M> {
+    /// Receive the next message; `None` when the peer endpoint is gone.
     pub fn recv(&self) -> Option<M> {
         self.rx.recv().ok()
     }
@@ -158,27 +241,40 @@ impl<W: Worker> ClusterSim<W> {
     /// so commands that rendezvous through [`Duplex`] links (inter-rank
     /// exchanges) cannot deadlock on dispatch order.
     ///
-    /// # Panics
-    /// Panics when a worker thread has died (a worker panicked mid-wave).
-    pub fn dispatch(&self, cmds: Vec<W::Cmd>) -> Vec<W::Resp> {
+    /// # Errors
+    /// Returns [`ClusterError`] naming the first rank whose worker is gone
+    /// and the phase that detected it. Unsent commands of the wave are
+    /// dropped (which unblocks any peers waiting on `Duplex` endpoints
+    /// they carried), and the orchestrator must not be reused afterwards:
+    /// surviving ranks' responses stay queued and would desynchronize
+    /// later waves.
+    pub fn dispatch(&self, cmds: Vec<W::Cmd>) -> Result<Vec<W::Resp>, ClusterError> {
         assert_eq!(cmds.len(), self.ranks(), "one command per rank");
         for (rank, cmd) in cmds.into_iter().enumerate() {
-            self.cmd_txs[rank]
-                .send(cmd)
-                .unwrap_or_else(|_| panic!("rank {rank} worker is gone"));
+            if self.cmd_txs[rank].send(cmd).is_err() {
+                return Err(ClusterError {
+                    rank,
+                    phase: ClusterPhase::Dispatch,
+                });
+            }
         }
         self.resp_rxs
             .iter()
             .enumerate()
             .map(|(rank, rx)| {
-                rx.recv()
-                    .unwrap_or_else(|_| panic!("rank {rank} worker died mid-wave"))
+                rx.recv().map_err(|_| ClusterError {
+                    rank,
+                    phase: ClusterPhase::Gather,
+                })
             })
             .collect()
     }
 
     /// Scatter a clone of `cmd` to every rank and gather the responses.
-    pub fn broadcast(&self, cmd: W::Cmd) -> Vec<W::Resp>
+    ///
+    /// # Errors
+    /// Propagates [`ClusterError`] exactly like [`ClusterSim::dispatch`].
+    pub fn broadcast(&self, cmd: W::Cmd) -> Result<Vec<W::Resp>, ClusterError>
     where
         W::Cmd: Clone,
     {
@@ -191,8 +287,8 @@ impl<W: Worker> Drop for ClusterSim<W> {
         // Closing the command channels ends each worker loop.
         self.cmd_txs.clear();
         for handle in self.handles.drain(..) {
-            // A worker that panicked already surfaced the panic at the
-            // dispatch that hit it; ignore the poisoned join here.
+            // A worker that panicked already surfaced as a `ClusterError`
+            // at the wave that hit it; ignore the poisoned join here.
             let _ = handle.join();
         }
     }
@@ -216,19 +312,23 @@ mod tests {
 
     impl Worker for Toy {
         type Cmd = ToyCmd;
-        type Resp = u64;
-        fn handle(&mut self, cmd: ToyCmd) -> u64 {
+        type Resp = Result<u64, String>;
+        fn handle(&mut self, cmd: ToyCmd) -> Result<u64, String> {
             match cmd {
                 ToyCmd::Add(v) => {
                     self.value += v;
-                    self.value
+                    Ok(self.value)
                 }
-                ToyCmd::Read => self.value,
+                ToyCmd::Read => Ok(self.value),
                 ToyCmd::ExchangeSum(link) => {
-                    assert!(link.send(self.value));
-                    let peer = link.recv().expect("peer alive");
+                    if !link.send(self.value) {
+                        return Err("peer gone before send".into());
+                    }
+                    let peer = link
+                        .recv()
+                        .ok_or_else(|| "peer dropped mid-exchange".to_string())?;
                     self.value += peer;
-                    self.value
+                    Ok(self.value)
                 }
             }
         }
@@ -239,18 +339,26 @@ mod tests {
         ClusterSim::new(workers, Some(1))
     }
 
+    fn unwrap_wave(out: Vec<Result<u64, String>>) -> Vec<u64> {
+        out.into_iter().map(|r| r.expect("toy wave")).collect()
+    }
+
     #[test]
     fn dispatch_routes_per_rank_and_gathers_in_order() {
         let c = cluster(4);
-        let out = c.dispatch(vec![
-            ToyCmd::Add(10),
-            ToyCmd::Add(20),
-            ToyCmd::Add(30),
-            ToyCmd::Add(40),
-        ]);
-        assert_eq!(out, vec![10, 21, 32, 43]);
-        let again = c.dispatch(vec![ToyCmd::Read, ToyCmd::Read, ToyCmd::Read, ToyCmd::Read]);
-        assert_eq!(again, vec![10, 21, 32, 43]);
+        let out = c
+            .dispatch(vec![
+                ToyCmd::Add(10),
+                ToyCmd::Add(20),
+                ToyCmd::Add(30),
+                ToyCmd::Add(40),
+            ])
+            .expect("wave");
+        assert_eq!(unwrap_wave(out), vec![10, 21, 32, 43]);
+        let again = c
+            .dispatch(vec![ToyCmd::Read, ToyCmd::Read, ToyCmd::Read, ToyCmd::Read])
+            .expect("wave");
+        assert_eq!(unwrap_wave(again), vec![10, 21, 32, 43]);
     }
 
     #[test]
@@ -259,13 +367,58 @@ mod tests {
         // Pair (0,1) and (2,3): each pair swaps and sums.
         let (a0, a1) = duplex();
         let (b0, b1) = duplex();
-        let out = c.dispatch(vec![
-            ToyCmd::ExchangeSum(a0),
-            ToyCmd::ExchangeSum(a1),
-            ToyCmd::ExchangeSum(b0),
-            ToyCmd::ExchangeSum(b1),
-        ]);
-        assert_eq!(out, vec![1, 1, 5, 5]);
+        let out = c
+            .dispatch(vec![
+                ToyCmd::ExchangeSum(a0),
+                ToyCmd::ExchangeSum(a1),
+                ToyCmd::ExchangeSum(b0),
+                ToyCmd::ExchangeSum(b1),
+            ])
+            .expect("wave");
+        assert_eq!(unwrap_wave(out), vec![1, 1, 5, 5]);
+    }
+
+    #[test]
+    fn dropped_exchange_peer_is_a_typed_worker_error_not_a_panic() {
+        let c = cluster(2);
+        // Rank 1 gets an exchange link whose peer endpoint is dropped
+        // immediately — the stand-in for a remote rank vanishing mid-wave.
+        let (alive, orphan) = duplex();
+        drop(alive);
+        let out = c
+            .dispatch(vec![ToyCmd::Read, ToyCmd::ExchangeSum(orphan)])
+            .expect("wave still gathers");
+        assert_eq!(out[0], Ok(0));
+        assert!(out[1].as_ref().is_err_and(|e| e.contains("peer")));
+    }
+
+    #[test]
+    fn lost_worker_thread_surfaces_as_cluster_error() {
+        struct Fragile;
+        impl Worker for Fragile {
+            type Cmd = bool;
+            type Resp = u64;
+            fn handle(&mut self, die: bool) -> u64 {
+                assert!(!die, "fragile worker told to die");
+                7
+            }
+        }
+        let c = ClusterSim::new(vec![Fragile, Fragile], Some(1));
+        // Rank 1's worker panics mid-wave: the gather must report the rank
+        // and phase instead of propagating the panic.
+        let err = c.dispatch(vec![false, true]).expect_err("rank 1 died");
+        assert_eq!(
+            err,
+            ClusterError {
+                rank: 1,
+                phase: ClusterPhase::Gather
+            }
+        );
+        assert_eq!(err.to_string(), "rank 1 worker lost during gather");
+        // The dead rank is now unreachable at dispatch time too.
+        let err = c.dispatch(vec![false, false]).expect_err("rank 1 gone");
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.phase, ClusterPhase::Dispatch);
     }
 
     #[test]
@@ -279,6 +432,22 @@ mod tests {
     }
 
     #[test]
+    fn split_halves_work_independently() {
+        let (a, b) = duplex::<u64>();
+        let (btx, brx) = b.split();
+        assert!(a.send(3));
+        assert_eq!(brx.recv(), Some(3));
+        assert!(btx.send(4));
+        assert_eq!(a.recv(), Some(4));
+        // Dropping only the send half ends the peer's receive stream while
+        // our own receive half keeps draining.
+        assert!(a.send(5));
+        drop(btx);
+        assert_eq!(a.recv(), None);
+        assert_eq!(brx.recv(), Some(5));
+    }
+
+    #[test]
     fn workers_run_on_dedicated_threads() {
         struct ThreadProbe;
         impl Worker for ThreadProbe {
@@ -289,17 +458,17 @@ mod tests {
             }
         }
         let c = ClusterSim::new(vec![ThreadProbe, ThreadProbe], None);
-        let names = c.dispatch(vec![(), ()]);
+        let names = c.dispatch(vec![(), ()]).expect("wave");
         assert_eq!(names, vec!["qcs-rank-0", "qcs-rank-1"]);
     }
 
     #[test]
     fn state_persists_across_waves_per_rank() {
         let c = cluster(2);
-        c.dispatch(vec![ToyCmd::Add(5), ToyCmd::Add(5)]);
-        c.dispatch(vec![ToyCmd::Add(5), ToyCmd::Add(5)]);
-        let out = c.dispatch(vec![ToyCmd::Read, ToyCmd::Read]);
-        assert_eq!(out, vec![10, 11]);
+        c.dispatch(vec![ToyCmd::Add(5), ToyCmd::Add(5)]).unwrap();
+        c.dispatch(vec![ToyCmd::Add(5), ToyCmd::Add(5)]).unwrap();
+        let out = c.dispatch(vec![ToyCmd::Read, ToyCmd::Read]).expect("wave");
+        assert_eq!(unwrap_wave(out), vec![10, 11]);
         assert_eq!(c.ranks(), 2);
     }
 }

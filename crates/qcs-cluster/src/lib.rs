@@ -23,6 +23,8 @@ pub mod exec;
 pub mod metrics;
 pub mod topology;
 
-pub use exec::{duplex, ClusterSim, Duplex, Worker};
+pub use exec::{
+    duplex, ClusterError, ClusterPhase, ClusterSim, Duplex, DuplexRx, DuplexTx, Worker,
+};
 pub use metrics::{Metrics, Phase, TimeBreakdown};
 pub use topology::{max_qubits_for_memory, ControlScope, Layout, Route};

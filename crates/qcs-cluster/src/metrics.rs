@@ -294,6 +294,36 @@ impl Metrics {
         let mut inner = self.inner.lock();
         *inner = Inner::default();
     }
+
+    /// Fold a remote worker's [`TimeBreakdown`] delta into this
+    /// accumulator. A socket transport keeps one `Metrics` per daemon-side
+    /// worker and ships `breakdown` *differences* with each response; the
+    /// coordinator absorbs them here so `bytes_exchanged`, `comm_ns`, and
+    /// the rest of the Table 2 rows flow through a wire hop unchanged.
+    pub fn absorb(&self, d: &TimeBreakdown) {
+        let mut inner = self.inner.lock();
+        inner.durations[Phase::Compression as usize] += d.compression;
+        inner.durations[Phase::Decompression as usize] += d.decompression;
+        inner.durations[Phase::Communication as usize] += d.communication;
+        inner.durations[Phase::Computation as usize] += d.computation;
+        inner.durations[Phase::SpillIo as usize] += d.spill_io;
+        inner.durations[Phase::Prefetch as usize] += d.prefetch;
+        inner.durations[Phase::WriteBehind as usize] += d.write_behind;
+        inner.comm_bytes += d.comm_bytes;
+        inner.exchanges += d.exchanges;
+        inner.block_touches += d.block_touches;
+        inner.batched_gate_applications += d.batched_gate_applications;
+        inner.spills += d.spills;
+        inner.fetches += d.fetches;
+        inner.spill_bytes += d.spill_bytes;
+        inner.fetch_bytes += d.fetch_bytes;
+        inner.prefetch_hits += d.prefetch_hits;
+        inner.prefetch_misses += d.prefetch_misses;
+        inner.blocking_fetch_bytes += d.blocking_fetch_bytes;
+        inner.overlapped_fetch_bytes += d.overlapped_fetch_bytes;
+        inner.write_behind_spills += d.write_behind_spills;
+        inner.write_behind_bytes += d.write_behind_bytes;
+    }
 }
 
 /// Immutable snapshot of the phase timings (Table 2 rows).
@@ -347,6 +377,47 @@ pub struct TimeBreakdown {
 }
 
 impl TimeBreakdown {
+    /// What happened since `earlier`: the field-wise difference between
+    /// two snapshots of the same monotonically growing accumulator
+    /// (saturating, so a reset in between degrades to zeros rather than
+    /// wrapping). This is the unit a remote worker ships per response —
+    /// see [`Metrics::absorb`].
+    pub fn delta(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compression: self.compression.saturating_sub(earlier.compression),
+            decompression: self.decompression.saturating_sub(earlier.decompression),
+            communication: self.communication.saturating_sub(earlier.communication),
+            computation: self.computation.saturating_sub(earlier.computation),
+            spill_io: self.spill_io.saturating_sub(earlier.spill_io),
+            prefetch: self.prefetch.saturating_sub(earlier.prefetch),
+            write_behind: self.write_behind.saturating_sub(earlier.write_behind),
+            comm_bytes: self.comm_bytes.saturating_sub(earlier.comm_bytes),
+            exchanges: self.exchanges.saturating_sub(earlier.exchanges),
+            block_touches: self.block_touches.saturating_sub(earlier.block_touches),
+            batched_gate_applications: self
+                .batched_gate_applications
+                .saturating_sub(earlier.batched_gate_applications),
+            spills: self.spills.saturating_sub(earlier.spills),
+            fetches: self.fetches.saturating_sub(earlier.fetches),
+            spill_bytes: self.spill_bytes.saturating_sub(earlier.spill_bytes),
+            fetch_bytes: self.fetch_bytes.saturating_sub(earlier.fetch_bytes),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetch_misses: self.prefetch_misses.saturating_sub(earlier.prefetch_misses),
+            blocking_fetch_bytes: self
+                .blocking_fetch_bytes
+                .saturating_sub(earlier.blocking_fetch_bytes),
+            overlapped_fetch_bytes: self
+                .overlapped_fetch_bytes
+                .saturating_sub(earlier.overlapped_fetch_bytes),
+            write_behind_spills: self
+                .write_behind_spills
+                .saturating_sub(earlier.write_behind_spills),
+            write_behind_bytes: self
+                .write_behind_bytes
+                .saturating_sub(earlier.write_behind_bytes),
+        }
+    }
+
     /// Total across phases.
     pub fn total(&self) -> Duration {
         self.compression
@@ -566,6 +637,41 @@ mod tests {
         assert!((b.gates_per_block_touch() - 3.0).abs() < 1e-12);
         m.reset();
         assert_eq!(m.block_touches(), 0);
+    }
+
+    #[test]
+    fn delta_and_absorb_relay_remote_accounting() {
+        // The remote-worker flow: the daemon snapshots before and after a
+        // command, ships the delta, the coordinator absorbs it — the
+        // coordinator's totals must equal what a local run would record.
+        let daemon = Metrics::new();
+        daemon.add(Phase::Communication, Duration::from_millis(3));
+        daemon.add_comm_bytes(100);
+        let before = daemon.breakdown();
+        daemon.add(Phase::Communication, Duration::from_millis(7));
+        daemon.add(Phase::Computation, Duration::from_millis(2));
+        daemon.add_comm_bytes(250);
+        daemon.add_exchange();
+        daemon.add_fetch_blocking(64);
+        let delta = daemon.breakdown().delta(&before);
+        assert_eq!(delta.communication, Duration::from_millis(7));
+        assert_eq!(delta.comm_bytes, 250);
+        assert_eq!(delta.exchanges, 1);
+        assert_eq!(delta.fetches, 1);
+
+        let coordinator = Metrics::new();
+        coordinator.absorb(&delta);
+        coordinator.absorb(&delta);
+        let b = coordinator.breakdown();
+        assert_eq!(b.communication, Duration::from_millis(14));
+        assert_eq!(b.comm_bytes, 500);
+        assert_eq!(b.exchanges, 2);
+        assert_eq!(b.computation, Duration::from_millis(4));
+        assert_eq!(b.blocking_fetch_bytes, 128);
+        // A daemon reset between snapshots degrades to zeros, not a wrap.
+        daemon.reset();
+        let wrapped = daemon.breakdown().delta(&before);
+        assert_eq!(wrapped, TimeBreakdown::default());
     }
 
     #[test]

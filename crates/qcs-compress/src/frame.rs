@@ -44,6 +44,12 @@ pub const HEADER_LEN: usize = 26;
 /// treated as corruption rather than an allocation request.
 pub const MAX_PAYLOAD: usize = 1 << 30;
 
+/// Upper bound on the payload buffer reserved before any payload byte has
+/// been read (64 KiB). Larger payloads grow the buffer as bytes arrive, so
+/// the allocation a frame can demand is bounded by the input that actually
+/// backs it, not by its `payload_len` field.
+const PAYLOAD_ALLOC_CHUNK: usize = 64 * 1024;
+
 /// Errors surfaced while encoding or decoding frames.
 #[derive(Debug)]
 pub enum FrameError {
@@ -140,8 +146,19 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
         )));
     }
     let checksum = u64::from_le_bytes(header[18..26].try_into().expect("8 bytes"));
-    let mut payload = vec![0u8; payload_len];
-    r.read_exact(&mut payload)?;
+    // Never trust `payload_len` for an upfront allocation: the header may
+    // be truncated, corrupt, or network-supplied. Reserve at most one
+    // chunk and let `take` + `read_to_end` grow with bytes actually
+    // delivered, so a lying length field costs what the stream yields,
+    // not what the header claims.
+    let mut payload = Vec::with_capacity(payload_len.min(PAYLOAD_ALLOC_CHUNK));
+    let got = r.take(payload_len as u64).read_to_end(&mut payload)?;
+    if got < payload_len {
+        return Err(FrameError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("frame payload truncated: header claims {payload_len} bytes, stream had {got}"),
+        )));
+    }
     if fnv1a(&payload) != checksum {
         return Err(FrameError::Corrupt("payload checksum mismatch".into()));
     }
@@ -246,6 +263,35 @@ mod tests {
             read_frame(&mut buf.as_slice()),
             Err(FrameError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn lying_length_field_costs_only_the_bytes_present() {
+        // Header claims a 512 MiB payload (within MAX_PAYLOAD, so the cap
+        // check passes) but the stream carries 7 bytes. The reader must
+        // fail with UnexpectedEof after reserving at most one chunk —
+        // never the claimed half-gigabyte.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"0123456").unwrap();
+        buf[14..18].copy_from_slice(&(512u32 << 20).to_le_bytes());
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "{e}");
+            }
+            other => panic!("oversized length field accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_header_at_every_cut() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"x").unwrap();
+        for cut in 0..HEADER_LEN {
+            assert!(
+                matches!(read_frame(&mut &buf[..cut]), Err(FrameError::Io(_))),
+                "header cut at {cut} not detected"
+            );
+        }
     }
 
     #[test]

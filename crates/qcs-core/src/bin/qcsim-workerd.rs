@@ -1,0 +1,84 @@
+//! `qcsim-workerd` — the rank-worker daemon for multi-node simulation.
+//!
+//! Listens for coordinator connections and hosts one `RankWorker` per
+//! connection, built from the coordinator's handshake (rank, geometry,
+//! config, and the rank's initial compressed blocks). Point a simulator
+//! at one or more daemons with
+//! [`SimConfig::with_remote`](qcs_core::SimConfig::with_remote).
+//!
+//! ```text
+//! qcsim-workerd [--listen ADDR] [--max-conns N] [--spill-dir DIR]
+//! ```
+//!
+//! - `--listen` — bind address, default `127.0.0.1:0` (an ephemeral
+//!   loopback port; the bound address is printed on stdout).
+//! - `--max-conns` — exit after serving this many connections (default:
+//!   serve forever).
+//! - `--spill-dir` — where spilling ranks keep their segment directories
+//!   (default: the system temp directory).
+
+use qcs_core::ServeOptions;
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage(program: &str) -> String {
+    format!("usage: {program} [--listen ADDR] [--max-conns N] [--spill-dir DIR]")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let program = args.next().unwrap_or_else(|| "qcsim-workerd".into());
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut opts = ServeOptions::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage(&program)))
+        };
+        match arg.as_str() {
+            "--listen" => match value("--listen") {
+                Ok(v) => listen = v,
+                Err(e) => return fail(&e),
+            },
+            "--max-conns" => match value("--max-conns")
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--max-conns: {e}")))
+            {
+                Ok(v) => opts.max_conns = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--spill-dir" => match value("--spill-dir") {
+                Ok(v) => opts.spill_dir = Some(PathBuf::from(v)),
+                Err(e) => return fail(&e),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage(&program));
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other}\n{}", usage(&program))),
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("bind {listen}: {e}")),
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            // Scripts and tests read this line to learn the ephemeral port.
+            println!("qcsim-workerd listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => return fail(&format!("local_addr: {e}")),
+    }
+    if let Err(e) = qcs_core::serve(listener, opts) {
+        return fail(&format!("serve: {e}"));
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("qcsim-workerd: {msg}");
+    ExitCode::FAILURE
+}

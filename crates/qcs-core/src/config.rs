@@ -51,6 +51,49 @@ impl SpillConfig {
     }
 }
 
+/// Multi-node transport configuration: where the `qcsim-workerd` daemons
+/// listen and how connections to them are supervised. When set on a
+/// [`SimConfig`], every rank worker is hosted remotely — rank `r` dials
+/// `endpoints[r % endpoints.len()]`, so one daemon can host many ranks
+/// (the loopback Fig. 5 sweep) or each node can run its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteConfig {
+    /// Daemon addresses (`host:port`), at least one.
+    pub endpoints: Vec<String>,
+    /// Connection attempts per rank before giving up (minimum 1).
+    pub connect_attempts: u32,
+    /// Backoff before the first reconnect attempt, in milliseconds;
+    /// doubles per retry, capped at two seconds.
+    pub connect_backoff_ms: u64,
+    /// Read/write timeout installed on each rank's stream, in
+    /// milliseconds (`None` blocks forever). Generous by default: a wave
+    /// on a big state legitimately keeps the socket silent for a while.
+    pub io_timeout_ms: Option<u64>,
+}
+
+impl RemoteConfig {
+    /// Remote transport to `endpoints` with default supervision: 5
+    /// connect attempts backing off from 50 ms, 120 s I/O timeouts.
+    pub fn new(endpoints: Vec<String>) -> Self {
+        Self {
+            endpoints,
+            connect_attempts: 5,
+            connect_backoff_ms: 50,
+            io_timeout_ms: Some(120_000),
+        }
+    }
+
+    /// The [`qcs_net::ConnectPolicy`] these knobs describe.
+    pub fn connect_policy(&self) -> qcs_net::ConnectPolicy {
+        qcs_net::ConnectPolicy {
+            attempts: self.connect_attempts,
+            initial_backoff: std::time::Duration::from_millis(self.connect_backoff_ms),
+            read_timeout: self.io_timeout_ms.map(std::time::Duration::from_millis),
+            write_timeout: self.io_timeout_ms.map(std::time::Duration::from_millis),
+        }
+    }
+}
+
 /// Configuration for the compressed-block simulator.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -116,6 +159,11 @@ pub struct SimConfig {
     /// one more staged). Disable to reproduce the pull-on-demand tier
     /// where every cold block is a blocking seek-and-read.
     pub prefetch: bool,
+    /// Multi-node transport: when set, rank workers are hosted by
+    /// `qcsim-workerd` daemons at these endpoints instead of in-process
+    /// threads, with commands and compressed exchange payloads moving
+    /// over TCP. `None` (the default) keeps every rank in-process.
+    pub remote: Option<RemoteConfig>,
 }
 
 impl Default for SimConfig {
@@ -135,6 +183,7 @@ impl Default for SimConfig {
             max_batch_gates: qcs_circuits::schedule::MAX_BATCH_GATES,
             spill: None,
             prefetch: true,
+            remote: None,
         }
     }
 }
@@ -256,6 +305,16 @@ impl SimConfig {
         self
     }
 
+    /// Host every rank worker remotely, on `qcsim-workerd` daemons at
+    /// `endpoints` (rank `r` dials endpoint `r % endpoints.len()`), with
+    /// default connection supervision (see [`RemoteConfig::new`]).
+    pub fn with_remote<S: Into<String>>(mut self, endpoints: Vec<S>) -> Self {
+        self.remote = Some(RemoteConfig::new(
+            endpoints.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
     /// The scheduling policy this config induces.
     pub fn fusion_policy(&self) -> qcs_circuits::FusionPolicy {
         qcs_circuits::FusionPolicy {
@@ -297,6 +356,14 @@ impl SimConfig {
                 return Err("spill shard count must be at least 1".into());
             }
         }
+        if let Some(remote) = &self.remote {
+            if remote.endpoints.is_empty() {
+                return Err("remote transport needs at least one endpoint".into());
+            }
+            if remote.connect_attempts == 0 {
+                return Err("remote transport needs at least one connect attempt".into());
+            }
+        }
         Ok(())
     }
 }
@@ -326,6 +393,28 @@ mod tests {
         assert_eq!(c.ranks_log2, 2);
         assert_eq!(c.memory_budget, Some(1 << 20));
         assert_eq!(c.cache_lines, 0);
+    }
+
+    #[test]
+    fn remote_builders_and_validation() {
+        let c = SimConfig::default().with_remote(vec!["127.0.0.1:7401"]);
+        let remote = c.remote.as_ref().unwrap();
+        assert_eq!(remote.endpoints, vec!["127.0.0.1:7401".to_string()]);
+        assert_eq!(remote.connect_attempts, 5);
+        assert!(c.validate(16).is_ok());
+        let policy = remote.connect_policy();
+        assert_eq!(policy.attempts, 5);
+        assert_eq!(
+            policy.read_timeout,
+            Some(std::time::Duration::from_secs(120))
+        );
+        // No endpoints or no attempts cannot reach any daemon.
+        let bad = SimConfig::default().with_remote(Vec::<String>::new());
+        assert!(bad.validate(16).is_err());
+        let mut bad = SimConfig::default().with_remote(vec!["127.0.0.1:7401"]);
+        bad.remote.as_mut().unwrap().connect_attempts = 0;
+        assert!(bad.validate(16).is_err());
+        assert!(SimConfig::default().remote.is_none());
     }
 
     #[test]

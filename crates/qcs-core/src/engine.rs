@@ -80,6 +80,13 @@ pub enum SimError {
     Exchange(String),
     /// The out-of-core spill tier failed (segment I/O or a corrupt frame).
     Spill(String),
+    /// A collective wave lost a rank worker (thread death locally, or a
+    /// dropped/timed-out connection on a socket transport). Fatal for the
+    /// simulation: the wave's state updates are lost.
+    Cluster(qcs_cluster::ClusterError),
+    /// The socket transport failed outside a collective wave (connect,
+    /// handshake, or daemon-side setup).
+    Transport(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -90,6 +97,8 @@ impl std::fmt::Display for SimError {
             SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SimError::Exchange(m) => write!(f, "exchange error: {m}"),
             SimError::Spill(m) => write!(f, "spill error: {m}"),
+            SimError::Cluster(e) => write!(f, "cluster error: {e}"),
+            SimError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }
@@ -99,6 +108,12 @@ impl std::error::Error for SimError {}
 impl From<qcs_compress::CodecError> for SimError {
     fn from(e: qcs_compress::CodecError) -> Self {
         SimError::Codec(e)
+    }
+}
+
+impl From<qcs_cluster::ClusterError> for SimError {
+    fn from(e: qcs_cluster::ClusterError) -> Self {
+        SimError::Cluster(e)
     }
 }
 
@@ -214,6 +229,10 @@ enum Backend {
     Local(Box<RankWorker>, Option<rayon::ThreadPool>),
     /// `ranks_log2 >= 1`: one worker per rank on a dedicated thread.
     Cluster(ClusterSim<RankWorker>),
+    /// [`SimConfig::remote`] set: every rank worker is hosted by a
+    /// `qcsim-workerd` daemon over TCP; the cluster threads drive
+    /// [`crate::net::RemoteWorkerClient`] stubs instead of local workers.
+    Remote(ClusterSim<crate::net::RemoteWorkerClient>),
 }
 
 /// Run `f` under the local backend's pinned rayon width, if any.
@@ -354,6 +373,50 @@ impl CompressedSimulator {
             cfg.cache_auto_disable_after,
         ));
         let metrics = Metrics::new();
+
+        // Remote transport takes precedence over the in-process backends
+        // (even at one rank): the blocks ship to the daemons during the
+        // handshake, and no local stores are built at all — each daemon
+        // owns its rank's store (and spill directory, if any).
+        if let Some(remote) = cfg.remote.clone() {
+            let mut per_rank: Vec<Vec<Option<CompressedBlock>>> = Vec::with_capacity(ranks);
+            let mut rank_bytes = Vec::with_capacity(ranks);
+            let mut iter = blocks.into_iter();
+            for _ in 0..ranks {
+                let local: Vec<_> = iter.by_ref().take(bpr).collect();
+                rank_bytes.push(
+                    local
+                        .iter()
+                        .flatten()
+                        .map(|b| b.bytes.len() as u64)
+                        .sum::<u64>(),
+                );
+                per_rank.push(local);
+            }
+            let clients =
+                crate::net::connect_cluster(&remote, &cfg, layout, &per_rank, metrics.clone())?;
+            let mut sim = Self {
+                cfg,
+                layout,
+                codec,
+                cache,
+                metrics,
+                backend: Backend::Remote(ClusterSim::new(clients, None)),
+                rank_bytes: rank_bytes.clone(),
+                rank_resident: rank_bytes.clone(),
+                rank_hot: rank_bytes,
+                level,
+                ledger,
+                min_ratio: f64::INFINITY,
+                peak_memory: 0,
+                escalations: 0,
+                gates_applied: 0,
+                wall_time: Duration::ZERO,
+                _spill_guard: None,
+            };
+            sim.note_memory();
+            return Ok(sim);
+        }
 
         let spill_guard = match &cfg.spill {
             Some(spill) => Some(SegmentDirGuard::create(&spill.directory())?),
@@ -535,7 +598,15 @@ impl CompressedSimulator {
                 vec![with_pool(pool, || w.handle(cmd))?.wave()]
             }
             Backend::Cluster(c) => {
-                let resps = c.dispatch(cmds);
+                let resps = c.dispatch(cmds)?;
+                let mut outs = Vec::with_capacity(resps.len());
+                for resp in resps {
+                    outs.push(resp?.wave());
+                }
+                outs
+            }
+            Backend::Remote(c) => {
+                let resps = c.dispatch(cmds)?;
                 let mut outs = Vec::with_capacity(resps.len());
                 for resp in resps {
                     outs.push(resp?.wave());
@@ -588,7 +659,11 @@ impl CompressedSimulator {
             Backend::Local(w, pool) => Ok(vec![with_pool(pool, || w.query(make()))?]),
             Backend::Cluster(c) => {
                 let cmds = (0..c.ranks()).map(|_| make()).collect();
-                c.dispatch(cmds).into_iter().collect()
+                c.dispatch(cmds)?.into_iter().collect()
+            }
+            Backend::Remote(c) => {
+                let cmds = (0..c.ranks()).map(|_| make()).collect();
+                c.dispatch(cmds)?.into_iter().collect()
             }
         }
     }
@@ -609,7 +684,27 @@ impl CompressedSimulator {
                     })
                     .collect();
                 let mut out = None;
-                for (r, resp) in c.dispatch(cmds).into_iter().enumerate() {
+                for (r, resp) in c.dispatch(cmds)?.into_iter().enumerate() {
+                    let resp = resp?;
+                    if r == rank {
+                        out = Some(resp);
+                    }
+                }
+                Ok(out.expect("target rank answered"))
+            }
+            Backend::Remote(c) => {
+                let mut cmd = Some(cmd_for_rank);
+                let cmds = (0..c.ranks())
+                    .map(|r| {
+                        if r == rank {
+                            cmd.take().expect("one target rank")
+                        } else {
+                            WorkerCmd::Nop
+                        }
+                    })
+                    .collect();
+                let mut out = None;
+                for (r, resp) in c.dispatch(cmds)?.into_iter().enumerate() {
                     let resp = resp?;
                     if r == rank {
                         out = Some(resp);

@@ -97,6 +97,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod fidelity_bound;
+pub mod net;
 #[cfg(test)]
 mod plan_check;
 pub mod store;
@@ -104,9 +105,10 @@ mod worker;
 
 pub use block::{BlockCodec, CompressedBlock};
 pub use cache::BlockCache;
-pub use config::{SimConfig, SpillConfig};
+pub use config::{RemoteConfig, SimConfig, SpillConfig};
 pub use engine::{CompressedSimulator, SimError, SimReport};
 pub use fidelity_bound::{fidelity_curve, FidelityLedger};
+pub use net::{serve, spawn_loopback, ServeOptions};
 pub use store::{
     BlockStore, Eviction, EvictionPolicy, Lru, MemStore, PlannedMin, SegmentDirGuard, SpillOptions,
     SpillStore,

@@ -73,6 +73,18 @@
 //! otherwise-collective wave (an `MPI_Send` to one rank, dressed as a
 //! collective so the dispatch stays one-wave-one-gather).
 //!
+//! Each MPI-counterpart seam above also has a wire counterpart in
+//! [`crate::net`], used when [`SimConfig::remote`](crate::SimConfig)
+//! hosts the ranks in `qcsim-workerd` daemons over TCP: the
+//! `ClusterSim::dispatch` scatter becomes one `Cmd` frame per rank
+//! (every [`WorkerCmd`] variant has a binary encoding there), the gather
+//! becomes a `Done` frame carrying the [`WorkerOut`] plus the rank's
+//! metrics delta, and the exchange's [`Duplex`] link is bridged by
+//! `Relay` frames carrying the same compressed-block payloads. This
+//! module is oblivious to all of it — a daemon-hosted `RankWorker` runs
+//! these exact functions against a local duplex the connection's relay
+//! threads pump.
+//!
 //! Block storage is behind the [`BlockStore`] seam: a worker never holds
 //! raw block tables, so the same pipeline runs all-in-RAM (`MemStore`) or
 //! out-of-core (`SpillStore`, hot blocks resident under an LRU budget,
@@ -233,6 +245,7 @@ pub(crate) struct WaveOut {
 }
 
 /// Response half of the [`WorkerCmd`] protocol.
+#[derive(Debug)]
 pub(crate) enum WorkerOut {
     Wave(WaveOut),
     Scalar(f64),

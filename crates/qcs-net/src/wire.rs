@@ -1,0 +1,211 @@
+//! Compact little-endian field encoders/decoders for frame bodies.
+//!
+//! Encoding is append-only onto a `Vec<u8>` via the `put_*` free
+//! functions; decoding walks the body with a [`Cursor`] whose `take_*`
+//! methods fail with [`NetError::Corrupt`](crate::NetError)
+//! instead of panicking when the body is shorter than the message layout
+//! claims. All multi-byte integers and floats are little-endian, matching
+//! the block-frame format.
+
+use crate::NetError;
+
+/// Append a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its little-endian bit pattern.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (`u32`) byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// Forward-only reader over a frame body. Every `take_*` checks the
+/// remaining length first, so a short or malformed body decodes to a
+/// typed error rather than a slice panic.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading `body` from the beginning.
+    pub fn new(body: &'a [u8]) -> Self {
+        Self { body, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.body.len() - self.pos
+    }
+
+    /// Error unless every byte of the body has been consumed — catches
+    /// messages that decode "successfully" but were built for a newer,
+    /// longer layout.
+    pub fn finish(&self) -> Result<(), NetError> {
+        if self.remaining() != 0 {
+            return Err(NetError::Corrupt(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.remaining() < n {
+            return Err(NetError::Corrupt(format!(
+                "message truncated: wanted {n} more bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// The unconsumed tail of the body. Together with [`Cursor::skip`]
+    /// this lets a caller embed a foreign self-delimiting encoding (e.g. a
+    /// `qcs_compress` block frame) inside a message: decode from `rest()`,
+    /// then `skip` however many bytes that decoder consumed.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.body[self.pos..]
+    }
+
+    /// Consume `n` bytes without interpreting them.
+    pub fn skip(&mut self, n: usize) -> Result<(), NetError> {
+        self.take(n).map(|_| ())
+    }
+
+    /// Read a `u8`.
+    pub fn take_u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a `u32` and bounds-check it as a `usize` count against the
+    /// bytes actually remaining (at `min_elem_size` bytes per element), so
+    /// a corrupt count cannot drive a huge allocation downstream.
+    pub fn take_count(&mut self, min_elem_size: usize) -> Result<usize, NetError> {
+        let n = self.take_u32()? as usize;
+        let floor = n.saturating_mul(min_elem_size.max(1));
+        if floor > self.remaining() {
+            return Err(NetError::Corrupt(format!(
+                "count {n} needs at least {floor} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], NetError> {
+        let n = self.take_count(1)?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, NetError> {
+        std::str::from_utf8(self.take_bytes()?)
+            .map_err(|e| NetError::Corrupt(format!("invalid utf-8 string: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u32(&mut buf, 123_456);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_f64(&mut buf, -0.125);
+        put_bytes(&mut buf, b"raw");
+        put_str(&mut buf, "qubits");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.take_u8().unwrap(), 0xAB);
+        assert_eq!(c.take_u32().unwrap(), 123_456);
+        assert_eq!(c.take_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(c.take_f64().unwrap(), -0.125);
+        assert_eq!(c.take_bytes().unwrap(), b"raw");
+        assert_eq!(c.take_str().unwrap(), "qubits");
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 9);
+        let mut c = Cursor::new(&buf[..2]);
+        assert!(matches!(c.take_u32(), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // claims ~4 billion elements
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(c.take_count(8), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 1);
+        put_u8(&mut buf, 2);
+        let mut c = Cursor::new(&buf);
+        c.take_u8().unwrap();
+        assert!(matches!(c.finish(), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn non_utf8_string_is_corrupt() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(c.take_str(), Err(NetError::Corrupt(_))));
+    }
+}
