@@ -1,0 +1,87 @@
+//! Criterion kernels for the segment-addressable partial path: whole-block
+//! decompress vs `decompress_range` over half the segments, and a
+//! whole-block recompress cycle vs splicing one edited segment run with
+//! `recompress_segments`, for Solutions C and D on a supremacy snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcs_bench::supremacy_snapshot;
+use qcs_compress::trunc::{SolutionC, SolutionD};
+use qcs_compress::{ErrorBound, PartialCodec, SegmentEdit, SegmentIndex};
+
+const BOUND: ErrorBound = ErrorBound::PointwiseRelative(1e-3);
+
+fn partial_codecs() -> Vec<(&'static str, Box<dyn PartialCodec>)> {
+    vec![
+        ("solution_c", Box::<SolutionC>::default()),
+        ("solution_d", Box::<SolutionD>::default()),
+    ]
+}
+
+/// Whole-stream decode vs decoding only the bit-set half of the segments
+/// (the shape a `P(qubit = 1)` query needs).
+fn bench_partial_decode(c: &mut Criterion) {
+    let snap = supremacy_snapshot(16, 0);
+    let mut group = c.benchmark_group("partial_decode_sup16");
+    group.throughput(Throughput::Bytes(snap.bytes() as u64));
+    group.sample_size(10);
+    for (name, codec) in partial_codecs() {
+        let enc = codec.compress(&snap.data, BOUND).unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        let half = index.n_segs() / 2;
+        group.bench_with_input(BenchmarkId::new("full", name), &enc, |b, enc| {
+            b.iter(|| codec.decompress(enc).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("half_range", name), &enc, |b, enc| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                codec
+                    .decompress_range(enc, half..index.n_segs(), &mut out)
+                    .unwrap();
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Whole-block decompress + recompress cycle vs decoding, editing, and
+/// splicing a single segment (the shape a high-control diagonal gate
+/// takes through the partial path).
+fn bench_partial_recompress(c: &mut Criterion) {
+    let snap = supremacy_snapshot(16, 0);
+    let mut group = c.benchmark_group("partial_recompress_sup16");
+    group.throughput(Throughput::Bytes(snap.bytes() as u64));
+    group.sample_size(10);
+    for (name, codec) in partial_codecs() {
+        let enc = codec.compress(&snap.data, BOUND).unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        let seg = index.n_segs() - 1;
+        group.bench_with_input(BenchmarkId::new("full_cycle", name), &enc, |b, enc| {
+            b.iter(|| {
+                let mut vals = codec.decompress(enc).unwrap();
+                for v in &mut vals {
+                    *v *= 1.0000000001;
+                }
+                codec.compress(&vals, BOUND).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("one_segment", name), &enc, |b, enc| {
+            b.iter(|| {
+                let mut vals = Vec::new();
+                codec
+                    .decompress_range(enc, seg..seg + 1, &mut vals)
+                    .unwrap();
+                for v in &mut vals {
+                    *v *= 1.0000000001;
+                }
+                codec
+                    .recompress_segments(enc, &[SegmentEdit::Replace { seg, values: &vals }], BOUND)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_decode, bench_partial_recompress);
+criterion_main!(benches);

@@ -74,6 +74,11 @@ struct Inner {
     overlapped_fetch_bytes: u64,
     write_behind_spills: u64,
     write_behind_bytes: u64,
+    partial_decodes: u64,
+    segments_decoded: u64,
+    segments_full: u64,
+    segment_bytes_read: u64,
+    segment_bytes_full: u64,
 }
 
 /// Thread-safe accumulator of per-phase wall time and communication volume.
@@ -218,6 +223,56 @@ impl Metrics {
         self.inner.lock().write_behind_bytes
     }
 
+    /// Record one block operation served by the segment-addressable fast
+    /// path: it decoded `segments` of the block's `segments_full` segments
+    /// and read `bytes` of the `bytes_full` a whole-block decode would
+    /// have touched. The `*_full` arguments accumulate the full-decode
+    /// *equivalents*, so `segments_decoded / segments_full` (and the byte
+    /// ratio) is exactly the fraction of codec/I/O work the partial path
+    /// paid relative to routing the same operations through whole-block
+    /// decodes.
+    pub fn add_partial_decode(
+        &self,
+        segments: u64,
+        segments_full: u64,
+        bytes: u64,
+        bytes_full: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.partial_decodes += 1;
+        inner.segments_decoded += segments;
+        inner.segments_full += segments_full;
+        inner.segment_bytes_read += bytes;
+        inner.segment_bytes_full += bytes_full;
+    }
+
+    /// Block operations served by the segment-addressable fast path.
+    pub fn partial_decodes(&self) -> u64 {
+        self.inner.lock().partial_decodes
+    }
+
+    /// Segments actually decoded by partial-path operations.
+    pub fn segments_decoded(&self) -> u64 {
+        self.inner.lock().segments_decoded
+    }
+
+    /// Segments a whole-block decode would have touched for the same
+    /// operations.
+    pub fn segments_full(&self) -> u64 {
+        self.inner.lock().segments_full
+    }
+
+    /// Compressed bytes the partial path actually read.
+    pub fn segment_bytes_read(&self) -> u64 {
+        self.inner.lock().segment_bytes_read
+    }
+
+    /// Compressed bytes a whole-block decode would have read for the same
+    /// operations.
+    pub fn segment_bytes_full(&self) -> u64 {
+        self.inner.lock().segment_bytes_full
+    }
+
     /// Record one block-touch (a decompress → compute → recompress cycle of
     /// one work unit) that applied `gates` gate kernels to the scratch.
     ///
@@ -286,6 +341,11 @@ impl Metrics {
             overlapped_fetch_bytes: inner.overlapped_fetch_bytes,
             write_behind_spills: inner.write_behind_spills,
             write_behind_bytes: inner.write_behind_bytes,
+            partial_decodes: inner.partial_decodes,
+            segments_decoded: inner.segments_decoded,
+            segments_full: inner.segments_full,
+            segment_bytes_read: inner.segment_bytes_read,
+            segment_bytes_full: inner.segment_bytes_full,
         }
     }
 
@@ -323,6 +383,11 @@ impl Metrics {
         inner.overlapped_fetch_bytes += d.overlapped_fetch_bytes;
         inner.write_behind_spills += d.write_behind_spills;
         inner.write_behind_bytes += d.write_behind_bytes;
+        inner.partial_decodes += d.partial_decodes;
+        inner.segments_decoded += d.segments_decoded;
+        inner.segments_full += d.segments_full;
+        inner.segment_bytes_read += d.segment_bytes_read;
+        inner.segment_bytes_full += d.segment_bytes_full;
     }
 }
 
@@ -374,6 +439,18 @@ pub struct TimeBreakdown {
     pub write_behind_spills: u64,
     /// Spill-tier bytes written by the background write-behind thread.
     pub write_behind_bytes: u64,
+    /// Block operations served by the segment-addressable fast path.
+    pub partial_decodes: u64,
+    /// Segments actually decoded by partial-path operations.
+    pub segments_decoded: u64,
+    /// Segments a whole-block decode would have touched for the same
+    /// operations.
+    pub segments_full: u64,
+    /// Compressed bytes the partial path actually read.
+    pub segment_bytes_read: u64,
+    /// Compressed bytes a whole-block decode would have read for the same
+    /// operations.
+    pub segment_bytes_full: u64,
 }
 
 impl TimeBreakdown {
@@ -415,6 +492,17 @@ impl TimeBreakdown {
             write_behind_bytes: self
                 .write_behind_bytes
                 .saturating_sub(earlier.write_behind_bytes),
+            partial_decodes: self.partial_decodes.saturating_sub(earlier.partial_decodes),
+            segments_decoded: self
+                .segments_decoded
+                .saturating_sub(earlier.segments_decoded),
+            segments_full: self.segments_full.saturating_sub(earlier.segments_full),
+            segment_bytes_read: self
+                .segment_bytes_read
+                .saturating_sub(earlier.segment_bytes_read),
+            segment_bytes_full: self
+                .segment_bytes_full
+                .saturating_sub(earlier.segment_bytes_full),
         }
     }
 
@@ -620,6 +708,30 @@ mod tests {
         m.reset();
         assert_eq!(m.write_behind_spills(), 0);
         assert_eq!(m.write_behind_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_decode_accounting_tracks_savings() {
+        let m = Metrics::new();
+        // Two partial operations: 2 of 8 segments, then 3 of 8.
+        m.add_partial_decode(2, 8, 200, 800);
+        m.add_partial_decode(3, 8, 300, 800);
+        assert_eq!(m.partial_decodes(), 2);
+        assert_eq!(m.segments_decoded(), 5);
+        assert_eq!(m.segments_full(), 16);
+        assert_eq!(m.segment_bytes_read(), 500);
+        assert_eq!(m.segment_bytes_full(), 1600);
+        let b = m.breakdown();
+        assert_eq!(b.partial_decodes, 2);
+        assert!(b.segments_decoded < b.segments_full);
+        assert!(b.segment_bytes_read < b.segment_bytes_full);
+        let delta = b.delta(&TimeBreakdown::default());
+        assert_eq!(delta.segments_decoded, 5);
+        let other = Metrics::new();
+        other.absorb(&delta);
+        assert_eq!(other.segment_bytes_full(), 1600);
+        m.reset();
+        assert_eq!(m.partial_decodes(), 0);
     }
 
     #[test]

@@ -183,21 +183,25 @@ impl<'a> BitReader<'a> {
 /// Little-endian byte-level helpers used by codec headers.
 pub mod bytes {
     /// Append a `u64` in little-endian order.
+    #[inline]
     pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Append a `u32` in little-endian order.
+    #[inline]
     pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Append an `f64` in little-endian order.
+    #[inline]
     pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
         buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Read a `u64` at `pos`, advancing `pos`.
+    #[inline]
     pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
         let bytes = buf.get(*pos..*pos + 8)?;
         *pos += 8;
@@ -205,6 +209,7 @@ pub mod bytes {
     }
 
     /// Read a `u32` at `pos`, advancing `pos`.
+    #[inline]
     pub fn get_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
         let bytes = buf.get(*pos..*pos + 4)?;
         *pos += 4;
@@ -212,6 +217,7 @@ pub mod bytes {
     }
 
     /// Read an `f64` at `pos`, advancing `pos`.
+    #[inline]
     pub fn get_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
         let bytes = buf.get(*pos..*pos + 8)?;
         *pos += 8;

@@ -17,6 +17,27 @@
 //! frame without parsing its payload and a writer knows a frame's on-disk
 //! footprint up front ([`encoded_len`]).
 //!
+//! # Frame version 2: segment-addressable payloads
+//!
+//! When the payload is a segmented stream (see [`crate::partial`]),
+//! [`write_frame`] automatically emits a version-2 frame:
+//!
+//! ```text
+//! magic "QCF2" (4) | codec u8 | bound tag u8 | bound magnitude f64 le
+//! | payload_len u32 le | prefix_len u32 le
+//! | checksum u64 le (FNV-1a over payload[..prefix_len]) | payload
+//! ```
+//!
+//! A v2 frame's checksum covers only the payload's *stream prefix* (the
+//! segmented header + per-segment index); the index's own per-segment
+//! FNV-1a checksums cover the bodies. That split is what makes byte-range
+//! reads possible — a reader can fetch `header + prefix`, verify both, and
+//! then fetch exactly the segment bodies it needs, each verified against
+//! its index entry — without ever materializing the whole payload.
+//! [`parse_header`] parses either version from a byte slice for exactly
+//! this path. Non-segmented payloads keep the version-1 format, and
+//! version-1 frames remain fully readable.
+//!
 //! ```
 //! use qcs_compress::frame::{read_frame, write_frame};
 //! use qcs_compress::{CodecId, ErrorBound};
@@ -35,10 +56,17 @@ use std::io::{Read, Write};
 /// Frame magic: "QCF" + format version 1.
 pub const MAGIC: [u8; 4] = *b"QCF1";
 
+/// Frame magic of version-2 (segment-addressable) frames.
+pub const MAGIC2: [u8; 4] = *b"QCF2";
+
 /// Fixed size of the frame header preceding the payload:
 /// magic 4 + codec 1 + bound tag 1 + bound magnitude 8 + payload_len 4
 /// + checksum 8.
 pub const HEADER_LEN: usize = 26;
+
+/// Fixed size of a version-2 frame header: [`HEADER_LEN`] plus the
+/// `prefix_len u32` field.
+pub const HEADER2_LEN: usize = 30;
 
 /// Largest payload a frame accepts (1 GiB): a length field beyond this is
 /// treated as corruption rather than an allocation request.
@@ -98,13 +126,26 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Total on-disk footprint of a frame with a `payload_len`-byte payload.
+/// Total on-disk footprint of a *version-1* frame with a
+/// `payload_len`-byte payload. Use [`encoded_len_of`] when you hold the
+/// payload itself, since segmented payloads get the larger v2 header.
 pub fn encoded_len(payload_len: usize) -> usize {
     HEADER_LEN + payload_len
 }
 
-/// Write one frame to `w`. Returns the number of bytes written
-/// (`encoded_len(payload.len())`).
+/// Total on-disk footprint [`write_frame`] will produce for `payload` —
+/// accounts for the automatic v1/v2 header selection.
+pub fn encoded_len_of(payload: &[u8]) -> usize {
+    match crate::partial::segmented_prefix_len(payload) {
+        Some(_) => HEADER2_LEN + payload.len(),
+        None => HEADER_LEN + payload.len(),
+    }
+}
+
+/// Write one frame to `w`. Segmented payloads (see [`crate::partial`]) get
+/// a version-2 header whose checksum covers only the stream prefix; any
+/// other payload gets the version-1 format. Returns the number of bytes
+/// written ([`encoded_len_of`]`(payload)`).
 pub fn write_frame<W: Write>(
     w: &mut W,
     codec: CodecId,
@@ -117,40 +158,123 @@ pub fn write_frame<W: Write>(
             payload.len()
         )));
     }
-    w.write_all(&MAGIC)?;
+    let prefix_len = crate::partial::segmented_prefix_len(payload);
+    w.write_all(if prefix_len.is_some() {
+        &MAGIC2
+    } else {
+        &MAGIC
+    })?;
     w.write_all(&[codec as u8, bound.tag()])?;
     w.write_all(&bound.magnitude().to_le_bytes())?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    match prefix_len {
+        Some(p) => {
+            w.write_all(&(p as u32).to_le_bytes())?;
+            w.write_all(&fnv1a(&payload[..p]).to_le_bytes())?;
+        }
+        None => w.write_all(&fnv1a(payload).to_le_bytes())?,
+    }
     w.write_all(payload)?;
-    Ok(encoded_len(payload.len()))
+    Ok(encoded_len_of(payload))
 }
 
-/// Read one frame from `r`, verifying magic, field validity, and the
-/// payload checksum.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
-    if header[..4] != MAGIC {
-        return Err(FrameError::Corrupt("bad magic".into()));
+/// A parsed frame header (either version), without its payload. This is
+/// the byte-range read path: parse the header from the head of a spilled
+/// frame, then fetch payload bytes selectively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameHeader {
+    /// Codec that produced the payload.
+    pub codec: CodecId,
+    /// Error bound the payload was compressed under.
+    pub bound: ErrorBound,
+    /// Payload byte length.
+    pub payload_len: usize,
+    /// For v2 frames, the length of the payload's stream prefix the
+    /// checksum covers; `None` for v1 frames (checksum covers the whole
+    /// payload).
+    pub prefix_len: Option<usize>,
+    /// Header byte length ([`HEADER_LEN`] or [`HEADER2_LEN`]); the payload
+    /// starts at this offset.
+    pub header_len: usize,
+    /// The frame checksum (over the whole payload for v1, over
+    /// `payload[..prefix_len]` for v2).
+    pub checksum: u64,
+}
+
+/// Parse a frame header (either version) from the head of `bytes`.
+pub fn parse_header(bytes: &[u8]) -> Result<FrameHeader, FrameError> {
+    if bytes.len() < 4 {
+        return Err(FrameError::Corrupt("truncated frame header".into()));
     }
-    let codec = CodecId::from_u8(header[4])
-        .ok_or_else(|| FrameError::Corrupt(format!("unknown codec id {}", header[4])))?;
-    let magnitude = f64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
-    let bound = ErrorBound::from_tag(header[5], magnitude)
-        .ok_or_else(|| FrameError::Corrupt(format!("unknown bound tag {}", header[5])))?;
-    let payload_len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    let (v2, header_len) = if bytes[..4] == MAGIC {
+        (false, HEADER_LEN)
+    } else if bytes[..4] == MAGIC2 {
+        (true, HEADER2_LEN)
+    } else {
+        return Err(FrameError::Corrupt("bad magic".into()));
+    };
+    if bytes.len() < header_len {
+        return Err(FrameError::Corrupt(format!(
+            "truncated frame header ({} of {header_len} bytes)",
+            bytes.len()
+        )));
+    }
+    let codec = CodecId::from_u8(bytes[4])
+        .ok_or_else(|| FrameError::Corrupt(format!("unknown codec id {}", bytes[4])))?;
+    let magnitude = f64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+    let bound = ErrorBound::from_tag(bytes[5], magnitude)
+        .ok_or_else(|| FrameError::Corrupt(format!("unknown bound tag {}", bytes[5])))?;
+    let payload_len = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
     if payload_len > MAX_PAYLOAD {
         return Err(FrameError::Corrupt(format!(
             "payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte frame cap"
         )));
     }
-    let checksum = u64::from_le_bytes(header[18..26].try_into().expect("8 bytes"));
+    let (prefix_len, checksum) = if v2 {
+        let p = u32::from_le_bytes(bytes[18..22].try_into().expect("4 bytes")) as usize;
+        if p > payload_len {
+            return Err(FrameError::Corrupt(format!(
+                "prefix length {p} exceeds payload length {payload_len}"
+            )));
+        }
+        (
+            Some(p),
+            u64::from_le_bytes(bytes[22..30].try_into().expect("8 bytes")),
+        )
+    } else {
+        (
+            None,
+            u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes")),
+        )
+    };
+    Ok(FrameHeader {
+        codec,
+        bound,
+        payload_len,
+        prefix_len,
+        header_len,
+        checksum,
+    })
+}
+
+/// Read one frame (either version) from `r`, verifying magic, field
+/// validity, and the frame checksum. For v2 frames the checksum covers
+/// only the payload's stream prefix; the per-segment checksums carried in
+/// that (verified) prefix protect the bodies and are enforced by the codec
+/// at decode time.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER2_LEN];
+    r.read_exact(&mut header[..HEADER_LEN])?;
+    if header[..4] == MAGIC2 {
+        r.read_exact(&mut header[HEADER_LEN..])?;
+    }
+    let parsed = parse_header(&header)?;
     // Never trust `payload_len` for an upfront allocation: the header may
     // be truncated, corrupt, or network-supplied. Reserve at most one
     // chunk and let `take` + `read_to_end` grow with bytes actually
     // delivered, so a lying length field costs what the stream yields,
     // not what the header claims.
+    let payload_len = parsed.payload_len;
     let mut payload = Vec::with_capacity(payload_len.min(PAYLOAD_ALLOC_CHUNK));
     let got = r.take(payload_len as u64).read_to_end(&mut payload)?;
     if got < payload_len {
@@ -159,12 +283,16 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
             format!("frame payload truncated: header claims {payload_len} bytes, stream had {got}"),
         )));
     }
-    if fnv1a(&payload) != checksum {
+    let covered = match parsed.prefix_len {
+        Some(p) => &payload[..p],
+        None => &payload[..],
+    };
+    if fnv1a(covered) != parsed.checksum {
         return Err(FrameError::Corrupt("payload checksum mismatch".into()));
     }
     Ok(Frame {
-        codec,
-        bound,
+        codec: parsed.codec,
+        bound: parsed.bound,
         payload,
     })
 }
@@ -290,6 +418,132 @@ mod tests {
             assert!(
                 matches!(read_frame(&mut &buf[..cut]), Err(FrameError::Io(_))),
                 "header cut at {cut} not detected"
+            );
+        }
+    }
+
+    fn segmented_payload() -> Vec<u8> {
+        use crate::codec::Codec;
+        let data: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.31).sin() * 1e-4).collect();
+        crate::trunc::SolutionC::default()
+            .compress(&data, ErrorBound::PointwiseRelative(1e-4))
+            .unwrap()
+    }
+
+    #[test]
+    fn segmented_payloads_get_v2_frames_and_round_trip() {
+        let payload = segmented_payload();
+        let mut buf = Vec::new();
+        let n = write_frame(
+            &mut buf,
+            CodecId::SolutionC,
+            ErrorBound::PointwiseRelative(1e-4),
+            &payload,
+        )
+        .unwrap();
+        assert_eq!(&buf[..4], &MAGIC2);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, encoded_len_of(&payload));
+        assert_eq!(n, HEADER2_LEN + payload.len());
+        let f = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(f.codec, CodecId::SolutionC);
+        assert_eq!(f.payload, payload);
+    }
+
+    #[test]
+    fn non_segmented_payloads_stay_v1() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, CodecId::Qzstd, ErrorBound::Lossless, b"plain").unwrap();
+        assert_eq!(&buf[..4], &MAGIC);
+        assert_eq!(encoded_len_of(b"plain"), HEADER_LEN + 5);
+    }
+
+    #[test]
+    fn parse_header_reads_both_versions() {
+        let payload = segmented_payload();
+        let prefix_len = crate::partial::segmented_prefix_len(&payload).unwrap();
+        let mut v2 = Vec::new();
+        write_frame(
+            &mut v2,
+            CodecId::SolutionC,
+            ErrorBound::PointwiseRelative(1e-4),
+            &payload,
+        )
+        .unwrap();
+        let h = parse_header(&v2).unwrap();
+        assert_eq!(h.codec, CodecId::SolutionC);
+        assert_eq!(h.payload_len, payload.len());
+        assert_eq!(h.prefix_len, Some(prefix_len));
+        assert_eq!(h.header_len, HEADER2_LEN);
+
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, CodecId::Qzstd, ErrorBound::Lossless, b"xyz").unwrap();
+        let h = parse_header(&v1).unwrap();
+        assert_eq!(h.payload_len, 3);
+        assert_eq!(h.prefix_len, None);
+        assert_eq!(h.header_len, HEADER_LEN);
+
+        assert!(parse_header(&v2[..3]).is_err());
+        assert!(parse_header(&v2[..HEADER2_LEN - 1]).is_err());
+        assert!(parse_header(b"XXXX????????????????????????????").is_err());
+    }
+
+    #[test]
+    fn v2_corrupt_prefix_rejected_by_frame() {
+        let payload = segmented_payload();
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            CodecId::SolutionC,
+            ErrorBound::PointwiseRelative(1e-4),
+            &payload,
+        )
+        .unwrap();
+        // Flip a bit inside the segment index (payload prefix).
+        buf[HEADER2_LEN + 10] ^= 0x04;
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Corrupt(m)) => assert!(m.contains("checksum"), "{m}"),
+            other => panic!("corrupt v2 prefix accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_corrupt_body_passes_frame_but_fails_codec() {
+        use crate::codec::Codec;
+        let payload = segmented_payload();
+        let prefix_len = crate::partial::segmented_prefix_len(&payload).unwrap();
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            CodecId::SolutionC,
+            ErrorBound::PointwiseRelative(1e-4),
+            &payload,
+        )
+        .unwrap();
+        // Flip a body bit: past the frame checksum's coverage, but caught by
+        // the per-segment checksum the codec enforces.
+        buf[HEADER2_LEN + prefix_len + 3] ^= 0x20;
+        let f = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(crate::trunc::SolutionC::default()
+            .decompress(&f.payload)
+            .is_err());
+    }
+
+    #[test]
+    fn v2_truncated_header_rejected() {
+        let payload = segmented_payload();
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            CodecId::SolutionC,
+            ErrorBound::PointwiseRelative(1e-4),
+            &payload,
+        )
+        .unwrap();
+        for cut in [4, HEADER_LEN, HEADER2_LEN - 1] {
+            assert!(
+                matches!(read_frame(&mut &buf[..cut]), Err(FrameError::Io(_))),
+                "v2 header cut at {cut} not detected"
             );
         }
     }

@@ -11,6 +11,7 @@
 //! Solution D adds a reshuffle step that separates real and imaginary parts
 //! (even/odd indices) before applying Solution C to each stream.
 
+mod segmented;
 mod solution_c;
 mod solution_d;
 

@@ -1,0 +1,179 @@
+//! Shared container engine for the segmented Solution C/D formats.
+//!
+//! Both codecs reuse the layout documented in [`crate::partial`]: a fixed
+//! header, a per-segment `(len, fnv)` index, then independently encoded
+//! segment bodies. This module owns the container mechanics — assembling,
+//! verifying, decoding, and splicing — while each codec supplies the
+//! per-slice encode/decode of its legacy body format.
+
+use crate::bitio::bytes;
+use crate::codec::CodecError;
+use crate::frame::fnv1a;
+use crate::partial::{SegmentEdit, SegmentIndex};
+
+/// The per-slice body decoder a codec lends to the container machinery.
+pub(crate) type DecodeSlice<'a> = &'a dyn Fn(&[u8]) -> Result<Vec<f64>, CodecError>;
+
+/// Assemble a segmented stream: split `data` every `seg_values` doubles
+/// and encode each slice with `encode_slice`.
+pub(crate) fn compress(
+    magic: u32,
+    data: &[f64],
+    seg_values: usize,
+    mut encode_slice: impl FnMut(&[f64]) -> Vec<u8>,
+) -> Vec<u8> {
+    let seg_values = seg_values.max(1);
+    let bodies: Vec<Vec<u8>> = data.chunks(seg_values).map(&mut encode_slice).collect();
+    let prefix_len = SegmentIndex::prefix_len_for(data.len(), seg_values);
+    let total: usize = bodies.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(prefix_len + total);
+    bytes::put_u32(&mut out, magic);
+    bytes::put_u64(&mut out, data.len() as u64);
+    bytes::put_u32(&mut out, seg_values as u32);
+    bytes::put_u32(&mut out, bodies.len() as u32);
+    for body in &bodies {
+        bytes::put_u32(&mut out, body.len() as u32);
+        bytes::put_u64(&mut out, fnv1a(body));
+    }
+    for body in &bodies {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Decode one segment body, verifying its length and checksum against the
+/// index entry and its value count against the segment's coverage.
+pub(crate) fn decode_segment(
+    index: &SegmentIndex,
+    seg: usize,
+    body: &[u8],
+    decode_slice: DecodeSlice<'_>,
+    out: &mut Vec<f64>,
+) -> Result<(), CodecError> {
+    if seg >= index.n_segs() {
+        return Err(CodecError::InvalidParam(format!(
+            "segment {seg} out of bounds ({} segments)",
+            index.n_segs()
+        )));
+    }
+    let entry = index.entry(seg);
+    if body.len() != entry.len {
+        return Err(CodecError::Corrupt(format!(
+            "segment {seg}: body is {} bytes, index says {}",
+            body.len(),
+            entry.len
+        )));
+    }
+    if fnv1a(body) != entry.fnv {
+        return Err(CodecError::Corrupt(format!(
+            "segment {seg}: body checksum mismatch"
+        )));
+    }
+    let values = decode_slice(body)?;
+    if values.len() != index.value_range(seg).len() {
+        return Err(CodecError::Corrupt(format!(
+            "segment {seg}: decoded {} values, expected {}",
+            values.len(),
+            index.value_range(seg).len()
+        )));
+    }
+    out.extend_from_slice(&values);
+    Ok(())
+}
+
+/// Decode a whole segmented stream.
+pub(crate) fn decompress(
+    data: &[u8],
+    decode_slice: DecodeSlice<'_>,
+) -> Result<Vec<f64>, CodecError> {
+    let index = SegmentIndex::parse(data)?
+        .ok_or_else(|| CodecError::Corrupt("not a segmented stream".into()))?;
+    if index.stream_len() != data.len() {
+        return Err(CodecError::Corrupt(format!(
+            "segmented stream is {} bytes, index accounts for {}",
+            data.len(),
+            index.stream_len()
+        )));
+    }
+    let mut out = Vec::with_capacity(index.n_values);
+    for seg in 0..index.n_segs() {
+        let body = data
+            .get(index.byte_range(seg))
+            .ok_or_else(|| CodecError::Corrupt(format!("segment {seg} body out of bounds")))?;
+        decode_segment(&index, seg, body, decode_slice, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Splice segment-level edits into a segmented stream: edited segments get
+/// freshly encoded bodies via `encode_slice`, untouched bodies are copied
+/// verbatim. `Zero` edits reuse one canonical zero body per slice length,
+/// so zeroing segments never pays an encode per segment.
+pub(crate) fn splice(
+    magic: u32,
+    data: &[u8],
+    edits: &[SegmentEdit<'_>],
+    mut encode_slice: impl FnMut(&[f64]) -> Result<Vec<u8>, CodecError>,
+) -> Result<Vec<u8>, CodecError> {
+    let index = SegmentIndex::parse(data)?
+        .ok_or_else(|| CodecError::Corrupt("not a segmented stream".into()))?;
+    let mut replacements: Vec<Option<Vec<u8>>> = vec![None; index.n_segs()];
+    // (slice length -> encoded body) for Zero edits; segments share one.
+    let mut zero_bodies: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut zeros: Vec<f64> = Vec::new();
+    for edit in edits {
+        let seg = edit.seg();
+        if seg >= index.n_segs() {
+            return Err(CodecError::InvalidParam(format!(
+                "segment {seg} out of bounds ({} segments)",
+                index.n_segs()
+            )));
+        }
+        let n = index.value_range(seg).len();
+        let body = match edit {
+            SegmentEdit::Replace { values, .. } => {
+                if values.len() != n {
+                    return Err(CodecError::InvalidParam(format!(
+                        "segment {seg}: {} replacement values, expected {n}",
+                        values.len()
+                    )));
+                }
+                encode_slice(values)?
+            }
+            SegmentEdit::Zero { .. } => match zero_bodies.iter().find(|(len, _)| *len == n) {
+                Some((_, body)) => body.clone(),
+                None => {
+                    zeros.clear();
+                    zeros.resize(n, 0.0);
+                    let body = encode_slice(&zeros)?;
+                    zero_bodies.push((n, body.clone()));
+                    body
+                }
+            },
+        };
+        replacements[seg] = Some(body);
+    }
+
+    let bodies: Vec<&[u8]> = (0..index.n_segs())
+        .map(|seg| match &replacements[seg] {
+            Some(body) => Ok(body.as_slice()),
+            None => data
+                .get(index.byte_range(seg))
+                .ok_or_else(|| CodecError::Corrupt(format!("segment {seg} body out of bounds"))),
+        })
+        .collect::<Result<_, _>>()?;
+    let total: usize = bodies.iter().map(|b| b.len()).sum();
+    let mut out = Vec::with_capacity(index.prefix_len() + total);
+    bytes::put_u32(&mut out, magic);
+    bytes::put_u64(&mut out, index.n_values as u64);
+    bytes::put_u32(&mut out, index.seg_values as u32);
+    bytes::put_u32(&mut out, bodies.len() as u32);
+    for body in &bodies {
+        bytes::put_u32(&mut out, body.len() as u32);
+        bytes::put_u64(&mut out, fnv1a(body));
+    }
+    for body in &bodies {
+        out.extend_from_slice(body);
+    }
+    Ok(out)
+}

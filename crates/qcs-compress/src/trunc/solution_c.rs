@@ -3,7 +3,12 @@
 use crate::bitio::bytes;
 use crate::codec::{Codec, CodecError};
 use crate::error_bound::{mantissa_bits_for_relative, ErrorBound};
+use crate::partial::{
+    PartialCodec, SegmentEdit, SegmentIndex, DEFAULT_SEGMENT_VALUES, SEG_MAGIC_C,
+};
 use crate::qzstd;
+
+use super::segmented;
 
 /// Truncate `v` to `m` mantissa bits (toward zero).
 ///
@@ -38,6 +43,12 @@ fn is_exception(bits: u64) -> bool {
 pub struct SolutionC {
     /// Lossless backend effort.
     pub backend_level: qzstd::Level,
+    /// Values per segment of the segment-addressable stream format
+    /// (`None` emits the legacy whole-stream format). Segmented streams
+    /// reset the XOR-delta chain and run the lossless backend per
+    /// segment, making every segment independently decodable — see
+    /// [`crate::partial`].
+    pub segment_values: Option<usize>,
 }
 
 impl Default for SolutionC {
@@ -47,6 +58,7 @@ impl Default for SolutionC {
         // carries little entropy-codeable structure anyway.
         Self {
             backend_level: qzstd::Level::Fast,
+            segment_values: Some(DEFAULT_SEGMENT_VALUES),
         }
     }
 }
@@ -54,7 +66,16 @@ impl Default for SolutionC {
 const MAGIC: u32 = 0x5143_5343; // "QCSC"
 
 impl SolutionC {
-    fn mantissa_bits(bound: ErrorBound) -> Result<u32, CodecError> {
+    /// Legacy whole-stream Solution C (shared by tests and benchmarks that
+    /// want the un-segmented paper format).
+    pub fn whole_stream() -> Self {
+        Self {
+            segment_values: None,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn mantissa_bits(bound: ErrorBound) -> Result<u32, CodecError> {
         match bound {
             ErrorBound::Lossless => Ok(52),
             ErrorBound::PointwiseRelative(eps) => {
@@ -77,9 +98,13 @@ impl SolutionC {
         // sign(1) + exponent(11) + m mantissa bits.
         let sig_bytes = ((12 + m) as usize).div_ceil(8);
 
-        // 2-bit codes (packed 4 per byte), suffix bytes, exceptions.
-        let mut codes = Vec::with_capacity(data.len() / 4 + 1);
-        let mut suffix = Vec::with_capacity(data.len() * sig_bytes / 2);
+        // 2-bit codes (packed 4 per byte), suffix bytes, exceptions. Both
+        // buffers are sized for their worst case up front — one packed
+        // code byte per 4 values, `sig_bytes` suffix bytes per value — so
+        // the hot loop never reallocates, even at lossless bounds where
+        // every value emits all eight suffix bytes.
+        let mut codes = Vec::with_capacity(data.len().div_ceil(4));
+        let mut suffix = Vec::with_capacity(data.len() * sig_bytes);
         let mut exceptions: Vec<(u64, u64)> = Vec::new();
 
         let mut code_acc = 0u8;
@@ -217,15 +242,62 @@ impl Codec for SolutionC {
 
     fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
         let m = Self::mantissa_bits(bound)?;
-        Ok(self.encode_stream(data, m))
+        match self.segment_values {
+            Some(sv) => Ok(segmented::compress(SEG_MAGIC_C, data, sv, |slice| {
+                self.encode_stream(slice, m)
+            })),
+            None => Ok(self.encode_stream(data, m)),
+        }
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
-        self.decode_stream(data)
+        // Format-driven dispatch: segmented streams carry their own magic;
+        // anything else is the legacy whole-stream format.
+        if SegmentIndex::parse(data)?.is_some() {
+            segmented::decompress(data, &|body| self.decode_stream(body))
+        } else {
+            self.decode_stream(data)
+        }
     }
 
     fn supports(&self, bound: ErrorBound) -> bool {
         !matches!(bound, ErrorBound::Absolute(_))
+    }
+
+    fn as_partial(&self) -> Option<&dyn PartialCodec> {
+        Some(self)
+    }
+}
+
+impl PartialCodec for SolutionC {
+    fn supports_partial(&self) -> bool {
+        self.segment_values.is_some()
+    }
+
+    fn segment_values(&self) -> Option<usize> {
+        self.segment_values
+    }
+
+    fn decompress_segment(
+        &self,
+        index: &SegmentIndex,
+        seg: usize,
+        body: &[u8],
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
+        segmented::decode_segment(index, seg, body, &|b| self.decode_stream(b), out)
+    }
+
+    fn recompress_segments(
+        &self,
+        data: &[u8],
+        edits: &[SegmentEdit<'_>],
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CodecError> {
+        let m = Self::mantissa_bits(bound)?;
+        segmented::splice(SEG_MAGIC_C, data, edits, |slice| {
+            Ok(self.encode_stream(slice, m))
+        })
     }
 }
 
@@ -373,5 +445,110 @@ mod tests {
         let mut bad = enc.clone();
         bad.truncate(bad.len() / 2);
         assert!(c.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn segmented_and_whole_stream_decode_identically() {
+        let data = sample_data(3000); // 3 segments at 1024, last one short
+        let seg = SolutionC::default();
+        let whole = SolutionC::whole_stream();
+        for bound in [
+            ErrorBound::Lossless,
+            ErrorBound::PointwiseRelative(1e-2),
+            ErrorBound::PointwiseRelative(1e-5),
+        ] {
+            let es = seg.compress(&data, bound).unwrap();
+            let ew = whole.compress(&data, bound).unwrap();
+            let ds = seg.decompress(&es).unwrap();
+            let dw = whole.decompress(&ew).unwrap();
+            assert_eq!(ds.len(), dw.len());
+            for (a, b) in ds.iter().zip(&dw) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bound {bound:?}");
+            }
+            // Either configuration decodes the other's stream.
+            assert_eq!(whole.decompress(&es).unwrap().len(), data.len());
+            assert_eq!(seg.decompress(&ew).unwrap().len(), data.len());
+        }
+    }
+
+    #[test]
+    fn decompress_range_matches_full_decode_sliced() {
+        let data = sample_data(2500);
+        let c = SolutionC::default();
+        let enc = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-4))
+            .unwrap();
+        let full = c.decompress(&enc).unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        assert_eq!(index.n_segs(), 3);
+        for segs in [0..1usize, 1..2, 0..3, 2..3, 1..3] {
+            let mut part = Vec::new();
+            c.decompress_range(&enc, segs.clone(), &mut part).unwrap();
+            let lo = index.value_range(segs.start).start;
+            let hi = index.value_range(segs.end - 1).end;
+            assert_eq!(part.len(), hi - lo);
+            for (a, b) in part.iter().zip(&full[lo..hi]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn recompress_range_splices_without_touching_the_rest() {
+        let data = sample_data(2048); // exactly 2 segments
+        let c = SolutionC::default();
+        let bound = ErrorBound::PointwiseRelative(1e-3);
+        let enc = c.compress(&data, bound).unwrap();
+        let mut seg1: Vec<f64> = data[1024..].to_vec();
+        for v in &mut seg1 {
+            *v *= 2.0;
+        }
+        let spliced = c.recompress_range(&enc, 1..2, &seg1, bound).unwrap();
+        let dec = c.decompress(&spliced).unwrap();
+        let orig = c.decompress(&enc).unwrap();
+        // Untouched segment is byte-for-byte the original decode.
+        for (a, b) in dec[..1024].iter().zip(&orig[..1024]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (v, d) in seg1.iter().zip(&dec[1024..]) {
+            assert!((v - d).abs() <= 1e-3 * v.abs());
+        }
+    }
+
+    #[test]
+    fn zero_edit_matches_encoding_zeros() {
+        let data = sample_data(2048);
+        let c = SolutionC::default();
+        let bound = ErrorBound::PointwiseRelative(1e-3);
+        let enc = c.compress(&data, bound).unwrap();
+        let zeroed = c
+            .recompress_segments(&enc, &[SegmentEdit::Zero { seg: 0 }], bound)
+            .unwrap();
+        let dec = c.decompress(&zeroed).unwrap();
+        assert!(dec[..1024].iter().all(|v| *v == 0.0));
+        let orig = c.decompress(&enc).unwrap();
+        for (a, b) in dec[1024..].iter().zip(&orig[1024..]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_segment_body_rejected() {
+        let data = sample_data(2048);
+        let c = SolutionC::default();
+        let enc = c
+            .compress(&data, ErrorBound::PointwiseRelative(1e-3))
+            .unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        let mut bad = enc.clone();
+        let mid = index.byte_range(1).start + index.byte_range(1).len() / 2;
+        bad[mid] ^= 0x10;
+        // Whole decode and the partial path both catch the bad checksum.
+        assert!(c.decompress(&bad).is_err());
+        let mut out = Vec::new();
+        assert!(c.decompress_range(&bad, 1..2, &mut out).is_err());
+        // The untouched segment still partially decodes.
+        out.clear();
+        assert!(c.decompress_range(&bad, 0..1, &mut out).is_ok());
     }
 }

@@ -3,9 +3,10 @@
 use crate::bitio::bytes;
 use crate::codec::{Codec, CodecError};
 use crate::error_bound::ErrorBound;
+use crate::partial::{PartialCodec, SegmentEdit, SegmentIndex, SEG_MAGIC_D};
 use crate::qzstd;
 
-use super::SolutionC;
+use super::{segmented, SolutionC};
 
 /// Solution D compressor.
 ///
@@ -27,20 +28,22 @@ impl SolutionD {
         Self {
             inner: SolutionC {
                 backend_level: level,
+                ..SolutionC::default()
             },
         }
     }
-}
 
-const MAGIC: u32 = 0x5143_5344; // "QCSD"
-
-impl Codec for SolutionD {
-    fn name(&self) -> &'static str {
-        "sol_d"
+    /// Legacy whole-stream Solution D (the un-segmented paper format).
+    pub fn whole_stream() -> Self {
+        Self {
+            inner: SolutionC::whole_stream(),
+        }
     }
 
-    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
-        // Reshuffle: even-index (real) then odd-index (imaginary) values.
+    /// Encode one run of values as a legacy D body: even/odd reshuffle,
+    /// then a Solution C stream per half. Used whole-stream and as the
+    /// per-segment body encoder of the segmented format.
+    fn encode_shuffled(&self, data: &[f64], m: u32) -> Vec<u8> {
         let mut even = Vec::with_capacity(data.len().div_ceil(2));
         let mut odd = Vec::with_capacity(data.len() / 2);
         for (i, &v) in data.iter().enumerate() {
@@ -50,18 +53,19 @@ impl Codec for SolutionD {
                 odd.push(v);
             }
         }
-        let e = self.inner.compress(&even, bound)?;
-        let o = self.inner.compress(&odd, bound)?;
+        let e = self.inner.encode_stream(&even, m);
+        let o = self.inner.encode_stream(&odd, m);
         let mut out = Vec::with_capacity(e.len() + o.len() + 20);
         bytes::put_u32(&mut out, MAGIC);
         bytes::put_u64(&mut out, e.len() as u64);
         out.extend_from_slice(&e);
         bytes::put_u64(&mut out, o.len() as u64);
         out.extend_from_slice(&o);
-        Ok(out)
+        out
     }
 
-    fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+    /// Decode one legacy D body (the inverse of [`Self::encode_shuffled`]).
+    fn decode_shuffled(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
         let mut pos = 0usize;
         let magic = bytes::get_u32(data, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
@@ -72,14 +76,14 @@ impl Codec for SolutionD {
             .ok_or_else(|| CodecError::Corrupt("missing even length".into()))?
             as usize;
         let e_bytes = data
-            .get(pos..pos + e_len)
+            .get(pos..pos.saturating_add(e_len))
             .ok_or_else(|| CodecError::Corrupt("truncated even stream".into()))?;
         pos += e_len;
         let o_len = bytes::get_u64(data, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing odd length".into()))?
             as usize;
         let o_bytes = data
-            .get(pos..pos + o_len)
+            .get(pos..pos.saturating_add(o_len))
             .ok_or_else(|| CodecError::Corrupt("truncated odd stream".into()))?;
 
         let even = self.inner.decompress(e_bytes)?;
@@ -100,9 +104,73 @@ impl Codec for SolutionD {
         }
         Ok(out)
     }
+}
+
+const MAGIC: u32 = 0x5143_5344; // "QCSD"
+
+impl Codec for SolutionD {
+    fn name(&self) -> &'static str {
+        "sol_d"
+    }
+
+    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
+        let m = SolutionC::mantissa_bits(bound)?;
+        match self.inner.segment_values {
+            Some(sv) => Ok(segmented::compress(SEG_MAGIC_D, data, sv, |slice| {
+                self.encode_shuffled(slice, m)
+            })),
+            None => Ok(self.encode_shuffled(data, m)),
+        }
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        // Format-driven dispatch: segmented streams carry their own magic;
+        // anything else is the legacy whole-stream format.
+        if SegmentIndex::parse(data)?.is_some() {
+            segmented::decompress(data, &|body| self.decode_shuffled(body))
+        } else {
+            self.decode_shuffled(data)
+        }
+    }
 
     fn supports(&self, bound: ErrorBound) -> bool {
         self.inner.supports(bound)
+    }
+
+    fn as_partial(&self) -> Option<&dyn PartialCodec> {
+        Some(self)
+    }
+}
+
+impl PartialCodec for SolutionD {
+    fn supports_partial(&self) -> bool {
+        self.inner.segment_values.is_some()
+    }
+
+    fn segment_values(&self) -> Option<usize> {
+        self.inner.segment_values
+    }
+
+    fn decompress_segment(
+        &self,
+        index: &SegmentIndex,
+        seg: usize,
+        body: &[u8],
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
+        segmented::decode_segment(index, seg, body, &|b| self.decode_shuffled(b), out)
+    }
+
+    fn recompress_segments(
+        &self,
+        data: &[u8],
+        edits: &[SegmentEdit<'_>],
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CodecError> {
+        let m = SolutionC::mantissa_bits(bound)?;
+        segmented::splice(SEG_MAGIC_D, data, edits, |slice| {
+            Ok(self.encode_shuffled(slice, m))
+        })
     }
 }
 
@@ -201,5 +269,45 @@ mod tests {
         let mut bad = enc.clone();
         bad[0] ^= 0xFF;
         assert!(d.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn segmented_and_whole_stream_decode_identically() {
+        let data = complex_like(3000);
+        let seg = SolutionD::default();
+        let whole = SolutionD::whole_stream();
+        for bound in [ErrorBound::Lossless, ErrorBound::PointwiseRelative(1e-4)] {
+            let ds = seg
+                .decompress(&seg.compress(&data, bound).unwrap())
+                .unwrap();
+            let dw = whole
+                .decompress(&whole.compress(&data, bound).unwrap())
+                .unwrap();
+            assert_eq!(ds.len(), dw.len());
+            for (a, b) in ds.iter().zip(&dw) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_range_matches_full_decode_sliced() {
+        use crate::partial::{PartialCodec, SegmentIndex};
+        let data = complex_like(2500);
+        let d = SolutionD::default();
+        let enc = d
+            .compress(&data, ErrorBound::PointwiseRelative(1e-4))
+            .unwrap();
+        let full = d.decompress(&enc).unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        for segs in [0..1usize, 1..3, 2..3] {
+            let mut part = Vec::new();
+            d.decompress_range(&enc, segs.clone(), &mut part).unwrap();
+            let lo = index.value_range(segs.start).start;
+            let hi = index.value_range(segs.end - 1).end;
+            for (a, b) in part.iter().zip(&full[lo..hi]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,144 @@
+//! Property suite for the segment-addressable Solution C/D formats: a
+//! segmented stream must decode to exactly the values the legacy
+//! whole-stream format produces at the same bound, `decompress_range` must
+//! equal the full decode sliced, and splicing edits via `recompress_range`
+//! must touch only the edited segments.
+
+use proptest::prelude::*;
+use qcs_compress::trunc::{SolutionC, SolutionD};
+use qcs_compress::{Codec, ErrorBound, PartialCodec, SegmentIndex};
+
+/// Random amplitude blocks spanning many decades, with zero stretches.
+fn amplitude_block() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (-1.0f64..1.0).prop_map(|v| v * 1e-2),
+            3 => (-1.0f64..1.0).prop_map(|v| v * 1e-6),
+            2 => Just(0.0f64),
+            1 => -1.0f64..1.0,
+        ],
+        1..800,
+    )
+}
+
+fn bound_from(exp: u32) -> ErrorBound {
+    if exp == 0 {
+        ErrorBound::Lossless
+    } else {
+        ErrorBound::PointwiseRelative(10f64.powi(-(exp as i32)))
+    }
+}
+
+fn segmented_c(seg_values: usize) -> SolutionC {
+    SolutionC {
+        segment_values: Some(seg_values),
+        ..SolutionC::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The segmented format is a pure re-framing: at every bound, decoding
+    // a segmented stream yields bit-for-bit the values of the legacy
+    // whole-stream format, for both Solution C and Solution D, at any
+    // segment size.
+    #[test]
+    fn segmented_matches_whole_stream_bitwise(
+        data in amplitude_block(),
+        seg_values in 1usize..200,
+        bound_exp in 0u32..6,
+    ) {
+        let bound = bound_from(bound_exp);
+        let seg_c = segmented_c(seg_values);
+        let whole_c = SolutionC::whole_stream();
+        let ds = seg_c.decompress(&seg_c.compress(&data, bound).unwrap()).unwrap();
+        let dw = whole_c.decompress(&whole_c.compress(&data, bound).unwrap()).unwrap();
+        prop_assert_eq!(ds.len(), dw.len());
+        for (a, b) in ds.iter().zip(&dw) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let d = SolutionD::default();
+        let wd = SolutionD::whole_stream();
+        let ds = d.decompress(&d.compress(&data, bound).unwrap()).unwrap();
+        let dw = wd.decompress(&wd.compress(&data, bound).unwrap()).unwrap();
+        prop_assert_eq!(ds.len(), dw.len());
+        for (a, b) in ds.iter().zip(&dw) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // decompress_range over any contiguous run equals the full decode
+    // sliced to the covered values.
+    #[test]
+    fn decompress_range_equals_full_decode_sliced(
+        data in amplitude_block(),
+        seg_values in 1usize..200,
+        bound_exp in 0u32..6,
+        pick in (0usize..1000, 0usize..1000),
+    ) {
+        let bound = bound_from(bound_exp);
+        let c = segmented_c(seg_values);
+        let enc = c.compress(&data, bound).unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        let n_segs = index.n_segs();
+        let (a, b) = (pick.0 % n_segs, pick.1 % n_segs);
+        let segs = a.min(b)..a.max(b) + 1;
+        let full = c.decompress(&enc).unwrap();
+        let mut part = Vec::new();
+        c.decompress_range(&enc, segs.clone(), &mut part).unwrap();
+        let lo = index.value_range(segs.start).start;
+        let hi = index.value_range(segs.end - 1).end;
+        prop_assert_eq!(part.len(), hi - lo);
+        for (x, y) in part.iter().zip(&full[lo..hi]) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    // recompress_range re-encodes exactly the chosen run: edited segments
+    // decode to the (truncated) replacement values, all other segments
+    // stay bit-identical to the original decode.
+    #[test]
+    fn recompress_range_touches_only_the_edited_run(
+        data in amplitude_block(),
+        seg_values in 1usize..200,
+        bound_exp in 1u32..6,
+        pick in (0usize..1000, 0usize..1000),
+        scale in 0.25f64..4.0,
+    ) {
+        let bound = bound_from(bound_exp);
+        let c = segmented_c(seg_values);
+        let enc = c.compress(&data, bound).unwrap();
+        let index = SegmentIndex::parse(&enc).unwrap().unwrap();
+        let n_segs = index.n_segs();
+        let (a, b) = (pick.0 % n_segs, pick.1 % n_segs);
+        let segs = a.min(b)..a.max(b) + 1;
+        let lo = index.value_range(segs.start).start;
+        let hi = index.value_range(segs.end - 1).end;
+        let replacement: Vec<f64> = data[lo..hi].iter().map(|v| v * scale).collect();
+        let spliced = c.recompress_range(&enc, segs.clone(), &replacement, bound).unwrap();
+
+        let orig = c.decompress(&enc).unwrap();
+        let new = c.decompress(&spliced).unwrap();
+        prop_assert_eq!(new.len(), orig.len());
+        for i in 0..orig.len() {
+            if i >= lo && i < hi {
+                let want = replacement[i - lo];
+                let eps = match bound {
+                    ErrorBound::PointwiseRelative(e) => e,
+                    _ => 0.0,
+                };
+                prop_assert!(
+                    (new[i] - want).abs() <= eps * want.abs() + f64::MIN_POSITIVE,
+                    "edited value {i}: {} vs {}", new[i], want
+                );
+            } else {
+                prop_assert!(
+                    new[i].to_bits() == orig[i].to_bits(),
+                    "untouched value {} changed", i
+                );
+            }
+        }
+    }
+}

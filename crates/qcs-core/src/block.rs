@@ -1,7 +1,7 @@
 //! Compressed amplitude blocks (paper §3.1: "Each block is stored in
 //! compressed format on the memory").
 
-use qcs_compress::{Codec, CodecError, CodecId, ErrorBound, QzstdCodec};
+use qcs_compress::{Codec, CodecError, CodecId, ErrorBound, PartialCodec, QzstdCodec};
 use std::sync::Arc;
 
 /// One compressed block of `block_amps` complex amplitudes
@@ -85,6 +85,22 @@ impl BlockCodec {
             bound,
             bytes: bytes.into(),
         })
+    }
+
+    /// Segment-addressable view of the codec that produced `block`, when
+    /// that codec supports partial decode/encode. `None` for lossless
+    /// (qzstd) blocks and for whole-stream lossy codecs.
+    pub fn partial_for(&self, block: &CompressedBlock) -> Option<&dyn PartialCodec> {
+        (block.codec == self.lossy_id)
+            .then(|| self.lossy.as_partial())
+            .flatten()
+            .filter(|p| p.supports_partial())
+    }
+
+    /// The lossy codec's partial capability independent of any particular
+    /// block — used to pre-qualify a wave before blocks are fetched.
+    pub fn partial_codec(&self) -> Option<&dyn PartialCodec> {
+        self.lossy.as_partial().filter(|p| p.supports_partial())
     }
 
     /// Decompress into `out` (cleared first).

@@ -186,6 +186,18 @@ pub struct SimReport {
     /// Wall time the background write-behind threads spent appending
     /// eviction frames, in nanoseconds (overlap, not critical path).
     pub write_behind_ns: u64,
+    /// Block operations served by the segment-addressable partial path
+    /// (0 with [`SimConfig::partial_decode`](crate::SimConfig) off or a
+    /// whole-stream codec).
+    pub partial_decodes: u64,
+    /// Segments those operations actually decoded.
+    pub segments_decoded: u64,
+    /// Segments a whole-block decode would have decoded for them.
+    pub segments_full: u64,
+    /// Compressed stream bytes the partial operations consumed.
+    pub segment_bytes_read: u64,
+    /// Compressed stream bytes whole-block decodes would have consumed.
+    pub segment_bytes_full: u64,
 }
 
 impl SimReport {
@@ -464,6 +476,7 @@ impl CompressedSimulator {
                     Arc::clone(&cache),
                     metrics.clone(),
                     store,
+                    cfg.partial_decode,
                 )
             })
             .collect();
@@ -1203,6 +1216,11 @@ impl CompressedSimulator {
             write_behind_spills: breakdown.write_behind_spills,
             write_behind_bytes: breakdown.write_behind_bytes,
             write_behind_ns: breakdown.write_behind_ns(),
+            partial_decodes: breakdown.partial_decodes,
+            segments_decoded: breakdown.segments_decoded,
+            segments_full: breakdown.segments_full,
+            segment_bytes_read: breakdown.segment_bytes_read,
+            segment_bytes_full: breakdown.segment_bytes_full,
             breakdown,
         }
     }

@@ -98,6 +98,7 @@ pub mod config;
 pub mod engine;
 pub mod fidelity_bound;
 pub mod net;
+mod partial;
 #[cfg(test)]
 mod plan_check;
 pub mod store;

@@ -271,6 +271,11 @@ fn put_breakdown(buf: &mut Vec<u8>, b: &TimeBreakdown) {
         b.overlapped_fetch_bytes,
         b.write_behind_spills,
         b.write_behind_bytes,
+        b.partial_decodes,
+        b.segments_decoded,
+        b.segments_full,
+        b.segment_bytes_read,
+        b.segment_bytes_full,
     ] {
         put_u64(buf, v);
     }
@@ -302,6 +307,11 @@ fn take_breakdown(cur: &mut Cursor) -> Result<TimeBreakdown, NetError> {
         overlapped_fetch_bytes: cur.take_u64()?,
         write_behind_spills: cur.take_u64()?,
         write_behind_bytes: cur.take_u64()?,
+        partial_decodes: cur.take_u64()?,
+        segments_decoded: cur.take_u64()?,
+        segments_full: cur.take_u64()?,
+        segment_bytes_read: cur.take_u64()?,
+        segment_bytes_full: cur.take_u64()?,
     })
 }
 
@@ -650,6 +660,7 @@ struct Hello {
     cache_lines: usize,
     cache_auto_disable_after: u64,
     prefetch: bool,
+    partial_decode: bool,
     spill: Option<SpillConfig>,
     blocks: Vec<Option<CompressedBlock>>,
 }
@@ -677,6 +688,7 @@ fn encode_hello(
     put_u64(&mut buf, cfg.cache_lines as u64);
     put_u64(&mut buf, cfg.cache_auto_disable_after);
     put_u8(&mut buf, cfg.prefetch as u8);
+    put_u8(&mut buf, cfg.partial_decode as u8);
     match &cfg.spill {
         Some(spill) => {
             put_u8(&mut buf, 1);
@@ -728,6 +740,7 @@ fn decode_hello(body: &[u8]) -> Result<Hello, NetError> {
     let cache_lines = cur.take_u64()? as usize;
     let cache_auto_disable_after = cur.take_u64()?;
     let prefetch = cur.take_u8()? != 0;
+    let partial_decode = cur.take_u8()? != 0;
     let spill = if cur.take_u8()? != 0 {
         let resident_blocks = cur.take_u64()? as usize;
         let eviction = match cur.take_u8()? {
@@ -765,6 +778,7 @@ fn decode_hello(body: &[u8]) -> Result<Hello, NetError> {
         cache_lines,
         cache_auto_disable_after,
         prefetch,
+        partial_decode,
         spill,
         blocks,
     })
@@ -1087,6 +1101,7 @@ fn build_worker(
         cache,
         metrics,
         store,
+        hello.partial_decode,
     ))
 }
 
@@ -1327,7 +1342,8 @@ mod tests {
             .with_threads_per_rank(2)
             .with_spill(2)
             .with_write_behind(true)
-            .with_spill_shards(3);
+            .with_spill_shards(3)
+            .with_partial_decode(false);
         let layout = Layout::new(6, 1, 3);
         let blocks = vec![Some(zero_block()), None, Some(zero_block()), None];
         let body = encode_hello(1, &cfg, layout, &blocks);
@@ -1337,6 +1353,7 @@ mod tests {
         assert_eq!(hello.threads_per_rank, Some(2));
         assert_eq!(hello.cache_lines, 64);
         assert!(hello.prefetch);
+        assert!(!hello.partial_decode, "partial-decode flag round-trips");
         let spill = hello.spill.expect("spill config shipped");
         assert_eq!(spill.resident_blocks, 2);
         assert!(spill.write_behind);

@@ -1,0 +1,594 @@
+//! Partial-decode routing: which waves can touch a strict subset of a
+//! compressed block's segments, and the segment-level rewrites they run.
+//!
+//! A segmented Solution C/D stream (see [`qcs_compress::PartialCodec`])
+//! splits a block's amplitudes into fixed runs of `seg_amps = seg_values/2`
+//! complex amplitudes. An in-block wave whose touched-amplitude set is
+//! `{o | o & mask == value}` therefore touches only the segments whose
+//! index satisfies the *high* bits of that constraint:
+//!
+//! ```text
+//! o = s * seg_amps + low                       seg_amps = 2^sa_bits
+//! o & mask == value   =>   s & (mask >> sa_bits) == (value >> sa_bits)
+//! ```
+//!
+//! Whenever `mask >> sa_bits != 0` at most half the segments qualify, and
+//! the wave routes through the partial path: decode exactly the touched
+//! segment bodies, transform them, splice them back with
+//! [`PartialCodec::recompress_segments`] — untouched bodies are copied
+//! verbatim, never decoded. The waves with such a shape are:
+//!
+//! - **diagonal gates** ([`diag_touch`]): a gate `[a 0; 0 d]` scales
+//!   amplitudes in place, so controls and (when `a` or `d` is 1) the
+//!   target bit itself become high-bit constraints — the QFT's
+//!   controlled-phase cascade is the motivating case;
+//! - **measurement collapse** on an offset bit at or above `sa_bits`
+//!   ([`partial_collapse`]): the surviving half is decoded and rescaled,
+//!   the projected-out half becomes [`SegmentEdit::Zero`] edits that are
+//!   never decoded at all;
+//! - **probability queries** on such a bit ([`bit_set_segments`]): only
+//!   the bit-set half of the segments contributes, and on a spilled block
+//!   the store reads only those segment bodies
+//!   ([`crate::store::BlockStore::fetch_ranges`]).
+//!
+//! The partial paths reproduce the whole-block kernels' arithmetic
+//! operation for operation, so routing is behavior-neutral up to the sign
+//! of exact zeros (the whole-block kernel adds a `0 * partner` term the
+//! partial path omits).
+
+use crate::block::{BlockCodec, CompressedBlock};
+use crate::worker::BatchPlan;
+use qcs_compress::{CodecError, ErrorBound, PartialCodec, SegmentEdit, SegmentIndex};
+use qcs_statevec::{Complex64, Gate1};
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Counters of one partial block operation, folded into
+/// [`qcs_cluster::Metrics::add_partial_decode`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PartialStats {
+    /// Segments actually decoded.
+    pub segments: u64,
+    /// Segments a whole-block decode would have decoded.
+    pub segments_full: u64,
+    /// Stream bytes the partial op consumed (prefix + touched bodies).
+    pub bytes: u64,
+    /// Stream bytes a whole-block decode would have consumed.
+    pub bytes_full: u64,
+}
+
+/// A completed partial block rewrite: the new block plus accounting.
+pub(crate) struct PartialOp {
+    pub block: CompressedBlock,
+    pub stats: PartialStats,
+    /// Time decoding touched segment bodies.
+    pub decompress: Duration,
+    /// Time in the in-place amplitude transform.
+    pub compute: Duration,
+    /// Time re-encoding and splicing the touched segments.
+    pub compress: Duration,
+}
+
+/// The touched-amplitude set `{o | o & mask == value}` of a diagonal gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DiagTouch {
+    pub mask: usize,
+    pub value: usize,
+}
+
+/// The diagonal entries `(m00, m11)` of `gate`, or `None` when either
+/// off-diagonal entry is nonzero.
+pub(crate) fn diagonal_factors(gate: &Gate1) -> Option<(Complex64, Complex64)> {
+    let m = &gate.m;
+    (m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO).then(|| (m[0][0], m[1][1]))
+}
+
+/// Touched-amplitude set of a (controlled) diagonal gate on `offset_bit`
+/// with in-block control mask `cmask`; `None` for non-diagonal gates.
+///
+/// A diagonal `[a 0; 0 d]` scales bit-clear amplitudes by `a` and bit-set
+/// ones by `d`, so a unit factor shrinks the touched set by the target
+/// bit on top of the control constraint.
+pub(crate) fn diag_touch(gate: &Gate1, offset_bit: u32, cmask: usize) -> Option<DiagTouch> {
+    let (a, d) = diagonal_factors(gate)?;
+    let bit = 1usize << offset_bit;
+    debug_assert_eq!(cmask & bit, 0, "control mask contains the target bit");
+    Some(match (a == Complex64::ONE, d == Complex64::ONE) {
+        // a == 1: only the bit-set half changes (covers identity too).
+        (true, _) => DiagTouch {
+            mask: cmask | bit,
+            value: cmask | bit,
+        },
+        // d == 1: only the bit-clear half changes.
+        (false, true) => DiagTouch {
+            mask: cmask | bit,
+            value: cmask,
+        },
+        // Both scale: every control-satisfying amplitude changes.
+        (false, false) => DiagTouch {
+            mask: cmask,
+            value: cmask,
+        },
+    })
+}
+
+/// `log2` of the amplitudes per segment, when the stream's geometry
+/// supports bit-mask segment routing (power-of-two segment size).
+pub(crate) fn seg_amp_bits(index: &SegmentIndex) -> Option<u32> {
+    let sv = index.seg_values;
+    (sv >= 2 && sv.is_power_of_two()).then(|| sv.trailing_zeros() - 1)
+}
+
+/// The segments whose amplitude offsets can satisfy `touch`, or `None`
+/// when the constraint has no bits at segment granularity (every segment
+/// would qualify — the partial path has nothing to skip).
+pub(crate) fn touched_segments(
+    index: &SegmentIndex,
+    sa_bits: u32,
+    touch: DiagTouch,
+) -> Option<Vec<usize>> {
+    let hi_mask = touch.mask >> sa_bits;
+    if hi_mask == 0 {
+        return None;
+    }
+    let hi_value = touch.value >> sa_bits;
+    Some(
+        (0..index.n_segs())
+            .filter(|s| s & hi_mask == hi_value)
+            .collect(),
+    )
+}
+
+/// The segments whose amplitudes all have `offset_bit` set — the half a
+/// `P(qubit = 1)` query needs. `None` when the bit lives below segment
+/// granularity (segments mix bit-set and bit-clear amplitudes).
+pub(crate) fn bit_set_segments(
+    index: &SegmentIndex,
+    sa_bits: u32,
+    offset_bit: u32,
+) -> Option<Vec<usize>> {
+    if offset_bit < sa_bits {
+        return None;
+    }
+    let bit = 1usize << offset_bit;
+    Some(
+        (0..index.n_segs())
+            .filter(|&s| (s << sa_bits) & bit != 0)
+            .collect(),
+    )
+}
+
+/// The contiguous segment run covering `segs` (a prefetch hint shape), or
+/// `None` for an empty set.
+pub(crate) fn covering_run(segs: &[usize]) -> Option<Range<usize>> {
+    Some(*segs.first()?..*segs.last()? + 1)
+}
+
+/// Diagonal-gate update over a decoded segment holding the amplitudes at
+/// global offsets `base .. base + buf.len() / 2`: the segment-restricted
+/// form of [`qcs_statevec::kernels::apply_in_block`] for `[a 0; 0 d]`
+/// matrices, factor-multiplying each control-satisfying amplitude.
+pub(crate) fn apply_diagonal_at(
+    buf: &mut [f64],
+    base: usize,
+    offset_bit: u32,
+    gate: &Gate1,
+    cmask: usize,
+) {
+    let (a, d) = diagonal_factors(gate).expect("diagonal gate");
+    let bit = 1usize << offset_bit;
+    for o in 0..buf.len() / 2 {
+        let g = base + o;
+        if g & cmask != cmask {
+            continue;
+        }
+        let f = if g & bit != 0 { d } else { a };
+        let v = f * Complex64::new(buf[2 * o], buf[2 * o + 1]);
+        buf[2 * o] = v.re;
+        buf[2 * o + 1] = v.im;
+    }
+}
+
+/// The block's segment-addressable view, when the whole partial pipeline
+/// applies: the wave's bound is lossy (so the rewrite stays on the lossy
+/// codec), the block was produced by a partial-capable codec, the stream
+/// is actually segmented with more than one segment, and its geometry
+/// supports bit routing.
+fn segmented_view<'a>(
+    codec: &'a BlockCodec,
+    blk: &CompressedBlock,
+    bound: ErrorBound,
+) -> Result<Option<(&'a dyn PartialCodec, SegmentIndex, u32)>, CodecError> {
+    if !bound.is_lossy() {
+        return Ok(None);
+    }
+    let Some(p) = codec.partial_for(blk) else {
+        return Ok(None);
+    };
+    let Some(index) = p.segment_index(&blk.bytes)? else {
+        return Ok(None);
+    };
+    if index.n_segs() < 2 {
+        return Ok(None);
+    }
+    let Some(sa_bits) = seg_amp_bits(&index) else {
+        return Ok(None);
+    };
+    Ok(Some((p, index, sa_bits)))
+}
+
+/// Decode each segment in `segs`, run `transform` over it (with its base
+/// amplitude offset), and splice the re-encoded bodies back into the
+/// stream.
+fn rewrite_segments(
+    p: &dyn PartialCodec,
+    blk: &CompressedBlock,
+    index: &SegmentIndex,
+    sa_bits: u32,
+    segs: &[usize],
+    bound: ErrorBound,
+    mut transform: impl FnMut(usize, &mut [f64]),
+) -> Result<PartialOp, CodecError> {
+    let t = Instant::now();
+    let mut decoded: Vec<Vec<f64>> = Vec::with_capacity(segs.len());
+    for &s in segs {
+        let body = blk
+            .bytes
+            .get(index.byte_range(s))
+            .ok_or_else(|| CodecError::Corrupt(format!("segment {s} body out of bounds")))?;
+        let mut vals = Vec::with_capacity(index.value_range(s).len());
+        p.decompress_segment(index, s, body, &mut vals)?;
+        decoded.push(vals);
+    }
+    let decompress = t.elapsed();
+
+    let t = Instant::now();
+    for (&s, vals) in segs.iter().zip(&mut decoded) {
+        transform(s << sa_bits, vals);
+    }
+    let compute = t.elapsed();
+
+    let t = Instant::now();
+    let edits: Vec<SegmentEdit<'_>> = segs
+        .iter()
+        .zip(&decoded)
+        .map(|(&s, vals)| SegmentEdit::Replace {
+            seg: s,
+            values: vals,
+        })
+        .collect();
+    let bytes = p.recompress_segments(&blk.bytes, &edits, bound)?;
+    let compress = t.elapsed();
+
+    let stats = partial_stats(index, segs, blk.bytes.len());
+    Ok(PartialOp {
+        block: CompressedBlock {
+            codec: blk.codec,
+            bound,
+            bytes: bytes.into(),
+        },
+        stats,
+        decompress,
+        compute,
+        compress,
+    })
+}
+
+/// Stats for a partial op that decoded `segs` of a `stream_len`-byte
+/// stream: the bytes consumed are the prefix plus the touched bodies.
+pub(crate) fn partial_stats(
+    index: &SegmentIndex,
+    segs: &[usize],
+    stream_len: usize,
+) -> PartialStats {
+    let body_bytes: usize = segs.iter().map(|&s| index.byte_range(s).len()).sum();
+    PartialStats {
+        segments: segs.len() as u64,
+        segments_full: index.n_segs() as u64,
+        bytes: (index.prefix_len() + body_bytes) as u64,
+        bytes_full: stream_len as u64,
+    }
+}
+
+/// Partial in-block gate path: when `gate` is diagonal and its touched
+/// set misses at least half the segments, rewrite only those segments.
+/// `Ok(None)` when the block, stream, or gate does not qualify.
+pub(crate) fn partial_gate(
+    codec: &BlockCodec,
+    blk: &CompressedBlock,
+    gate: &Gate1,
+    offset_bit: u32,
+    cmask: usize,
+    bound: ErrorBound,
+) -> Result<Option<PartialOp>, CodecError> {
+    let Some((p, index, sa_bits)) = segmented_view(codec, blk, bound)? else {
+        return Ok(None);
+    };
+    let Some(touch) = diag_touch(gate, offset_bit, cmask) else {
+        return Ok(None);
+    };
+    let Some(segs) = touched_segments(&index, sa_bits, touch) else {
+        return Ok(None);
+    };
+    rewrite_segments(p, blk, &index, sa_bits, &segs, bound, |base, vals| {
+        apply_diagonal_at(vals, base, offset_bit, gate, cmask)
+    })
+    .map(Some)
+}
+
+/// Partial batch path: when every plan firing on this block (per `mask`)
+/// is diagonal and their touched segments together cover at most half the
+/// stream, decode that union once and apply the firing plans in order.
+pub(crate) fn partial_batch(
+    codec: &BlockCodec,
+    blk: &CompressedBlock,
+    plans: &[BatchPlan],
+    mask: u64,
+    bound: ErrorBound,
+) -> Result<Option<PartialOp>, CodecError> {
+    let Some((p, index, sa_bits)) = segmented_view(codec, blk, bound)? else {
+        return Ok(None);
+    };
+    let mut touched = vec![false; index.n_segs()];
+    let mut firing: Vec<&BatchPlan> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        let Some(t) = diag_touch(&plan.gate, plan.offset_bit, plan.offset_cmask) else {
+            return Ok(None);
+        };
+        let Some(segs) = touched_segments(&index, sa_bits, t) else {
+            return Ok(None);
+        };
+        for s in segs {
+            touched[s] = true;
+        }
+        firing.push(plan);
+    }
+    let segs: Vec<usize> = (0..index.n_segs()).filter(|&s| touched[s]).collect();
+    if segs.len() * 2 > index.n_segs() {
+        return Ok(None);
+    }
+    rewrite_segments(p, blk, &index, sa_bits, &segs, bound, |base, vals| {
+        for plan in &firing {
+            apply_diagonal_at(vals, base, plan.offset_bit, &plan.gate, plan.offset_cmask);
+        }
+    })
+    .map(Some)
+}
+
+/// Partial measurement collapse: when the measured offset bit sits at or
+/// above segment granularity, each segment is either wholly kept (decode
+/// and rescale) or wholly projected out (a [`SegmentEdit::Zero`] that
+/// never decodes the body).
+pub(crate) fn partial_collapse(
+    codec: &BlockCodec,
+    blk: &CompressedBlock,
+    offset_bit: u32,
+    outcome: bool,
+    scale: f64,
+    bound: ErrorBound,
+) -> Result<Option<PartialOp>, CodecError> {
+    let Some((p, index, sa_bits)) = segmented_view(codec, blk, bound)? else {
+        return Ok(None);
+    };
+    if offset_bit < sa_bits {
+        return Ok(None);
+    }
+    let bit = 1usize << offset_bit;
+    let kept = |s: usize| ((s << sa_bits) & bit != 0) == outcome;
+
+    let t = Instant::now();
+    let kept_segs: Vec<usize> = (0..index.n_segs()).filter(|&s| kept(s)).collect();
+    let mut decoded: Vec<Vec<f64>> = Vec::with_capacity(kept_segs.len());
+    for &s in &kept_segs {
+        let body = blk
+            .bytes
+            .get(index.byte_range(s))
+            .ok_or_else(|| CodecError::Corrupt(format!("segment {s} body out of bounds")))?;
+        let mut vals = Vec::with_capacity(index.value_range(s).len());
+        p.decompress_segment(&index, s, body, &mut vals)?;
+        decoded.push(vals);
+    }
+    let decompress = t.elapsed();
+
+    let t = Instant::now();
+    for vals in &mut decoded {
+        for v in vals.iter_mut() {
+            *v *= scale;
+        }
+    }
+    let compute = t.elapsed();
+
+    let t = Instant::now();
+    let mut edits: Vec<SegmentEdit<'_>> = Vec::with_capacity(index.n_segs());
+    let mut di = 0usize;
+    for s in 0..index.n_segs() {
+        if kept(s) {
+            edits.push(SegmentEdit::Replace {
+                seg: s,
+                values: &decoded[di],
+            });
+            di += 1;
+        } else {
+            edits.push(SegmentEdit::Zero { seg: s });
+        }
+    }
+    let bytes = p.recompress_segments(&blk.bytes, &edits, bound)?;
+    let compress = t.elapsed();
+
+    let stats = partial_stats(&index, &kept_segs, blk.bytes.len());
+    Ok(Some(PartialOp {
+        block: CompressedBlock {
+            codec: blk.codec,
+            bound,
+            bytes: bytes.into(),
+        },
+        stats,
+        decompress,
+        compute,
+        compress,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_compress::CodecId;
+    use qcs_statevec::kernels;
+
+    const BOUND: ErrorBound = ErrorBound::PointwiseRelative(1e-6);
+
+    /// 2048 amplitudes (4096 f64s): four default-size segments, sa_bits 9.
+    fn amps() -> Vec<f64> {
+        (0..4096)
+            .map(|i| ((i as f64 * 0.37).sin() + 1.5) * 1e-3)
+            .collect()
+    }
+
+    fn codec() -> BlockCodec {
+        BlockCodec::new(CodecId::SolutionC)
+    }
+
+    #[test]
+    fn diag_touch_shapes() {
+        let bit = 1usize << 10;
+        let cm = 1usize << 11;
+        // Phase-like gate: a == 1, only the bit-set half moves.
+        let t = diag_touch(&Gate1::t(), 10, cm).unwrap();
+        assert_eq!(
+            t,
+            DiagTouch {
+                mask: cm | bit,
+                value: cm | bit
+            }
+        );
+        // rz scales both halves: only the controls constrain.
+        let t = diag_touch(&Gate1::rz(0.3), 10, cm).unwrap();
+        assert_eq!(
+            t,
+            DiagTouch {
+                mask: cm,
+                value: cm
+            }
+        );
+        // Non-diagonal gates never qualify.
+        assert!(diag_touch(&Gate1::h(), 10, cm).is_none());
+        assert!(diag_touch(&Gate1::x(), 10, 0).is_none());
+    }
+
+    #[test]
+    fn touched_segments_follow_high_bits() {
+        let bc = codec();
+        let blk = bc.compress(&amps(), BOUND).unwrap();
+        let p = bc.partial_for(&blk).unwrap();
+        let index = p.segment_index(&blk.bytes).unwrap().unwrap();
+        let sa_bits = seg_amp_bits(&index).unwrap();
+        assert_eq!(sa_bits, 9);
+        assert_eq!(index.n_segs(), 4);
+        // Target bit 10 = segment bit 1: T touches segments {2, 3}.
+        let t = diag_touch(&Gate1::t(), 10, 0).unwrap();
+        assert_eq!(touched_segments(&index, sa_bits, t).unwrap(), vec![2, 3]);
+        // A low target bit constrains no segment: partial declines.
+        let t = diag_touch(&Gate1::t(), 3, 0).unwrap();
+        assert!(touched_segments(&index, sa_bits, t).is_none());
+        // Bit-set segments of offset bit 9 are the odd ones.
+        assert_eq!(bit_set_segments(&index, sa_bits, 9).unwrap(), vec![1, 3]);
+        assert!(bit_set_segments(&index, sa_bits, 3).is_none());
+        assert_eq!(covering_run(&[2, 3]), Some(2..4));
+        assert_eq!(covering_run(&[]), None);
+    }
+
+    #[test]
+    fn partial_gate_matches_whole_block_kernel() {
+        let bc = codec();
+        let data = amps();
+        let blk = bc.compress(&data, BOUND).unwrap();
+        for (gate, cmask) in [
+            (Gate1::t(), 0usize),
+            (Gate1::rz(0.71), 1 << 11),
+            (Gate1::phase(-0.4), (1 << 10) | (1 << 2)),
+        ] {
+            let offset_bit = 9;
+            let op = partial_gate(&bc, &blk, &gate, offset_bit, cmask, BOUND)
+                .unwrap()
+                .expect("qualifies");
+            assert!(op.stats.segments * 2 <= op.stats.segments_full);
+            assert!(op.stats.bytes < op.stats.bytes_full);
+
+            let mut full = Vec::new();
+            bc.decompress(&blk, &mut full).unwrap();
+            kernels::apply_in_block(&mut full, offset_bit, &gate, cmask);
+            let want = bc.compress(&full, BOUND).unwrap();
+            let mut got = Vec::new();
+            bc.decompress(&op.block, &mut got).unwrap();
+            let mut expect = Vec::new();
+            bc.decompress(&want, &mut expect).unwrap();
+            assert_eq!(got.len(), expect.len());
+            for (a, b) in got.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_gate_declines_low_bits_and_lossless() {
+        let bc = codec();
+        let blk = bc.compress(&amps(), BOUND).unwrap();
+        // Uncontrolled rz touches everything: no segment constraint.
+        assert!(partial_gate(&bc, &blk, &Gate1::rz(0.2), 3, 0, BOUND)
+            .unwrap()
+            .is_none());
+        // A lossless wave must switch codec: partial declines.
+        assert!(
+            partial_gate(&bc, &blk, &Gate1::t(), 10, 0, ErrorBound::Lossless)
+                .unwrap()
+                .is_none()
+        );
+        // Lossless (Qzstd) blocks are not partial-addressable.
+        let blk = bc.compress(&amps(), ErrorBound::Lossless).unwrap();
+        assert!(partial_gate(&bc, &blk, &Gate1::t(), 10, 0, BOUND)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn partial_collapse_matches_whole_block_path() {
+        let bc = codec();
+        let data = amps();
+        let blk = bc.compress(&data, BOUND).unwrap();
+        let (offset_bit, scale) = (10u32, 1.25f64);
+        for outcome in [false, true] {
+            let op = partial_collapse(&bc, &blk, offset_bit, outcome, scale, BOUND)
+                .unwrap()
+                .expect("qualifies");
+            assert_eq!(op.stats.segments * 2, op.stats.segments_full);
+
+            let mut full = Vec::new();
+            bc.decompress(&blk, &mut full).unwrap();
+            let bit = 1usize << offset_bit;
+            for o in 0..full.len() / 2 {
+                if (o & bit != 0) == outcome {
+                    full[2 * o] *= scale;
+                    full[2 * o + 1] *= scale;
+                } else {
+                    full[2 * o] = 0.0;
+                    full[2 * o + 1] = 0.0;
+                }
+            }
+            let want = bc.compress(&full, BOUND).unwrap();
+            let mut got = Vec::new();
+            bc.decompress(&op.block, &mut got).unwrap();
+            let mut expect = Vec::new();
+            bc.decompress(&want, &mut expect).unwrap();
+            for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "value {i} (outcome {outcome})");
+            }
+        }
+        // A bit below segment granularity splits segments: declines.
+        assert!(partial_collapse(&bc, &blk, 3, true, scale, BOUND)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -36,12 +36,27 @@
 //!
 //! With [`SpillOptions::write_behind`] on, evictions leave the critical
 //! path too: the victim moves into a bounded *dirty buffer* (still served
-//! from memory, still counted against residency accounting) and a
-//! background writer thread drains coalesced runs of dirty blocks into
-//! the segment files. [`SpillStore::flush`] is the barrier that makes
+//! from memory, still counted against residency accounting) and
+//! background writer threads — one per shard, bounded — drain coalesced
+//! runs of dirty blocks into the segment files. Each writer reserves its
+//! run's exact byte extent under the lock and lands it with one
+//! positional write outside it, so shards see concurrent,
+//! non-overlapping I/O. [`SpillStore::flush`] is the barrier that makes
 //! every dirty block durable; it runs before compaction and on drop, and
 //! it (or the next `take`) surfaces any deferred write error instead of
 //! dropping it.
+//!
+//! # Byte-range reads (partial decode)
+//!
+//! Segment-addressable payloads (see [`qcs_compress::PartialCodec`])
+//! carry a byte-offset index ahead of their segment bodies, and the v2
+//! frame format checksums that prefix separately — so a partial decode
+//! of a spilled block does not need the whole frame.
+//! [`BlockStore::fetch_ranges`] reads just the frame header, the
+//! verified index prefix, and the caller-selected segment byte ranges;
+//! [`BlockStore::prefetch_ranges`] stages such a read on a background
+//! fetcher ahead of need. Both fall back to `None`/no-op for resident
+//! blocks, pre-segmented (v1) frames, and stores without a spill tier.
 //!
 //! # Segment-file layout, sharding, and compaction
 //!
@@ -75,14 +90,55 @@ use crate::engine::SimError;
 use parking_lot::Mutex;
 use qcs_cluster::{Metrics, Phase};
 use qcs_compress::frame;
+use qcs_compress::{CodecId, ErrorBound, SegmentIndex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::File;
 use std::io::{Seek, SeekFrom};
+use std::ops::Range;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::Instant;
+
+/// A byte-range read of a spilled frame, as returned by
+/// [`BlockStore::fetch_ranges`]: the frame's identity, the segmented
+/// payload's index prefix (already checksum-verified), and the requested
+/// payload byte ranges — everything a partial decode needs without the
+/// store ever materializing the whole payload.
+#[derive(Debug, Clone)]
+pub struct RangeFetch {
+    /// Codec that produced the payload.
+    pub codec: CodecId,
+    /// Error bound the payload was compressed under.
+    pub bound: ErrorBound,
+    /// Length of the whole payload on disk (the full-read equivalent,
+    /// for partial-decode savings accounting).
+    pub payload_len: usize,
+    /// The payload's segment-index prefix (`payload[..prefix_len]`),
+    /// verified against the frame checksum.
+    pub prefix: Vec<u8>,
+    /// The requested payload byte ranges and their bytes, in request
+    /// order. Range offsets are payload-absolute (like
+    /// [`qcs_compress::SegmentIndex::byte_range`]).
+    pub parts: Vec<(Range<usize>, Vec<u8>)>,
+}
+
+impl RangeFetch {
+    /// Heap bytes this fetch holds (staging-buffer accounting).
+    fn heap_bytes(&self) -> u64 {
+        (self.prefix.len() + self.parts.iter().map(|(_, b)| b.len()).sum::<usize>()) as u64
+    }
+
+    /// The part covering payload byte range `want`, sliced to it, if any
+    /// single staged part contains it.
+    pub fn part_covering(&self, want: &Range<usize>) -> Option<&[u8]> {
+        self.parts.iter().find_map(|(r, bytes)| {
+            (r.start <= want.start && want.end <= r.end)
+                .then(|| &bytes[want.start - r.start..want.end - r.start])
+        })
+    }
+}
 
 /// Where a rank worker's compressed blocks live, addressed by local slot
 /// index (`0..len()`).
@@ -130,6 +186,40 @@ pub trait BlockStore: Send + Sync + std::fmt::Debug {
     /// path (or with prefetching disabled) ignore it.
     fn prefetch(&self, slots: &[usize]) {
         let _ = slots;
+    }
+
+    /// Byte-range read of the spilled frame in `slot` for a partial
+    /// decode, without changing the slot's tier (the read-only sibling of
+    /// [`BlockStore::peek`] for segment-addressable payloads).
+    ///
+    /// `prefix_hint` is the caller's guess at the payload's segment-index
+    /// prefix length (pass 0 when unknown; a good hint folds the header
+    /// and prefix into one read). `ranges` receives the verified prefix
+    /// and returns the payload-absolute byte ranges to read — typically
+    /// segment-body runs mapped through a parsed
+    /// [`qcs_compress::SegmentIndex`].
+    ///
+    /// Returns `Ok(None)` whenever a byte-range read is not the right
+    /// tool — the block is in memory anyway (resident, dirty, staged),
+    /// the store has no spill tier, or the frame predates the segmented
+    /// format — and the caller falls back to a whole-block fetch.
+    fn fetch_ranges(
+        &self,
+        slot: usize,
+        prefix_hint: usize,
+        ranges: &mut dyn FnMut(&[u8]) -> Vec<Range<usize>>,
+    ) -> Result<Option<RangeFetch>, SimError> {
+        let _ = (slot, prefix_hint, ranges);
+        Ok(None)
+    }
+
+    /// Hint that byte-range reads covering segments `segs` of each hinted
+    /// slot will follow ([`BlockStore::fetch_ranges`]). A spill tier
+    /// reads just those segment bytes on a background thread and stages
+    /// them; everyone else ignores the hint, exactly like
+    /// [`BlockStore::prefetch`].
+    fn prefetch_ranges(&self, hints: &[(usize, Range<usize>)]) {
+        let _ = hints;
     }
 
     /// Announce the ordered slot accesses the caller plans to perform
@@ -555,22 +645,33 @@ struct SpillInner {
     staged: HashMap<usize, CompressedBlock>,
     /// Compressed bytes held in `staged` (part of residency accounting).
     staged_bytes: u64,
-    /// Slots whose frames the background fetcher is currently reading.
+    /// Byte-range reads the background fetcher staged ahead of need
+    /// ([`BlockStore::prefetch_ranges`]); one-shot like `staged`,
+    /// invalidated whenever the slot changes tier.
+    staged_ranges: HashMap<usize, RangeFetch>,
+    /// Heap bytes held in `staged_ranges`.
+    staged_range_bytes: u64,
+    /// Slots whose frames a background fetcher is currently reading.
     /// Foreground fetches of a pending slot wait on `Shared::resolved`
     /// instead of issuing a duplicate read.
     pending: HashSet<usize>,
+    /// Prefetch jobs awaiting a fetcher thread, split per shard at
+    /// enqueue so fetchers read distinct shards concurrently.
+    fetch_jobs: VecDeque<FetchJob>,
     /// Victim selection for `evict_over_cap`.
     policy: Box<dyn EvictionPolicy>,
     /// Slots awaiting their write-behind append, in eviction order.
     dirty_queue: VecDeque<usize>,
     /// Compressed bytes held in the dirty buffer.
     dirty_bytes: u64,
-    /// True while the writer thread is appending a drained run (defers
-    /// compaction and flush completion).
-    writer_busy: bool,
-    /// False once the writer thread exited (normally or by panic);
+    /// Number of writer threads currently appending a claimed run
+    /// (defers compaction and flush completion while non-zero).
+    writers_busy: usize,
+    /// Writer threads still running; once zero (normal exit or panic),
     /// waiters fall back to synchronous draining.
-    writer_alive: bool,
+    writers_alive: usize,
+    /// Set by drop: background threads finish their backlog and exit.
+    shutdown: bool,
     /// First write-behind failure not yet surfaced; the next `take` or
     /// `flush` returns it instead of silently dropping it.
     write_error: Option<String>,
@@ -584,12 +685,17 @@ struct SpillInner {
     fault: WriteFault,
 }
 
-/// State shared between a [`SpillStore`] and its background fetcher.
+/// State shared between a [`SpillStore`] and its background I/O threads.
 #[derive(Debug)]
 struct Shared {
     inner: StdMutex<SpillInner>,
-    /// Signaled whenever pending prefetches resolve (staged or failed).
+    /// Signaled whenever pending prefetches resolve (staged or failed)
+    /// or a writer commits/aborts a run.
     resolved: Condvar,
+    /// Wakes fetcher threads when `fetch_jobs` gains work (or shutdown).
+    fetch_work: Condvar,
+    /// Wakes writer threads when `dirty_queue` gains work (or shutdown).
+    write_work: Condvar,
 }
 
 impl Shared {
@@ -604,20 +710,38 @@ impl Shared {
 #[derive(Debug, Clone, Copy)]
 struct FrameAt {
     slot: usize,
-    shard: u32,
     offset: u64,
     frame_len: u32,
 }
 
-/// A prefetch request: a consistent snapshot of frame locations plus
-/// handles cloned from the shard files *at snapshot time*, so reads stay
-/// valid even if a compaction renames a fresh segment over a path
-/// mid-flight (the clones still address the old inodes, whose live
-/// frames are untouched).
-struct PrefetchJob {
-    files: Vec<File>,
-    frames: Vec<FrameAt>,
+/// A byte-range prefetch request: read segments `segs` of the frame at
+/// `offset` and stage the bytes for an upcoming
+/// [`BlockStore::fetch_ranges`].
+#[derive(Debug)]
+struct RangeJob {
+    slot: usize,
+    offset: u64,
+    header_len: u32,
+    payload_len: u32,
+    segs: Range<usize>,
 }
+
+/// One unit of background-fetcher work, confined to a single shard so N
+/// fetcher threads read N shards concurrently. The handle is cloned from
+/// the shard file *at snapshot time*, so reads stay valid even if a
+/// compaction renames a fresh segment over a path mid-flight (the clone
+/// still addresses the old inode, whose live frames are untouched).
+#[derive(Debug)]
+enum FetchJob {
+    /// Whole frames to read, coalesce, and stage as blocks.
+    Frames { file: File, frames: Vec<FrameAt> },
+    /// A segment run to read and stage as a [`RangeFetch`].
+    Ranges { file: File, req: RangeJob },
+}
+
+/// Cap on background I/O threads of each kind (fetchers, writers): one
+/// per shard, bounded so a wide shard layout cannot fork a thread herd.
+const MAX_IO_THREADS: usize = 8;
 
 /// The out-of-core tier: at most `cap` hot blocks resident (LRU by last
 /// touch), the rest spilled to a per-rank segment file of checksummed
@@ -640,17 +764,24 @@ struct PrefetchJob {
 /// consumption is accounted as a *blocking* fetch even though the bytes
 /// came through the fetcher. Everything else is a blocking fetch,
 /// exactly as without the pipeline.
+///
+/// Both pipelines scale with the shard layout: the store spawns one
+/// fetcher and one writer thread per shard (bounded by
+/// `MAX_IO_THREADS`), prefetch jobs are split per shard at enqueue,
+/// and each writer claims a run together with a shard *and its exact
+/// byte extent* under the lock, then lands the run with a positional
+/// write outside it — so shards see concurrent, non-overlapping I/O.
 pub struct SpillStore {
     cap: usize,
     path: PathBuf,
     metrics: Metrics,
     shared: Arc<Shared>,
-    /// Send half of the fetcher's queue; `None` when prefetch is off.
-    fetch_tx: Option<mpsc::Sender<PrefetchJob>>,
-    fetcher: Option<std::thread::JoinHandle<()>>,
-    /// Wake side of the writer's queue; `None` when write-behind is off.
-    write_tx: Option<mpsc::Sender<()>>,
-    writer: Option<std::thread::JoinHandle<()>>,
+    /// True when the background fetch pipeline is on (fetchers spawned).
+    prefetch_on: bool,
+    /// True when the write-behind pipeline is on (writers spawned).
+    write_behind: bool,
+    /// Background fetcher and writer threads, joined on drop.
+    io_threads: Vec<std::thread::JoinHandle<()>>,
     /// The policy selector this store was built with.
     eviction: Eviction,
     /// Keeps the segment directory alive until the last store drops.
@@ -738,57 +869,64 @@ impl SpillStore {
                 spilled_payload_bytes: 0,
                 staged: HashMap::new(),
                 staged_bytes: 0,
+                staged_ranges: HashMap::new(),
+                staged_range_bytes: 0,
                 pending: HashSet::new(),
+                fetch_jobs: VecDeque::new(),
                 policy: opts.eviction.build(),
                 dirty_queue: VecDeque::new(),
                 dirty_bytes: 0,
-                writer_busy: false,
-                writer_alive: false,
+                writers_busy: 0,
+                writers_alive: 0,
+                shutdown: false,
                 write_error: None,
                 spill_seq: 0,
                 run_cap: cap.max(1),
                 fault: WriteFault::default(),
             }),
             resolved: Condvar::new(),
+            fetch_work: Condvar::new(),
+            write_work: Condvar::new(),
         });
-        let (fetch_tx, fetcher) = if opts.prefetch {
-            let (tx, rx) = mpsc::channel();
-            let handle = std::thread::Builder::new()
-                .name(format!("qcs-prefetch-{label}"))
-                .spawn({
-                    let shared = Arc::clone(&shared);
-                    let metrics = metrics.clone();
-                    move || run_fetcher(&shared, &metrics, &rx)
-                })
-                .map_err(|e| io_err("spawn prefetch thread", e))?;
-            (Some(tx), Some(handle))
-        } else {
-            (None, None)
-        };
-        let (write_tx, writer) = if opts.write_behind {
-            shared.lock().writer_alive = true;
-            let (tx, rx) = mpsc::channel();
-            let handle = std::thread::Builder::new()
-                .name(format!("qcs-writer-{label}"))
-                .spawn({
-                    let shared = Arc::clone(&shared);
-                    let metrics = metrics.clone();
-                    move || run_writer(&shared, &metrics, &rx)
-                })
-                .map_err(|e| io_err("spawn write-behind thread", e))?;
-            (Some(tx), Some(handle))
-        } else {
-            (None, None)
-        };
+        // One I/O thread of each enabled kind per shard, bounded: the
+        // pipelines issue reads/writes to distinct shards concurrently.
+        let io_thread_count = nshards.min(MAX_IO_THREADS);
+        let mut io_threads = Vec::new();
+        if opts.prefetch {
+            for k in 0..io_thread_count {
+                let handle = std::thread::Builder::new()
+                    .name(format!("qcs-prefetch-{label}-{k}"))
+                    .spawn({
+                        let shared = Arc::clone(&shared);
+                        let metrics = metrics.clone();
+                        move || run_fetcher(&shared, &metrics)
+                    })
+                    .map_err(|e| io_err("spawn prefetch thread", e))?;
+                io_threads.push(handle);
+            }
+        }
+        if opts.write_behind {
+            shared.lock().writers_alive = io_thread_count;
+            for k in 0..io_thread_count {
+                let handle = std::thread::Builder::new()
+                    .name(format!("qcs-writer-{label}-{k}"))
+                    .spawn({
+                        let shared = Arc::clone(&shared);
+                        let metrics = metrics.clone();
+                        move || run_writer(&shared, &metrics)
+                    })
+                    .map_err(|e| io_err("spawn write-behind thread", e))?;
+                io_threads.push(handle);
+            }
+        }
         let store = Self {
             cap: cap.max(1),
             path,
             metrics,
             shared,
-            fetch_tx,
-            fetcher,
-            write_tx,
-            writer,
+            prefetch_on: opts.prefetch,
+            write_behind: opts.write_behind,
+            io_threads,
             eviction: opts.eviction,
             _dir_guard: opts.dir_guard,
         };
@@ -909,26 +1047,24 @@ impl SpillStore {
             };
             inner.resident_count -= 1;
             inner.resident_bytes -= blk.len() as u64;
-            if self.write_tx.is_some() && inner.writer_alive {
+            if self.write_behind && inner.writers_alive > 0 {
                 // Write-behind: park the victim in the dirty buffer (it
-                // still serves from memory) and let the writer drain it
+                // still serves from memory) and let a writer drain it
                 // off the critical path.
                 let gen = inner.clock;
                 inner.dirty_bytes += blk.len() as u64;
                 inner.slots[victim] = Slot::Dirty { blk, gen };
                 inner.dirty_queue.push_back(victim);
-                if let Some(tx) = &self.write_tx {
-                    let _ = tx.send(());
-                }
+                self.shared.write_work.notify_one();
                 // Bounded buffer: never hold more than a residency budget
-                // of dirty blocks; the wait (rare — the writer usually
-                // keeps up) is critical-path spill time. A writer parked
+                // of dirty blocks; the wait (rare — the writers usually
+                // keep up) is critical-path spill time. A writer parked
                 // on a deferred error never drains, so waiting on it
                 // would deadlock — exit and drain here instead.
                 if inner.dirty_queue.len() > self.cap {
                     let t = Instant::now();
                     while inner.dirty_queue.len() > self.cap
-                        && inner.writer_alive
+                        && inner.writers_alive > 0
                         && inner.write_error.is_none()
                     {
                         inner = self
@@ -979,7 +1115,7 @@ impl SpillStore {
     /// (out of disk, torn write) leaves the store untouched on the old
     /// segment, and the orphaned `.tmp` is removed.
     fn maybe_compact(&self, inner: &mut SpillInner) -> Result<(), SimError> {
-        if !inner.dirty_queue.is_empty() || inner.writer_busy {
+        if !inner.dirty_queue.is_empty() || inner.writers_busy > 0 {
             return Ok(());
         }
         for si in 0..inner.shards.len() {
@@ -1103,13 +1239,11 @@ impl SpillStore {
     /// including after a writer panic.
     pub fn flush_dirty(&self) -> Result<(), SimError> {
         let mut inner = self.shared.lock();
-        if self.write_tx.is_some() && inner.writer_alive {
-            if let Some(tx) = &self.write_tx {
-                let _ = tx.send(());
-            }
+        if self.write_behind && inner.writers_alive > 0 {
+            self.shared.write_work.notify_all();
             let t = Instant::now();
-            while (!inner.dirty_queue.is_empty() || inner.writer_busy)
-                && inner.writer_alive
+            while (!inner.dirty_queue.is_empty() || inner.writers_busy > 0)
+                && inner.writers_alive > 0
                 && inner.write_error.is_none()
             {
                 inner = self
@@ -1148,8 +1282,8 @@ impl SpillStore {
     #[cfg(test)]
     pub(crate) fn debug_wait_written(&self) {
         let mut inner = self.shared.lock();
-        while (!inner.dirty_queue.is_empty() || inner.writer_busy)
-            && inner.writer_alive
+        while (!inner.dirty_queue.is_empty() || inner.writers_busy > 0)
+            && inner.writers_alive > 0
             && inner.write_error.is_none()
         {
             inner = self
@@ -1176,6 +1310,11 @@ impl BlockStore for SpillStore {
             return Err(SimError::Spill(e));
         }
         inner.policy.note_access(slot);
+        // The slot leaves the spilled tier: any staged byte-range read
+        // of its old frame is stale.
+        if let Some(stale) = inner.staged_ranges.remove(&slot) {
+            inner.staged_range_bytes -= stale.heap_bytes();
+        }
         match std::mem::replace(&mut inner.slots[slot], Slot::InFlight) {
             Slot::Resident { blk, .. } => {
                 inner.resident_count -= 1;
@@ -1231,9 +1370,13 @@ impl BlockStore for SpillStore {
             matches!(inner.slots[slot], Slot::InFlight),
             "slot {slot} already occupied"
         );
-        // A staged copy (if any survived an aborted wave) is now stale.
+        // A staged copy (if any survived an aborted wave) is now stale,
+        // and so is any staged byte-range read.
         if let Some(stale) = inner.staged.remove(&slot) {
             inner.staged_bytes -= stale.len() as u64;
+        }
+        if let Some(stale) = inner.staged_ranges.remove(&slot) {
+            inner.staged_range_bytes -= stale.heap_bytes();
         }
         inner.clock += 1;
         let stamp = inner.clock;
@@ -1310,6 +1453,9 @@ impl BlockStore for SpillStore {
         // (result index, shard, offset, frame_len): the blocking reads.
         let mut reads: Vec<(usize, u32, u64, u32)> = Vec::new();
         for (i, &slot) in slots.iter().enumerate() {
+            if let Some(stale) = inner.staged_ranges.remove(&slot) {
+                inner.staged_range_bytes -= stale.heap_bytes();
+            }
             match std::mem::replace(&mut inner.slots[slot], Slot::InFlight) {
                 Slot::Resident { blk, .. } => {
                     inner.resident_count -= 1;
@@ -1363,19 +1509,23 @@ impl BlockStore for SpillStore {
     }
 
     /// Reserve the spilled frames among `slots` (up to the staging
-    /// budget) and hand them to the background fetcher. No-op when
+    /// budget) and hand them to the background fetchers, one job per
+    /// shard so distinct shards are read concurrently. No-op when
     /// prefetching is off.
     fn prefetch(&self, slots: &[usize]) {
-        let Some(tx) = &self.fetch_tx else { return };
+        if !self.prefetch_on {
+            return;
+        }
         let mut inner = self.shared.lock();
-        let mut frames = Vec::new();
+        // (shard, frame) picks within the staging budget.
+        let mut picks: Vec<(u32, FrameAt)> = Vec::new();
         for &slot in slots {
-            if inner.staged.len() + inner.pending.len() + frames.len() >= self.cap {
+            if inner.staged.len() + inner.pending.len() + picks.len() >= self.cap {
                 break;
             }
             if inner.staged.contains_key(&slot)
                 || inner.pending.contains(&slot)
-                || frames.iter().any(|f: &FrameAt| f.slot == slot)
+                || picks.iter().any(|(_, f)| f.slot == slot)
             {
                 continue;
             }
@@ -1386,46 +1536,195 @@ impl BlockStore for SpillStore {
                 ..
             } = inner.slots[slot]
             {
-                frames.push(FrameAt {
-                    slot,
+                picks.push((
                     shard,
-                    offset,
-                    frame_len,
-                });
+                    FrameAt {
+                        slot,
+                        offset,
+                        frame_len,
+                    },
+                ));
             }
         }
-        if frames.is_empty() {
+        if picks.is_empty() {
             return;
         }
-        // Snapshot the shard handles under the same lock as the offsets:
-        // a later compaction swaps in a new segment file, but these
-        // clones keep addressing the inodes the offsets were taken from.
-        let Ok(files) = inner
-            .shards
-            .iter()
-            .map(|s| s.file.try_clone())
-            .collect::<Result<Vec<File>, _>>()
-        else {
-            return;
-        };
-        for f in &frames {
-            inner.pending.insert(f.slot);
+        // Split per shard, snapshotting each shard's handle under the
+        // same lock as the offsets: a later compaction swaps in a new
+        // segment file, but these clones keep addressing the inodes the
+        // offsets were taken from.
+        picks.sort_unstable_by_key(|&(shard, f)| (shard, f.offset));
+        let mut queued = 0usize;
+        let mut start = 0usize;
+        while start < picks.len() {
+            let shard = picks[start].0;
+            let end = start
+                + picks[start..]
+                    .iter()
+                    .take_while(|(s, _)| *s == shard)
+                    .count();
+            if let Ok(file) = inner.shards[shard as usize].file.try_clone() {
+                let frames: Vec<FrameAt> = picks[start..end].iter().map(|&(_, f)| f).collect();
+                for f in &frames {
+                    inner.pending.insert(f.slot);
+                }
+                inner
+                    .fetch_jobs
+                    .push_back(FetchJob::Frames { file, frames });
+                queued += 1;
+            }
+            start = end;
         }
         drop(inner);
-        if tx
-            .send(PrefetchJob {
-                files,
-                frames: frames.clone(),
-            })
-            .is_err()
-        {
-            // Fetcher already shut down: roll the reservation back.
-            let mut inner = self.shared.lock();
-            for f in &frames {
-                inner.pending.remove(&f.slot);
+        for _ in 0..queued {
+            self.shared.fetch_work.notify_one();
+        }
+    }
+
+    fn fetch_ranges(
+        &self,
+        slot: usize,
+        prefix_hint: usize,
+        ranges: &mut dyn FnMut(&[u8]) -> Vec<Range<usize>>,
+    ) -> Result<Option<RangeFetch>, SimError> {
+        let mut inner = self.shared.lock();
+        // A full copy is in memory or about to be staged: a byte-range
+        // read would only duplicate it — let the caller peek instead.
+        if inner.pending.contains(&slot) || inner.staged.contains_key(&slot) {
+            return Ok(None);
+        }
+        let Slot::Spilled {
+            shard,
+            offset,
+            frame_len,
+            payload_len,
+        } = inner.slots[slot]
+        else {
+            return Ok(None);
+        };
+        inner.policy.note_access(slot);
+        // Serve from a staged byte-range read when it covers the request
+        // (one-shot, like the block staging buffer).
+        if let Some(staged) = inner.staged_ranges.remove(&slot) {
+            inner.staged_range_bytes -= staged.heap_bytes();
+            let wanted = ranges(&staged.prefix);
+            if wanted.iter().all(|r| staged.part_covering(r).is_some()) {
+                let parts = wanted
+                    .into_iter()
+                    .map(|r| {
+                        let bytes = staged.part_covering(&r).expect("covered above").to_vec();
+                        (r, bytes)
+                    })
+                    .collect();
+                return Ok(Some(RangeFetch {
+                    codec: staged.codec,
+                    bound: staged.bound,
+                    payload_len: staged.payload_len,
+                    prefix: staged.prefix,
+                    parts,
+                }));
             }
-            drop(inner);
-            self.shared.resolved.notify_all();
+            // Staged run does not cover the request: fall through to disk.
+        }
+        let header_len = (frame_len - payload_len) as usize;
+        let t = Instant::now();
+        let file = &inner.shards[shard as usize].file;
+        // Fold the frame header and (hinted) index prefix into one read.
+        let hint = prefix_hint.min(payload_len as usize);
+        let mut head = vec![0u8; header_len + hint];
+        file.read_exact_at(&mut head, offset)
+            .map_err(|e| io_err("read spill frame header", e))?;
+        let header =
+            frame::parse_header(&head).map_err(|e| io_err("parse spill frame header", e))?;
+        let Some(prefix_len) = header.prefix_len else {
+            // Pre-segmented (v1) frame: whole-block reads only.
+            self.metrics.add(Phase::SpillIo, t.elapsed());
+            return Ok(None);
+        };
+        let mut prefix = head.split_off(header_len);
+        if prefix.len() > prefix_len {
+            prefix.truncate(prefix_len);
+        } else if prefix.len() < prefix_len {
+            let have = prefix.len();
+            prefix.resize(prefix_len, 0);
+            file.read_exact_at(&mut prefix[have..], offset + (header_len + have) as u64)
+                .map_err(|e| io_err("read spill segment index", e))?;
+        }
+        if frame::fnv1a(&prefix) != header.checksum {
+            return Err(SimError::Spill(
+                "spill frame segment index checksum mismatch".into(),
+            ));
+        }
+        let wanted = ranges(&prefix);
+        let mut parts = Vec::with_capacity(wanted.len());
+        for r in wanted {
+            if r.start < prefix_len || r.end > payload_len as usize || r.start > r.end {
+                return Err(SimError::Spill(format!(
+                    "segment byte range {}..{} outside spilled payload",
+                    r.start, r.end
+                )));
+            }
+            let mut buf = vec![0u8; r.len()];
+            file.read_exact_at(&mut buf, offset + header_len as u64 + r.start as u64)
+                .map_err(|e| io_err("read spill segment run", e))?;
+            parts.push((r, buf));
+        }
+        self.metrics.add(Phase::SpillIo, t.elapsed());
+        Ok(Some(RangeFetch {
+            codec: header.codec,
+            bound: header.bound,
+            payload_len: payload_len as usize,
+            prefix,
+            parts,
+        }))
+    }
+
+    /// Stage byte-range reads for the hinted segment runs on the
+    /// background fetchers (see [`BlockStore::prefetch_ranges`]).
+    fn prefetch_ranges(&self, hints: &[(usize, Range<usize>)]) {
+        if !self.prefetch_on {
+            return;
+        }
+        let mut inner = self.shared.lock();
+        let mut queued = 0usize;
+        for (slot, segs) in hints {
+            if inner.staged.len() + inner.staged_ranges.len() + inner.pending.len() >= self.cap {
+                break;
+            }
+            if inner.staged.contains_key(slot)
+                || inner.staged_ranges.contains_key(slot)
+                || inner.pending.contains(slot)
+            {
+                continue;
+            }
+            let Slot::Spilled {
+                shard,
+                offset,
+                frame_len,
+                payload_len,
+            } = inner.slots[*slot]
+            else {
+                continue;
+            };
+            let Ok(file) = inner.shards[shard as usize].file.try_clone() else {
+                continue;
+            };
+            inner.pending.insert(*slot);
+            inner.fetch_jobs.push_back(FetchJob::Ranges {
+                file,
+                req: RangeJob {
+                    slot: *slot,
+                    offset,
+                    header_len: frame_len - payload_len,
+                    payload_len,
+                    segs: segs.clone(),
+                },
+            });
+            queued += 1;
+        }
+        drop(inner);
+        for _ in 0..queued {
+            self.shared.fetch_work.notify_one();
         }
     }
 
@@ -1442,12 +1741,12 @@ impl BlockStore for SpillStore {
     }
 
     /// Compressed bytes held in memory: residents plus the prefetch
-    /// staging buffer plus the write-behind dirty buffer — the honest
-    /// memory footprint of the tier (each buffer is bounded by one
-    /// residency budget).
+    /// staging buffers (whole blocks and byte-range reads) plus the
+    /// write-behind dirty buffer — the honest memory footprint of the
+    /// tier (each buffer is bounded by one residency budget).
     fn resident_bytes(&self) -> u64 {
         let inner = self.shared.lock();
-        inner.resident_bytes + inner.staged_bytes + inner.dirty_bytes
+        inner.resident_bytes + inner.staged_bytes + inner.staged_range_bytes + inner.dirty_bytes
     }
 
     /// Residents only: staging and dirty occupancy depend on background
@@ -1522,85 +1821,178 @@ fn read_frame_runs<K: Copy>(
     out
 }
 
-/// Body of a [`SpillStore`]'s background fetch thread: drain prefetch
-/// jobs, read their frames through [`read_frame_runs`], and stage the
-/// decoded blocks. Read time lands in [`Phase::Prefetch`] — off the
-/// critical path. A frame that fails to read or decode is simply not
-/// staged; the foreground's blocking fetch retries and surfaces the
-/// error.
-fn run_fetcher(shared: &Shared, metrics: &Metrics, rx: &mpsc::Receiver<PrefetchJob>) {
-    while let Ok(job) = rx.recv() {
-        let mut reads: Vec<(usize, u32, u64, u32)> = job
-            .frames
-            .iter()
-            .map(|f| (f.slot, f.shard, f.offset, f.frame_len))
-            .collect();
-        let files: Vec<&File> = job.files.iter().collect();
-        let t = Instant::now();
-        let decoded = read_frame_runs(&files, &mut reads);
-        metrics.add(Phase::Prefetch, t.elapsed());
+/// Read the header, segment-index prefix, and the hinted segment run of
+/// the frame at `req.offset` — the background half of the byte-range
+/// path. `None` on any failure or on a pre-segmented frame; the
+/// foreground read retries and surfaces errors.
+fn read_segment_run(file: &File, req: &RangeJob) -> Option<RangeFetch> {
+    let header_len = req.header_len as usize;
+    let mut head = vec![0u8; header_len];
+    file.read_exact_at(&mut head, req.offset).ok()?;
+    let header = frame::parse_header(&head).ok()?;
+    let prefix_len = header.prefix_len?;
+    let mut prefix = vec![0u8; prefix_len];
+    file.read_exact_at(&mut prefix, req.offset + header_len as u64)
+        .ok()?;
+    if frame::fnv1a(&prefix) != header.checksum {
+        return None;
+    }
+    let index = SegmentIndex::parse(&prefix).ok().flatten()?;
+    let lo = req.segs.start.min(index.n_segs());
+    let hi = req.segs.end.min(index.n_segs());
+    if lo >= hi {
+        return None;
+    }
+    // Segment bodies are contiguous: the run is one read.
+    let run = index.byte_range(lo).start..index.byte_range(hi - 1).end;
+    if run.end > req.payload_len as usize {
+        return None;
+    }
+    let mut bytes = vec![0u8; run.len()];
+    file.read_exact_at(&mut bytes, req.offset + (header_len + run.start) as u64)
+        .ok()?;
+    Some(RangeFetch {
+        codec: header.codec,
+        bound: header.bound,
+        payload_len: req.payload_len as usize,
+        prefix,
+        parts: vec![(run, bytes)],
+    })
+}
+
+/// Body of one of a [`SpillStore`]'s background fetch threads: claim
+/// prefetch jobs (each confined to one shard, so N fetchers read N
+/// shards concurrently), read their frames through [`read_frame_runs`]
+/// or their segment runs through [`read_segment_run`], and stage the
+/// results. Read time lands in [`Phase::Prefetch`] — off the critical
+/// path. A frame that fails to read or decode is simply not staged; the
+/// foreground's blocking fetch retries and surfaces the error. Queued
+/// jobs are drained even after shutdown so reserved `pending` marks
+/// always resolve.
+fn run_fetcher(shared: &Shared, metrics: &Metrics) {
+    loop {
         let mut inner = shared.lock();
-        for (slot, _, blk) in decoded {
-            inner.pending.remove(&slot);
-            if let Ok(blk) = blk {
-                // Pending slots cannot change tier (foreground fetches of
-                // them wait), so the frame we read is still current.
-                debug_assert!(matches!(inner.slots[slot], Slot::Spilled { .. }));
-                inner.staged_bytes += blk.len() as u64;
-                inner.staged.insert(slot, blk);
+        let job = loop {
+            if let Some(job) = inner.fetch_jobs.pop_front() {
+                break job;
+            }
+            if inner.shutdown {
+                return;
+            }
+            inner = shared
+                .fetch_work
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
+        drop(inner);
+        match job {
+            FetchJob::Frames { file, frames } => {
+                // Single-shard job: shard key 0 against the one handle.
+                let mut reads: Vec<(usize, u32, u64, u32)> = frames
+                    .iter()
+                    .map(|f| (f.slot, 0, f.offset, f.frame_len))
+                    .collect();
+                let t = Instant::now();
+                let decoded = read_frame_runs(&[&file], &mut reads);
+                metrics.add(Phase::Prefetch, t.elapsed());
+                let mut inner = shared.lock();
+                for (slot, _, blk) in decoded {
+                    inner.pending.remove(&slot);
+                    if let Ok(blk) = blk {
+                        // Pending slots cannot change tier (foreground
+                        // fetches of them wait), so the frame we read is
+                        // still current.
+                        debug_assert!(matches!(inner.slots[slot], Slot::Spilled { .. }));
+                        inner.staged_bytes += blk.len() as u64;
+                        inner.staged.insert(slot, blk);
+                    }
+                }
+                drop(inner);
+                shared.resolved.notify_all();
+            }
+            FetchJob::Ranges { file, req } => {
+                let t = Instant::now();
+                let staged = read_segment_run(&file, &req);
+                metrics.add(Phase::Prefetch, t.elapsed());
+                let mut inner = shared.lock();
+                inner.pending.remove(&req.slot);
+                if let Some(rf) = staged {
+                    debug_assert!(matches!(inner.slots[req.slot], Slot::Spilled { .. }));
+                    inner.staged_range_bytes += rf.heap_bytes();
+                    inner.staged_ranges.insert(req.slot, rf);
+                }
+                drop(inner);
+                shared.resolved.notify_all();
             }
         }
-        drop(inner);
-        shared.resolved.notify_all();
     }
 }
 
-/// Body of a [`SpillStore`]'s background write-behind thread: on every
-/// wake, drain the dirty buffer in coalesced runs — each run appended
-/// sequentially to one shard, runs rotating across shards in eviction
-/// order. Append time lands in [`Phase::WriteBehind`] — off the critical
-/// path. A failed run re-queues its blocks (still safe in memory) and
-/// records a deferred error for the next `take`/`flush` to surface; the
-/// writer then idles until the error is consumed. Exiting — normally or
-/// by panic — marks the writer dead and wakes all waiters, so barriers
-/// fall back to synchronous draining instead of hanging.
-fn run_writer(shared: &Shared, metrics: &Metrics, rx: &mpsc::Receiver<()>) {
+/// Body of one of a [`SpillStore`]'s background write-behind threads.
+///
+/// Each writer claims one run at a time under the lock: at most a
+/// residency budget of queued dirty blocks, the next shard in rotation,
+/// and — the key to concurrency — the exact byte extent the run's frames
+/// will occupy in that shard (computable up front because
+/// [`frame::encoded_len_of`] is exact). The run is then encoded into one
+/// buffer and landed with a single positional write *outside* the lock,
+/// so N writers append to disjoint extents of independently chosen
+/// shards in parallel. Append time lands in [`Phase::WriteBehind`] — off
+/// the critical path.
+///
+/// A failed run re-queues its blocks (still safe in memory), marks its
+/// reserved extent dead, and records a deferred error for the next
+/// `take`/`flush` to surface; writers then idle until the error is
+/// consumed. A writer exiting — normally or by panic — decrements the
+/// alive count and wakes all waiters, so barriers fall back to
+/// synchronous draining once no writer remains.
+fn run_writer(shared: &Shared, metrics: &Metrics) {
     struct AliveGuard<'a>(&'a Shared);
     impl Drop for AliveGuard<'_> {
         fn drop(&mut self) {
             let mut inner = self.0.lock();
-            inner.writer_alive = false;
-            inner.writer_busy = false;
+            inner.writers_alive -= 1;
             drop(inner);
             self.0.resolved.notify_all();
         }
     }
-    let _alive = AliveGuard(shared);
-    loop {
-        // One final drain once the channel closes, so a dropping store's
-        // barrier still observes durable frames.
-        let open = rx.recv().is_ok();
-        drain_write_behind(shared, metrics);
-        if !open {
-            return;
+    /// Decrements `writers_busy` even when the write unwinds, so flush
+    /// barriers never wait on a dead writer's claim.
+    struct BusyGuard<'a> {
+        shared: &'a Shared,
+        armed: bool,
+    }
+    impl Drop for BusyGuard<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                let mut inner = self.shared.lock();
+                inner.writers_busy -= 1;
+                drop(inner);
+                self.shared.resolved.notify_all();
+            }
         }
     }
-}
-
-/// One writer-thread drain cycle: snapshot runs of dirty blocks and
-/// append their frames outside the lock (see [`run_writer`]).
-fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
+    let _alive = AliveGuard(shared);
     loop {
         let mut inner = shared.lock();
-        // An unsurfaced failure parks the writer: the data sits safely in
-        // the dirty buffer until take/flush reports the error.
-        if inner.write_error.is_some() || inner.dirty_queue.is_empty() {
+        // Park until there is drainable work. An unsurfaced failure
+        // parks the writers (the data sits safely in the dirty buffer
+        // until take/flush reports the error); shutdown triggers one
+        // final drain of whatever is queued, so a dropping store's
+        // barrier still observes durable frames.
+        while !inner.shutdown && (inner.dirty_queue.is_empty() || inner.write_error.is_some()) {
+            inner = shared
+                .write_work
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if inner.shutdown && (inner.dirty_queue.is_empty() || inner.write_error.is_some()) {
             return;
         }
-        // Snapshot at most a residency budget of queued blocks for one
-        // shard; consecutive runs rotate shards so coalesced writes land
-        // on distinct directories (a longer backlog drains as several
-        // runs, each on the next shard).
+        // Claim a run: snapshot at most a residency budget of queued
+        // blocks for the next shard in rotation (consecutive runs land
+        // on distinct directories; a longer backlog drains as several
+        // runs, claimed by whichever writers are free).
         let n = inner.dirty_queue.len().min(inner.run_cap);
         let run: Vec<usize> = inner.dirty_queue.drain(..n).collect();
         let shard_idx = (inner.spill_seq % inner.shards.len() as u64) as usize;
@@ -1617,7 +2009,6 @@ fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
         if blks.is_empty() {
             continue;
         }
-        let base = inner.shards[shard_idx].end;
         let fault = inner.fault.clone();
         let file = match inner.shards[shard_idx].file.try_clone() {
             Ok(f) => f,
@@ -1630,30 +2021,43 @@ fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
                 }
                 drop(inner);
                 shared.resolved.notify_all();
-                return;
+                continue;
             }
         };
-        inner.writer_busy = true;
+        // Reserve the run's exact extent: concurrent writers append to
+        // disjoint byte ranges, and sync appends go past every claim.
+        let base = inner.shards[shard_idx].end;
+        let total: u64 = blks
+            .iter()
+            .map(|(_, _, b)| frame::encoded_len_of(&b.bytes) as u64)
+            .sum();
+        inner.shards[shard_idx].end = base + total;
+        inner.writers_busy += 1;
         drop(inner);
+        let mut busy = BusyGuard {
+            shared,
+            armed: true,
+        };
 
         if fault.panic {
             panic!("injected write-behind panic");
         }
         let t = Instant::now();
-        // (slot, generation, offset, frame_len) appended so far.
+        // Encode the whole run into one buffer and land it with a single
+        // positional write into the reserved extent (all-or-nothing: a
+        // failed run leaves only dead reserved bytes, never torn frames).
+        let mut buf: Vec<u8> = Vec::with_capacity(total as usize);
+        // (slot, generation, offset, frame_len) encoded so far.
         let mut written: Vec<(usize, u64, u64, u32)> = Vec::new();
-        let mut file = file;
         let mut result: Result<(), String> = if fault.fail {
             Err("injected write-behind failure".into())
         } else {
-            file.seek(SeekFrom::Start(base))
-                .map(|_| ())
-                .map_err(|e| format!("seek for write-behind: {e}"))
+            Ok(())
         };
         if result.is_ok() {
             let mut off = base;
             for (slot, gen, blk) in &blks {
-                match frame::write_frame(&mut file, blk.codec, blk.bound, &blk.bytes) {
+                match frame::write_frame(&mut buf, blk.codec, blk.bound, &blk.bytes) {
                     Ok(len) => {
                         written.push((*slot, *gen, off, len as u32));
                         off += len as u64;
@@ -1665,17 +2069,24 @@ fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
                 }
             }
         }
+        if result.is_ok() {
+            if let Err(e) = file.write_all_at(&buf, base) {
+                result = Err(format!("write-behind run: {e}"));
+            }
+        }
+        if result.is_err() {
+            written.clear();
+        }
         metrics.add(Phase::WriteBehind, t.elapsed());
 
         let mut inner = shared.lock();
-        inner.writer_busy = false;
-        // Commit the appended prefix: adopt frames whose slot is still
-        // dirty at the same generation; anything re-taken (or re-evicted
-        // at a newer generation) mid-write leaves its frame as dead
-        // bytes.
+        inner.writers_busy -= 1;
+        busy.armed = false;
+        // Commit the landed run: adopt frames whose slot is still dirty
+        // at the same generation; anything re-taken (or re-evicted at a
+        // newer generation) mid-write leaves its frame as dead bytes.
         let mut committed: HashSet<usize> = HashSet::new();
         for (slot, gen, offset, frame_len) in written {
-            inner.shards[shard_idx].end = offset + frame_len as u64;
             let adopt = matches!(inner.slots[slot], Slot::Dirty { gen: g, .. } if g == gen);
             if adopt {
                 let blk = match std::mem::replace(
@@ -1703,9 +2114,11 @@ fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
             }
         }
         if let Err(msg) = result {
+            // The whole reserved extent is dead (nothing durable in it).
+            inner.shards[shard_idx].dead += total;
             inner.write_error.get_or_insert(msg);
-            // Re-queue the unwritten tail (front, preserving order): the
-            // blocks are still in memory, nothing is lost.
+            // Re-queue the run (front, preserving order): the blocks are
+            // still in memory, nothing is lost.
             for &slot in run.iter().rev() {
                 if !committed.contains(&slot)
                     && matches!(inner.slots[slot], Slot::Dirty { .. })
@@ -1722,16 +2135,14 @@ fn drain_write_behind(shared: &Shared, metrics: &Metrics) {
 
 impl Drop for SpillStore {
     fn drop(&mut self) {
-        // Closing the queues ends both background threads; the writer
-        // does one final drain (the drop barrier) and both are joined
-        // before deleting the segments so no background I/O races the
-        // unlink.
-        self.fetch_tx = None;
-        self.write_tx = None;
-        if let Some(handle) = self.fetcher.take() {
-            let _ = handle.join();
-        }
-        if let Some(handle) = self.writer.take() {
+        // Shutdown ends every background thread: fetchers drain their
+        // queued jobs (resolving all pending marks), writers do one
+        // final drain (the drop barrier), and all are joined before
+        // deleting the segments so no background I/O races the unlink.
+        self.shared.lock().shutdown = true;
+        self.shared.fetch_work.notify_all();
+        self.shared.write_work.notify_all();
+        for handle in self.io_threads.drain(..) {
             let _ = handle.join();
         }
         let inner = self.shared.lock();
@@ -1815,6 +2226,22 @@ pub(crate) mod trace {
 
         fn prefetch(&self, slots: &[usize]) {
             self.inner.prefetch(slots);
+        }
+
+        // A byte-range read is a logical access like `peek`: recorded,
+        // then forwarded.
+        fn fetch_ranges(
+            &self,
+            slot: usize,
+            prefix_hint: usize,
+            ranges: &mut dyn FnMut(&[u8]) -> Vec<Range<usize>>,
+        ) -> Result<Option<RangeFetch>, SimError> {
+            self.record(slot);
+            self.inner.fetch_ranges(slot, prefix_hint, ranges)
+        }
+
+        fn prefetch_ranges(&self, hints: &[(usize, Range<usize>)]) {
+            self.inner.prefetch_ranges(hints);
         }
 
         // Plan windows are advisory, like prefetch hints: forwarded to the
@@ -2642,5 +3069,121 @@ mod tests {
         }
         drop(s);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A segmented Solution C payload of `n_values` amplitudes (several
+    /// segments at the default segment size when `n_values > 1024`).
+    fn seg_payload(n_values: usize) -> Vec<u8> {
+        use qcs_compress::Codec as _;
+        let data: Vec<f64> = (0..n_values)
+            .map(|i| (i as f64 * 0.37).sin() * 1e-3)
+            .collect();
+        qcs_compress::trunc::SolutionC::default()
+            .compress(&data, ErrorBound::PointwiseRelative(1e-6))
+            .unwrap()
+    }
+
+    fn seg_blk(payload: &[u8]) -> CompressedBlock {
+        CompressedBlock {
+            codec: CodecId::SolutionC,
+            bound: ErrorBound::PointwiseRelative(1e-6),
+            bytes: payload.to_vec().into(),
+        }
+    }
+
+    #[test]
+    fn fetch_ranges_reads_only_segment_bytes() {
+        use qcs_compress::{Codec as _, PartialCodec as _};
+        let metrics = Metrics::new();
+        let payload = seg_payload(3000);
+        let blocks = (0..3).map(|_| Some(seg_blk(&payload))).collect();
+        let s = SpillStore::create(&tmp_dir("ranges"), "r0", 1, metrics.clone(), blocks).unwrap();
+        // Slots 0 and 1 are spilled (cap 1 keeps only the last put).
+        let rf = s
+            .fetch_ranges(0, 64, &mut |prefix| {
+                let idx = SegmentIndex::parse(prefix).unwrap().unwrap();
+                vec![idx.byte_range(1)]
+            })
+            .unwrap()
+            .expect("spilled segmented frame supports byte-range reads");
+        assert_eq!(rf.codec, CodecId::SolutionC);
+        assert_eq!(rf.payload_len, payload.len());
+        let idx = SegmentIndex::parse(&rf.prefix).unwrap().unwrap();
+        assert_eq!(idx.n_segs(), 3);
+        let want = idx.byte_range(1);
+        assert_eq!(rf.parts.len(), 1);
+        assert_eq!(rf.parts[0].0, want.clone());
+        assert_eq!(&rf.parts[0].1[..], &payload[want.clone()]);
+        // The partial read moved strictly fewer payload bytes than a
+        // whole-block fetch would have.
+        assert!(rf.prefix.len() + rf.parts[0].1.len() < payload.len());
+        // The staged segment decodes to exactly the full decode's slice.
+        let c = qcs_compress::trunc::SolutionC::default();
+        let mut out = Vec::new();
+        c.decompress_segment(&idx, 1, rf.part_covering(&want).unwrap(), &mut out)
+            .unwrap();
+        let full = c.decompress(&payload).unwrap();
+        let vr = idx.value_range(1);
+        assert_eq!(out.len(), vr.len());
+        for (a, b) in out.iter().zip(&full[vr]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A resident slot has no byte-range path (the caller peeks).
+        assert!(s.fetch_ranges(2, 0, &mut |_| Vec::new()).unwrap().is_none());
+        // Pre-segmented payloads fall back to whole-block reads.
+        let metrics2 = Metrics::new();
+        let s2 = spill_store("ranges-v1", 1, 3, &metrics2);
+        assert!(s2
+            .fetch_ranges(0, 64, &mut |_| Vec::new())
+            .unwrap()
+            .is_none());
+        // MemStore honors the default: no spill tier, no byte ranges.
+        let m = MemStore::new(vec![Some(seg_blk(&payload))]);
+        assert!(m.fetch_ranges(0, 0, &mut |_| Vec::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn prefetch_ranges_stages_byte_runs() {
+        let metrics = Metrics::new();
+        let payload = seg_payload(3000);
+        let s = SpillStore::create_with(
+            &tmp_dir("prefetch-ranges"),
+            "r0",
+            1,
+            metrics.clone(),
+            (0..3).map(|_| Some(seg_blk(&payload))).collect(),
+            SpillOptions {
+                prefetch: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let resident_before = s.resident_bytes();
+        // Hint segments 1..3 of spilled slot 0 and let the background
+        // read land.
+        s.prefetch_ranges(&[(0, 1..3)]);
+        s.debug_wait_staged();
+        assert!(
+            s.resident_bytes() > resident_before,
+            "staged range bytes must appear in the footprint"
+        );
+        assert!(metrics.duration(Phase::Prefetch).as_nanos() > 0);
+        // The staged run covers a fetch of segment 1 alone: served from
+        // memory, consumed one-shot.
+        let rf = s
+            .fetch_ranges(0, 0, &mut |prefix| {
+                let idx = SegmentIndex::parse(prefix).unwrap().unwrap();
+                vec![idx.byte_range(1)]
+            })
+            .unwrap()
+            .expect("staged byte-range read serves the fetch");
+        let idx = SegmentIndex::parse(&rf.prefix).unwrap().unwrap();
+        let want = idx.byte_range(1);
+        assert_eq!(&rf.parts[0].1[..], &payload[want]);
+        assert_eq!(s.resident_bytes(), resident_before, "staging is one-shot");
+        // The slot never changed tier and whole-block fetches still work.
+        let b = s.take(0).unwrap();
+        assert_eq!(&b.bytes[..], &payload[..]);
+        s.put(0, b).unwrap();
     }
 }

@@ -114,10 +114,11 @@
 use crate::block::{BlockCodec, CompressedBlock};
 use crate::cache::BlockCache;
 use crate::engine::SimError;
+use crate::partial::{self, PartialStats};
 use crate::store::BlockStore;
 use qcs_circuits::schedule::mix;
 use qcs_cluster::{exec, ControlScope, Duplex, Layout, Metrics, Phase, Route};
-use qcs_compress::ErrorBound;
+use qcs_compress::{CodecError, ErrorBound, PartialCodec, SegmentIndex};
 use qcs_statevec::{kernels, Gate1};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -352,6 +353,9 @@ pub(crate) struct RankWorker {
     /// spilled; waves are chunked to the store's residency cap so at most
     /// a budget's worth of blocks is ever in flight.
     store: Box<dyn BlockStore>,
+    /// Route qualifying waves through the segment-addressable partial
+    /// decode/encode path ([`SimConfig::partial_decode`](crate::SimConfig)).
+    partial: bool,
 }
 
 impl exec::Worker for RankWorker {
@@ -385,6 +389,7 @@ impl RankWorker {
         cache: Arc<BlockCache>,
         metrics: Metrics,
         store: Box<dyn BlockStore>,
+        partial: bool,
     ) -> Self {
         debug_assert_eq!(store.len(), layout.blocks_per_rank());
         Self {
@@ -394,6 +399,7 @@ impl RankWorker {
             cache,
             metrics,
             store,
+            partial,
         }
     }
 
@@ -570,6 +576,7 @@ impl RankWorker {
                             &mut buf_a,
                             &mut buf_b,
                             true,
+                            self.partial,
                         )
                     })
                     .collect()
@@ -578,6 +585,7 @@ impl RankWorker {
                 let cache = Arc::clone(&self.cache);
                 let g = cmd.gate;
                 let (offset_cmask, signature) = (cmd.offset_cmask, cmd.signature);
+                let partial = self.partial;
                 units
                     .into_par_iter()
                     .map_init(
@@ -602,6 +610,7 @@ impl RankWorker {
                                 buf_a,
                                 buf_b,
                                 false,
+                                partial,
                             )
                         },
                     )
@@ -626,6 +635,10 @@ impl RankWorker {
         self.metrics.add(Phase::Computation, out.timings[3]);
         if !out.cache_hit {
             self.metrics.add_block_touch(out.gates_applied);
+        }
+        if let Some(s) = out.partial {
+            self.metrics
+                .add_partial_decode(s.segments, s.segments_full, s.bytes, s.bytes_full);
         }
     }
 
@@ -735,6 +748,7 @@ impl RankWorker {
                 &mut buf_a,
                 &mut buf_b,
                 sel.len() == 1,
+                false,
             )?;
             self.merge_unit(&out);
             lossy |= out.compressed_lossy;
@@ -805,6 +819,7 @@ impl RankWorker {
                             unit,
                             &mut seq_buf,
                             true,
+                            self.partial,
                         )
                     })
                     .collect()
@@ -813,13 +828,14 @@ impl RankWorker {
                 let cache = Arc::clone(&self.cache);
                 let plans = Arc::clone(&cmd.plans);
                 let signature = cmd.signature;
+                let partial = self.partial;
                 units
                     .into_par_iter()
                     .map_init(
                         || Vec::with_capacity(block_f64s),
                         |buf, unit| {
                             process_batch_unit(
-                                &codec, &cache, &plans, signature, bound, unit, buf, false,
+                                &codec, &cache, &plans, signature, bound, unit, buf, false, partial,
                             )
                         },
                     )
@@ -872,7 +888,28 @@ impl RankWorker {
     ) -> Result<WaveOut, SimError> {
         let rank = self.rank;
         let codec = Arc::clone(&self.codec);
+        let metrics = self.metrics.clone();
+        let partial = self.partial;
         self.rewrite_blocks(|b, blk| {
+            // Partial fast path: with the measured bit at or above
+            // segment granularity, the projected-out half of the
+            // segments is zeroed without ever being decoded.
+            if partial {
+                if let ControlScope::InBlock { offset_bit } = scope {
+                    if let Some(op) =
+                        partial::partial_collapse(&codec, blk, offset_bit, outcome, scale, bound)?
+                    {
+                        let s = op.stats;
+                        metrics.add_partial_decode(
+                            s.segments,
+                            s.segments_full,
+                            s.bytes,
+                            s.bytes_full,
+                        );
+                        return Ok(op.block);
+                    }
+                }
+            }
             let mut buf = Vec::new();
             codec.decompress(blk, &mut buf)?;
             match scope {
@@ -947,6 +984,13 @@ impl RankWorker {
     }
 
     fn prob_one(&self, scope: ControlScope) -> Result<f64, SimError> {
+        if self.partial {
+            if let ControlScope::InBlock { offset_bit } = scope {
+                if let Some(p) = self.prob_one_partial(offset_bit)? {
+                    return Ok(p);
+                }
+            }
+        }
         let rank = self.rank;
         let codec = Arc::clone(&self.codec);
         let sums = self.map_blocks(|b, blk| {
@@ -973,6 +1017,161 @@ impl RankWorker {
             Ok(sum)
         })?;
         Ok(sums.into_iter().sum())
+    }
+
+    /// Segment-addressed `P(qubit = 1)`: when the lossy codec is
+    /// segment-addressable and the measured offset bit sits at or above
+    /// segment granularity, only the bit-set half of each block's
+    /// segments contributes to the sum — so only those segments are
+    /// decoded, and for a spilled block only their byte ranges are read
+    /// off disk ([`BlockStore::fetch_ranges`]). `Ok(None)` when the
+    /// configured geometry does not qualify (caller falls back to the
+    /// whole-block reduce). Per-amplitude summation order matches the
+    /// whole-block path exactly, so both paths return bit-identical
+    /// probabilities and downstream measurement sampling is unaffected.
+    fn prob_one_partial(&self, offset_bit: u32) -> Result<Option<f64>, SimError> {
+        let Some(p) = self.codec.partial_codec() else {
+            return Ok(None);
+        };
+        let Some(seg_values) = p.segment_values() else {
+            return Ok(None);
+        };
+        let block_f64s = self.layout.block_amps() * 2;
+        if seg_values < 2 || !seg_values.is_power_of_two() || seg_values >= block_f64s {
+            return Ok(None);
+        }
+        let sa_bits = seg_values.trailing_zeros() - 1;
+        if offset_bit < sa_bits {
+            return Ok(None);
+        }
+        // Prefetch hints use the configured geometry; each stream's own
+        // index re-derives the real one when the block is read.
+        let bit = 1usize << offset_bit;
+        let n_segs = block_f64s.div_ceil(seg_values);
+        let hint_segs: Vec<usize> = (0..n_segs).filter(|&s| (s << sa_bits) & bit != 0).collect();
+        let Some(hint_run) = partial::covering_run(&hint_segs) else {
+            return Ok(None);
+        };
+        let bpr = self.layout.blocks_per_rank();
+        let all: Vec<usize> = (0..bpr).collect();
+        self.announce_plan(&all, None);
+        let prefix_hint = SegmentIndex::prefix_len_for(block_f64s, seg_values);
+        let sums = (0..bpr)
+            .map(|b| {
+                if b + 1 < bpr {
+                    self.store.prefetch_ranges(&[(b + 1, hint_run.clone())]);
+                }
+                self.prob_one_partial_block(p, b, prefix_hint, offset_bit)
+            })
+            .collect::<Result<Vec<f64>, SimError>>()?;
+        Ok(Some(sums.into_iter().sum()))
+    }
+
+    /// One block's term of the partial `P(qubit = 1)` reduce: byte-range
+    /// read when the store can serve one, segment decode from the full
+    /// resident bytes otherwise, whole-block decode as the last resort.
+    fn prob_one_partial_block(
+        &self,
+        p: &dyn PartialCodec,
+        b: usize,
+        prefix_hint: usize,
+        offset_bit: u32,
+    ) -> Result<f64, SimError> {
+        let bit = 1usize << offset_bit;
+        let seg_sum = |segs: &[usize],
+                       body_of: &mut dyn FnMut(usize) -> Result<Vec<f64>, SimError>|
+         -> Result<f64, SimError> {
+            let mut sum = 0.0;
+            for &s in segs {
+                let vals = body_of(s)?;
+                for o in 0..vals.len() / 2 {
+                    sum += vals[2 * o] * vals[2 * o] + vals[2 * o + 1] * vals[2 * o + 1];
+                }
+            }
+            Ok(sum)
+        };
+
+        // Byte-range path: a spilled segmented frame serves exactly the
+        // selected segments' bytes off disk.
+        let mut parsed: Option<(SegmentIndex, Vec<usize>)> = None;
+        let fetched = self.store.fetch_ranges(b, prefix_hint, &mut |prefix| {
+            let Ok(Some(index)) = SegmentIndex::parse(prefix) else {
+                return Vec::new();
+            };
+            let Some(sa_bits) = partial::seg_amp_bits(&index) else {
+                return Vec::new();
+            };
+            let Some(segs) = partial::bit_set_segments(&index, sa_bits, offset_bit) else {
+                return Vec::new();
+            };
+            let ranges = segs.iter().map(|&s| index.byte_range(s)).collect();
+            parsed = Some((index, segs));
+            ranges
+        })?;
+        if let Some(rf) = fetched {
+            if rf.codec == self.codec.lossy_id() {
+                if let Some((index, segs)) = parsed {
+                    let sum = seg_sum(&segs, &mut |s| {
+                        let range = index.byte_range(s);
+                        let body = rf.part_covering(&range).ok_or_else(|| {
+                            SimError::from(CodecError::Corrupt(format!(
+                                "range fetch missing segment {s} of slot {b}"
+                            )))
+                        })?;
+                        let mut vals = Vec::with_capacity(index.value_range(s).len());
+                        p.decompress_segment(&index, s, body, &mut vals)?;
+                        Ok(vals)
+                    })?;
+                    let st = partial::partial_stats(&index, &segs, rf.payload_len);
+                    self.metrics.add_partial_decode(
+                        st.segments,
+                        st.segments_full,
+                        st.bytes,
+                        st.bytes_full,
+                    );
+                    return Ok(sum);
+                }
+            }
+        }
+
+        // Resident path: decode only the selected segments of the full
+        // in-memory stream.
+        let blk = self.store.peek(b)?;
+        if let Some(pf) = self.codec.partial_for(&blk) {
+            if let Some(index) = pf.segment_index(&blk.bytes)? {
+                if let Some(segs) = partial::seg_amp_bits(&index)
+                    .and_then(|sa| partial::bit_set_segments(&index, sa, offset_bit))
+                {
+                    let sum = seg_sum(&segs, &mut |s| {
+                        let range = index.byte_range(s);
+                        let body = blk.bytes.get(range).ok_or_else(|| {
+                            SimError::from(CodecError::Corrupt(format!(
+                                "segment {s} body out of bounds in slot {b}"
+                            )))
+                        })?;
+                        let mut vals = Vec::with_capacity(index.value_range(s).len());
+                        pf.decompress_segment(&index, s, body, &mut vals)?;
+                        Ok(vals)
+                    })?;
+                    let st = partial::partial_stats(&index, &segs, blk.bytes.len());
+                    self.metrics.add_partial_decode(
+                        st.segments,
+                        st.segments_full,
+                        st.bytes,
+                        st.bytes_full,
+                    );
+                    return Ok(sum);
+                }
+            }
+        }
+
+        // Whole-block fallback (lossless blocks, foreign streams).
+        let mut buf = Vec::new();
+        self.codec.decompress(&blk, &mut buf)?;
+        Ok((0..buf.len() / 2)
+            .filter(|o| o & bit != 0)
+            .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
+            .sum())
     }
 
     fn norm_sqr(&self) -> Result<f64, SimError> {
@@ -1031,6 +1230,9 @@ struct UnitOut {
     cache_hit: bool,
     /// Gate kernels applied during the cycle (0 on a cache hit).
     gates_applied: u64,
+    /// Set when the unit ran through the segment-addressable partial
+    /// path instead of a whole-block cycle.
+    partial: Option<PartialStats>,
 }
 
 /// Which pair-update kernel a unit runs.
@@ -1071,6 +1273,7 @@ fn process_one(
     buf_a: &mut Vec<f64>,
     buf_b: &mut Vec<f64>,
     wide: bool,
+    partial: bool,
 ) -> Result<UnitOut, SimError> {
     let mut timings = [Duration::ZERO; 4];
 
@@ -1085,7 +1288,34 @@ fn process_one(
             compressed_lossy: false,
             cache_hit: true,
             gates_applied: 0,
+            partial: None,
         });
+    }
+
+    // Partial fast path: a diagonal gate whose touched set covers at
+    // most half the block's segments decodes and re-encodes only those.
+    if partial && unit.in_b.is_none() {
+        if let Kernel::InBlock { offset_bit } = kernel {
+            if let Some(op) =
+                partial::partial_gate(codec, &unit.in_a, gate, offset_bit, offset_cmask, bound)?
+            {
+                timings[1] += op.decompress;
+                timings[3] += op.compute;
+                timings[0] += op.compress;
+                cache.insert(op_signature, &unit.in_a, None, &op.block, None);
+                return Ok(UnitOut {
+                    slot_a: unit.slot_a,
+                    slot_b: None,
+                    out_a: op.block,
+                    out_b: None,
+                    timings,
+                    compressed_lossy: bound.is_lossy(),
+                    cache_hit: false,
+                    gates_applied: 1,
+                    partial: Some(op.stats),
+                });
+            }
+        }
     }
 
     // Decompress (into the MCDRAM-modeled scratch).
@@ -1135,6 +1365,7 @@ fn process_one(
         compressed_lossy: bound.is_lossy(),
         cache_hit: false,
         gates_applied: 1,
+        partial: None,
     })
 }
 
@@ -1161,6 +1392,7 @@ fn process_batch_unit(
     unit: BatchUnit,
     buf: &mut Vec<f64>,
     wide: bool,
+    partial: bool,
 ) -> Result<UnitOut, SimError> {
     let mut timings = [Duration::ZERO; 4];
     let sig = mix(batch_signature, unit.mask);
@@ -1175,7 +1407,31 @@ fn process_batch_unit(
             compressed_lossy: false,
             cache_hit: true,
             gates_applied: 0,
+            partial: None,
         });
+    }
+
+    // Partial fast path: when every firing gate is diagonal and their
+    // touched segments together cover at most half the block, decode
+    // that union once and apply the gates in order.
+    if partial {
+        if let Some(op) = partial::partial_batch(codec, &unit.block, plans, unit.mask, bound)? {
+            timings[1] += op.decompress;
+            timings[3] += op.compute;
+            timings[0] += op.compress;
+            cache.insert(sig, &unit.block, None, &op.block, None);
+            return Ok(UnitOut {
+                slot_a: unit.slot,
+                slot_b: None,
+                out_a: op.block,
+                out_b: None,
+                timings,
+                compressed_lossy: bound.is_lossy(),
+                cache_hit: false,
+                gates_applied: unit.mask.count_ones() as u64,
+                partial: Some(op.stats),
+            });
+        }
     }
 
     let t = Instant::now();
@@ -1208,5 +1464,6 @@ fn process_batch_unit(
         compressed_lossy: bound.is_lossy(),
         cache_hit: false,
         gates_applied: gates,
+        partial: None,
     })
 }

@@ -63,6 +63,71 @@ proptest! {
     }
 }
 
+/// A valid segmented Solution C stream with several segments, for
+/// index-corruption tests.
+fn segmented_payload() -> Vec<u8> {
+    use qcsim::compress::Codec as _;
+    let data: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.17).sin() * 1e-4).collect();
+    qcsim::compress::trunc::SolutionC {
+        segment_values: Some(512),
+        ..Default::default()
+    }
+    .compress(&data, ErrorBound::PointwiseRelative(1e-6))
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The segment index is parsed from attacker-controllable bytes (a
+    // spilled frame's prefix): corrupting any prefix byte must yield
+    // Err/None or a still-bounded index, never a panic, and partial
+    // decodes through a corrupt index must fail cleanly too.
+    #[test]
+    fn segment_index_survives_prefix_corruption(
+        byte_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        use qcsim::compress::{Codec as _, PartialCodec as _, SegmentIndex};
+        let mut payload = segmented_payload();
+        let index = SegmentIndex::parse(&payload).unwrap().unwrap();
+        let prefix_len = index.prefix_len();
+        let pos = ((prefix_len - 1) as f64 * byte_frac) as usize;
+        payload[pos] ^= 1 << bit;
+        if let Ok(Some(bad)) = SegmentIndex::parse(&payload) {
+            // A surviving index must still bound every claimed range, and
+            // decoding through it must return Err or data — not panic.
+            let c = qcsim::compress::trunc::SolutionC::default();
+            for s in 0..bad.n_segs().min(64) {
+                let range = bad.byte_range(s);
+                if let Some(body) = payload.get(range) {
+                    let mut out = Vec::new();
+                    let _ = c.decompress_segment(&bad, s, body, &mut out);
+                }
+            }
+            let _ = c.decompress(&payload);
+        }
+    }
+
+    // Truncating a segmented stream anywhere — inside the index or inside
+    // a body — must produce Err from both the whole-stream and the
+    // range decoders.
+    #[test]
+    fn segmented_stream_survives_truncation(frac in 0.0f64..1.0) {
+        use qcsim::compress::{Codec as _, PartialCodec as _, SegmentIndex};
+        let payload = segmented_payload();
+        let cut = ((payload.len() - 1) as f64 * frac) as usize;
+        let c = qcsim::compress::trunc::SolutionC::default();
+        prop_assert!(c.decompress(&payload[..cut]).is_err());
+        if let Ok(Some(index)) = SegmentIndex::parse(&payload[..cut]) {
+            // Prefix survived the cut: range decodes must notice the
+            // missing body bytes rather than panic.
+            let mut out = Vec::new();
+            let _ = c.decompress_range(&payload[..cut], 0..index.n_segs(), &mut out);
+        }
+    }
+}
+
 #[test]
 fn checkpoint_loader_survives_corruption() {
     use qcsim::core::checkpoint;

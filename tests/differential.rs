@@ -103,6 +103,94 @@ fn supremacy_differential() {
     assert_family_matches("supremacy", &c, 5);
 }
 
+/// Partial-decode differential: every family at a fixed tight lossy bound,
+/// with the segment-addressable partial path on vs off, both against the
+/// dense reference. The geometry is chosen so the partial path actually
+/// fires (blocks larger than one segment, controls/targets at or above
+/// segment granularity): any divergence between routing a diagonal gate
+/// through `recompress_segments` and through a whole-block cycle shows up
+/// here amplitude-wise.
+#[test]
+fn partial_decode_differential() {
+    let n = 12u32;
+    let circuits: Vec<(&str, Circuit)> = vec![
+        ("qft", qft_benchmark_circuit(12, 7)),
+        ("grover", grover_circuit(12, 0b1011_0101_0110, 3)),
+        (
+            "qaoa",
+            qaoa_circuit(&random_regular_graph(12, 4, 11), &QaoaParams::standard(2)),
+        ),
+        ("phase_estimation", phase_estimation_circuit(11, 0.328125)),
+        ("supremacy", random_circuit(Grid::new(3, 4), 11, 5)),
+    ];
+    let cfg = |partial: bool, fusion: bool| {
+        SimConfig::default()
+            .with_block_log2(11)
+            .with_fixed_bound(ErrorBound::PointwiseRelative(1e-13))
+            .with_fusion(fusion)
+            .with_partial_decode(partial)
+    };
+    for (name, c) in &circuits {
+        let mut rng = StdRng::seed_from_u64(2019);
+        let dense = c.simulate_dense(&mut rng);
+        for fusion in [true, false] {
+            let run = |partial: bool| {
+                let mut sim = CompressedSimulator::new(n, cfg(partial, fusion)).expect("sim");
+                let mut rng = StdRng::seed_from_u64(2019);
+                sim.run(c, &mut rng).expect("run");
+                let snap = sim.snapshot_dense().expect("snapshot");
+                (snap, sim.report())
+            };
+            let (on, on_report) = run(true);
+            let (off, off_report) = run(false);
+            assert_eq!(
+                off_report.partial_decodes, 0,
+                "{name}: partial_decode=false must never route partially"
+            );
+            let vs_dense = on
+                .amplitudes()
+                .iter()
+                .zip(dense.amplitudes())
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                vs_dense <= TOL,
+                "{name} (fusion={fusion}): partial-on vs dense {vs_dense:e} > {TOL:e}"
+            );
+            let on_vs_off = on
+                .amplitudes()
+                .iter()
+                .zip(off.amplitudes())
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                on_vs_off <= TOL,
+                "{name} (fusion={fusion}): partial on vs off {on_vs_off:e} > {TOL:e}"
+            );
+            // The diagonal-heavy QFT must actually exercise the partial
+            // path on its unfused gate waves (its cphase cascades carry
+            // high-bit controls), and must decode strictly fewer
+            // segments and bytes than whole-block decodes would have.
+            if *name == "qft" && !fusion {
+                let r = &on_report;
+                assert!(r.partial_decodes > 0, "qft: partial path never fired");
+                assert!(
+                    r.segments_decoded < r.segments_full,
+                    "qft: {} segments decoded, whole-block would be {}",
+                    r.segments_decoded,
+                    r.segments_full
+                );
+                assert!(
+                    r.segment_bytes_read < r.segment_bytes_full,
+                    "qft: {} bytes touched, whole-block would be {}",
+                    r.segment_bytes_read,
+                    r.segment_bytes_full
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn fused_and_unfused_compressed_runs_agree_exactly() {
     // Beyond matching the dense reference, the two engine paths must agree
