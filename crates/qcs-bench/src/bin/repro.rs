@@ -2,8 +2,8 @@
 //!
 //! Usage: `repro <experiment> [--csv-dir DIR] [--remote]` where experiment
 //! is one of `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//! fig14 fig15 fig16 table2 table-spill table-partial ablation-cache
-//! ablation-qzstd ablation-ladder ablation-fusion all`.
+//! fig14 fig15 fig16 table2 table-spill table-partial table-server
+//! ablation-cache ablation-qzstd ablation-ladder ablation-fusion all`.
 //!
 //! `--remote` makes `fig5` host its rank workers in `qcsim-workerd`
 //! daemon loops over loopback TCP instead of in-process threads, so the
@@ -45,7 +45,7 @@ fn main() {
     }
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|table-spill|table-partial|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR] [--remote]"
+            "usage: repro <table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table2|table-spill|table-partial|table-server|ablation-cache|ablation-qzstd|ablation-ladder|ablation-fusion|all> [--csv-dir DIR] [--remote]"
         );
         std::process::exit(2);
     }
@@ -66,6 +66,7 @@ fn main() {
         "table2",
         "table-spill",
         "table-partial",
+        "table-server",
         "ablation-cache",
         "ablation-qzstd",
         "ablation-ladder",
@@ -96,6 +97,7 @@ fn main() {
             "table2" => table2(&csv_dir),
             "table-spill" => table_spill(&csv_dir),
             "table-partial" => table_partial(&csv_dir),
+            "table-server" => table_server(&csv_dir),
             "ablation-cache" => ablation_cache(&csv_dir),
             "ablation-qzstd" => ablation_qzstd(&csv_dir),
             "ablation-ladder" => ablation_ladder(&csv_dir),
@@ -1036,6 +1038,125 @@ fn table_partial(dir: &Path) {
     }
     finish(&t, dir, "table_partial");
     println!("expected: qft decodes strictly fewer segments/bytes with partial on; queries on the spilled state read byte ranges instead of whole frames on both workloads; amplitudes match dense to 1e-10 either way");
+}
+
+fn table_server(dir: &Path) {
+    // Simulation-as-a-service (PR 9): four tenants submit jobs to one
+    // in-process `qcs-server` daemon over loopback TCP and share its
+    // global memory budget. The budget is sized for exactly two
+    // carve-outs, so two jobs simulate concurrently while the rest
+    // queue; the VIP tenant (priority 5) jumps the FIFO queue — if it
+    // cannot fit while two priority-0 jobs run, the scheduler suspends
+    // one of them to a checkpoint and resumes it later (it may appear
+    // twice in the admission order). Every number below comes back over
+    // the wire — submissions, per-wave progress, completion reports,
+    // and the admission log the budget audit reads.
+    use qcs_net::ConnectPolicy;
+    use qcs_server::{
+        carve_bytes, spawn_loopback, JobClient, JobEnd, JobOut, JobSpec, ServerConfig,
+    };
+
+    let cfg = SimConfig::default()
+        .with_block_log2(3)
+        .with_fixed_bound(ErrorBound::Lossless)
+        .with_spill(4)
+        .without_fusion();
+    let circuit = qft_benchmark_circuit(7, 6);
+    let carve = carve_bytes(&cfg, 7);
+    let budget = 2 * carve + carve / 2; // two run, the rest wait
+    let server = spawn_loopback(ServerConfig {
+        budget_bytes: budget,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let mut client =
+        JobClient::connect(&server.addr().to_string(), &ConnectPolicy::default()).expect("connect");
+
+    let tenants: [(&str, u8); 4] = [
+        ("tenant-a", 0),
+        ("tenant-b", 0),
+        ("tenant-c", 0),
+        ("vip", 5),
+    ];
+    let mut jobs = Vec::new();
+    for (i, (name, priority)) in tenants.iter().enumerate() {
+        let spec = JobSpec::new(*name, circuit.clone(), cfg.clone())
+            .with_priority(*priority)
+            .with_seed(i as u64 + 1)
+            .with_pace_ms(2);
+        jobs.push(client.submit(&spec).expect("submit"));
+    }
+
+    let mut t = Table::new(vec![
+        "job",
+        "priority",
+        "qubits",
+        "carve KiB",
+        "waves",
+        "end",
+        "gates",
+        "sim (s)",
+    ]);
+    for (job, (name, priority)) in jobs.iter().zip(&tenants) {
+        let mut waves = 0u64;
+        let end = client
+            .wait(*job, |out| {
+                if matches!(out, JobOut::Wave { .. }) {
+                    waves += 1;
+                }
+            })
+            .expect("wait");
+        let (state, gates, secs) = match &end {
+            JobEnd::Done { report, .. } => (
+                "done".to_string(),
+                format!("{}", report.gates),
+                format!("{:.2}", report.wall_time.as_secs_f64()),
+            ),
+            JobEnd::Failed(e) => (format!("failed: {e}"), "-".into(), "-".into()),
+            JobEnd::Cancelled => ("cancelled".to_string(), "-".into(), "-".into()),
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{priority}"),
+            format!("{}", circuit.num_qubits()),
+            format!("{:.1}", carve as f64 / 1024.0),
+            format!("{waves}"),
+            state,
+            gates,
+            secs,
+        ]);
+    }
+
+    let health = client.health().expect("health");
+    let job_name = |id| {
+        jobs.iter()
+            .zip(&tenants)
+            .find(|(j, _)| **j == id)
+            .map_or("?", |(_, (name, _))| *name)
+    };
+    let order: Vec<&str> = health.admissions.iter().map(|a| job_name(a.job)).collect();
+    let peak = health
+        .admissions
+        .iter()
+        .map(|a| a.carved_after)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        health.admissions.iter().all(|a| a.carved_after <= a.cap),
+        "an admission exceeded the budget"
+    );
+    assert_eq!(health.carved_bytes, 0, "budget must drain once jobs finish");
+    finish(&t, dir, "table_server");
+    println!("admission order: {}", order.join(" -> "));
+    println!(
+        "budget {} KiB; peak carved {} KiB ({:.0}% occupancy); carved after drain {} B",
+        budget / 1024,
+        peak / 1024,
+        100.0 * peak as f64 / budget as f64,
+        health.carved_bytes
+    );
+    server.shutdown();
+    println!("expected: all four jobs done; no admission event above the cap; vip admitted ahead of the FIFO queue (possibly by suspending a running tenant, which then resumes)");
 }
 
 fn ablation_ladder(dir: &Path) {

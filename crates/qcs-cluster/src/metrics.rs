@@ -349,6 +349,18 @@ impl Metrics {
         }
     }
 
+    /// Streaming seam: the breakdown delta accumulated since `since`,
+    /// advancing `since` to the current totals. Calling this once per
+    /// wave yields per-wave metric deltas suitable for streaming to a
+    /// monitoring client (each snapshot-and-advance is one lock
+    /// acquisition, so concurrent recorders never land in two deltas).
+    pub fn delta_since(&self, since: &mut TimeBreakdown) -> TimeBreakdown {
+        let now = self.breakdown();
+        let delta = now.delta(since);
+        *since = now;
+        delta
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();

@@ -66,8 +66,9 @@ fn main() -> ExitCode {
     };
     match listener.local_addr() {
         Ok(addr) => {
-            // Scripts and tests read this line to learn the ephemeral port.
-            println!("qcsim-workerd listening on {addr}");
+            // Scripts and tests read this line to learn the ephemeral port
+            // (the qcs_net::banner handshake).
+            println!("{}", qcs_net::banner::announce("qcsim-workerd", &addr));
             let _ = std::io::stdout().flush();
         }
         Err(e) => return fail(&format!("local_addr: {e}")),

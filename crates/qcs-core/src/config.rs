@@ -95,7 +95,7 @@ impl RemoteConfig {
 }
 
 /// Configuration for the compressed-block simulator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// `log2` of amplitudes per block. The paper uses blocks of 2^20
     /// amplitudes (16 MB); the default here is smaller so laptop-scale

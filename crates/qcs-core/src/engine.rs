@@ -117,9 +117,56 @@ impl From<qcs_cluster::ClusterError> for SimError {
     }
 }
 
+/// Decision an observer returns after each scheduled item in
+/// [`CompressedSimulator::run_schedule_observed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveControl {
+    /// Keep running.
+    Continue,
+    /// Stop now; the partial state is discarded by the caller.
+    Cancel,
+    /// Stop now at a checkpointable item boundary; the caller intends to
+    /// [`crate::checkpoint::save`] the simulator and resume later.
+    Suspend,
+}
+
+/// How an observed run ended (when no [`SimError`] occurred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every schedule item ran.
+    Completed,
+    /// The observer cancelled after item `next_item - 1`; the state is
+    /// consistent but the circuit is unfinished.
+    Cancelled {
+        /// First schedule item that did *not* run.
+        next_item: usize,
+    },
+    /// The observer suspended after item `next_item - 1`; checkpoint the
+    /// simulator and resume with `next_item` as `start_item`.
+    Suspended {
+        /// First schedule item that did *not* run.
+        next_item: usize,
+    },
+}
+
+/// Per-item progress snapshot handed to a run observer by
+/// [`CompressedSimulator::run_schedule_observed`].
+#[derive(Debug, Clone)]
+pub struct WaveStatus {
+    /// Index of the schedule item that just finished (0-based).
+    pub item: usize,
+    /// Total items in the schedule.
+    pub items: usize,
+    /// Metric deltas accumulated by this item alone (via
+    /// [`Metrics::delta_since`]).
+    pub delta: TimeBreakdown,
+    /// Cumulative report as of the end of this item.
+    pub report: SimReport,
+}
+
 /// Summary statistics of a finished (or in-progress) simulation, matching
 /// the rows of the paper's Table 2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Qubit count.
     pub num_qubits: u32,
@@ -784,10 +831,45 @@ impl CompressedSimulator {
         schedule: &Schedule,
         rng: &mut impl rand::Rng,
     ) -> Result<(), SimError> {
+        self.run_schedule_observed(schedule, rng, 0, &mut |_| WaveControl::Continue)
+            .map(|_| ())
+    }
+
+    /// Run a [`Schedule`] from `start_item`, consulting `observer` after
+    /// every scheduled item — the cancellation/suspension hook in the wave
+    /// loop, and the seam the job server streams per-wave metrics through.
+    ///
+    /// The observer receives a [`WaveStatus`] (item index, cumulative
+    /// [`SimReport`], and the [`TimeBreakdown`] delta accumulated by that
+    /// item alone) and answers with a [`WaveControl`]. Returning
+    /// [`WaveControl::Cancel`] or [`WaveControl::Suspend`] stops the run at
+    /// an item boundary with the state fully consistent: a suspended
+    /// simulator can be checkpointed with [`crate::checkpoint::save`] and a
+    /// restored one resumed by calling this again with
+    /// [`RunOutcome::Suspended::next_item`] as `start_item` (and the same
+    /// schedule).
+    ///
+    /// Resume caveat: `rng` state is not checkpointed, so a resumed run of
+    /// a circuit with intermediate measurements draws from whatever `rng`
+    /// it is handed. Measurement-free circuits (every differential suite
+    /// workload) resume bit-identically.
+    pub fn run_schedule_observed(
+        &mut self,
+        schedule: &Schedule,
+        rng: &mut impl rand::Rng,
+        start_item: usize,
+        observer: &mut impl FnMut(WaveStatus) -> WaveControl,
+    ) -> Result<RunOutcome, SimError> {
         assert_eq!(schedule.num_qubits() as u32, self.layout.num_qubits);
         let planning = self.cfg.prefetch && self.cfg.spill.is_some();
         let items = schedule.items();
-        for (i, item) in items.iter().enumerate() {
+        assert!(
+            start_item <= items.len(),
+            "start_item {start_item} out of range for {} items",
+            items.len()
+        );
+        let mut since = self.metrics.breakdown();
+        for (i, item) in items.iter().enumerate().skip(start_item) {
             let next_waves = (planning && i + 1 < items.len()).then(|| {
                 AccessPlan::for_item(
                     &items[i + 1],
@@ -800,8 +882,20 @@ impl CompressedSimulator {
                 .as_ref()
                 .and_then(|waves| waves.iter().find(|w| !w.is_empty()));
             self.apply_item(item, rng, lookahead)?;
+            let delta = self.metrics.delta_since(&mut since);
+            let status = WaveStatus {
+                item: i,
+                items: items.len(),
+                delta,
+                report: self.report(),
+            };
+            match observer(status) {
+                WaveControl::Continue => {}
+                WaveControl::Cancel => return Ok(RunOutcome::Cancelled { next_item: i + 1 }),
+                WaveControl::Suspend => return Ok(RunOutcome::Suspended { next_item: i + 1 }),
+            }
         }
-        Ok(())
+        Ok(RunOutcome::Completed)
     }
 
     /// Apply one scheduled item, with the next planned wave's access (if

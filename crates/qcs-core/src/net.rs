@@ -103,12 +103,12 @@ fn transport_err(rank: usize, context: &str, e: impl std::fmt::Display) -> SimEr
 
 // --- field codecs --------------------------------------------------------
 
-fn put_bound(buf: &mut Vec<u8>, bound: ErrorBound) {
+pub(crate) fn put_bound(buf: &mut Vec<u8>, bound: ErrorBound) {
     put_u8(buf, bound.tag());
     put_f64(buf, bound.magnitude());
 }
 
-fn take_bound(cur: &mut Cursor) -> Result<ErrorBound, NetError> {
+pub(crate) fn take_bound(cur: &mut Cursor) -> Result<ErrorBound, NetError> {
     let tag = cur.take_u8()?;
     let magnitude = cur.take_f64()?;
     ErrorBound::from_tag(tag, magnitude)
@@ -244,11 +244,11 @@ fn take_block(cur: &mut Cursor) -> Result<CompressedBlock, NetError> {
     })
 }
 
-fn put_duration(buf: &mut Vec<u8>, d: Duration) {
+pub(crate) fn put_duration(buf: &mut Vec<u8>, d: Duration) {
     put_u64(buf, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
 }
 
-fn put_breakdown(buf: &mut Vec<u8>, b: &TimeBreakdown) {
+pub(crate) fn put_breakdown(buf: &mut Vec<u8>, b: &TimeBreakdown) {
     put_duration(buf, b.compression);
     put_duration(buf, b.decompression);
     put_duration(buf, b.communication);
@@ -281,7 +281,7 @@ fn put_breakdown(buf: &mut Vec<u8>, b: &TimeBreakdown) {
     }
 }
 
-fn take_breakdown(cur: &mut Cursor) -> Result<TimeBreakdown, NetError> {
+pub(crate) fn take_breakdown(cur: &mut Cursor) -> Result<TimeBreakdown, NetError> {
     let mut d = || -> Result<Duration, NetError> { Ok(Duration::from_nanos(cur.take_u64()?)) };
     let (compression, decompression, communication, computation) = (d()?, d()?, d()?, d()?);
     let (spill_io, prefetch, write_behind) = (d()?, d()?, d()?);
@@ -646,8 +646,8 @@ fn decode_relay(body: &[u8]) -> Result<BlockMsg, NetError> {
 
 // --- handshake -----------------------------------------------------------
 
-const EVICTION_LRU: u8 = 0;
-const EVICTION_PLANNED_MIN: u8 = 1;
+pub(crate) const EVICTION_LRU: u8 = 0;
+pub(crate) const EVICTION_PLANNED_MIN: u8 = 1;
 
 /// Everything the daemon needs to stand up one rank's worker: the rank's
 /// identity and geometry, the worker-relevant subset of [`SimConfig`],

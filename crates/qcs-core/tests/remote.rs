@@ -189,7 +189,6 @@ fn rejects_connections_cleanly_after_serving() {
 /// daemon under a live simulator and require a typed error.
 #[test]
 fn workerd_binary_end_to_end_and_kill_mid_session() {
-    use std::io::BufRead;
     use std::process::{Command, Stdio};
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_qcsim-workerd"))
@@ -199,20 +198,8 @@ fn workerd_binary_end_to_end_and_kill_mid_session() {
         .spawn()
         .expect("spawn qcsim-workerd");
     let stdout = child.stdout.take().expect("piped stdout");
-    let mut lines = std::io::BufReader::new(stdout).lines();
-    let banner = lines
-        .next()
-        .expect("daemon banner")
-        .expect("read daemon banner");
-    let addr = banner
-        .rsplit(' ')
-        .next()
-        .expect("address in banner")
-        .to_string();
-    assert!(
-        banner.contains("listening on"),
-        "unexpected banner: {banner}"
-    );
+    let addr = qcs_net::banner::read_addr(&mut std::io::BufReader::new(stdout))
+        .expect("daemon banner with listen address");
 
     // A full run against the daemon-hosted pair of ranks.
     let circuit = qft_benchmark_circuit(8, 7);

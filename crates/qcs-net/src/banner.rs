@@ -1,0 +1,76 @@
+//! The daemons' ephemeral-port handshake: a one-line startup banner.
+//!
+//! `qcsim-workerd` and `qcsim-serverd` bind `127.0.0.1:0` by default, so
+//! the only way a launcher learns the actual port is the first stdout
+//! line. This module is the single definition of that line's shape —
+//! [`announce`] formats it, [`parse`] recognizes it, and [`read_addr`]
+//! blocks on a child's stdout until it arrives — so tests and scripts
+//! stop re-implementing ad-hoc string splitting against each daemon.
+
+use std::io::BufRead;
+
+/// The fixed phrase between the service name and the address.
+const PHRASE: &str = " listening on ";
+
+/// Format the startup banner for `service` bound at `addr`, e.g.
+/// `qcsim-workerd listening on 127.0.0.1:40123`. Print this as the
+/// daemon's first stdout line (and flush) once the listener is bound.
+pub fn announce(service: &str, addr: &std::net::SocketAddr) -> String {
+    format!("{service}{PHRASE}{addr}")
+}
+
+/// Extract the `host:port` address from a banner line produced by
+/// [`announce`] (any service name). Returns `None` when the line is not
+/// a banner or carries an empty address.
+pub fn parse(line: &str) -> Option<&str> {
+    let (_service, addr) = line.trim_end().split_once(PHRASE)?;
+    let addr = addr.trim();
+    (!addr.is_empty() && addr.contains(':')).then_some(addr)
+}
+
+/// Read lines from a just-spawned daemon's stdout until the banner
+/// arrives and return the advertised address. Non-banner lines before it
+/// are skipped (daemons may log warnings first); end-of-stream before
+/// any banner is an [`std::io::ErrorKind::UnexpectedEof`] error — the
+/// daemon died during startup.
+pub fn read_addr<R: BufRead>(reader: &mut R) -> std::io::Result<String> {
+    for line in reader.lines() {
+        if let Some(addr) = parse(&line?) {
+            return Ok(addr.to_string());
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "daemon exited before printing its listen banner",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_and_parse_round_trip() {
+        let addr: std::net::SocketAddr = "127.0.0.1:40123".parse().unwrap();
+        let line = announce("qcsim-workerd", &addr);
+        assert_eq!(parse(&line), Some("127.0.0.1:40123"));
+        assert_eq!(parse(&format!("{line}\n")), Some("127.0.0.1:40123"));
+    }
+
+    #[test]
+    fn parse_rejects_non_banners() {
+        assert_eq!(parse("warning: something"), None);
+        assert_eq!(parse("listening on"), None);
+        assert_eq!(parse("svc listening on "), None);
+        assert_eq!(parse("svc listening on not-an-addr"), None);
+    }
+
+    #[test]
+    fn read_addr_skips_noise_and_fails_on_eof() {
+        let mut ok = std::io::Cursor::new(b"warming up\nsvc listening on [::1]:9\n".to_vec());
+        assert_eq!(read_addr(&mut ok).unwrap(), "[::1]:9");
+        let mut eof = std::io::Cursor::new(b"no banner here\n".to_vec());
+        let err = read_addr(&mut eof).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -35,6 +35,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+pub mod banner;
 pub mod wire;
 
 pub use wire::Cursor;

@@ -1,0 +1,79 @@
+//! `qcsim-serverd` — the simulation-as-a-service daemon.
+//!
+//! Binds a TCP listener, announces the bound address on stdout using the
+//! shared `qcs-net` banner format (so parents spawning it on port 0 can
+//! learn the ephemeral port), and serves job submissions until killed.
+//!
+//! ```text
+//! qcsim-serverd [--listen ADDR] [--budget-mb N] [--max-running N]
+//!               [--resident-blocks N] [--work-dir DIR] [--max-conns N]
+//! ```
+
+use qcs_server::ServerConfig;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qcsim-serverd [--listen ADDR] [--budget-mb N] [--max-running N] \
+         [--resident-blocks N] [--work-dir DIR] [--max-conns N]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(raw) = args.next() else {
+        eprintln!("qcsim-serverd: {flag} needs a value");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("qcsim-serverd: bad value for {flag}: {raw}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = parse(&mut args, "--listen"),
+            "--budget-mb" => cfg.budget_bytes = parse::<u64>(&mut args, "--budget-mb") << 20,
+            "--max-running" => cfg.max_running = parse(&mut args, "--max-running"),
+            "--resident-blocks" => {
+                cfg.default_resident_blocks = parse(&mut args, "--resident-blocks")
+            }
+            "--work-dir" => cfg.work_dir = Some(parse::<PathBuf>(&mut args, "--work-dir")),
+            "--max-conns" => cfg.max_conns = Some(parse(&mut args, "--max-conns")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("qcsim-serverd: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("qcsim-serverd: bind {listen}: {e}");
+            exit(1);
+        }
+    };
+    let handle = match qcs_server::spawn(listener, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("qcsim-serverd: start: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "{}",
+        qcs_net::banner::announce("qcsim-serverd", &handle.addr())
+    );
+    handle.wait();
+}

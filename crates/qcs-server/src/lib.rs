@@ -1,0 +1,39 @@
+//! Simulation as a service: a multi-tenant job server for the
+//! compressed-state simulator.
+//!
+//! This crate turns the engine into a long-lived daemon. Clients submit
+//! circuit jobs over the `qcs-net` framed wire protocol; the server
+//! queues them, admits them against a shared global memory budget (each
+//! job gets a spill carve-out so aggregate residency never exceeds the
+//! cap), runs admitted jobs concurrently, and streams per-wave progress
+//! reports back. Higher-priority submissions that cannot fit may
+//! suspend a lower-priority running job to a checkpoint; the victim
+//! resumes from that checkpoint when budget frees up.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`protocol`]: `JobCmd`/`JobOut` frames and their wire codecs.
+//! - [`scheduler`]: the deterministic admission/preemption core —
+//!   pure data structure, virtual-time testable, no threads or I/O.
+//! - [`server`]: the daemon — sessions, runner threads, and the
+//!   management endpoint — which only *carries out* scheduler actions.
+//! - [`client`]: a blocking client helper for tests and tools.
+//!
+//! The `qcsim-serverd` binary wraps [`server::spawn`] with CLI flags
+//! and the shared `qcs-net` banner handshake.
+
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{JobClient, JobEnd};
+pub use protocol::{
+    AdmissionEvent, HealthInfo, JobCmd, JobId, JobOut, JobSpec, JobState, JobSummary,
+};
+pub use scheduler::{carve_bytes, Clock, SchedAction, SchedPolicy, Scheduler, VirtualClock};
+pub use server::{spawn, spawn_loopback, ServerConfig, ServerHandle};
+
+// Clients dial with the transport's supervised-connect policy; re-export
+// it so callers need no direct `qcs-net` dependency.
+pub use qcs_net::ConnectPolicy;

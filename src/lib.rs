@@ -8,7 +8,9 @@
 //! - [`statevec`] — dense Schrödinger substrate (Intel-QS stand-in);
 //! - [`circuits`] — Grover / supremacy RCS / QAOA / QFT workloads;
 //! - [`cluster`] — simulated MPI rank layout and phase metrics;
-//! - [`core`] — the compressed-block simulator itself.
+//! - [`core`] — the compressed-block simulator itself;
+//! - [`server`] — simulation-as-a-service: the multi-tenant job
+//!   scheduler daemon and its client helper.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -18,6 +20,7 @@ pub use qcs_circuits as circuits;
 pub use qcs_cluster as cluster;
 pub use qcs_compress as compress;
 pub use qcs_core as core;
+pub use qcs_server as server;
 pub use qcs_statevec as statevec;
 
 pub use qcs_circuits::{Circuit, Op};
