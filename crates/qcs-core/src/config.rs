@@ -199,6 +199,14 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Largest qubit count [`SimConfig::validate`] accepts. A 62-qubit
+    /// state already indexes 2^62 amplitudes — the ceiling of what u64
+    /// amplitude indices (and the paper's largest runs) can address —
+    /// and bounding it here keeps every downstream `1 << n` shift and
+    /// footprint computation inside u64 range, so hostile wire configs
+    /// cannot panic admission arithmetic.
+    pub const MAX_QUBITS: u32 = 62;
+
     /// Config with a given block size exponent.
     pub fn with_block_log2(mut self, block_log2: u32) -> Self {
         self.block_log2 = block_log2;
@@ -347,7 +355,15 @@ impl SimConfig {
         if self.ladder.is_empty() {
             return Err("ladder must have at least one level".into());
         }
-        if num_qubits < self.ranks_log2 + self.block_log2 + 1 {
+        if num_qubits > Self::MAX_QUBITS {
+            return Err(format!(
+                "{num_qubits} qubits exceeds the supported maximum of {}",
+                Self::MAX_QUBITS
+            ));
+        }
+        // Widen to u64: ranks_log2/block_log2 come off the wire, and the
+        // sum must not overflow-panic before the range check rejects it.
+        if (num_qubits as u64) < self.ranks_log2 as u64 + self.block_log2 as u64 + 1 {
             return Err(format!(
                 "{num_qubits} qubits cannot split into 2^{} ranks x 2^{} amp blocks",
                 self.ranks_log2, self.block_log2

@@ -31,8 +31,10 @@ pub use client::{JobClient, JobEnd};
 pub use protocol::{
     AdmissionEvent, HealthInfo, JobCmd, JobId, JobOut, JobSpec, JobState, JobSummary,
 };
-pub use scheduler::{carve_bytes, Clock, SchedAction, SchedPolicy, Scheduler, VirtualClock};
-pub use server::{spawn, spawn_loopback, ServerConfig, ServerHandle};
+pub use scheduler::{
+    carve_bytes, Clock, SchedAction, SchedPolicy, Scheduler, VirtualClock, MAX_ADMISSION_LOG,
+};
+pub use server::{spawn, spawn_loopback, ServerConfig, ServerHandle, MAX_PACE_MS};
 
 // Clients dial with the transport's supervised-connect policy; re-export
 // it so callers need no direct `qcs-net` dependency.

@@ -91,20 +91,36 @@ impl Clock for VirtualClock {
     }
 }
 
+/// `2^log2`, saturated to `u64::MAX` once it leaves u64 range. Plain
+/// `<<` would panic (debug) or silently truncate (release) on hostile
+/// wire exponents; saturation instead yields a footprint no budget can
+/// admit, so oversized configs are rejected rather than under-charged.
+fn pow2_or_max(log2: u64) -> u64 {
+    if log2 >= u64::BITS as u64 {
+        u64::MAX
+    } else {
+        1u64 << log2
+    }
+}
+
 /// Compute a job's admission carve-out in bytes from its **normalized**
 /// config (spill always set by the server): an upper bound in the spirit
 /// of Eq. 8. Per rank, the resident compressed blocks — plus one staging
 /// buffer's worth with prefetch on and one dirty buffer's worth with
 /// write-behind on, both bounded by the residency budget — plus two
 /// uncompressed scratch blocks; compressed blocks are bounded above by
-/// their uncompressed size.
+/// their uncompressed size. Every step saturates, so un-admittable
+/// configs (`SimConfig::validate` enforces the real bounds upstream)
+/// produce a `u64::MAX`-ish carve instead of arithmetic panics or
+/// wrapped-around tiny values.
 pub fn carve_bytes(cfg: &SimConfig, num_qubits: u32) -> u64 {
-    let block_bytes = 16u64 << cfg.block_log2; // 16 bytes per amplitude
-    let ranks = 1u64 << cfg.ranks_log2;
-    let blocks_per_rank = 1u64
-        << num_qubits
-            .saturating_sub(cfg.block_log2 + cfg.ranks_log2)
-            .max(1);
+    let block_bytes = pow2_or_max(4 + cfg.block_log2 as u64); // 16 bytes per amplitude
+    let ranks = pow2_or_max(cfg.ranks_log2 as u64);
+    let blocks_per_rank = pow2_or_max(
+        (num_qubits as u64)
+            .saturating_sub(cfg.block_log2 as u64 + cfg.ranks_log2 as u64)
+            .max(1),
+    );
     let (resident, buffers) = match &cfg.spill {
         Some(spill) => {
             let resident = (spill.resident_blocks as u64).min(blocks_per_rank);
@@ -113,7 +129,12 @@ pub fn carve_bytes(cfg: &SimConfig, num_qubits: u32) -> u64 {
         }
         None => (blocks_per_rank, 1),
     };
-    ranks * (resident * buffers * block_bytes + 2 * block_bytes)
+    ranks.saturating_mul(
+        resident
+            .saturating_mul(buffers)
+            .saturating_mul(block_bytes)
+            .saturating_add(block_bytes.saturating_mul(2)),
+    )
 }
 
 /// What the daemon must do after a scheduler event.
@@ -177,7 +198,15 @@ pub struct Scheduler {
     next_seq: u64,
     carved: u64,
     admissions: Vec<AdmissionEvent>,
+    /// Monotone admission-event counter; keeps `AdmissionEvent::seq`
+    /// global even after old entries age out of the bounded log.
+    admission_seq: u64,
 }
+
+/// Most admission events the scheduler retains (and [`Scheduler::admissions`]
+/// returns). A long-lived daemon admits without bound; an unbounded log
+/// would be a slow leak — and would travel in full on every Health reply.
+pub const MAX_ADMISSION_LOG: usize = 4096;
 
 impl Scheduler {
     /// An empty scheduler under `policy`.
@@ -189,6 +218,7 @@ impl Scheduler {
             next_seq: 0,
             carved: 0,
             admissions: Vec::new(),
+            admission_seq: 0,
         }
     }
 
@@ -202,7 +232,8 @@ impl Scheduler {
         self.policy.budget_bytes
     }
 
-    /// The admission log since startup.
+    /// The admission log: the most recent [`MAX_ADMISSION_LOG`] events,
+    /// in order. `seq` stays globally monotone across aged-out entries.
     pub fn admissions(&self) -> &[AdmissionEvent] {
         &self.admissions
     }
@@ -369,31 +400,55 @@ impl Scheduler {
                 let carve = j.carve;
                 self.carved += carve;
                 self.admissions.push(AdmissionEvent {
-                    seq: self.admissions.len() as u64,
+                    seq: self.admission_seq,
                     job: id,
                     carve_bytes: carve,
                     carved_after: self.carved,
                     cap: self.policy.budget_bytes,
                 });
+                self.admission_seq += 1;
+                if self.admissions.len() > MAX_ADMISSION_LOG {
+                    // Drop the older half in one move, amortizing the shift.
+                    self.admissions.drain(..MAX_ADMISSION_LOG / 2);
+                }
                 actions.push(SchedAction::Start(id));
                 continue;
             }
             // Head-of-line blocks (no backfilling, so FIFO-within-priority
             // holds). If it is blocked on budget and outranks a running
-            // job, preempt the weakest runner.
+            // job, preempt the weakest runner — unless carve-outs already
+            // being suspended will free enough once their runners
+            // checkpoint, in which case piling on another victim would
+            // only cause needless checkpoint/restore churn.
             if !fits_budget {
                 let head_priority = head.priority;
-                if let Some((&victim, _)) = self
+                let head_carve = head.carve;
+                let pending_release: u64 = self
                     .jobs
-                    .iter()
-                    .filter(|(_, j)| {
+                    .values()
+                    .filter(|j| {
                         matches!(j.state, JobState::Admitted | JobState::Running)
-                            && !j.suspend_pending
-                            && !j.cancel_pending
-                            && j.priority < head_priority
+                            && j.suspend_pending
                     })
-                    .min_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.seq)))
-                {
+                    .map(|j| j.carve)
+                    .sum();
+                let frees_enough = self.carved.saturating_sub(pending_release) + head_carve
+                    <= self.policy.budget_bytes;
+                let victim = if frees_enough {
+                    None
+                } else {
+                    self.jobs
+                        .iter()
+                        .filter(|(_, j)| {
+                            matches!(j.state, JobState::Admitted | JobState::Running)
+                                && !j.suspend_pending
+                                && !j.cancel_pending
+                                && j.priority < head_priority
+                        })
+                        .min_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.seq)))
+                        .map(|(&id, _)| id)
+                };
+                if let Some(victim) = victim {
                     self.jobs
                         .get_mut(&victim)
                         .expect("victim exists")
@@ -550,6 +605,82 @@ mod tests {
         // Priority order: hi starts before b.
         assert_eq!(starts(&acts), vec![_hi]);
         let _ = b;
+    }
+
+    #[test]
+    fn hostile_configs_saturate_carve_instead_of_panicking() {
+        // Shift amounts far past 64 bits: plain `<<` would panic in
+        // debug builds and wrap to a tiny under-charged carve in
+        // release. Saturation must yield a carve no budget admits.
+        let cfg = SimConfig::default();
+        let huge = carve_bytes(&cfg, 200);
+        assert!(huge > 1 << 62, "oversized state yields an oversized carve");
+        let (mut s, _clk) = sched(1 << 20);
+        assert!(
+            s.submit("hostile", 0, huge, 0).is_err(),
+            "saturated carve of {huge} bytes must be rejected, not admitted"
+        );
+        // Wire-controlled exponents that overflow u32 sums / u64 shifts.
+        let evil = SimConfig::default()
+            .with_block_log2(u32::MAX)
+            .with_ranks_log2(u32::MAX);
+        assert_eq!(carve_bytes(&evil, 62), u64::MAX);
+        assert!(
+            evil.validate(62).is_err(),
+            "split check must reject, not panic"
+        );
+        assert!(
+            SimConfig::default()
+                .validate(SimConfig::MAX_QUBITS + 1)
+                .is_err(),
+            "qubit counts above MAX_QUBITS are rejected"
+        );
+    }
+
+    #[test]
+    fn pending_suspend_carve_counts_as_freed_no_extra_victim() {
+        let (mut s, clk) = sched(8);
+        let (_a, _) = s.submit("a", 0, 4 * MB, 0).unwrap();
+        let (b, _) = s.submit("b", 0, 4 * MB, 0).unwrap();
+        // First high-priority arrival: exactly one victim requested.
+        let (d, acts) = s.submit("d", 5, 4 * MB, 0).unwrap();
+        assert_eq!(acts, vec![SchedAction::RequestSuspend(b)]);
+        // A second admission event lands before the victim checkpoints:
+        // its soon-to-be-freed carve already covers the head waiter, so
+        // no additional runner may be suspended.
+        let (_e, acts) = s.submit("e", 5, 4 * MB, 0).unwrap();
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, SchedAction::RequestSuspend(_))),
+            "pending suspend already frees enough: no churn victim (got {acts:?})"
+        );
+        // Once the victim actually suspends, the head waiter is admitted.
+        let acts = s.suspended(b, clk.now_ms());
+        assert_eq!(starts(&acts), vec![d]);
+    }
+
+    #[test]
+    fn admission_log_is_bounded_with_monotone_seq() {
+        let (mut s, _clk) = sched(100);
+        let total = MAX_ADMISSION_LOG + 100;
+        for i in 0..total {
+            let (id, acts) = s.submit("tiny", 0, MB, i as u64).unwrap();
+            assert_eq!(starts(&acts), vec![id]);
+            s.started(id);
+            let _ = s.running_ended(id, JobState::Done, i as u64);
+        }
+        let log = s.admissions();
+        assert!(log.len() <= MAX_ADMISSION_LOG, "log stays bounded");
+        assert_eq!(
+            log.last().unwrap().seq,
+            total as u64 - 1,
+            "seq stays global"
+        );
+        assert!(
+            log.windows(2).all(|w| w[1].seq == w[0].seq + 1),
+            "retained suffix is contiguous"
+        );
     }
 
     #[test]

@@ -76,9 +76,27 @@ impl Default for ServerConfig {
     }
 }
 
+/// Hard server-side ceiling on a job's requested `pace_ms`. The pace is
+/// a demo/test knob, not a contract; an unclamped wire value could pin
+/// its budget carve-out for days per schedule item.
+pub const MAX_PACE_MS: u64 = 1_000;
+
+/// Slice width for pace sleeps: the runner re-checks its cancel/suspend
+/// flags at least this often while pacing, so a paced job stays
+/// responsive to cancellation and preemption.
+const PACE_SLICE_MS: u64 = 5;
+
 struct Ctrl {
     cancel: AtomicBool,
     suspend: AtomicBool,
+}
+
+impl Ctrl {
+    /// Either control flag is raised: the runner should stop pacing and
+    /// let the wave callback report back.
+    fn interrupted(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst) || self.suspend.load(Ordering::SeqCst)
+    }
 }
 
 struct JobRt {
@@ -93,11 +111,30 @@ struct State {
     sched: Scheduler,
     rt: HashMap<JobId, JobRt>,
     runners: Vec<JoinHandle<()>>,
-    session_handles: Vec<JoinHandle<()>>,
-    session_streams: Vec<TcpStream>,
+    session_handles: Vec<(u64, JoinHandle<()>)>,
+    session_streams: HashMap<u64, TcpStream>,
+    /// Sessions whose threads have exited (their stream entry is already
+    /// gone); the accept loop reaps — joins and drops — their handles so
+    /// a long-lived daemon doesn't accumulate one per past connection.
+    done_sessions: Vec<u64>,
     /// Admissions produced by `submit` are deferred here so the session
     /// can emit `Accepted`/`Queued` before any `Admitted` event.
     pending_actions: Vec<SchedAction>,
+}
+
+/// Pull the handles of exited sessions out of the state (joining them is
+/// instant, but do it without the lock held).
+fn reap_finished_sessions(st: &mut State) -> Vec<JoinHandle<()>> {
+    let done = std::mem::take(&mut st.done_sessions);
+    if done.is_empty() {
+        return Vec::new();
+    }
+    let (finished, live): (Vec<_>, Vec<_>) = st
+        .session_handles
+        .drain(..)
+        .partition(|(id, _)| done.contains(id));
+    st.session_handles = live;
+    finished.into_iter().map(|(_, h)| h).collect()
 }
 
 struct Shared {
@@ -146,7 +183,8 @@ pub fn spawn(listener: TcpListener, cfg: ServerConfig) -> std::io::Result<Server
             rt: HashMap::new(),
             runners: Vec::new(),
             session_handles: Vec::new(),
-            session_streams: Vec::new(),
+            session_streams: HashMap::new(),
+            done_sessions: Vec::new(),
             pending_actions: Vec::new(),
         }),
         shutdown: AtomicBool::new(false),
@@ -180,10 +218,17 @@ impl ServerHandle {
     }
 
     /// Block until the accept loop exits (a `max_conns` limit, or
-    /// another thread shutting the daemon down).
+    /// another thread shutting the daemon down) and the daemon winds
+    /// down. When the accept loop stopped because of `max_conns` —
+    /// rather than a shutdown request — sessions already open keep
+    /// running, as [`ServerConfig::max_conns`] promises: their jobs are
+    /// drained to completion (or client disconnect) before teardown.
     pub fn wait(mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.drain_sessions();
         }
         self.stop();
     }
@@ -202,6 +247,32 @@ impl ServerHandle {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
+    }
+
+    /// Graceful wind-down after a `max_conns` accept-loop exit: join
+    /// every open session (each ends when its client disconnects, having
+    /// already cancelled anything that client abandoned), then let the
+    /// runners those sessions left behind run to completion.
+    fn drain_sessions(&self) {
+        let shared = &self.shared;
+        loop {
+            let handles = std::mem::take(&mut shared.state.lock().session_handles);
+            if handles.is_empty() {
+                break;
+            }
+            for (_, h) in handles {
+                let _ = h.join();
+            }
+        }
+        loop {
+            let handles = std::mem::take(&mut shared.state.lock().runners);
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
     }
 
     fn stop(&mut self) {
@@ -225,7 +296,7 @@ impl ServerHandle {
             }
             std::mem::take(&mut st.session_streams)
         };
-        for s in streams {
+        for s in streams.into_values() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         // Join runners (they may spawn follow-on runners as admissions
@@ -240,7 +311,7 @@ impl ServerHandle {
             }
         }
         let sessions = std::mem::take(&mut shared.state.lock().session_handles);
-        for h in sessions {
+        for (_, h) in sessions {
             let _ = h.join();
         }
         let _ = std::fs::remove_dir_all(&shared.work_dir);
@@ -257,23 +328,29 @@ impl Drop for ServerHandle {
 }
 
 fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
-    let mut served = 0usize;
+    let mut served = 0u64;
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        {
+        let sid = served;
+        let finished = {
             let mut st = shared.state.lock();
+            let finished = reap_finished_sessions(&mut st);
             if let Ok(clone) = stream.try_clone() {
-                st.session_streams.push(clone);
+                st.session_streams.insert(sid, clone);
             }
             let shared2 = Arc::clone(&shared);
-            st.session_handles
-                .push(std::thread::spawn(move || session(shared2, stream)));
+            let handle = std::thread::spawn(move || session(shared2, stream, sid));
+            st.session_handles.push((sid, handle));
+            finished
+        };
+        for h in finished {
+            let _ = h.join();
         }
         served += 1;
-        if shared.cfg.max_conns.is_some_and(|max| served >= max) {
+        if shared.cfg.max_conns.is_some_and(|max| served >= max as u64) {
             break;
         }
     }
@@ -287,7 +364,18 @@ fn write_out(stream: &mut TcpStream, out: &JobOut) -> Result<(), NetError> {
     Ok(())
 }
 
-fn session(shared: Arc<Shared>, mut stream: TcpStream) {
+/// One connection's lifetime: run the protocol, then unregister so the
+/// daemon does not accumulate a stream fd and a join handle per past
+/// connection. (The handle itself is reaped by the accept loop or at
+/// shutdown — a thread cannot join itself.)
+fn session(shared: Arc<Shared>, stream: TcpStream, sid: u64) {
+    session_protocol(&shared, stream);
+    let mut st = shared.state.lock();
+    st.session_streams.remove(&sid);
+    st.done_sessions.push(sid);
+}
+
+fn session_protocol(shared: &Arc<Shared>, mut stream: TcpStream) {
     // Version handshake: first frame must be a matching hello.
     match recv_frame(&mut stream) {
         Ok((K_JOB_HELLO, body)) => {
@@ -342,7 +430,7 @@ fn session(shared: Arc<Shared>, mut stream: TcpStream) {
             }
         };
         match cmd {
-            JobCmd::Submit(spec) => match submit(&shared, *spec, tx.clone()) {
+            JobCmd::Submit(spec) => match submit(shared, *spec, tx.clone()) {
                 Ok(job) => {
                     my_jobs.push(job);
                     let _ = tx.send(JobOut::Accepted { job });
@@ -350,7 +438,7 @@ fn session(shared: Arc<Shared>, mut stream: TcpStream) {
                         job,
                         state: JobState::Queued,
                     });
-                    run_pending_admissions(&shared);
+                    run_pending_admissions(shared);
                 }
                 Err(reason) => {
                     let _ = tx.send(JobOut::Rejected { reason });
@@ -359,11 +447,11 @@ fn session(shared: Arc<Shared>, mut stream: TcpStream) {
             JobCmd::Cancel { job } => {
                 let mut st = shared.state.lock();
                 let actions = st.sched.cancel(job, shared.clock.now_ms());
-                finish_waiting(&shared, &mut st, job);
-                apply_actions(&shared, &mut st, actions);
+                finish_waiting(shared, &mut st, job);
+                apply_actions(shared, &mut st, actions);
             }
             JobCmd::Health => {
-                let _ = tx.send(JobOut::Health(health(&shared)));
+                let _ = tx.send(JobOut::Health(health(shared)));
             }
         }
     }
@@ -374,8 +462,8 @@ fn session(shared: Arc<Shared>, mut stream: TcpStream) {
         let mut st = shared.state.lock();
         for job in my_jobs {
             let actions = st.sched.cancel(job, shared.clock.now_ms());
-            finish_waiting(&shared, &mut st, job);
-            apply_actions(&shared, &mut st, actions);
+            finish_waiting(shared, &mut st, job);
+            apply_actions(shared, &mut st, actions);
         }
     }
     drop(tx);
@@ -415,8 +503,10 @@ fn submit(
             spec.circuit.num_qubits()
         ));
     }
-    // Normalize: every job runs under a spill carve-out so the global
-    // budget is enforceable.
+    // Normalize: clamp the client-supplied pace so no job can wedge
+    // itself (and the shutdown join) in week-long sleeps, and give every
+    // job a spill carve-out so the global budget is enforceable.
+    spec.pace_ms = spec.pace_ms.min(MAX_PACE_MS);
     let mut spill = spec
         .config
         .spill
@@ -615,8 +705,12 @@ fn execute(
             items: status.items as u64,
             report: Box::new(status.report),
         });
-        if spec.pace_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(spec.pace_ms));
+        // Pace in short slices so cancel/suspend land promptly mid-sleep.
+        let mut remaining_ms = spec.pace_ms;
+        while remaining_ms > 0 && !ctrl.interrupted() {
+            let slice = remaining_ms.min(PACE_SLICE_MS);
+            std::thread::sleep(std::time::Duration::from_millis(slice));
+            remaining_ms -= slice;
         }
         if ctrl.cancel.load(Ordering::SeqCst) {
             WaveControl::Cancel

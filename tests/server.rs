@@ -411,6 +411,90 @@ fn client_disconnect_cancels_its_jobs() {
     server.shutdown();
 }
 
+/// Hostile submissions — a qubit count whose footprint math would
+/// overflow, and a pace that would sleep for centuries — are rejected
+/// or defanged instead of panicking session threads or wedging jobs.
+#[test]
+fn hostile_specs_are_rejected_or_clamped() {
+    let server = spawn_loopback(ServerConfig::default()).expect("spawn server");
+    let mut client = connect(&server.addr());
+
+    // 70 qubits: the admission carve computation would shift a u64 past
+    // its width if this were not validated at submission.
+    let mut big = Circuit::new(70);
+    big.h(69);
+    let err = client
+        .submit(&JobSpec::new("overflow", big, job_cfg()))
+        .expect_err("oversized qubit count must be rejected");
+    assert!(err.to_string().contains("maximum"), "typed reason: {err}");
+
+    // pace_ms = u64::MAX is clamped server-side and slept in slices, so
+    // the job still honors cancellation promptly instead of pinning its
+    // carve-out (and shutdown's runner join) forever.
+    let n = 6;
+    let circuit = grover_circuit(n, 0b1010, optimal_iterations(n));
+    let job = client
+        .submit(&JobSpec::new("sleepy", circuit, job_cfg()).with_pace_ms(u64::MAX))
+        .expect("submit");
+    loop {
+        if let JobOut::Wave { job: j, .. } = client.next_event().expect("event") {
+            if j == job {
+                break;
+            }
+        }
+    }
+    let asked = Instant::now();
+    client.cancel(job).expect("cancel");
+    match client.wait(job, |_| {}).expect("wait") {
+        JobEnd::Cancelled => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(
+        asked.elapsed() < Duration::from_secs(10),
+        "clamped + sliced pace keeps cancellation prompt"
+    );
+    let health = client.health().expect("health");
+    assert_eq!(health.carved_bytes, 0, "hostile jobs release their budget");
+    server.shutdown();
+}
+
+/// `max_conns` stops accepting but, as its docs promise, sessions
+/// already open keep running: a job in flight on the final connection
+/// completes (matching an in-process run) instead of being cancelled
+/// the moment the accept loop exits.
+#[test]
+fn max_conns_drains_open_sessions_instead_of_killing_jobs() {
+    let cfg = job_cfg();
+    let circuit = qft_benchmark_circuit(7, 6);
+    let server = spawn_loopback(ServerConfig {
+        max_conns: Some(1),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr();
+    let work_dir = server.work_dir().to_path_buf();
+    let waiter = std::thread::spawn(move || server.wait());
+
+    let mut client = connect(&addr);
+    let job = client
+        .submit(
+            &JobSpec::new("last-conn", circuit.clone(), cfg.clone())
+                .with_seed(4)
+                .with_pace_ms(5)
+                .with_amplitudes(),
+        )
+        .expect("submit on the final allowed connection");
+    match client.wait(job, |_| {}).expect("wait") {
+        JobEnd::Done { amplitudes, .. } => {
+            assert_amps_match("last-conn", &amplitudes, &reference_amps(&circuit, &cfg, 4));
+        }
+        other => panic!("expected Done on the final connection, got {other:?}"),
+    }
+    drop(client); // disconnecting lets the drain (and wait()) finish
+    waiter.join().expect("wait thread");
+    assert!(!work_dir.exists(), "wind-down still removes the work dir");
+}
+
 /// Oversized submissions are rejected up front with a reason, and the
 /// rejection does not disturb the job table.
 #[test]
