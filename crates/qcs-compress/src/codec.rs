@@ -42,6 +42,38 @@ pub trait Codec: Send + Sync {
     /// Decompress `bytes` produced by this codec's `compress`.
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f64>, CodecError>;
 
+    /// Compress `data` under `bound` into `out`, reusing its capacity.
+    ///
+    /// `out` is cleared first; on success it holds exactly the bytes
+    /// [`Codec::compress`] would have returned (bit-identical), on error
+    /// its contents are unspecified. The default delegates to the
+    /// allocating method so external implementations keep working; the
+    /// hot codecs in this crate override it to write in place.
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let bytes = self.compress(data, bound)?;
+        out.clear();
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Decompress `bytes` into `out`, reusing its capacity.
+    ///
+    /// `out` is cleared first; on success it holds exactly the values
+    /// [`Codec::decompress`] would have returned (bit-identical), on
+    /// error its contents are unspecified. The default delegates to the
+    /// allocating method; the hot codecs override it to decode in place.
+    fn decompress_into(&self, bytes: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
+        let values = self.decompress(bytes)?;
+        out.clear();
+        out.extend_from_slice(&values);
+        Ok(())
+    }
+
     /// Whether the codec supports a bound mode.
     fn supports(&self, bound: ErrorBound) -> bool {
         let _ = bound;
@@ -122,6 +154,19 @@ impl std::fmt::Display for CodecId {
     }
 }
 
+/// Repack `v` so its capacity equals its length (no-op when already
+/// exact). Compressors return exact-capacity vectors so converting them to
+/// `Arc<[u8]>`/`Box<[u8]>` never copies through a reallocation.
+pub(crate) fn exact(v: Vec<u8>) -> Vec<u8> {
+    if v.capacity() == v.len() {
+        v
+    } else {
+        let mut out = Vec::with_capacity(v.len());
+        out.extend_from_slice(&v);
+        out
+    }
+}
+
 /// Reinterpret an `f64` slice as little-endian bytes.
 pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() * 8);
@@ -131,18 +176,38 @@ pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
     out
 }
 
+/// Append the little-endian byte view of `data` to `out`
+/// (allocation-free [`f64s_to_bytes`]).
+pub fn extend_f64s_as_bytes(data: &[f64], out: &mut Vec<u8>) {
+    out.reserve(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
 /// Inverse of [`f64s_to_bytes`]; fails on ragged input.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    extend_bytes_as_f64s(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Append the `f64` view of little-endian `bytes` to `out`
+/// (allocation-free [`bytes_to_f64s`]); fails on ragged input.
+pub fn extend_bytes_as_f64s(bytes: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
     if !bytes.len().is_multiple_of(8) {
         return Err(CodecError::Corrupt(format!(
             "byte length {} not a multiple of 8",
             bytes.len()
         )));
     }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    out.reserve(bytes.len() / 8);
+    out.extend(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+    );
+    Ok(())
 }
 
 #[cfg(test)]

@@ -178,6 +178,58 @@ pub fn write_frame<W: Write>(
     Ok(encoded_len_of(payload))
 }
 
+/// Encode one frame into a fresh vector. The returned vector's capacity
+/// equals its length, so converting it to `Arc<[u8]>`/`Box<[u8]>` never
+/// reallocates.
+pub fn encode_frame(
+    codec: CodecId,
+    bound: ErrorBound,
+    payload: &[u8],
+) -> Result<Vec<u8>, FrameError> {
+    let mut out = Vec::with_capacity(encoded_len_of(payload));
+    encode_frame_into(codec, bound, payload, &mut out)?;
+    debug_assert_eq!(out.capacity(), out.len());
+    Ok(out)
+}
+
+/// [`write_frame`] straight into a byte vector, *appending* the frame to
+/// `out`. Identical bytes; the exact encoded length is reserved up front,
+/// so a reused `out` grows at most once and an empty `out` sized with
+/// [`encoded_len_of`] never grows at all.
+pub fn encode_frame_into(
+    codec: CodecId,
+    bound: ErrorBound,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(FrameError::Corrupt(format!(
+            "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame cap",
+            payload.len()
+        )));
+    }
+    out.reserve(encoded_len_of(payload));
+    let prefix_len = crate::partial::segmented_prefix_len(payload);
+    out.extend_from_slice(if prefix_len.is_some() {
+        &MAGIC2
+    } else {
+        &MAGIC
+    });
+    out.push(codec as u8);
+    out.push(bound.tag());
+    out.extend_from_slice(&bound.magnitude().to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    match prefix_len {
+        Some(p) => {
+            out.extend_from_slice(&(p as u32).to_le_bytes());
+            out.extend_from_slice(&fnv1a(&payload[..p]).to_le_bytes());
+        }
+        None => out.extend_from_slice(&fnv1a(payload).to_le_bytes()),
+    }
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
 /// A parsed frame header (either version), without its payload. This is
 /// the byte-range read path: parse the header from the head of a spilled
 /// frame, then fetch payload bytes selectively.
@@ -327,6 +379,33 @@ mod tests {
     fn round_trips_empty_payload() {
         let f = round_trip(CodecId::SolutionD, ErrorBound::Lossless, b"");
         assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        use crate::codec::Codec;
+        // One flat payload (v1 header) and one segmented payload (v2).
+        let segmented = crate::trunc::SolutionC::default()
+            .compress(&vec![0.5f64; 3000], ErrorBound::Lossless)
+            .unwrap();
+        for payload in [&b"payload"[..], &[], &segmented] {
+            let mut via_writer = Vec::new();
+            write_frame(
+                &mut via_writer,
+                CodecId::Qzstd,
+                ErrorBound::Lossless,
+                payload,
+            )
+            .unwrap();
+            let direct = encode_frame(CodecId::Qzstd, ErrorBound::Lossless, payload).unwrap();
+            assert_eq!(direct, via_writer);
+            assert_eq!(direct.capacity(), direct.len());
+            let mut appended = vec![7u8; 2];
+            encode_frame_into(CodecId::Qzstd, ErrorBound::Lossless, payload, &mut appended)
+                .unwrap();
+            assert_eq!(&appended[..2], &[7, 7]);
+            assert_eq!(&appended[2..], &via_writer[..]);
+        }
     }
 
     #[test]

@@ -151,6 +151,13 @@ fn canonical_codes(lens: &[u32]) -> Vec<(u32, u32)> {
 
 /// Encode `symbols` (each `< alphabet`) into a self-describing byte stream.
 pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>, HuffmanError> {
+    let mut out = Vec::new();
+    encode_into(symbols, alphabet, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode`], *appending* the stream to `out`.
+pub fn encode_into(symbols: &[u32], alphabet: u32, out: &mut Vec<u8>) -> Result<(), HuffmanError> {
     let mut freqs = vec![0u64; alphabet as usize];
     for &s in symbols {
         let slot = freqs
@@ -164,9 +171,8 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>, HuffmanError> {
     let lens = code_lengths(&freqs);
     let codes = canonical_codes(&lens);
 
-    let mut out = Vec::new();
-    bytes::put_u32(&mut out, alphabet);
-    bytes::put_u64(&mut out, symbols.len() as u64);
+    bytes::put_u32(out, alphabet);
+    bytes::put_u64(out, symbols.len() as u64);
 
     // Header: code lengths, run-length encoded as (len: u8, run: u16) pairs.
     let mut header = Vec::new();
@@ -181,7 +187,7 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>, HuffmanError> {
         header.extend_from_slice(&(run as u16).to_le_bytes());
         i += run;
     }
-    bytes::put_u32(&mut out, header.len() as u32);
+    bytes::put_u32(out, header.len() as u32);
     out.extend_from_slice(&header);
 
     // Payload: codes MSB-first within the LSB-first bit writer, so we reverse
@@ -196,9 +202,9 @@ pub fn encode(symbols: &[u32], alphabet: u32) -> Result<Vec<u8>, HuffmanError> {
         }
     }
     let payload = w.into_bytes();
-    bytes::put_u64(&mut out, payload.len() as u64);
+    bytes::put_u64(out, payload.len() as u64);
     out.extend_from_slice(&payload);
-    Ok(out)
+    Ok(())
 }
 
 /// Decoder table built from canonical code lengths.
@@ -277,6 +283,13 @@ impl Decoder {
 
 /// Decode a stream produced by [`encode`].
 pub fn decode(data: &[u8]) -> Result<Vec<u32>, HuffmanError> {
+    let mut out = Vec::new();
+    decode_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode`], *appending* the symbols to `out`.
+pub fn decode_into(data: &[u8], out: &mut Vec<u32>) -> Result<(), HuffmanError> {
     let mut pos = 0usize;
     let alphabet =
         bytes::get_u32(data, &mut pos).ok_or(HuffmanError::Corrupt("missing alphabet"))?;
@@ -310,26 +323,53 @@ pub fn decode(data: &[u8]) -> Result<Vec<u32>, HuffmanError> {
 
     let decoder = Decoder::from_lens(&lens);
     let mut r = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for _ in 0..n {
         out.push(decoder.decode_one(&mut r)?);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Convenience wrapper for byte-alphabet payloads.
 pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
-    let symbols: Vec<u32> = data.iter().map(|&b| b as u32).collect();
-    encode(&symbols, 256).expect("byte symbols are always in range")
+    let mut out = Vec::new();
+    encode_bytes_into(data, &mut out);
+    out
+}
+
+/// [`encode_bytes`], *appending* the stream to `out` and recycling the
+/// symbol widening scratch per thread.
+pub fn encode_bytes_into(data: &[u8], out: &mut Vec<u8>) {
+    let mut symbols = crate::scratch::take_u32s();
+    symbols.reserve(data.len());
+    symbols.extend(data.iter().map(|&b| b as u32));
+    encode_into(&symbols, 256, out).expect("byte symbols are always in range");
+    crate::scratch::put_u32s(symbols);
 }
 
 /// Inverse of [`encode_bytes`].
 pub fn decode_bytes(data: &[u8]) -> Result<Vec<u8>, HuffmanError> {
-    let symbols = decode(data)?;
-    symbols
-        .into_iter()
-        .map(|s| u8::try_from(s).map_err(|_| HuffmanError::Corrupt("symbol exceeds byte range")))
-        .collect()
+    let mut out = Vec::new();
+    decode_bytes_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_bytes`], *appending* the bytes to `out` and recycling the
+/// symbol scratch per thread.
+pub fn decode_bytes_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), HuffmanError> {
+    let mut symbols = crate::scratch::take_u32s();
+    let res = decode_into(data, &mut symbols);
+    let res = res.and_then(|()| {
+        out.reserve(symbols.len());
+        for &s in &symbols {
+            out.push(
+                u8::try_from(s).map_err(|_| HuffmanError::Corrupt("symbol exceeds byte range"))?,
+            );
+        }
+        Ok(())
+    });
+    crate::scratch::put_u32s(symbols);
+    res
 }
 
 #[cfg(test)]

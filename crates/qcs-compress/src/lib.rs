@@ -139,6 +139,7 @@ pub mod huffman;
 pub mod lz77;
 pub mod partial;
 pub mod qzstd;
+pub(crate) mod scratch;
 pub mod stats;
 pub mod sz;
 pub mod trunc;
@@ -186,8 +187,40 @@ impl Codec for QzstdCodec {
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
-        let raw = qzstd::decompress(data).map_err(|e| CodecError::Corrupt(e.to_string()))?;
-        bytes_to_f64s(&raw)
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if let ErrorBound::Absolute(e) | ErrorBound::PointwiseRelative(e) = bound {
+            if e < 0.0 {
+                return Err(CodecError::InvalidParam(format!("negative bound {e}")));
+            }
+        }
+        let mut raw = scratch::take_bytes();
+        codec::extend_f64s_as_bytes(data, &mut raw);
+        out.clear();
+        qzstd::compress_into(&raw, self.level, out);
+        scratch::put_bytes(raw);
+        Ok(())
+    }
+
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
+        let mut raw = scratch::take_bytes();
+        let res = qzstd::decompress_into(data, &mut raw)
+            .map_err(|e| CodecError::Corrupt(e.to_string()))
+            .and_then(|()| {
+                out.clear();
+                codec::extend_bytes_as_f64s(&raw, out)
+            });
+        scratch::put_bytes(raw);
+        res
     }
 }
 

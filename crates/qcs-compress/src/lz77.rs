@@ -71,12 +71,25 @@ struct Matcher {
     prev: Vec<i64>,
 }
 
+thread_local! {
+    /// Recycled match-finder state: the hash head table is 512 KiB and the
+    /// chain table is one word per input byte, so rebuilding them per call
+    /// would dominate small-block compression. `reset` refills in place.
+    static MATCHER: std::cell::RefCell<Option<Matcher>> = const { std::cell::RefCell::new(None) };
+}
+
 impl Matcher {
     fn new(len: usize) -> Self {
         Self {
             head: vec![-1; HASH_SIZE],
             prev: vec![-1; len],
         }
+    }
+
+    fn reset(&mut self, len: usize) {
+        self.head.iter_mut().for_each(|h| *h = -1);
+        self.prev.clear();
+        self.prev.resize(len, -1);
     }
 
     #[inline]
@@ -163,11 +176,27 @@ fn emit(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
 /// Compress `data`. Output is self-terminating (ends with an EOS token).
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    compress_into(data, &mut out);
+    out
+}
+
+/// Compress `data`, *appending* the stream to `out`. Identical bytes to
+/// [`compress`]; the match-finder state is recycled per thread so
+/// steady-state compression performs no heap allocation.
+pub fn compress_into(data: &[u8], out: &mut Vec<u8>) {
+    MATCHER.with(|m| {
+        let mut slot = m.borrow_mut();
+        let matcher = slot.get_or_insert_with(|| Matcher::new(data.len()));
+        matcher.reset(data.len());
+        compress_with(data, matcher, out);
+    });
+}
+
+fn compress_with(data: &[u8], matcher: &mut Matcher, out: &mut Vec<u8>) {
     if data.is_empty() {
-        emit(&mut out, &[], None);
-        return out;
+        emit(out, &[], None);
+        return;
     }
-    let mut matcher = Matcher::new(data.len());
     let mut i = 0usize;
     let mut lit_start = 0usize;
     while i < data.len() {
@@ -190,7 +219,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                 } else {
                     matcher.insert(data, i);
                 }
-                emit(&mut out, &data[lit_start..start], Some((off, len)));
+                emit(out, &data[lit_start..start], Some((off, len)));
                 // Index the covered region (sparsely for long matches).
                 let end = start + len;
                 let mut j = if start == i { i + 1 } else { start };
@@ -208,8 +237,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             }
         }
     }
-    emit(&mut out, &data[lit_start..], None);
-    out
+    emit(out, &data[lit_start..], None);
 }
 
 fn read_len_ext(data: &[u8], pos: &mut usize) -> Result<usize, LzError> {
@@ -227,6 +255,15 @@ fn read_len_ext(data: &[u8], pos: &mut usize) -> Result<usize, LzError> {
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LzError> {
     let mut out = Vec::with_capacity(data.len() * 3);
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a stream produced by [`compress`], *appending* the output
+/// to `out` (bytes already present are preserved and are not valid
+/// back-reference targets).
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), LzError> {
+    let base = out.len();
     let mut pos = 0usize;
     loop {
         let ctrl = *data.get(pos).ok_or(LzError::Corrupt("missing token"))?;
@@ -250,13 +287,13 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LzError> {
             if off != 0 {
                 return Err(LzError::Corrupt("nonzero offset on EOS token"));
             }
-            return Ok(out);
+            return Ok(());
         }
         let mut mlen = match_code + MIN_MATCH - 1;
         if match_code == 15 {
             mlen += read_len_ext(data, &mut pos)?;
         }
-        if off == 0 || off > out.len() {
+        if off == 0 || off > out.len() - base {
             return Err(LzError::Corrupt("invalid back-reference"));
         }
         // Overlapping copies are valid (e.g. offset 1 = run-length).
@@ -353,6 +390,32 @@ mod tests {
         let mut c = compress(&data);
         c.truncate(2);
         assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn decompress_into_appends_and_isolates_backrefs() {
+        let data: Vec<u8> = b"xyxyxyxyxyxyxyxyxyxy".to_vec();
+        let c = compress(&data);
+        let mut out = vec![9u8, 8, 7];
+        decompress_into(&c, &mut out).unwrap();
+        assert_eq!(&out[..3], &[9, 8, 7]);
+        assert_eq!(&out[3..], &data[..]);
+        // A back-reference that would be valid with 3 bytes of history must
+        // not see the pre-existing prefix: ctrl = 0 literals / match code 1
+        // (len 4), offset 2.
+        let stream = vec![0x01u8, 2, 0];
+        let mut dirty = vec![1u8, 2, 3];
+        assert!(decompress_into(&stream, &mut dirty).is_err());
+    }
+
+    #[test]
+    fn compress_into_appends_identical_bytes() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 97) as u8).collect();
+        let plain = compress(&data);
+        let mut out = vec![0xEEu8; 2];
+        compress_into(&data, &mut out);
+        assert_eq!(&out[..2], &[0xEE, 0xEE]);
+        assert_eq!(&out[2..], &plain[..]);
     }
 
     #[test]

@@ -288,6 +288,24 @@ pub trait PartialCodec: Codec {
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CodecError>;
 
+    /// [`PartialCodec::recompress_segments`] into a reused buffer: `out` is
+    /// cleared first and on success holds exactly the bytes the allocating
+    /// method would have returned. The default delegates to the allocating
+    /// method; segment-addressable codecs in this crate override it to
+    /// splice in place.
+    fn recompress_segments_into(
+        &self,
+        data: &[u8],
+        edits: &[SegmentEdit<'_>],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let bytes = self.recompress_segments(data, edits, bound)?;
+        out.clear();
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+
     /// Re-encode the contiguous segment run `segs` from `values` (the
     /// run's full value coverage, in order) and splice the result into
     /// `data`, returning the new stream.

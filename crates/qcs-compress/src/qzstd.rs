@@ -78,52 +78,121 @@ fn container(mode: u8, orig_len: usize, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Compress `data` at the given level.
+/// Compress `data` at the given level. The returned vector's capacity
+/// equals its length, so converting it to `Arc<[u8]>`/`Box<[u8]>` never
+/// reallocates.
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
     if data.iter().all(|&b| b == 0) {
         return container(MODE_ZERO, data.len(), &[]);
     }
-    let lz = lz77::compress(data);
-    let (mode, payload) = match level {
-        Level::Fast => (MODE_LZ, lz),
+    let mut lz = crate::scratch::take_bytes();
+    lz77::compress_into(data, &mut lz);
+    let out = match level {
         Level::High => {
-            let entropy = huffman::encode_bytes(&lz);
-            if entropy.len() < lz.len() {
-                (MODE_LZ_HUFF, entropy)
+            let mut entropy = crate::scratch::take_bytes();
+            huffman::encode_bytes_into(&lz, &mut entropy);
+            let payload = if entropy.len() < lz.len() {
+                &entropy
             } else {
-                (MODE_LZ, lz)
+                &lz
+            };
+            let out = if payload.len() >= data.len() {
+                container(MODE_STORED, data.len(), data)
+            } else if entropy.len() < lz.len() {
+                container(MODE_LZ_HUFF, data.len(), &entropy)
+            } else {
+                container(MODE_LZ, data.len(), &lz)
+            };
+            crate::scratch::put_bytes(entropy);
+            out
+        }
+        Level::Fast => {
+            if lz.len() >= data.len() {
+                container(MODE_STORED, data.len(), data)
+            } else {
+                container(MODE_LZ, data.len(), &lz)
             }
         }
     };
-    if payload.len() >= data.len() {
-        container(MODE_STORED, data.len(), data)
-    } else {
-        container(mode, data.len(), &payload)
+    crate::scratch::put_bytes(lz);
+    out
+}
+
+/// [`compress`], *appending* the container to `out`. Identical bytes; the
+/// intermediate LZ/entropy streams come from recycled per-thread scratch,
+/// so steady-state compression into a reused `out` performs no heap
+/// allocation once the scratch has grown to the working size.
+pub fn compress_into(data: &[u8], level: Level, out: &mut Vec<u8>) {
+    if data.iter().all(|&b| b == 0) {
+        out.reserve(9);
+        out.push(MODE_ZERO);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        return;
     }
+    let mut lz = crate::scratch::take_bytes();
+    lz77::compress_into(data, &mut lz);
+    let mut entropy = crate::scratch::take_bytes();
+    let (mode, payload): (u8, &[u8]) = match level {
+        Level::Fast => (MODE_LZ, &lz),
+        Level::High => {
+            huffman::encode_bytes_into(&lz, &mut entropy);
+            if entropy.len() < lz.len() {
+                (MODE_LZ_HUFF, &entropy)
+            } else {
+                (MODE_LZ, &lz)
+            }
+        }
+    };
+    let (mode, payload) = if payload.len() >= data.len() {
+        (MODE_STORED, data)
+    } else {
+        (mode, payload)
+    };
+    out.reserve(payload.len() + 9);
+    out.push(mode);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    crate::scratch::put_bytes(entropy);
+    crate::scratch::put_bytes(lz);
 }
 
 /// Decompress a qzstd container.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, QzError> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`], *appending* the original bytes to `out`. Stored and
+/// all-zero payloads are written straight into `out`; the LZ stages decode
+/// in place, with only the Huffman-to-LZ intermediate staged through
+/// recycled per-thread scratch.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), QzError> {
     if data.len() < 9 {
         return Err(QzError::Corrupt("container too short"));
     }
     let mode = data[0];
     let orig_len = u64::from_le_bytes(data[1..9].try_into().unwrap()) as usize;
     let payload = &data[9..];
-    let out = match mode {
-        MODE_STORED => payload.to_vec(),
-        MODE_LZ => lz77::decompress(payload)?,
+    let base = out.len();
+    match mode {
+        MODE_STORED => out.extend_from_slice(payload),
+        MODE_LZ => lz77::decompress_into(payload, out)?,
         MODE_LZ_HUFF => {
-            let lz = huffman::decode_bytes(payload)?;
-            lz77::decompress(&lz)?
+            let mut lz = crate::scratch::take_bytes();
+            let res = huffman::decode_bytes_into(payload, &mut lz)
+                .map_err(QzError::from)
+                .and_then(|()| lz77::decompress_into(&lz, out).map_err(QzError::from));
+            crate::scratch::put_bytes(lz);
+            res?;
         }
-        MODE_ZERO => vec![0u8; orig_len],
+        MODE_ZERO => out.resize(base + orig_len, 0),
         _ => return Err(QzError::Corrupt("unknown mode byte")),
-    };
-    if out.len() != orig_len {
+    }
+    if out.len() - base != orig_len {
         return Err(QzError::Corrupt("length mismatch after decode"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Compression ratio (original / compressed) achieved on `data`.
@@ -190,6 +259,30 @@ mod tests {
         let fast = compress(&data, Level::Fast);
         let high = compress(&data, Level::High);
         assert!(high.len() <= fast.len());
+    }
+
+    #[test]
+    fn into_paths_append_and_match_allocating_paths() {
+        let datasets: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0u8; 4096],
+            (0..30_000u32).map(|i| (i % 7 * 37) as u8).collect(),
+            b"the quick brown fox ".repeat(500),
+        ];
+        for data in &datasets {
+            for level in [Level::Fast, Level::High] {
+                let plain = compress(data, level);
+                assert_eq!(plain.capacity(), plain.len());
+                let mut enc = vec![0xAAu8; 3];
+                compress_into(data, level, &mut enc);
+                assert_eq!(&enc[..3], &[0xAA; 3]);
+                assert_eq!(&enc[3..], &plain[..]);
+                let mut dec = vec![1u8, 2];
+                decompress_into(&plain, &mut dec).unwrap();
+                assert_eq!(&dec[..2], &[1, 2]);
+                assert_eq!(&dec[2..], &data[..]);
+            }
+        }
     }
 
     #[test]

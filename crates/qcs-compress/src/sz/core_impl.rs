@@ -30,16 +30,43 @@ impl SzCore {
         Self { bins, stride }
     }
 
-    /// Compress under `bound` (absolute or pointwise-relative only).
+    /// Compress under `bound` (absolute or pointwise-relative only). The
+    /// returned vector's capacity equals its length.
     pub fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
+        let mut scratch = crate::scratch::take_bytes();
+        let res = self.compress_into(data, bound, &mut scratch).map(|()| {
+            let mut out = Vec::with_capacity(scratch.len());
+            out.extend_from_slice(&scratch);
+            out
+        });
+        crate::scratch::put_bytes(scratch);
+        res
+    }
+
+    /// [`SzCore::compress`], *appending* the stream to `out`. Every
+    /// intermediate (quantization codes, bitmaps, bodies, log stream) is
+    /// staged through recycled per-thread scratch, so steady-state
+    /// compression into a reused `out` performs no heap allocation.
+    pub fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         match bound {
             ErrorBound::Absolute(e) if e > 0.0 => {
-                let payload = self.compress_abs(data, e);
-                Ok(container(MODE_ABS, e, &payload))
+                bytes::put_u32(out, MAGIC);
+                out.push(MODE_ABS);
+                bytes::put_f64(out, e);
+                self.compress_abs_into(data, e, out);
+                Ok(())
             }
             ErrorBound::PointwiseRelative(eps) if eps > 0.0 && eps < 1.0 => {
-                let payload = self.compress_rel(data, eps);
-                Ok(container(MODE_REL, eps, &payload))
+                bytes::put_u32(out, MAGIC);
+                out.push(MODE_REL);
+                bytes::put_f64(out, eps);
+                self.compress_rel_into(data, eps, out);
+                Ok(())
             }
             ErrorBound::Lossless => Err(CodecError::UnsupportedBound(
                 "SZ-style codecs are inherently lossy; use qzstd for lossless",
@@ -52,6 +79,13 @@ impl SzCore {
 
     /// Decompress a stream produced by [`SzCore::compress`].
     pub fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SzCore::decompress`], *appending* the values to `out`.
+    pub fn decompress_into(&self, data: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
         let mut pos = 0usize;
         let magic = bytes::get_u32(data, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
@@ -66,26 +100,41 @@ impl SzCore {
             .ok_or_else(|| CodecError::Corrupt("missing bound".into()))?;
         let payload = &data[pos..];
         match mode {
-            MODE_ABS => self.decompress_abs(payload, bound),
-            MODE_REL => self.decompress_rel(payload),
+            MODE_ABS => self.decompress_abs_into(payload, bound, out),
+            MODE_REL => self.decompress_rel_into(payload, out),
             _ => Err(CodecError::Corrupt("unknown mode".into())),
         }
     }
 
     // --- absolute-bound core (prediction + quantization + huffman + qzstd) ---
 
-    fn compress_abs(&self, data: &[f64], e: f64) -> Vec<u8> {
+    /// Append the qzstd-compressed absolute-mode stream for `data` to `out`.
+    fn compress_abs_into(&self, data: &[f64], e: f64, out: &mut Vec<u8>) {
+        let mut body = crate::scratch::take_bytes();
+        self.abs_body_into(data, e, &mut body);
+        qzstd::compress_into(&body, qzstd::Level::Fast, out);
+        crate::scratch::put_bytes(body);
+    }
+
+    /// Build the pre-backend absolute-mode body: value count, Huffman-coded
+    /// quantization symbols (length backfilled once encoded), verbatim
+    /// outliers. Codes, outliers, and the per-chain predictor state are all
+    /// staged through recycled per-thread scratch.
+    fn abs_body_into(&self, data: &[f64], e: f64, body: &mut Vec<u8>) {
         let half = (self.bins / 2) as i64;
         let unpredictable_code = self.bins; // reserved symbol
-        let mut codes = Vec::with_capacity(data.len());
-        let mut outliers = Vec::new();
-        // Previous decompressed value per prediction chain.
-        let mut prev = vec![0.0f64; self.stride];
-        let mut have_prev = vec![false; self.stride];
+        let mut codes = crate::scratch::take_u32s();
+        let mut outliers = crate::scratch::take_bytes();
+        // Previous decompressed value per prediction chain. Chain `i % stride`
+        // is first touched at index `i < stride`, so `i >= stride` is exactly
+        // "this chain has a previous value".
+        let mut prev = crate::scratch::take_f64s();
+        prev.resize(self.stride, 0.0);
+        codes.reserve(data.len());
         let two_e = 2.0 * e;
         for (i, &v) in data.iter().enumerate() {
             let chain = i % self.stride;
-            let pred = if have_prev[chain] { prev[chain] } else { 0.0 };
+            let pred = if i >= self.stride { prev[chain] } else { 0.0 };
             let diff = v - pred;
             let qf = (diff / two_e).round();
             let (code, decomp) = if qf.abs() < half as f64 && qf.is_finite() {
@@ -105,38 +154,62 @@ impl SzCore {
             }
             codes.push(code);
             prev[chain] = decomp;
-            have_prev[chain] = true;
         }
 
-        let huff = huffman::encode(&codes, self.bins + 1).expect("codes within alphabet");
-        let mut body = Vec::with_capacity(huff.len() + outliers.len() + 32);
-        bytes::put_u64(&mut body, data.len() as u64);
-        bytes::put_u64(&mut body, huff.len() as u64);
-        body.extend_from_slice(&huff);
-        bytes::put_u64(&mut body, outliers.len() as u64);
+        bytes::put_u64(body, data.len() as u64);
+        let huff_len_at = body.len();
+        bytes::put_u64(body, 0); // huffman length, backfilled below
+        let huff_start = body.len();
+        huffman::encode_into(&codes, self.bins + 1, body).expect("codes within alphabet");
+        let huff_len = (body.len() - huff_start) as u64;
+        body[huff_len_at..huff_len_at + 8].copy_from_slice(&huff_len.to_le_bytes());
+        bytes::put_u64(body, outliers.len() as u64);
         body.extend_from_slice(&outliers);
-        qzstd::compress(&body, qzstd::Level::Fast)
+        crate::scratch::put_f64s(prev);
+        crate::scratch::put_bytes(outliers);
+        crate::scratch::put_u32s(codes);
     }
 
-    fn decompress_abs(&self, payload: &[u8], e: f64) -> Result<Vec<f64>, CodecError> {
-        let body = qzstd::decompress(payload)
-            .map_err(|err| CodecError::Corrupt(format!("backend: {err}")))?;
+    /// Decode one absolute-mode stream, *appending* the values to `out`.
+    fn decompress_abs_into(
+        &self,
+        payload: &[u8],
+        e: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
+        let mut body = crate::scratch::take_bytes();
+        let mut codes = crate::scratch::take_u32s();
+        let res = qzstd::decompress_into(payload, &mut body)
+            .map_err(|err| CodecError::Corrupt(format!("backend: {err}")))
+            .and_then(|()| self.decode_abs_body(&body, e, &mut codes, out));
+        crate::scratch::put_u32s(codes);
+        crate::scratch::put_bytes(body);
+        res
+    }
+
+    fn decode_abs_body(
+        &self,
+        body: &[u8],
+        e: f64,
+        codes: &mut Vec<u32>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let mut pos = 0usize;
-        let n = bytes::get_u64(&body, &mut pos)
+        let n = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing count".into()))? as usize;
-        let huff_len = bytes::get_u64(&body, &mut pos)
+        let huff_len = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing huffman length".into()))?
             as usize;
         let huff = body
             .get(pos..pos + huff_len)
             .ok_or_else(|| CodecError::Corrupt("truncated huffman stream".into()))?;
         pos += huff_len;
-        let codes =
-            huffman::decode(huff).map_err(|err| CodecError::Corrupt(format!("huffman: {err}")))?;
+        huffman::decode_into(huff, codes)
+            .map_err(|err| CodecError::Corrupt(format!("huffman: {err}")))?;
         if codes.len() != n {
             return Err(CodecError::Corrupt("code count mismatch".into()));
         }
-        let out_len = bytes::get_u64(&body, &mut pos)
+        let out_len = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing outlier length".into()))?
             as usize;
         let outliers = body
@@ -145,144 +218,175 @@ impl SzCore {
 
         let half = (self.bins / 2) as i64;
         let two_e = 2.0 * e;
-        let mut out = Vec::with_capacity(n);
-        let mut prev = vec![0.0f64; self.stride];
-        let mut have_prev = vec![false; self.stride];
+        out.reserve(n);
+        let mut prev = crate::scratch::take_f64s();
+        prev.resize(self.stride, 0.0);
         let mut opos = 0usize;
+        let mut res = Ok(());
         for (i, &code) in codes.iter().enumerate() {
             let chain = i % self.stride;
-            let pred = if have_prev[chain] { prev[chain] } else { 0.0 };
+            let pred = if i >= self.stride { prev[chain] } else { 0.0 };
             let v = if code == self.bins {
-                let raw = outliers
-                    .get(opos..opos + 8)
-                    .ok_or_else(|| CodecError::Corrupt("outlier underrun".into()))?;
-                opos += 8;
-                f64::from_le_bytes(raw.try_into().unwrap())
+                match outliers.get(opos..opos + 8) {
+                    Some(raw) => {
+                        opos += 8;
+                        f64::from_le_bytes(raw.try_into().unwrap())
+                    }
+                    None => {
+                        res = Err(CodecError::Corrupt("outlier underrun".into()));
+                        break;
+                    }
+                }
             } else if code < self.bins {
                 let q = code as i64 - half;
                 pred + q as f64 * two_e
             } else {
-                return Err(CodecError::Corrupt("quant code out of range".into()));
+                res = Err(CodecError::Corrupt("quant code out of range".into()));
+                break;
             };
             out.push(v);
             prev[chain] = v;
-            have_prev[chain] = true;
         }
-        Ok(out)
+        crate::scratch::put_f64s(prev);
+        res
     }
 
     // --- pointwise-relative core via logarithmic transform ---
 
-    fn compress_rel(&self, data: &[f64], eps: f64) -> Vec<u8> {
+    /// Append the qzstd-compressed relative-mode stream for `data` to `out`.
+    fn compress_rel_into(&self, data: &[f64], eps: f64, out: &mut Vec<u8>) {
+        let mut body = crate::scratch::take_bytes();
+        self.rel_body_into(data, eps, &mut body);
+        // Signs/zeros bitmaps are already dense; one fast lossless pass.
+        qzstd::compress_into(&body, qzstd::Level::Fast, out);
+        crate::scratch::put_bytes(body);
+    }
+
+    /// Build the pre-backend relative-mode body: sign/zero bitmaps filled in
+    /// place inside the body, verbatim non-finite exceptions, then the
+    /// log-space absolute stream (length backfilled once encoded).
+    fn rel_body_into(&self, data: &[f64], eps: f64, body: &mut Vec<u8>) {
         // Absolute bound in log space; the 0.98 margin absorbs the <=2 ulp
         // rounding of ln/exp so the decoded value never exceeds eps.
         let log_bound = (1.0 + eps).ln() * 0.98;
-        let mut signs = vec![0u8; data.len().div_ceil(8)];
-        let mut zeros = vec![0u8; data.len().div_ceil(8)];
+        let bitmap_len = data.len().div_ceil(8);
+        bytes::put_u64(body, data.len() as u64);
+        bytes::put_f64(body, log_bound);
+        let signs_start = body.len();
+        let zeros_start = signs_start + bitmap_len;
+        body.resize(zeros_start + bitmap_len, 0);
         let mut exceptions: Vec<(u64, u64)> = Vec::new();
-        let mut logs = Vec::with_capacity(data.len());
+        let mut logs = crate::scratch::take_f64s();
+        logs.reserve(data.len());
         for (i, &v) in data.iter().enumerate() {
             if v == 0.0 {
-                zeros[i / 8] |= 1 << (i % 8);
+                body[zeros_start + i / 8] |= 1 << (i % 8);
                 continue;
             }
             if !v.is_finite() {
                 exceptions.push((i as u64, v.to_bits()));
-                zeros[i / 8] |= 1 << (i % 8); // placeholder slot
+                body[zeros_start + i / 8] |= 1 << (i % 8); // placeholder slot
                 continue;
             }
             if v.is_sign_negative() {
-                signs[i / 8] |= 1 << (i % 8);
+                body[signs_start + i / 8] |= 1 << (i % 8);
             }
             logs.push(v.abs().ln());
         }
-        let inner = self.compress_abs(&logs, log_bound);
-        let mut body = Vec::with_capacity(inner.len() + signs.len() + zeros.len() + 48);
-        bytes::put_u64(&mut body, data.len() as u64);
-        bytes::put_f64(&mut body, log_bound);
-        body.extend_from_slice(&signs);
-        body.extend_from_slice(&zeros);
-        bytes::put_u64(&mut body, exceptions.len() as u64);
+        bytes::put_u64(body, exceptions.len() as u64);
         for (idx, bits) in &exceptions {
-            bytes::put_u64(&mut body, *idx);
-            bytes::put_u64(&mut body, *bits);
+            bytes::put_u64(body, *idx);
+            bytes::put_u64(body, *bits);
         }
-        bytes::put_u64(&mut body, inner.len() as u64);
-        body.extend_from_slice(&inner);
-        // Signs/zeros bitmaps are already dense; one fast lossless pass.
-        qzstd::compress(&body, qzstd::Level::Fast)
+        let inner_len_at = body.len();
+        bytes::put_u64(body, 0); // inner stream length, backfilled below
+        let inner_start = body.len();
+        self.compress_abs_into(&logs, log_bound, body);
+        let inner_len = (body.len() - inner_start) as u64;
+        body[inner_len_at..inner_len_at + 8].copy_from_slice(&inner_len.to_le_bytes());
+        crate::scratch::put_f64s(logs);
     }
 
-    fn decompress_rel(&self, payload: &[u8]) -> Result<Vec<f64>, CodecError> {
-        let body = qzstd::decompress(payload)
-            .map_err(|err| CodecError::Corrupt(format!("backend: {err}")))?;
+    /// Decode one relative-mode stream, *appending* the values to `out`.
+    fn decompress_rel_into(&self, payload: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
+        let mut body = crate::scratch::take_bytes();
+        let res = qzstd::decompress_into(payload, &mut body)
+            .map_err(|err| CodecError::Corrupt(format!("backend: {err}")))
+            .and_then(|()| self.decode_rel_body(&body, out));
+        crate::scratch::put_bytes(body);
+        res
+    }
+
+    fn decode_rel_body(&self, body: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
+        let base = out.len();
         let mut pos = 0usize;
-        let n = bytes::get_u64(&body, &mut pos)
+        let n = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing count".into()))? as usize;
-        let log_bound = bytes::get_f64(&body, &mut pos)
+        let log_bound = bytes::get_f64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing log bound".into()))?;
         let bitmap_len = n.div_ceil(8);
         let signs = body
             .get(pos..pos + bitmap_len)
-            .ok_or_else(|| CodecError::Corrupt("truncated signs".into()))?
-            .to_vec();
+            .ok_or_else(|| CodecError::Corrupt("truncated signs".into()))?;
         pos += bitmap_len;
         let zeros = body
             .get(pos..pos + bitmap_len)
-            .ok_or_else(|| CodecError::Corrupt("truncated zeros".into()))?
-            .to_vec();
+            .ok_or_else(|| CodecError::Corrupt("truncated zeros".into()))?;
         pos += bitmap_len;
-        let n_exc = bytes::get_u64(&body, &mut pos)
+        let n_exc = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing exceptions".into()))?
             as usize;
-        let mut exceptions = Vec::with_capacity(n_exc);
+        // Validate the exception region up front; it is re-walked to patch
+        // the output once the regular values are in place.
+        let exc_start = pos;
         for _ in 0..n_exc {
-            let idx = bytes::get_u64(&body, &mut pos)
+            bytes::get_u64(body, &mut pos)
                 .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?;
-            let bits = bytes::get_u64(&body, &mut pos)
+            bytes::get_u64(body, &mut pos)
                 .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?;
-            exceptions.push((idx as usize, bits));
         }
-        let inner_len = bytes::get_u64(&body, &mut pos)
+        let inner_len = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing inner length".into()))?
             as usize;
         let inner = body
             .get(pos..pos + inner_len)
             .ok_or_else(|| CodecError::Corrupt("truncated inner stream".into()))?;
-        let logs = self.decompress_abs(inner, log_bound)?;
 
-        let mut out = Vec::with_capacity(n);
-        let mut li = 0usize;
-        for i in 0..n {
-            let zero = zeros[i / 8] >> (i % 8) & 1 == 1;
-            if zero {
-                out.push(0.0);
-                continue;
-            }
-            let neg = signs[i / 8] >> (i % 8) & 1 == 1;
-            let mag = logs
-                .get(li)
-                .ok_or_else(|| CodecError::Corrupt("log stream underrun".into()))?
-                .exp();
-            li += 1;
-            out.push(if neg { -mag } else { mag });
-        }
-        for (idx, bits) in exceptions {
-            *out.get_mut(idx)
-                .ok_or_else(|| CodecError::Corrupt("exception index out of range".into()))? =
-                f64::from_bits(bits);
-        }
-        Ok(out)
+        let mut logs = crate::scratch::take_f64s();
+        let res = self
+            .decompress_abs_into(inner, log_bound, &mut logs)
+            .and_then(|()| {
+                out.reserve(n);
+                let mut li = 0usize;
+                for i in 0..n {
+                    let zero = zeros[i / 8] >> (i % 8) & 1 == 1;
+                    if zero {
+                        out.push(0.0);
+                        continue;
+                    }
+                    let neg = signs[i / 8] >> (i % 8) & 1 == 1;
+                    let mag = logs
+                        .get(li)
+                        .ok_or_else(|| CodecError::Corrupt("log stream underrun".into()))?
+                        .exp();
+                    li += 1;
+                    out.push(if neg { -mag } else { mag });
+                }
+                let mut epos = exc_start;
+                for _ in 0..n_exc {
+                    let idx = bytes::get_u64(body, &mut epos).expect("exception region validated")
+                        as usize;
+                    let bits = bytes::get_u64(body, &mut epos).expect("exception region validated");
+                    if idx >= n {
+                        return Err(CodecError::Corrupt("exception index out of range".into()));
+                    }
+                    out[base + idx] = f64::from_bits(bits);
+                }
+                Ok(())
+            });
+        crate::scratch::put_f64s(logs);
+        res
     }
-}
-
-fn container(mode: u8, bound: f64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 13);
-    bytes::put_u32(&mut out, MAGIC);
-    out.push(mode);
-    bytes::put_f64(&mut out, bound);
-    out.extend_from_slice(payload);
-    out
 }
 
 #[cfg(test)]

@@ -5,6 +5,11 @@
 //! segment bodies. This module owns the container mechanics — assembling,
 //! verifying, decoding, and splicing — while each codec supplies the
 //! per-slice encode/decode of its legacy body format.
+//!
+//! Assembly is single-pass and allocation-free on the caller's buffer:
+//! the index region is reserved with placeholder bytes, each body is
+//! encoded (or copied) straight onto the tail of the output, and the
+//! `(len, fnv)` entry is backfilled once the body's extent is known.
 
 use crate::bitio::bytes;
 use crate::codec::CodecError;
@@ -12,33 +17,71 @@ use crate::frame::fnv1a;
 use crate::partial::{SegmentEdit, SegmentIndex};
 
 /// The per-slice body decoder a codec lends to the container machinery.
-pub(crate) type DecodeSlice<'a> = &'a dyn Fn(&[u8]) -> Result<Vec<f64>, CodecError>;
+/// Appends the slice's values to the output buffer.
+pub(crate) type DecodeSlice<'a> = &'a dyn Fn(&[u8], &mut Vec<f64>) -> Result<(), CodecError>;
+
+/// Byte offset of the segment index within a stream (the fixed header).
+const INDEX_START: usize = 20;
+/// Bytes per index entry: body_len u32 + body_fnv u64.
+const ENTRY_LEN: usize = 12;
+
+/// Write the fixed header plus a zeroed index for `n_segs` segments,
+/// returning the offset of the first index entry (within `out`).
+fn put_prefix(out: &mut Vec<u8>, magic: u32, n_values: usize, seg_values: usize, n_segs: usize) {
+    bytes::put_u32(out, magic);
+    bytes::put_u64(out, n_values as u64);
+    bytes::put_u32(out, seg_values as u32);
+    bytes::put_u32(out, n_segs as u32);
+    out.resize(out.len() + ENTRY_LEN * n_segs, 0);
+}
+
+/// Backfill the index entry for segment `seg` of a stream that starts at
+/// `base` within `out`, describing the body spanning `body_start..` to the
+/// current end of `out`.
+fn fill_entry(out: &mut [u8], base: usize, seg: usize, body_start: usize) {
+    let body_len = out.len() - body_start;
+    let fnv = fnv1a(&out[body_start..]);
+    let at = base + INDEX_START + ENTRY_LEN * seg;
+    out[at..at + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    out[at + 4..at + 12].copy_from_slice(&fnv.to_le_bytes());
+}
 
 /// Assemble a segmented stream: split `data` every `seg_values` doubles
-/// and encode each slice with `encode_slice`.
+/// and encode each slice with `encode_slice`. The returned vector's
+/// capacity equals its length.
 pub(crate) fn compress(
     magic: u32,
     data: &[f64],
     seg_values: usize,
-    mut encode_slice: impl FnMut(&[f64]) -> Vec<u8>,
+    encode_slice: impl FnMut(&[f64], &mut Vec<u8>),
 ) -> Vec<u8> {
-    let seg_values = seg_values.max(1);
-    let bodies: Vec<Vec<u8>> = data.chunks(seg_values).map(&mut encode_slice).collect();
-    let prefix_len = SegmentIndex::prefix_len_for(data.len(), seg_values);
-    let total: usize = bodies.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(prefix_len + total);
-    bytes::put_u32(&mut out, magic);
-    bytes::put_u64(&mut out, data.len() as u64);
-    bytes::put_u32(&mut out, seg_values as u32);
-    bytes::put_u32(&mut out, bodies.len() as u32);
-    for body in &bodies {
-        bytes::put_u32(&mut out, body.len() as u32);
-        bytes::put_u64(&mut out, fnv1a(body));
-    }
-    for body in &bodies {
-        out.extend_from_slice(body);
-    }
+    let mut scratch = crate::scratch::take_bytes();
+    compress_into(magic, data, seg_values, encode_slice, &mut scratch);
+    let mut out = Vec::with_capacity(scratch.len());
+    out.extend_from_slice(&scratch);
+    crate::scratch::put_bytes(scratch);
     out
+}
+
+/// [`compress`], *appending* the stream to `out`. Bodies are encoded
+/// directly onto the tail of `out` and their index entries backfilled, so
+/// assembly itself performs no heap allocation.
+pub(crate) fn compress_into(
+    magic: u32,
+    data: &[f64],
+    seg_values: usize,
+    mut encode_slice: impl FnMut(&[f64], &mut Vec<u8>),
+    out: &mut Vec<u8>,
+) {
+    let seg_values = seg_values.max(1);
+    let n_segs = data.len().div_ceil(seg_values);
+    let base = out.len();
+    put_prefix(out, magic, data.len(), seg_values, n_segs);
+    for (seg, slice) in data.chunks(seg_values).enumerate() {
+        let body_start = out.len();
+        encode_slice(slice, out);
+        fill_entry(out, base, seg, body_start);
+    }
 }
 
 /// Decode one segment body, verifying its length and checksum against the
@@ -69,23 +112,24 @@ pub(crate) fn decode_segment(
             "segment {seg}: body checksum mismatch"
         )));
     }
-    let values = decode_slice(body)?;
-    if values.len() != index.value_range(seg).len() {
+    let before = out.len();
+    decode_slice(body, out)?;
+    let decoded = out.len() - before;
+    if decoded != index.value_range(seg).len() {
         return Err(CodecError::Corrupt(format!(
-            "segment {seg}: decoded {} values, expected {}",
-            values.len(),
+            "segment {seg}: decoded {decoded} values, expected {}",
             index.value_range(seg).len()
         )));
     }
-    out.extend_from_slice(&values);
     Ok(())
 }
 
-/// Decode a whole segmented stream.
-pub(crate) fn decompress(
+/// Decode a whole segmented stream, *appending* the values to `out`.
+pub(crate) fn decompress_into(
     data: &[u8],
     decode_slice: DecodeSlice<'_>,
-) -> Result<Vec<f64>, CodecError> {
+    out: &mut Vec<f64>,
+) -> Result<(), CodecError> {
     let index = SegmentIndex::parse(data)?
         .ok_or_else(|| CodecError::Corrupt("not a segmented stream".into()))?;
     if index.stream_len() != data.len() {
@@ -95,32 +139,52 @@ pub(crate) fn decompress(
             index.stream_len()
         )));
     }
-    let mut out = Vec::with_capacity(index.n_values);
+    out.reserve(index.n_values);
     for seg in 0..index.n_segs() {
         let body = data
             .get(index.byte_range(seg))
             .ok_or_else(|| CodecError::Corrupt(format!("segment {seg} body out of bounds")))?;
-        decode_segment(&index, seg, body, decode_slice, &mut out)?;
+        decode_segment(&index, seg, body, decode_slice, out)?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Splice segment-level edits into a segmented stream: edited segments get
 /// freshly encoded bodies via `encode_slice`, untouched bodies are copied
 /// verbatim. `Zero` edits reuse one canonical zero body per slice length,
-/// so zeroing segments never pays an encode per segment.
+/// so zeroing segments never pays an encode per segment. The returned
+/// vector's capacity equals its length.
 pub(crate) fn splice(
     magic: u32,
     data: &[u8],
     edits: &[SegmentEdit<'_>],
-    mut encode_slice: impl FnMut(&[f64]) -> Result<Vec<u8>, CodecError>,
+    encode_slice: impl FnMut(&[f64], &mut Vec<u8>) -> Result<(), CodecError>,
 ) -> Result<Vec<u8>, CodecError> {
+    let mut scratch = crate::scratch::take_bytes();
+    let res = splice_into(magic, data, edits, encode_slice, &mut scratch);
+    let res = res.map(|()| {
+        let mut out = Vec::with_capacity(scratch.len());
+        out.extend_from_slice(&scratch);
+        out
+    });
+    crate::scratch::put_bytes(scratch);
+    res
+}
+
+/// [`splice`], *appending* the new stream to `out`. Replacement bodies are
+/// encoded straight onto the tail of `out`; untouched bodies are copied
+/// verbatim from `data`.
+pub(crate) fn splice_into(
+    magic: u32,
+    data: &[u8],
+    edits: &[SegmentEdit<'_>],
+    mut encode_slice: impl FnMut(&[f64], &mut Vec<u8>) -> Result<(), CodecError>,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
     let index = SegmentIndex::parse(data)?
         .ok_or_else(|| CodecError::Corrupt("not a segmented stream".into()))?;
-    let mut replacements: Vec<Option<Vec<u8>>> = vec![None; index.n_segs()];
-    // (slice length -> encoded body) for Zero edits; segments share one.
-    let mut zero_bodies: Vec<(usize, Vec<u8>)> = Vec::new();
-    let mut zeros: Vec<f64> = Vec::new();
+    // Last edit per segment wins, matching the historical splice order.
+    let mut pending: Vec<Option<&SegmentEdit<'_>>> = vec![None; index.n_segs()];
     for edit in edits {
         let seg = edit.seg();
         if seg >= index.n_segs() {
@@ -129,51 +193,57 @@ pub(crate) fn splice(
                 index.n_segs()
             )));
         }
-        let n = index.value_range(seg).len();
-        let body = match edit {
-            SegmentEdit::Replace { values, .. } => {
-                if values.len() != n {
-                    return Err(CodecError::InvalidParam(format!(
-                        "segment {seg}: {} replacement values, expected {n}",
-                        values.len()
-                    )));
-                }
-                encode_slice(values)?
+        if let SegmentEdit::Replace { values, .. } = edit {
+            let n = index.value_range(seg).len();
+            if values.len() != n {
+                return Err(CodecError::InvalidParam(format!(
+                    "segment {seg}: {} replacement values, expected {n}",
+                    values.len()
+                )));
             }
-            SegmentEdit::Zero { .. } => match zero_bodies.iter().find(|(len, _)| *len == n) {
-                Some((_, body)) => body.clone(),
-                None => {
-                    zeros.clear();
-                    zeros.resize(n, 0.0);
-                    let body = encode_slice(&zeros)?;
-                    zero_bodies.push((n, body.clone()));
-                    body
-                }
-            },
-        };
-        replacements[seg] = Some(body);
+        }
+        pending[seg] = Some(edit);
     }
 
-    let bodies: Vec<&[u8]> = (0..index.n_segs())
-        .map(|seg| match &replacements[seg] {
-            Some(body) => Ok(body.as_slice()),
-            None => data
-                .get(index.byte_range(seg))
-                .ok_or_else(|| CodecError::Corrupt(format!("segment {seg} body out of bounds"))),
-        })
-        .collect::<Result<_, _>>()?;
-    let total: usize = bodies.iter().map(|b| b.len()).sum();
-    let mut out = Vec::with_capacity(index.prefix_len() + total);
-    bytes::put_u32(&mut out, magic);
-    bytes::put_u64(&mut out, index.n_values as u64);
-    bytes::put_u32(&mut out, index.seg_values as u32);
-    bytes::put_u32(&mut out, bodies.len() as u32);
-    for body in &bodies {
-        bytes::put_u32(&mut out, body.len() as u32);
-        bytes::put_u64(&mut out, fnv1a(body));
+    // (slice length -> byte range of the encoded zero body within `out`)
+    // for Zero edits; segments of equal coverage share one encode.
+    let mut zero_bodies: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    let mut zeros = crate::scratch::take_f64s();
+    let base = out.len();
+    put_prefix(out, magic, index.n_values, index.seg_values, index.n_segs());
+    let mut splice_one = |seg: usize, out: &mut Vec<u8>| -> Result<(), CodecError> {
+        let body_start = out.len();
+        match pending[seg] {
+            Some(SegmentEdit::Replace { values, .. }) => encode_slice(values, out)?,
+            Some(SegmentEdit::Zero { .. }) => {
+                let n = index.value_range(seg).len();
+                match zero_bodies.iter().find(|(len, _)| *len == n) {
+                    Some((_, range)) => out.extend_from_within(range.clone()),
+                    None => {
+                        zeros.clear();
+                        zeros.resize(n, 0.0);
+                        encode_slice(&zeros, out)?;
+                        zero_bodies.push((n, body_start..out.len()));
+                    }
+                }
+            }
+            None => {
+                let body = data.get(index.byte_range(seg)).ok_or_else(|| {
+                    CodecError::Corrupt(format!("segment {seg} body out of bounds"))
+                })?;
+                out.extend_from_slice(body);
+            }
+        }
+        fill_entry(out, base, seg, body_start);
+        Ok(())
+    };
+    let mut res = Ok(());
+    for seg in 0..index.n_segs() {
+        res = splice_one(seg, out);
+        if res.is_err() {
+            break;
+        }
     }
-    for body in &bodies {
-        out.extend_from_slice(body);
-    }
-    Ok(out)
+    crate::scratch::put_f64s(zeros);
+    res
 }

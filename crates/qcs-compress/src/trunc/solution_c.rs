@@ -92,23 +92,49 @@ impl SolutionC {
         }
     }
 
-    /// Core encoder shared with Solution D.
+    /// Core encoder shared with Solution D. The returned vector's capacity
+    /// equals its length.
     pub(crate) fn encode_stream(&self, data: &[f64], m: u32) -> Vec<u8> {
+        let mut body = crate::scratch::take_bytes();
+        Self::encode_body(data, m, &mut body);
+        let out = qzstd::compress(&body, self.backend_level);
+        crate::scratch::put_bytes(body);
+        out
+    }
+
+    /// [`SolutionC::encode_stream`], *appending* the stream to `out`. The
+    /// intermediate body is staged through recycled per-thread scratch, so
+    /// steady-state encoding performs no heap allocation.
+    pub(crate) fn encode_stream_into(&self, data: &[f64], m: u32, out: &mut Vec<u8>) {
+        let mut body = crate::scratch::take_bytes();
+        Self::encode_body(data, m, &mut body);
+        qzstd::compress_into(&body, self.backend_level, out);
+        crate::scratch::put_bytes(body);
+    }
+
+    /// Build the pre-backend body: 2-bit lead codes (packed 4 per byte,
+    /// written in place into a region reserved up front), suffix bytes
+    /// (appended, length backfilled), and verbatim exceptions.
+    fn encode_body(data: &[f64], m: u32, body: &mut Vec<u8>) {
         // Number of significant most-significant bytes per value:
         // sign(1) + exponent(11) + m mantissa bits.
         let sig_bytes = ((12 + m) as usize).div_ceil(8);
+        let codes_len = data.len().div_ceil(4);
 
-        // 2-bit codes (packed 4 per byte), suffix bytes, exceptions. Both
-        // buffers are sized for their worst case up front — one packed
-        // code byte per 4 values, `sig_bytes` suffix bytes per value — so
-        // the hot loop never reallocates, even at lossless bounds where
-        // every value emits all eight suffix bytes.
-        let mut codes = Vec::with_capacity(data.len().div_ceil(4));
-        let mut suffix = Vec::with_capacity(data.len() * sig_bytes);
+        bytes::put_u32(body, MAGIC);
+        bytes::put_u64(body, data.len() as u64);
+        body.push(m as u8);
+        bytes::put_u64(body, codes_len as u64);
+        let codes_start = body.len();
+        // Reserve the packed-code region plus the worst-case suffix
+        // (`sig_bytes` per value) up front so the hot loop never grows.
+        body.reserve(codes_len + 8 + data.len() * sig_bytes);
+        body.resize(codes_start + codes_len, 0);
+        let suffix_len_at = body.len();
+        bytes::put_u64(body, 0); // suffix length, backfilled below
+        let suffix_start = body.len();
+
         let mut exceptions: Vec<(u64, u64)> = Vec::new();
-
-        let mut code_acc = 0u8;
-        let mut code_fill = 0u32;
         let mut prev = 0u64;
         for (i, &v) in data.iter().enumerate() {
             let raw = v.to_bits();
@@ -126,49 +152,47 @@ impl SolutionC {
             let lead = (x.leading_zeros() / 8) as usize;
             let c = (lead.min(6) / 2) as u8; // 0..=3
             let skip = (c as usize) * 2;
-            code_acc |= c << (code_fill * 2);
-            code_fill += 1;
-            if code_fill == 4 {
-                codes.push(code_acc);
-                code_acc = 0;
-                code_fill = 0;
-            }
+            body[codes_start + i / 4] |= c << ((i % 4) * 2);
             // Emit big-endian bytes skip..sig_bytes of the XOR value.
             for b in skip..sig_bytes {
-                suffix.push((x >> (56 - 8 * b)) as u8);
+                body.push((x >> (56 - 8 * b)) as u8);
             }
         }
-        if code_fill > 0 {
-            codes.push(code_acc);
-        }
+        let suffix_len = (body.len() - suffix_start) as u64;
+        body[suffix_len_at..suffix_len_at + 8].copy_from_slice(&suffix_len.to_le_bytes());
 
-        let mut body = Vec::with_capacity(16 + codes.len() + suffix.len());
-        bytes::put_u32(&mut body, MAGIC);
-        bytes::put_u64(&mut body, data.len() as u64);
-        body.push(m as u8);
-        bytes::put_u64(&mut body, codes.len() as u64);
-        body.extend_from_slice(&codes);
-        bytes::put_u64(&mut body, suffix.len() as u64);
-        body.extend_from_slice(&suffix);
-        bytes::put_u64(&mut body, exceptions.len() as u64);
+        bytes::put_u64(body, exceptions.len() as u64);
         for (idx, bits) in &exceptions {
-            bytes::put_u64(&mut body, *idx);
-            bytes::put_u64(&mut body, *bits);
+            bytes::put_u64(body, *idx);
+            bytes::put_u64(body, *bits);
         }
-        qzstd::compress(&body, self.backend_level)
     }
 
-    /// Core decoder shared with Solution D.
-    pub(crate) fn decode_stream(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
-        let body =
-            qzstd::decompress(data).map_err(|e| CodecError::Corrupt(format!("backend: {e}")))?;
+    /// Core decoder shared with Solution D, *appending* the values to
+    /// `out`. The decompressed body is staged through recycled per-thread
+    /// scratch.
+    pub(crate) fn decode_stream_into(
+        &self,
+        data: &[u8],
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
+        let mut body = crate::scratch::take_bytes();
+        let res = qzstd::decompress_into(data, &mut body)
+            .map_err(|e| CodecError::Corrupt(format!("backend: {e}")))
+            .and_then(|()| Self::decode_body(&body, out));
+        crate::scratch::put_bytes(body);
+        res
+    }
+
+    fn decode_body(body: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
+        let base = out.len();
         let mut pos = 0usize;
-        let magic = bytes::get_u32(&body, &mut pos)
+        let magic = bytes::get_u32(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
         if magic != MAGIC {
             return Err(CodecError::Corrupt("bad magic".into()));
         }
-        let n = bytes::get_u64(&body, &mut pos)
+        let n = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing count".into()))? as usize;
         let m = *body
             .get(pos)
@@ -180,14 +204,14 @@ impl SolutionC {
         }
         let sig_bytes = ((12 + m) as usize).div_ceil(8);
 
-        let codes_len = bytes::get_u64(&body, &mut pos)
+        let codes_len = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing codes len".into()))?
             as usize;
         let codes = body
             .get(pos..pos + codes_len)
             .ok_or_else(|| CodecError::Corrupt("truncated codes".into()))?;
         pos += codes_len;
-        let suffix_len = bytes::get_u64(&body, &mut pos)
+        let suffix_len = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing suffix len".into()))?
             as usize;
         let suffix = body
@@ -195,7 +219,7 @@ impl SolutionC {
             .ok_or_else(|| CodecError::Corrupt("truncated suffix".into()))?;
         pos += suffix_len;
 
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         let mut prev = 0u64;
         let mut s = 0usize;
         for i in 0..n {
@@ -218,20 +242,21 @@ impl SolutionC {
             out.push(f64::from_bits(t));
         }
 
-        let n_exc = bytes::get_u64(&body, &mut pos)
+        let n_exc = bytes::get_u64(body, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing exception count".into()))?
             as usize;
         for _ in 0..n_exc {
-            let idx = bytes::get_u64(&body, &mut pos)
+            let idx = bytes::get_u64(body, &mut pos)
                 .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?
                 as usize;
-            let bits = bytes::get_u64(&body, &mut pos)
+            let bits = bytes::get_u64(body, &mut pos)
                 .ok_or_else(|| CodecError::Corrupt("truncated exceptions".into()))?;
-            *out.get_mut(idx)
-                .ok_or_else(|| CodecError::Corrupt("exception index out of range".into()))? =
-                f64::from_bits(bits);
+            if idx >= n {
+                return Err(CodecError::Corrupt("exception index out of range".into()));
+            }
+            out[base + idx] = f64::from_bits(bits);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -243,20 +268,48 @@ impl Codec for SolutionC {
     fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
         let m = Self::mantissa_bits(bound)?;
         match self.segment_values {
-            Some(sv) => Ok(segmented::compress(SEG_MAGIC_C, data, sv, |slice| {
-                self.encode_stream(slice, m)
+            Some(sv) => Ok(segmented::compress(SEG_MAGIC_C, data, sv, |slice, out| {
+                self.encode_stream_into(slice, m, out)
             })),
             None => Ok(self.encode_stream(data, m)),
         }
     }
 
     fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let m = Self::mantissa_bits(bound)?;
+        out.clear();
+        match self.segment_values {
+            Some(sv) => segmented::compress_into(
+                SEG_MAGIC_C,
+                data,
+                sv,
+                |slice, out| self.encode_stream_into(slice, m, out),
+                out,
+            ),
+            None => self.encode_stream_into(data, m, out),
+        }
+        Ok(())
+    }
+
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
+        out.clear();
         // Format-driven dispatch: segmented streams carry their own magic;
         // anything else is the legacy whole-stream format.
         if SegmentIndex::parse(data)?.is_some() {
-            segmented::decompress(data, &|body| self.decode_stream(body))
+            segmented::decompress_into(data, &|body, out| self.decode_stream_into(body, out), out)
         } else {
-            self.decode_stream(data)
+            self.decode_stream_into(data, out)
         }
     }
 
@@ -285,7 +338,7 @@ impl PartialCodec for SolutionC {
         body: &[u8],
         out: &mut Vec<f64>,
     ) -> Result<(), CodecError> {
-        segmented::decode_segment(index, seg, body, &|b| self.decode_stream(b), out)
+        segmented::decode_segment(index, seg, body, &|b, o| self.decode_stream_into(b, o), out)
     }
 
     fn recompress_segments(
@@ -295,9 +348,31 @@ impl PartialCodec for SolutionC {
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CodecError> {
         let m = Self::mantissa_bits(bound)?;
-        segmented::splice(SEG_MAGIC_C, data, edits, |slice| {
-            Ok(self.encode_stream(slice, m))
+        segmented::splice(SEG_MAGIC_C, data, edits, |slice, out| {
+            self.encode_stream_into(slice, m, out);
+            Ok(())
         })
+    }
+
+    fn recompress_segments_into(
+        &self,
+        data: &[u8],
+        edits: &[SegmentEdit<'_>],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let m = Self::mantissa_bits(bound)?;
+        out.clear();
+        segmented::splice_into(
+            SEG_MAGIC_C,
+            data,
+            edits,
+            |slice, out| {
+                self.encode_stream_into(slice, m, out);
+                Ok(())
+            },
+            out,
+        )
     }
 }
 

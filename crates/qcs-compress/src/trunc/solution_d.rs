@@ -42,10 +42,26 @@ impl SolutionD {
 
     /// Encode one run of values as a legacy D body: even/odd reshuffle,
     /// then a Solution C stream per half. Used whole-stream and as the
-    /// per-segment body encoder of the segmented format.
+    /// per-segment body encoder of the segmented format. The returned
+    /// vector's capacity equals its length.
     fn encode_shuffled(&self, data: &[f64], m: u32) -> Vec<u8> {
-        let mut even = Vec::with_capacity(data.len().div_ceil(2));
-        let mut odd = Vec::with_capacity(data.len() / 2);
+        let mut scratch = crate::scratch::take_bytes();
+        self.encode_shuffled_into(data, m, &mut scratch);
+        let mut out = Vec::with_capacity(scratch.len());
+        out.extend_from_slice(&scratch);
+        crate::scratch::put_bytes(scratch);
+        out
+    }
+
+    /// [`Self::encode_shuffled`], *appending* the body to `out`. The half
+    /// streams are encoded straight onto the tail of `out` (their length
+    /// words backfilled), with the shuffled halves staged through recycled
+    /// per-thread scratch.
+    fn encode_shuffled_into(&self, data: &[f64], m: u32, out: &mut Vec<u8>) {
+        let mut even = crate::scratch::take_f64s();
+        let mut odd = crate::scratch::take_f64s();
+        even.reserve(data.len().div_ceil(2));
+        odd.reserve(data.len() / 2);
         for (i, &v) in data.iter().enumerate() {
             if i % 2 == 0 {
                 even.push(v);
@@ -53,19 +69,23 @@ impl SolutionD {
                 odd.push(v);
             }
         }
-        let e = self.inner.encode_stream(&even, m);
-        let o = self.inner.encode_stream(&odd, m);
-        let mut out = Vec::with_capacity(e.len() + o.len() + 20);
-        bytes::put_u32(&mut out, MAGIC);
-        bytes::put_u64(&mut out, e.len() as u64);
-        out.extend_from_slice(&e);
-        bytes::put_u64(&mut out, o.len() as u64);
-        out.extend_from_slice(&o);
-        out
+        bytes::put_u32(out, MAGIC);
+        for half in [&even, &odd] {
+            let len_at = out.len();
+            bytes::put_u64(out, 0); // stream length, backfilled below
+            let start = out.len();
+            self.inner.encode_stream_into(half, m, out);
+            let len = (out.len() - start) as u64;
+            out[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+        }
+        crate::scratch::put_f64s(odd);
+        crate::scratch::put_f64s(even);
     }
 
-    /// Decode one legacy D body (the inverse of [`Self::encode_shuffled`]).
-    fn decode_shuffled(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+    /// Decode one legacy D body (the inverse of [`Self::encode_shuffled`]),
+    /// *appending* the values to `out`. The half streams are staged through
+    /// recycled per-thread scratch before interleaving.
+    fn decode_shuffled_into(&self, data: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
         let mut pos = 0usize;
         let magic = bytes::get_u32(data, &mut pos)
             .ok_or_else(|| CodecError::Corrupt("missing magic".into()))?;
@@ -86,23 +106,32 @@ impl SolutionD {
             .get(pos..pos.saturating_add(o_len))
             .ok_or_else(|| CodecError::Corrupt("truncated odd stream".into()))?;
 
-        let even = self.inner.decompress(e_bytes)?;
-        let odd = self.inner.decompress(o_bytes)?;
-        if even.len() < odd.len() || even.len() > odd.len() + 1 {
-            return Err(CodecError::Corrupt(format!(
-                "inconsistent stream lengths: {} even, {} odd",
-                even.len(),
-                odd.len()
-            )));
-        }
-        let mut out = Vec::with_capacity(even.len() + odd.len());
-        for i in 0..even.len() {
-            out.push(even[i]);
-            if i < odd.len() {
-                out.push(odd[i]);
-            }
-        }
-        Ok(out)
+        let mut even = crate::scratch::take_f64s();
+        let mut odd = crate::scratch::take_f64s();
+        let res = self
+            .inner
+            .decode_stream_into(e_bytes, &mut even)
+            .and_then(|()| self.inner.decode_stream_into(o_bytes, &mut odd))
+            .and_then(|()| {
+                if even.len() < odd.len() || even.len() > odd.len() + 1 {
+                    return Err(CodecError::Corrupt(format!(
+                        "inconsistent stream lengths: {} even, {} odd",
+                        even.len(),
+                        odd.len()
+                    )));
+                }
+                out.reserve(even.len() + odd.len());
+                for i in 0..even.len() {
+                    out.push(even[i]);
+                    if i < odd.len() {
+                        out.push(odd[i]);
+                    }
+                }
+                Ok(())
+            });
+        crate::scratch::put_f64s(odd);
+        crate::scratch::put_f64s(even);
+        res
     }
 }
 
@@ -116,20 +145,48 @@ impl Codec for SolutionD {
     fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Vec<u8>, CodecError> {
         let m = SolutionC::mantissa_bits(bound)?;
         match self.inner.segment_values {
-            Some(sv) => Ok(segmented::compress(SEG_MAGIC_D, data, sv, |slice| {
-                self.encode_shuffled(slice, m)
+            Some(sv) => Ok(segmented::compress(SEG_MAGIC_D, data, sv, |slice, out| {
+                self.encode_shuffled_into(slice, m, out)
             })),
             None => Ok(self.encode_shuffled(data, m)),
         }
     }
 
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let m = SolutionC::mantissa_bits(bound)?;
+        out.clear();
+        match self.inner.segment_values {
+            Some(sv) => segmented::compress_into(
+                SEG_MAGIC_D,
+                data,
+                sv,
+                |slice, out| self.encode_shuffled_into(slice, m, out),
+                out,
+            ),
+            None => self.encode_shuffled_into(data, m, out),
+        }
+        Ok(())
+    }
+
     fn decompress(&self, data: &[u8]) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<f64>) -> Result<(), CodecError> {
         // Format-driven dispatch: segmented streams carry their own magic;
         // anything else is the legacy whole-stream format.
+        out.clear();
         if SegmentIndex::parse(data)?.is_some() {
-            segmented::decompress(data, &|body| self.decode_shuffled(body))
+            segmented::decompress_into(data, &|body, out| self.decode_shuffled_into(body, out), out)
         } else {
-            self.decode_shuffled(data)
+            self.decode_shuffled_into(data, out)
         }
     }
 
@@ -158,7 +215,13 @@ impl PartialCodec for SolutionD {
         body: &[u8],
         out: &mut Vec<f64>,
     ) -> Result<(), CodecError> {
-        segmented::decode_segment(index, seg, body, &|b| self.decode_shuffled(b), out)
+        segmented::decode_segment(
+            index,
+            seg,
+            body,
+            &|b, o| self.decode_shuffled_into(b, o),
+            out,
+        )
     }
 
     fn recompress_segments(
@@ -168,9 +231,31 @@ impl PartialCodec for SolutionD {
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CodecError> {
         let m = SolutionC::mantissa_bits(bound)?;
-        segmented::splice(SEG_MAGIC_D, data, edits, |slice| {
-            Ok(self.encode_shuffled(slice, m))
+        segmented::splice(SEG_MAGIC_D, data, edits, |slice, out| {
+            self.encode_shuffled_into(slice, m, out);
+            Ok(())
         })
+    }
+
+    fn recompress_segments_into(
+        &self,
+        data: &[u8],
+        edits: &[SegmentEdit<'_>],
+        bound: ErrorBound,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let m = SolutionC::mantissa_bits(bound)?;
+        out.clear();
+        segmented::splice_into(
+            SEG_MAGIC_D,
+            data,
+            edits,
+            |slice, out| {
+                self.encode_shuffled_into(slice, m, out);
+                Ok(())
+            },
+            out,
+        )
     }
 }
 

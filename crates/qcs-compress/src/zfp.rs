@@ -204,7 +204,7 @@ impl Codec for ZfpLike {
                 let payload = self.encode_abs(data, e);
                 let mut out = header(MODE_ABS, data.len(), e);
                 out.extend_from_slice(&payload);
-                Ok(out)
+                Ok(crate::codec::exact(out))
             }
             ErrorBound::PointwiseRelative(eps) if eps > 0.0 && eps < 1.0 => {
                 // Log-domain preprocessing (paper §4.1): compress ln|x| with
@@ -231,7 +231,7 @@ impl Codec for ZfpLike {
                 out.extend_from_slice(&signs);
                 out.extend_from_slice(&zeros);
                 out.extend_from_slice(&payload);
-                Ok(out)
+                Ok(crate::codec::exact(out))
             }
             ErrorBound::Lossless => Err(CodecError::UnsupportedBound(
                 "zfp-like codec is fixed-accuracy only",

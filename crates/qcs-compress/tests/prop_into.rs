@@ -1,0 +1,146 @@
+//! Property suite for the allocation-free `*_into` codec API: for every
+//! codec and every bound mode it supports, `compress_into` and
+//! `decompress_into` must be bit-identical to the allocating `compress` /
+//! `decompress` — including when the output buffer is reused dirty,
+//! oversized, or undersized across calls — and every allocating `compress`
+//! must return a vector whose capacity equals its length (so the
+//! `Vec<u8> -> Arc<[u8]>` conversion in the engine never reallocates).
+
+use proptest::prelude::*;
+use qcs_compress::{CodecId, ErrorBound, SegmentEdit};
+
+/// Random amplitude blocks spanning many decades, with zero stretches.
+fn amplitude_block() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (-1.0f64..1.0).prop_map(|v| v * 1e-2),
+            3 => (-1.0f64..1.0).prop_map(|v| v * 1e-6),
+            2 => (-1.0f64..1.0).prop_map(|v| v * 1e-12),
+            2 => Just(0.0f64),
+            1 => -1.0f64..1.0,
+        ],
+        1..800,
+    )
+}
+
+/// Every bound mode the codec zoo spans; each codec opts in via
+/// `Codec::supports`.
+const BOUNDS: [ErrorBound; 4] = [
+    ErrorBound::Lossless,
+    ErrorBound::Absolute(1e-6),
+    ErrorBound::PointwiseRelative(1e-3),
+    ErrorBound::PointwiseRelative(1e-6),
+];
+
+fn assert_same_values(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // compress_into == compress, byte for byte, for every codec x bound,
+    // with the output buffer reused dirty, oversized, and undersized.
+    #[test]
+    fn compress_into_bit_identical_across_buffer_reuse(
+        data in amplitude_block(),
+        bound_sel in 0usize..BOUNDS.len(),
+    ) {
+        let bound = BOUNDS[bound_sel];
+        for id in CodecId::ALL {
+            let codec = id.build();
+            if !codec.supports(bound) {
+                continue;
+            }
+            let plain = codec.compress(&data, bound).unwrap();
+            prop_assert_eq!(plain.capacity(), plain.len());
+
+            // Dirty, undersized buffer.
+            let mut out = vec![0xEEu8; 3];
+            codec.compress_into(&data, bound, &mut out).unwrap();
+            prop_assert_eq!(&out[..], &plain[..]);
+
+            // Same buffer again: now dirty with the previous result.
+            codec.compress_into(&data, bound, &mut out).unwrap();
+            prop_assert_eq!(&out[..], &plain[..]);
+
+            // Oversized buffer with stale garbage beyond the result.
+            let mut big = vec![0x55u8; plain.len() + 777];
+            codec.compress_into(&data, bound, &mut big).unwrap();
+            prop_assert_eq!(&big[..], &plain[..]);
+        }
+    }
+
+    // decompress_into == decompress, bit for bit, under the same reuse
+    // patterns.
+    #[test]
+    fn decompress_into_bit_identical_across_buffer_reuse(
+        data in amplitude_block(),
+        bound_sel in 0usize..BOUNDS.len(),
+    ) {
+        let bound = BOUNDS[bound_sel];
+        for id in CodecId::ALL {
+            let codec = id.build();
+            if !codec.supports(bound) {
+                continue;
+            }
+            let enc = codec.compress(&data, bound).unwrap();
+            let plain = codec.decompress(&enc).unwrap();
+
+            // Dirty, undersized buffer.
+            let mut out = vec![f64::NAN; 2];
+            codec.decompress_into(&enc, &mut out).unwrap();
+            assert_same_values(&plain, &out)?;
+
+            // Same buffer again (dirty with the previous result).
+            codec.decompress_into(&enc, &mut out).unwrap();
+            assert_same_values(&plain, &out)?;
+
+            // Oversized dirty buffer.
+            let mut big = vec![9.25f64; plain.len() + 123];
+            codec.decompress_into(&enc, &mut big).unwrap();
+            assert_same_values(&plain, &big)?;
+        }
+    }
+
+    // recompress_segments_into == recompress_segments for the partial
+    // codecs, with a dirty reused buffer, and the edited stream decodes
+    // through decompress_into identically to decompress.
+    #[test]
+    fn recompress_segments_into_bit_identical(
+        data in amplitude_block(),
+        zero_first in any::<bool>(),
+    ) {
+        let bound = ErrorBound::PointwiseRelative(1e-4);
+        for id in [CodecId::SolutionC, CodecId::SolutionD] {
+            let codec = id.build();
+            let partial = codec.as_partial().expect("solutions C/D are partial");
+            let enc = codec.compress(&data, bound).unwrap();
+            let replacement: Vec<f64> = data
+                .iter()
+                .take(partial.segment_values().unwrap().min(data.len()))
+                .map(|v| v * 0.5)
+                .collect();
+            let edits = [
+                SegmentEdit::Replace { seg: 0, values: &replacement },
+                SegmentEdit::Zero { seg: 0 },
+            ];
+            let edits = if zero_first { [edits[1], edits[0]] } else { [edits[0], edits[1]] };
+            let plain = partial.recompress_segments(&enc, &edits, bound).unwrap();
+            let mut out = vec![0xEEu8; 5];
+            partial
+                .recompress_segments_into(&enc, &edits, bound, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out[..], &plain[..]);
+
+            let full = codec.decompress(&plain).unwrap();
+            let mut dec = vec![f64::NAN; 1];
+            codec.decompress_into(&out, &mut dec).unwrap();
+            assert_same_values(&full, &dec)?;
+        }
+    }
+}

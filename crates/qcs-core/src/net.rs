@@ -276,6 +276,9 @@ pub(crate) fn put_breakdown(buf: &mut Vec<u8>, b: &TimeBreakdown) {
         b.segments_full,
         b.segment_bytes_read,
         b.segment_bytes_full,
+        b.codec_allocs,
+        b.codec_bytes_alloc,
+        b.scratch_reuse_hits,
     ] {
         put_u64(buf, v);
     }
@@ -312,6 +315,9 @@ pub(crate) fn take_breakdown(cur: &mut Cursor) -> Result<TimeBreakdown, NetError
         segments_full: cur.take_u64()?,
         segment_bytes_read: cur.take_u64()?,
         segment_bytes_full: cur.take_u64()?,
+        codec_allocs: cur.take_u64()?,
+        codec_bytes_alloc: cur.take_u64()?,
+        scratch_reuse_hits: cur.take_u64()?,
     })
 }
 
@@ -1066,6 +1072,10 @@ fn build_worker(
         ));
     }
     let codec = Arc::new(BlockCodec::new(hello.lossy_codec));
+    codec.prewarm(
+        hello.layout.block_amps() * 2,
+        (4 * rayon::current_num_threads() + 4).min(32),
+    );
     let cache = Arc::new(BlockCache::new(
         hello.cache_lines,
         hello.cache_auto_disable_after,

@@ -41,6 +41,7 @@ use crate::worker::BatchPlan;
 use qcs_compress::{CodecError, ErrorBound, PartialCodec, SegmentEdit, SegmentIndex};
 use qcs_statevec::{Complex64, Gate1};
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters of one partial block operation, folded into
@@ -219,8 +220,11 @@ fn segmented_view<'a>(
 
 /// Decode each segment in `segs`, run `transform` over it (with its base
 /// amplitude offset), and splice the re-encoded bodies back into the
-/// stream.
+/// stream. Segment scratch and the spliced output come from the codec's
+/// buffer pool, so a steady-state partial wave allocates nothing.
+#[allow(clippy::too_many_arguments)]
 fn rewrite_segments(
+    codec: &BlockCodec,
     p: &dyn PartialCodec,
     blk: &CompressedBlock,
     index: &SegmentIndex,
@@ -236,7 +240,7 @@ fn rewrite_segments(
             .bytes
             .get(index.byte_range(s))
             .ok_or_else(|| CodecError::Corrupt(format!("segment {s} body out of bounds")))?;
-        let mut vals = Vec::with_capacity(index.value_range(s).len());
+        let mut vals = codec.take_amp_buf();
         p.decompress_segment(index, s, body, &mut vals)?;
         decoded.push(vals);
     }
@@ -257,15 +261,24 @@ fn rewrite_segments(
             values: vals,
         })
         .collect();
-    let bytes = p.recompress_segments(&blk.bytes, &edits, bound)?;
+    let mut out = codec.take_byte_buf();
+    let cap_before = out.capacity();
+    p.recompress_segments_into(&blk.bytes, &edits, bound, &mut out)?;
+    codec.note_growth(cap_before, out.capacity(), 1);
+    let bytes: Arc<[u8]> = Arc::from(&out[..]);
     let compress = t.elapsed();
+    drop(edits);
+    codec.put_byte_buf(out);
+    for vals in decoded {
+        codec.put_amp_buf(vals);
+    }
 
     let stats = partial_stats(index, segs, blk.bytes.len());
     Ok(PartialOp {
         block: CompressedBlock {
             codec: blk.codec,
             bound,
-            bytes: bytes.into(),
+            bytes,
         },
         stats,
         decompress,
@@ -310,9 +323,16 @@ pub(crate) fn partial_gate(
     let Some(segs) = touched_segments(&index, sa_bits, touch) else {
         return Ok(None);
     };
-    rewrite_segments(p, blk, &index, sa_bits, &segs, bound, |base, vals| {
-        apply_diagonal_at(vals, base, offset_bit, gate, cmask)
-    })
+    rewrite_segments(
+        codec,
+        p,
+        blk,
+        &index,
+        sa_bits,
+        &segs,
+        bound,
+        |base, vals| apply_diagonal_at(vals, base, offset_bit, gate, cmask),
+    )
     .map(Some)
 }
 
@@ -350,11 +370,20 @@ pub(crate) fn partial_batch(
     if segs.len() * 2 > index.n_segs() {
         return Ok(None);
     }
-    rewrite_segments(p, blk, &index, sa_bits, &segs, bound, |base, vals| {
-        for plan in &firing {
-            apply_diagonal_at(vals, base, plan.offset_bit, &plan.gate, plan.offset_cmask);
-        }
-    })
+    rewrite_segments(
+        codec,
+        p,
+        blk,
+        &index,
+        sa_bits,
+        &segs,
+        bound,
+        |base, vals| {
+            for plan in &firing {
+                apply_diagonal_at(vals, base, plan.offset_bit, &plan.gate, plan.offset_cmask);
+            }
+        },
+    )
     .map(Some)
 }
 
@@ -387,7 +416,7 @@ pub(crate) fn partial_collapse(
             .bytes
             .get(index.byte_range(s))
             .ok_or_else(|| CodecError::Corrupt(format!("segment {s} body out of bounds")))?;
-        let mut vals = Vec::with_capacity(index.value_range(s).len());
+        let mut vals = codec.take_amp_buf();
         p.decompress_segment(&index, s, body, &mut vals)?;
         decoded.push(vals);
     }
@@ -415,15 +444,24 @@ pub(crate) fn partial_collapse(
             edits.push(SegmentEdit::Zero { seg: s });
         }
     }
-    let bytes = p.recompress_segments(&blk.bytes, &edits, bound)?;
+    let mut out = codec.take_byte_buf();
+    let cap_before = out.capacity();
+    p.recompress_segments_into(&blk.bytes, &edits, bound, &mut out)?;
+    codec.note_growth(cap_before, out.capacity(), 1);
+    let bytes: Arc<[u8]> = Arc::from(&out[..]);
     let compress = t.elapsed();
+    drop(edits);
+    codec.put_byte_buf(out);
+    for vals in decoded {
+        codec.put_amp_buf(vals);
+    }
 
     let stats = partial_stats(&index, &kept_segs, blk.bytes.len());
     Ok(Some(PartialOp {
         block: CompressedBlock {
             codec: blk.codec,
             bound,
-            bytes: bytes.into(),
+            bytes,
         },
         stats,
         decompress,

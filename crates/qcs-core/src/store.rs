@@ -93,7 +93,7 @@ use qcs_compress::frame;
 use qcs_compress::{CodecId, ErrorBound, SegmentIndex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::File;
-use std::io::{Seek, SeekFrom};
+use std::io::{Seek, SeekFrom, Write};
 use std::ops::Range;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
@@ -617,6 +617,9 @@ struct Shard {
     live: u64,
     /// Bytes of superseded frames awaiting compaction.
     dead: u64,
+    /// Recycled frame-encode buffer: synchronous appends stage the whole
+    /// frame here and land it with one write instead of seven.
+    scratch: Vec<u8>,
 }
 
 /// Test-only fault plan for the write-behind path: makes the writer's
@@ -683,6 +686,10 @@ struct SpillInner {
     run_cap: usize,
     /// Test-only fault injection for the writer thread.
     fault: WriteFault,
+    /// Recycled write-behind run buffers (bounded by the writer count):
+    /// each drain encodes its whole run into one of these and lands it
+    /// with a single positional write.
+    wb_bufs: Vec<Vec<u8>>,
 }
 
 /// State shared between a [`SpillStore`] and its background I/O threads.
@@ -856,6 +863,7 @@ impl SpillStore {
                 end: 0,
                 live: 0,
                 dead: 0,
+                scratch: Vec::new(),
             });
         }
         let path = shards[0].path.clone();
@@ -883,6 +891,7 @@ impl SpillStore {
                 spill_seq: 0,
                 run_cap: cap.max(1),
                 fault: WriteFault::default(),
+                wb_bufs: Vec::new(),
             }),
             resolved: Condvar::new(),
             fetch_work: Condvar::new(),
@@ -999,8 +1008,16 @@ impl SpillStore {
             .file
             .seek(SeekFrom::Start(offset))
             .map_err(|e| io_err("seek for spill", e))?;
-        let frame_len = frame::write_frame(&mut shard.file, blk.codec, blk.bound, &blk.bytes)
-            .map_err(|e| io_err("write spill frame", e))? as u64;
+        // Stage the frame in the shard's recycled scratch so the append is
+        // one write syscall and steady-state spills reuse its capacity.
+        shard.scratch.clear();
+        frame::encode_frame_into(blk.codec, blk.bound, &blk.bytes, &mut shard.scratch)
+            .map_err(|e| io_err("write spill frame", e))?;
+        let frame_len = shard.scratch.len() as u64;
+        shard
+            .file
+            .write_all(&shard.scratch)
+            .map_err(|e| io_err("write spill frame", e))?;
         shard.end += frame_len;
         Ok((offset, frame_len as u32))
     }
@@ -1144,6 +1161,7 @@ impl SpillStore {
             // (slot, new offset) moves, applied only once the swap landed.
             let mut moves = Vec::new();
             let mut new_end = 0u64;
+            let mut scratch = Vec::new();
             for i in 0..inner.slots.len() {
                 if let Slot::Spilled {
                     shard,
@@ -1156,7 +1174,10 @@ impl SpillStore {
                         continue;
                     }
                     let blk = Self::read_frame_at(&mut inner.shards[si], offset)?;
-                    frame::write_frame(&mut tmp, blk.codec, blk.bound, &blk.bytes)
+                    scratch.clear();
+                    frame::encode_frame_into(blk.codec, blk.bound, &blk.bytes, &mut scratch)
+                        .map_err(|e| io_err("rewrite spill frame", e))?;
+                    tmp.write_all(&scratch)
                         .map_err(|e| io_err("rewrite spill frame", e))?;
                     moves.push((i, new_end));
                     new_end += frame_len as u64;
@@ -2033,6 +2054,7 @@ fn run_writer(shared: &Shared, metrics: &Metrics) {
             .sum();
         inner.shards[shard_idx].end = base + total;
         inner.writers_busy += 1;
+        let mut buf = inner.wb_bufs.pop().unwrap_or_default();
         drop(inner);
         let mut busy = BusyGuard {
             shared,
@@ -2043,10 +2065,11 @@ fn run_writer(shared: &Shared, metrics: &Metrics) {
             panic!("injected write-behind panic");
         }
         let t = Instant::now();
-        // Encode the whole run into one buffer and land it with a single
-        // positional write into the reserved extent (all-or-nothing: a
-        // failed run leaves only dead reserved bytes, never torn frames).
-        let mut buf: Vec<u8> = Vec::with_capacity(total as usize);
+        // Encode the whole run into one recycled buffer and land it with a
+        // single positional write into the reserved extent (all-or-nothing:
+        // a failed run leaves only dead reserved bytes, never torn frames).
+        buf.clear();
+        buf.reserve(total as usize);
         // (slot, generation, offset, frame_len) encoded so far.
         let mut written: Vec<(usize, u64, u64, u32)> = Vec::new();
         let mut result: Result<(), String> = if fault.fail {
@@ -2081,6 +2104,10 @@ fn run_writer(shared: &Shared, metrics: &Metrics) {
 
         let mut inner = shared.lock();
         inner.writers_busy -= 1;
+        if inner.wb_bufs.len() < MAX_IO_THREADS {
+            buf.clear();
+            inner.wb_bufs.push(buf);
+        }
         busy.armed = false;
         // Commit the landed run: adopt frames whose slot is still dirty
         // at the same generation; anything re-taken (or re-evicted at a

@@ -363,7 +363,7 @@ impl exec::Worker for RankWorker {
     type Resp = Result<WorkerOut, SimError>;
 
     fn handle(&mut self, cmd: WorkerCmd) -> Result<WorkerOut, SimError> {
-        match cmd {
+        let out = match cmd {
             WorkerCmd::Gate(g) => self.apply_gate(&g).map(WorkerOut::Wave),
             WorkerCmd::Exchange(x) => self.exchange(x).map(WorkerOut::Wave),
             WorkerCmd::Batch(b) => self.apply_batch(&b).map(WorkerOut::Wave),
@@ -377,7 +377,15 @@ impl exec::Worker for RankWorker {
                 .map(WorkerOut::Wave),
             WorkerCmd::Recompress { bound } => self.recompress_all(bound).map(WorkerOut::Wave),
             other => self.query(other),
-        }
+        };
+        // Drain the codec's scratch counters into the metrics sink after
+        // every command so remote daemons ship them in the per-command
+        // delta; `take` swaps to zero, so shared-codec ranks never double
+        // count.
+        let c = self.codec.take_counters();
+        self.metrics
+            .add_codec_counters(c.codec_allocs, c.codec_bytes_alloc, c.scratch_reuse_hits);
+        out
     }
 }
 
@@ -517,7 +525,6 @@ impl RankWorker {
         cmd: &GateCmd,
     ) -> Result<WaveOut, SimError> {
         let bound = cmd.bound;
-        let block_f64s = self.layout.block_amps() * 2;
         let blocks_per_unit = if matches!(kernel, Kernel::Cross) {
             2
         } else {
@@ -539,8 +546,6 @@ impl RankWorker {
             self.announce_plan(&wave_slots, lookahead);
         }
         let mut lossy = false;
-        let mut buf_a = Vec::with_capacity(block_f64s);
-        let mut buf_b = Vec::with_capacity(block_f64s);
         let mut cursor = PlanCursor::new(slots, chunk_len);
         while let Some(chunk) = cursor.next_chunk() {
             let mut flat = Vec::with_capacity(chunk.len() * blocks_per_unit);
@@ -573,8 +578,6 @@ impl RankWorker {
                             cmd.signature,
                             bound,
                             unit,
-                            &mut buf_a,
-                            &mut buf_b,
                             true,
                             self.partial,
                         )
@@ -586,34 +589,25 @@ impl RankWorker {
                 let g = cmd.gate;
                 let (offset_cmask, signature) = (cmd.offset_cmask, cmd.signature);
                 let partial = self.partial;
+                // Per-worker scratch — the two decompressed blocks the paper
+                // holds in MCDRAM (§3.2) — comes from the codec's buffer
+                // pool inside `process_one`.
                 units
                     .into_par_iter()
-                    .map_init(
-                        // Per-worker scratch: the two decompressed blocks the
-                        // paper holds in MCDRAM (§3.2).
-                        || {
-                            (
-                                Vec::with_capacity(block_f64s),
-                                Vec::with_capacity(block_f64s),
-                            )
-                        },
-                        |(buf_a, buf_b), unit| {
-                            process_one(
-                                &codec,
-                                &cache,
-                                &g,
-                                kernel,
-                                offset_cmask,
-                                signature,
-                                bound,
-                                unit,
-                                buf_a,
-                                buf_b,
-                                false,
-                                partial,
-                            )
-                        },
-                    )
+                    .map(|unit| {
+                        process_one(
+                            &codec,
+                            &cache,
+                            &g,
+                            kernel,
+                            offset_cmask,
+                            signature,
+                            bound,
+                            unit,
+                            false,
+                            partial,
+                        )
+                    })
                     .collect()
             };
             for out in results? {
@@ -715,9 +709,6 @@ impl RankWorker {
         // stage them ahead so those takes ride the background fetcher
         // instead of blocking between pair updates.
         self.store.prefetch(&sel);
-        let block_f64s = self.layout.block_amps() * 2;
-        let mut buf_a = Vec::with_capacity(block_f64s);
-        let mut buf_b = Vec::with_capacity(block_f64s);
         let mut lossy = false;
         let mut comm_bytes = 0u64;
         for &b in &sel {
@@ -745,8 +736,6 @@ impl RankWorker {
                 cmd.signature,
                 cmd.bound,
                 unit,
-                &mut buf_a,
-                &mut buf_b,
                 sel.len() == 1,
                 false,
             )?;
@@ -786,7 +775,6 @@ impl RankWorker {
         }
 
         let bound = cmd.bound;
-        let block_f64s = self.layout.block_amps() * 2;
         let chunk_len = self.flight_budget();
         let unit_slots = |&(slot, _): &(usize, u64), out: &mut Vec<usize>| out.push(slot);
         let lookahead = cmd.lookahead.as_ref().map(|v| v.as_slice());
@@ -795,7 +783,6 @@ impl RankWorker {
             self.announce_plan(&wave_slots, lookahead);
         }
         let mut lossy = false;
-        let mut seq_buf = Vec::with_capacity(block_f64s);
         let mut cursor = PlanCursor::new(&selections, chunk_len);
         while let Some(chunk) = cursor.next_chunk() {
             let flat: Vec<usize> = chunk.iter().map(|&(slot, _)| slot).collect();
@@ -817,7 +804,6 @@ impl RankWorker {
                             cmd.signature,
                             bound,
                             unit,
-                            &mut seq_buf,
                             true,
                             self.partial,
                         )
@@ -831,14 +817,11 @@ impl RankWorker {
                 let partial = self.partial;
                 units
                     .into_par_iter()
-                    .map_init(
-                        || Vec::with_capacity(block_f64s),
-                        |buf, unit| {
-                            process_batch_unit(
-                                &codec, &cache, &plans, signature, bound, unit, buf, false, partial,
-                            )
-                        },
-                    )
+                    .map(|unit| {
+                        process_batch_unit(
+                            &codec, &cache, &plans, signature, bound, unit, false, partial,
+                        )
+                    })
                     .collect()
             };
             for out in results? {
@@ -910,7 +893,7 @@ impl RankWorker {
                     }
                 }
             }
-            let mut buf = Vec::new();
+            let mut buf = codec.take_amp_buf();
             codec.decompress(blk, &mut buf)?;
             match scope {
                 ControlScope::InBlock { offset_bit } => {
@@ -940,7 +923,9 @@ impl RankWorker {
                     }
                 }
             }
-            Ok(codec.compress(&buf, bound)?)
+            let out = codec.compress_pooled(&buf, bound)?;
+            codec.put_amp_buf(buf);
+            Ok(out)
         })?;
         Ok(self.wave_out(bound.is_lossy(), 0))
     }
@@ -948,9 +933,11 @@ impl RankWorker {
     fn recompress_all(&mut self, bound: ErrorBound) -> Result<WaveOut, SimError> {
         let codec = Arc::clone(&self.codec);
         self.rewrite_blocks(|_, blk| {
-            let mut buf = Vec::new();
+            let mut buf = codec.take_amp_buf();
             codec.decompress(blk, &mut buf)?;
-            Ok(codec.compress(&buf, bound)?)
+            let out = codec.compress_pooled(&buf, bound)?;
+            codec.put_amp_buf(buf);
+            Ok(out)
         })?;
         Ok(self.wave_out(bound.is_lossy(), 0))
     }
@@ -1002,7 +989,7 @@ impl RankWorker {
             if selected_whole == Some(false) {
                 return Ok(0.0);
             }
-            let mut buf = Vec::new();
+            let mut buf = codec.take_amp_buf();
             codec.decompress(blk, &mut buf)?;
             let sum = match scope {
                 ControlScope::InBlock { offset_bit } => {
@@ -1014,6 +1001,7 @@ impl RankWorker {
                 }
                 _ => buf.iter().map(|v| v * v).sum(),
             };
+            codec.put_amp_buf(buf);
             Ok(sum)
         })?;
         Ok(sums.into_iter().sum())
@@ -1166,12 +1154,14 @@ impl RankWorker {
         }
 
         // Whole-block fallback (lossless blocks, foreign streams).
-        let mut buf = Vec::new();
+        let mut buf = self.codec.take_amp_buf();
         self.codec.decompress(&blk, &mut buf)?;
-        Ok((0..buf.len() / 2)
+        let sum = (0..buf.len() / 2)
             .filter(|o| o & bit != 0)
             .map(|o| buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1])
-            .sum())
+            .sum();
+        self.codec.put_amp_buf(buf);
+        Ok(sum)
     }
 
     fn norm_sqr(&self) -> Result<f64, SimError> {
@@ -1183,9 +1173,11 @@ impl RankWorker {
     fn weights(&self) -> Result<Vec<f64>, SimError> {
         let codec = Arc::clone(&self.codec);
         self.map_blocks(|_, blk| {
-            let mut buf = Vec::new();
+            let mut buf = codec.take_amp_buf();
             codec.decompress(blk, &mut buf)?;
-            Ok(buf.iter().map(|v| v * v).sum())
+            let sum = buf.iter().map(|v| v * v).sum();
+            codec.put_amp_buf(buf);
+            Ok(sum)
         })
     }
 
@@ -1195,7 +1187,7 @@ impl RankWorker {
         let codec = Arc::clone(&self.codec);
         let terms = self.map_blocks(|bidx, blk| {
             let base = layout.join(rank, bidx, 0);
-            let mut buf = Vec::new();
+            let mut buf = codec.take_amp_buf();
             codec.decompress(blk, &mut buf)?;
             let mut acc = 0.0;
             for o in 0..buf.len() / 2 {
@@ -1204,6 +1196,7 @@ impl RankWorker {
                 let w = buf[2 * o] * buf[2 * o] + buf[2 * o + 1] * buf[2 * o + 1];
                 acc += if parity == 0 { w } else { -w };
             }
+            codec.put_amp_buf(buf);
             Ok(acc)
         })?;
         Ok(terms.into_iter().sum())
@@ -1270,8 +1263,6 @@ fn process_one(
     op_signature: u64,
     bound: ErrorBound,
     unit: Unit,
-    buf_a: &mut Vec<f64>,
-    buf_b: &mut Vec<f64>,
     wide: bool,
     partial: bool,
 ) -> Result<UnitOut, SimError> {
@@ -1318,11 +1309,14 @@ fn process_one(
         }
     }
 
-    // Decompress (into the MCDRAM-modeled scratch).
+    // Decompress (into the MCDRAM-modeled scratch, pooled so steady-state
+    // waves recycle warm buffers instead of allocating per block).
     let t = Instant::now();
-    codec.decompress(&unit.in_a, buf_a)?;
+    let mut buf_a = codec.take_amp_buf();
+    let mut buf_b = codec.take_amp_buf();
+    codec.decompress(&unit.in_a, &mut buf_a)?;
     if let Some(in_b) = &unit.in_b {
-        codec.decompress(in_b, buf_b)?;
+        codec.decompress(in_b, &mut buf_b)?;
     }
     timings[1] += t.elapsed();
 
@@ -1330,23 +1324,25 @@ fn process_one(
     let t = Instant::now();
     match kernel {
         Kernel::InBlock { offset_bit } => {
-            run_in_block_kernel(buf_a, offset_bit, gate, offset_cmask, wide);
+            run_in_block_kernel(&mut buf_a, offset_bit, gate, offset_cmask, wide);
         }
         Kernel::Cross => {
-            kernels::apply_cross(buf_a, buf_b, gate, offset_cmask);
+            kernels::apply_cross(&mut buf_a, &mut buf_b, gate, offset_cmask);
         }
     }
     timings[3] += t.elapsed();
 
     // Recompress.
     let t = Instant::now();
-    let out_a = codec.compress(buf_a, bound)?;
+    let out_a = codec.compress_pooled(&buf_a, bound)?;
     let out_b = if unit.in_b.is_some() {
-        Some(codec.compress(buf_b, bound)?)
+        Some(codec.compress_pooled(&buf_b, bound)?)
     } else {
         None
     };
     timings[0] += t.elapsed();
+    codec.put_amp_buf(buf_b);
+    codec.put_amp_buf(buf_a);
 
     cache.insert(
         op_signature,
@@ -1390,7 +1386,6 @@ fn process_batch_unit(
     batch_signature: u64,
     bound: ErrorBound,
     unit: BatchUnit,
-    buf: &mut Vec<f64>,
     wide: bool,
     partial: bool,
 ) -> Result<UnitOut, SimError> {
@@ -1435,7 +1430,8 @@ fn process_batch_unit(
     }
 
     let t = Instant::now();
-    codec.decompress(&unit.block, buf)?;
+    let mut buf = codec.take_amp_buf();
+    codec.decompress(&unit.block, &mut buf)?;
     timings[1] += t.elapsed();
 
     let t = Instant::now();
@@ -1444,14 +1440,21 @@ fn process_batch_unit(
         if unit.mask & (1 << i) == 0 {
             continue;
         }
-        run_in_block_kernel(buf, plan.offset_bit, &plan.gate, plan.offset_cmask, wide);
+        run_in_block_kernel(
+            &mut buf,
+            plan.offset_bit,
+            &plan.gate,
+            plan.offset_cmask,
+            wide,
+        );
         gates += 1;
     }
     timings[3] += t.elapsed();
 
     let t = Instant::now();
-    let out = codec.compress(buf, bound)?;
+    let out = codec.compress_pooled(&buf, bound)?;
     timings[0] += t.elapsed();
+    codec.put_amp_buf(buf);
 
     cache.insert(sig, &unit.block, None, &out, None);
 

@@ -1,0 +1,82 @@
+//! Regression pins for the allocation-free (de)compression hot path.
+//!
+//! The contract under test is the [`qcs_core::SimReport`] counter triple
+//! (`codec_allocs`, `codec_bytes_alloc`, `scratch_reuse_hits`): once the
+//! codec's scratch pool is warm, gate waves must checkout every amplitude
+//! and byte buffer from the pool — a steady-state wave performs **zero**
+//! codec-side heap allocations. Wall-clock numbers are too noisy to pin on
+//! a shared box; the counters are deterministic and are the contract.
+
+use qcs_circuits::qft_benchmark_circuit;
+use qcs_core::{CompressedSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fused QFT-14, everything resident (no spill): after one warm-up pass
+/// fills the pool, a second identical pass must not allocate at the codec
+/// seam at all.
+#[test]
+fn fused_qft14_steady_state_has_zero_codec_allocs() {
+    let cfg = SimConfig::default().with_block_log2(10);
+    let mut sim = CompressedSimulator::new(14, cfg).expect("sim");
+    let circuit = qft_benchmark_circuit(14, 12);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Warm-up pass: pool misses and first-touch buffer growth are allowed
+    // here (the prewarm covers most of it, but this pins nothing yet).
+    sim.run(&circuit, &mut rng).expect("warm-up run");
+    let warm = sim.report();
+
+    // Steady-state pass: the same wave mix against a warm pool.
+    sim.run(&circuit, &mut rng).expect("steady-state run");
+    let steady = sim.report();
+
+    let allocs = steady.codec_allocs - warm.codec_allocs;
+    let bytes = steady.codec_bytes_alloc - warm.codec_bytes_alloc;
+    let hits = steady.scratch_reuse_hits - warm.scratch_reuse_hits;
+    assert_eq!(
+        allocs, 0,
+        "steady-state waves allocated {allocs} codec scratch buffers \
+         ({bytes} bytes); the warm pool must serve every checkout"
+    );
+    assert_eq!(bytes, 0, "steady-state buffer growth leaked {bytes} bytes");
+    assert!(
+        hits > 0,
+        "steady-state pass reported no pool hits — the hot path is not \
+         going through the pooled scratch API"
+    );
+}
+
+/// Fused QFT-14 with a 4-block residency budget (spill on): the recycled
+/// scratch must allocate strictly fewer bytes than the pre-pool hot path,
+/// which heap-allocated a fresh block-sized buffer for every checkout.
+#[test]
+fn spilled_qft14_allocates_strictly_less_than_prepool_baseline() {
+    let cfg = SimConfig::default().with_block_log2(10).with_spill(4);
+    let mut sim = CompressedSimulator::new(14, cfg).expect("sim");
+    let circuit = qft_benchmark_circuit(14, 12);
+    let mut rng = StdRng::seed_from_u64(1);
+    sim.run(&circuit, &mut rng).expect("run");
+    let report = sim.report();
+
+    // Analytic pre-PR baseline: every scratch checkout used to be a fresh
+    // allocation of at least one block of amplitudes (2^10 amps = 2048
+    // f64s = 16 KiB). The counters record every checkout either as a pool
+    // hit or as an alloc, so the sum is the old allocation count.
+    let block_bytes = (2u64 << 10) * 8;
+    let checkouts = report.codec_allocs + report.scratch_reuse_hits;
+    let baseline = checkouts * block_bytes;
+    assert!(
+        report.scratch_reuse_hits > 0,
+        "spill path reported no pool hits: {report:?}"
+    );
+    assert!(
+        report.codec_bytes_alloc < baseline,
+        "codec allocated {} bytes, not below the {} byte pre-pool \
+         baseline ({} checkouts x {} bytes/block)",
+        report.codec_bytes_alloc,
+        baseline,
+        checkouts,
+        block_bytes
+    );
+}
